@@ -1,0 +1,168 @@
+/**
+ * @file
+ * ABLATIONS — per-parameter studies backing the design choices in
+ * DESIGN.md section 7. Each study sweeps one axis of the pipeline
+ * while keeping everything else at the default, and reports the
+ * SLAMBench metric triple on the simulated Odroid-XU3:
+ *
+ *  1. bilateral filter on/off (and radius),
+ *  2. TSDF truncation band (mu),
+ *  3. volume resolution,
+ *  4. pyramid iteration schedule,
+ *  5. ICP residual (point-to-plane vs. point-to-point),
+ *  6. integration rate.
+ *
+ * Output: ablations.csv plus readable tables on stdout.
+ *
+ * Options: --frames N, --quick.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "support/csv.hpp"
+
+namespace {
+
+using namespace slambench;
+using namespace slambench::bench;
+
+struct StudyRow
+{
+    std::string study;
+    std::string variant;
+    core::EvaluatedConfig result;
+};
+
+void
+report(const std::vector<StudyRow> &rows)
+{
+    std::string current;
+    for (const StudyRow &row : rows) {
+        if (row.study != current) {
+            current = row.study;
+            std::printf("\n%s:\n", current.c_str());
+            std::printf("  %-22s %10s %8s %10s %8s\n", "variant",
+                        "ms/frame", "FPS", "maxATE(m)", "W");
+        }
+        std::printf("  %-22s %10.2f %8.2f %10.4f %8.2f%s\n",
+                    row.variant.c_str(),
+                    row.result.simulated.meanFrameSeconds * 1e3,
+                    row.result.simulated.meanFps,
+                    row.result.ate.maxAte,
+                    row.result.simulated.pacedWatts,
+                    row.result.valid ? "" : "  [invalid]");
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argFlag(argc, argv, "--quick");
+    const size_t frames = static_cast<size_t>(
+        argLong(argc, argv, "--frames", quick ? 8 : 30));
+
+    std::printf("ABLATIONS: single-axis sweeps on the simulated "
+                "odroid-xu3 (%zu frames)\n",
+                frames);
+    const dataset::Sequence sequence =
+        generateSequence(canonicalWorkload(frames));
+    const auto xu3 = devices::odroidXu3();
+
+    std::vector<StudyRow> rows;
+    auto run = [&](const std::string &study,
+                   const std::string &variant,
+                   const kfusion::KFusionConfig &config) {
+        StudyRow row;
+        row.study = study;
+        row.variant = variant;
+        row.result =
+            core::evaluateConfigOnDevice(config, sequence, xu3);
+        rows.push_back(std::move(row));
+    };
+
+    // Baseline for every study: a mid-cost configuration so sweeps
+    // finish quickly but the volume still matters.
+    kfusion::KFusionConfig base = defaultConfig();
+    base.volumeResolution = quick ? 64 : 128;
+
+    // 1. Bilateral filter.
+    for (int radius : {0, 1, 2, 4}) {
+        kfusion::KFusionConfig c = base;
+        c.filterRadius = radius;
+        run("bilateral filter radius (0 = off)",
+            "radius=" + std::to_string(radius), c);
+    }
+
+    // 2. TSDF truncation band.
+    for (float mu : {0.025f, 0.05f, 0.1f, 0.2f}) {
+        kfusion::KFusionConfig c = base;
+        c.mu = mu;
+        char label[32];
+        std::snprintf(label, sizeof(label), "mu=%.3f", mu);
+        run("TSDF truncation (mu)", label, c);
+    }
+
+    // 3. Volume resolution.
+    for (int vr : {64, 96, 128, 192, 256}) {
+        if (quick && vr > 128)
+            continue;
+        kfusion::KFusionConfig c = base;
+        c.volumeResolution = vr;
+        run("volume resolution", "vr=" + std::to_string(vr), c);
+    }
+
+    // 4. Pyramid iteration schedule.
+    const std::vector<std::pair<std::string, std::vector<int>>>
+        schedules{{"10,5,4 (default)", {10, 5, 4}},
+                  {"4,3,2", {4, 3, 2}},
+                  {"2,2,2", {2, 2, 2}},
+                  {"12,0,0 (fine only)", {12, 0, 0}},
+                  {"0,0,12 (coarse only)", {0, 0, 12}}};
+    for (const auto &[label, iters] : schedules) {
+        kfusion::KFusionConfig c = base;
+        c.pyramidIterations = iters;
+        run("pyramid ICP schedule", label, c);
+    }
+
+    // 5. ICP residual formulation.
+    for (const bool p2p : {false, true}) {
+        kfusion::KFusionConfig c = base;
+        c.icpResidual = p2p ? kfusion::IcpResidual::PointToPoint
+                            : kfusion::IcpResidual::PointToPlane;
+        run("ICP residual", p2p ? "point-to-point" : "point-to-plane",
+            c);
+    }
+
+    // 6. Integration rate.
+    for (int rate : {1, 2, 4, 8, 15}) {
+        kfusion::KFusionConfig c = base;
+        c.integrationRate = rate;
+        run("integration rate", "ir=" + std::to_string(rate), c);
+    }
+
+    report(rows);
+
+    std::ofstream out("ablations.csv");
+    support::CsvWriter csv(out, {"study", "variant", "ms_per_frame",
+                                 "fps", "max_ate_m", "watts",
+                                 "valid"});
+    for (const StudyRow &row : rows) {
+        csv.beginRow()
+            .cell(row.study)
+            .cell(row.variant)
+            .cell(row.result.simulated.meanFrameSeconds * 1e3)
+            .cell(row.result.simulated.meanFps)
+            .cell(row.result.ate.maxAte)
+            .cell(row.result.simulated.pacedWatts)
+            .cell(row.result.valid ? "1" : "0");
+    }
+    csv.endRow();
+    std::printf("\nwrote ablations.csv (%zu rows)\n", csv.rowCount());
+    return 0;
+}

@@ -1,0 +1,115 @@
+#ifndef SLAMBENCH_BENCH_COMMON_HPP
+#define SLAMBENCH_BENCH_COMMON_HPP
+
+/**
+ * @file
+ * Shared scaffolding for the figure-regeneration benches: the
+ * canonical workload, the default and tuned configurations, and
+ * tiny argument parsing.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "core/benchmark.hpp"
+#include "core/config_binding.hpp"
+#include "core/experiment.hpp"
+#include "dataset/generator.hpp"
+#include "devices/fleet.hpp"
+
+namespace slambench::bench {
+
+/**
+ * The canonical evaluation workload: the synthetic living-room
+ * orbit sequence at QVGA, the stand-in for ICL-NUIM lr kt0 used by
+ * all figures.
+ */
+inline dataset::SequenceSpec
+canonicalWorkload(size_t frames = 30)
+{
+    dataset::SequenceSpec spec;
+    spec.name = "living_room-orbit-a";
+    spec.scene = dataset::SceneId::LivingRoom;
+    spec.trajectory = dataset::TrajectoryPreset::OrbitA;
+    spec.width = 320;
+    spec.height = 240;
+    spec.numFrames = frames;
+    spec.renderRgb = false;
+    spec.seed = 42;
+    // Faster-than-handheld camera plus a noisier sensor: aggressive
+    // configurations (tiny images, skipped tracking, coarse volumes)
+    // genuinely fail here, which is what makes the Fig. 2 trade-off
+    // non-trivial. The real ICL-NUIM sequences are hard for the same
+    // reasons (fast rotation, depth noise).
+    spec.trajectorySpeedup = 5.0;
+    spec.noise.sigmaQuad = 0.0045f;
+    spec.noise.dropoutCosine = 0.35f;
+    return spec;
+}
+
+/** The KinectFusion default configuration (the paper's baseline). */
+inline kfusion::KFusionConfig
+defaultConfig()
+{
+    return kfusion::KFusionConfig{};
+}
+
+/**
+ * The configuration found for the Odroid-XU3 by the HyperMapper
+ * active-learning run in bench_fig2_dse (best simulated runtime
+ * subject to Max ATE < 5 cm and paced power < 1 W on this
+ * repository's workload). Fixed here so the mobile (Fig. 3) and
+ * headline benches are reproducible standalone, exactly as the paper
+ * shipped one tuned configuration to the Android app.
+ */
+inline kfusion::KFusionConfig
+tunedConfig()
+{
+    kfusion::KFusionConfig config;
+    config.computeSizeRatio = 2;
+    config.icpThreshold = 6.0e-5f;
+    config.mu = 0.16f;
+    config.integrationRate = 8;
+    config.volumeResolution = 64;
+    config.pyramidIterations = {4, 3, 2};
+    config.trackingRate = 1;
+    config.renderingRate = 8;
+    return config;
+}
+
+/** Parse "--name value" style options; returns the default if absent. */
+inline long
+argLong(int argc, char **argv, const char *name, long fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return std::atol(argv[i + 1]);
+    return fallback;
+}
+
+/** @return true when the flag is present. */
+inline bool
+argFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
+}
+
+/** Run one configuration on the workload; returns benchmark result. */
+inline core::BenchmarkResult
+runConfig(const kfusion::KFusionConfig &config,
+          const dataset::Sequence &sequence)
+{
+    core::KFusionSystem system(config);
+    core::BenchmarkOptions options;
+    options.alignedAte = false;
+    return core::runBenchmark(system, sequence, options);
+}
+
+} // namespace slambench::bench
+
+#endif // SLAMBENCH_BENCH_COMMON_HPP

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * FIG2 — reproduces the paper's Fig. 2: design-space exploration of
+ * the KinectFusion algorithmic parameters on the (simulated)
+ * Odroid-XU3.
+ *
+ * Left pane: runtime-vs-MaxATE scatter comparing random sampling
+ * against HyperMapper-style active learning at equal budget, with
+ * the default configuration and the 0.05 m accuracy limit marked.
+ * Right pane: the decision-tree "knowledge" separating good
+ * configurations (accurate + real-time + power-efficient) from bad
+ * ones, printed as parameter rules.
+ *
+ * Output: fig2_scatter.csv (one row per evaluation), plus the
+ * induced rules and a summary on stdout.
+ *
+ * Options: --frames N, --random N, --warmup N, --iters N, --batch N,
+ *          --seed S, --quick (tiny budgets for smoke testing).
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "hypermapper/knowledge.hpp"
+#include "support/csv.hpp"
+
+namespace {
+
+using namespace slambench;
+using namespace slambench::bench;
+
+void
+writeRows(support::CsvWriter &csv,
+          const std::vector<hypermapper::Evaluation> &evals,
+          const hypermapper::ParameterSpace &space)
+{
+    for (const auto &e : evals) {
+        csv.beginRow()
+            .cell(e.method)
+            .cell(static_cast<int64_t>(e.iteration))
+            .cell(e.valid ? "1" : "0")
+            .cell(e.objectives[core::kObjRuntime])
+            .cell(e.objectives[core::kObjMaxAte])
+            .cell(e.objectives[core::kObjWatts]);
+        for (size_t i = 0; i < space.size(); ++i)
+            csv.cell(e.point[i]);
+    }
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const bool quick = argFlag(argc, argv, "--quick");
+    const size_t frames = static_cast<size_t>(
+        argLong(argc, argv, "--frames", quick ? 10 : 30));
+    const size_t random_budget = static_cast<size_t>(
+        argLong(argc, argv, "--random", quick ? 10 : 100));
+    const size_t warmup = static_cast<size_t>(
+        argLong(argc, argv, "--warmup", quick ? 6 : 40));
+    const size_t iterations = static_cast<size_t>(
+        argLong(argc, argv, "--iters", quick ? 1 : 6));
+    const size_t batch = static_cast<size_t>(
+        argLong(argc, argv, "--batch", quick ? 4 : 10));
+    const uint64_t seed = static_cast<uint64_t>(
+        argLong(argc, argv, "--seed", 1));
+
+    std::printf("FIG2: DSE on the simulated odroid-xu3 "
+                "(%zu frames, random=%zu, active=%zu+%zux%zu)\n",
+                frames, random_budget, warmup, iterations, batch);
+
+    dataset::SequenceSpec spec = canonicalWorkload(frames);
+    const dataset::Sequence sequence = generateSequence(spec);
+    const auto space = core::kfusionParameterSpace();
+    const auto xu3 = devices::odroidXu3();
+    auto evaluator = core::makeDseEvaluator(space, sequence, xu3);
+
+    // --- Baseline: the default configuration. ---
+    const hypermapper::Point default_point = space.defaultPoint();
+    const auto default_outcome = evaluator(default_point);
+    hypermapper::Evaluation default_eval;
+    default_eval.point = default_point;
+    default_eval.objectives = default_outcome.objectives;
+    default_eval.valid = default_outcome.valid;
+    default_eval.method = "default";
+    std::printf("default config: runtime %.3f s/frame (%.1f FPS), "
+                "max ATE %.4f m, %.2f W\n",
+                default_eval.objectives[core::kObjRuntime],
+                1.0 / default_eval.objectives[core::kObjRuntime],
+                default_eval.objectives[core::kObjMaxAte],
+                default_eval.objectives[core::kObjWatts]);
+
+    // --- Random-sampling baseline. ---
+    hypermapper::RandomSearchOptions rs_options;
+    rs_options.budget = random_budget;
+    rs_options.seed = seed;
+    std::printf("running random sampling (%zu evaluations)...\n",
+                rs_options.budget);
+    const auto random_evals =
+        hypermapper::randomSearch(space, evaluator, rs_options);
+
+    // --- HyperMapper active learning. ---
+    hypermapper::ActiveLearningOptions al_options;
+    al_options.warmupSamples = warmup;
+    al_options.iterations = iterations;
+    al_options.batchSize = batch;
+    al_options.candidatePool = 2000;
+    al_options.forest.numTrees = 30;
+    al_options.seed = seed + 1000;
+    std::printf("running active learning (%zu evaluations)...\n",
+                warmup + iterations * batch);
+    const auto al_result = hypermapper::activeLearning(
+        space, evaluator, core::kNumObjectives, al_options);
+
+    // --- Scatter CSV (the left pane of Fig. 2). ---
+    {
+        std::ofstream out("fig2_scatter.csv");
+        std::vector<std::string> header{"method", "iteration",
+                                        "valid", "runtime_s",
+                                        "max_ate_m", "watts"};
+        for (const auto &name : space.names())
+            header.push_back(name);
+        support::CsvWriter csv(out, header);
+        writeRows(csv, {default_eval}, space);
+        writeRows(csv, random_evals, space);
+        writeRows(csv, al_result.evaluations, space);
+        csv.endRow();
+        std::printf("wrote fig2_scatter.csv (%zu rows)\n",
+                    csv.rowCount());
+    }
+
+    // --- Best-under-accuracy-limit comparison. ---
+    const double inf = std::numeric_limits<double>::infinity();
+    const std::vector<double> ate_cap{inf, 0.05, inf};
+    const double best_random =
+        hypermapper::bestUnderCaps(random_evals, core::kObjRuntime,
+                                   ate_cap);
+    const double best_active = hypermapper::bestUnderCaps(
+        al_result.evaluations, core::kObjRuntime, ate_cap);
+    std::printf("\nbest runtime with Max ATE <= 0.05 m:\n");
+    std::printf("  random sampling : %.4f s/frame\n", best_random);
+    std::printf("  active learning : %.4f s/frame\n", best_active);
+    std::printf("  default         : %.4f s/frame\n",
+                default_eval.objectives[core::kObjRuntime]);
+    if (best_active < inf) {
+        std::printf("  active-learning speedup over default: %.2fx\n",
+                    default_eval.objectives[core::kObjRuntime] /
+                        best_active);
+    }
+
+    // --- Pareto fronts. ---
+    auto front_size = [](const std::vector<hypermapper::Evaluation>
+                             &evals) {
+        return hypermapper::paretoFront(evals).size();
+    };
+    std::printf("\npareto-front sizes: random %zu, active %zu\n",
+                front_size(random_evals),
+                front_size(al_result.evaluations));
+    const double hv_random = hypermapper::hypervolume2d(
+        random_evals, 0.5, 0.1);
+    const double hv_active = hypermapper::hypervolume2d(
+        al_result.evaluations, 0.5, 0.1);
+    std::printf("hypervolume (runtime x ate, ref 0.5s/0.1m): "
+                "random %.5f, active %.5f (%s)\n",
+                hv_random, hv_active,
+                hv_active >= hv_random ? "active wins"
+                                       : "random wins");
+
+    // --- Knowledge extraction (the right pane of Fig. 2). ---
+    std::vector<hypermapper::Evaluation> all = random_evals;
+    all.insert(all.end(), al_result.evaluations.begin(),
+               al_result.evaluations.end());
+    all.push_back(default_eval);
+
+    hypermapper::GoodnessCriteria criteria;
+    criteria.maxAteLimit = 0.05; // accurate
+    criteria.minFps = 30.0;      // fast (real-time)
+    criteria.maxWatts = 3.0;     // power-efficient
+    const auto knowledge =
+        hypermapper::extractKnowledge(space, all, criteria, 3);
+    std::printf("\nknowledge extraction: %zu/%zu configurations are "
+                "GOOD (ATE<5cm, >30FPS, <3W); tree accuracy %.2f\n",
+                knowledge.goodCount, knowledge.totalCount,
+                knowledge.trainAccuracy);
+    std::printf("%s\n", knowledge.rules.c_str());
+
+    // --- The tuned configuration (for Fig. 3 / headline). ---
+    const std::vector<double> tuned_caps{inf, 0.05, 1.0};
+    double best = inf;
+    const hypermapper::Evaluation *best_eval = nullptr;
+    for (const auto &e : all) {
+        if (!e.valid)
+            continue;
+        if (e.objectives[core::kObjMaxAte] > 0.05 ||
+            e.objectives[core::kObjWatts] > 1.0)
+            continue;
+        if (e.objectives[core::kObjRuntime] < best) {
+            best = e.objectives[core::kObjRuntime];
+            best_eval = &e;
+        }
+    }
+    if (best_eval) {
+        std::printf("best config under ATE<5cm AND power<1W:\n  %s\n"
+                    "  runtime %.4f s/frame (%.1f FPS), ate %.4f m, "
+                    "%.2f W\n",
+                    space.describe(best_eval->point).c_str(), best,
+                    1.0 / best,
+                    best_eval->objectives[core::kObjMaxAte],
+                    best_eval->objectives[core::kObjWatts]);
+    } else {
+        std::printf("no configuration met ATE<5cm AND power<1W in "
+                    "this run\n");
+    }
+    return 0;
+}

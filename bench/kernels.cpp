@@ -1,0 +1,238 @@
+/**
+ * @file
+ * KERNELS — google-benchmark microbenchmarks of every pipeline
+ * stage, the per-kernel timing breakdown SLAMBench's GUI side panel
+ * reports (and the basis of the device-model calibration).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "dataset/generator.hpp"
+#include "kfusion/kernels.hpp"
+#include "kfusion/raycast.hpp"
+#include "kfusion/tracking.hpp"
+#include "kfusion/volume.hpp"
+
+namespace {
+
+using namespace slambench;
+using namespace slambench::kfusion;
+using support::Image;
+
+/** One rendered frame shared by all microbenches. */
+struct Workload
+{
+    dataset::Sequence sequence;
+    math::CameraIntrinsics k;
+    Image<float> depth;
+    Image<math::Vec3f> vertex, normal;
+    Image<math::Vec3f> refVertex, refNormal;
+    math::Mat4f pose;
+
+    explicit Workload(size_t w, size_t h)
+    {
+        dataset::SequenceSpec spec;
+        spec.width = w;
+        spec.height = h;
+        spec.numFrames = 1;
+        spec.renderRgb = false;
+        sequence = generateSequence(spec);
+        k = sequence.intrinsics;
+        pose = sequence.groundTruth.pose(0);
+        mm2metersKernel(depth, sequence.frames[0].depthMm, 1,
+                        nullptr);
+        depth2vertexKernel(vertex, depth, k, nullptr);
+        vertex2normalKernel(normal, vertex, nullptr);
+        refVertex.resize(w, h);
+        refNormal.resize(w, h);
+        for (size_t i = 0; i < vertex.size(); ++i) {
+            if (vertex[i].squaredNorm() == 0.0f)
+                continue;
+            refVertex[i] = pose.transformPoint(vertex[i]);
+            refNormal[i] = pose.transformDir(normal[i]);
+        }
+    }
+};
+
+Workload &
+workload(size_t w, size_t h)
+{
+    static Workload w320(320, 240);
+    static Workload w160(160, 120);
+    static Workload w80(80, 60);
+    if (w == 320 && h == 240)
+        return w320;
+    if (w == 160 && h == 120)
+        return w160;
+    return w80;
+}
+
+void
+BM_Mm2Meters(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<float> out;
+    for (auto _ : state) {
+        mm2metersKernel(out, wl.sequence.frames[0].depthMm, 1,
+                        nullptr);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(out.size()));
+}
+
+void
+BM_BilateralFilter(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<float> out;
+    for (auto _ : state) {
+        bilateralFilterKernel(out, wl.depth, 2, 4.0f, 0.1f, nullptr);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(out.size()) * 25);
+}
+
+void
+BM_HalfSample(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<float> out;
+    for (auto _ : state) {
+        halfSampleRobustKernel(out, wl.depth, 0.3f, nullptr);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(out.size()));
+}
+
+void
+BM_Depth2Vertex(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<math::Vec3f> out;
+    for (auto _ : state) {
+        depth2vertexKernel(out, wl.depth, wl.k, nullptr);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(out.size()));
+}
+
+void
+BM_Vertex2Normal(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<math::Vec3f> out;
+    for (auto _ : state) {
+        vertex2normalKernel(out, wl.vertex, nullptr);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(out.size()));
+}
+
+void
+BM_TrackKernel(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<TrackData> track;
+    for (auto _ : state) {
+        trackKernel(track, wl.vertex, wl.normal, wl.pose,
+                    wl.refVertex, wl.refNormal, wl.k, wl.pose, 0.1f,
+                    0.8f, nullptr);
+        benchmark::DoNotOptimize(track.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(track.size()));
+}
+
+void
+BM_ReduceKernel(benchmark::State &state)
+{
+    Workload &wl = workload(static_cast<size_t>(state.range(0)),
+                            static_cast<size_t>(state.range(1)));
+    Image<TrackData> track;
+    trackKernel(track, wl.vertex, wl.normal, wl.pose, wl.refVertex,
+                wl.refNormal, wl.k, wl.pose, 0.1f, 0.8f, nullptr);
+    for (auto _ : state) {
+        const ReductionResult r = reduceKernel(track, nullptr);
+        benchmark::DoNotOptimize(r.errorSq);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(track.size()));
+}
+
+void
+BM_Integrate(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    const int res = static_cast<int>(state.range(0));
+    TsdfVolume volume(res, 4.8f, {-2.4f, -0.4f, -2.4f});
+    WorkCounts counts;
+    for (auto _ : state) {
+        volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f,
+                         counts, nullptr);
+        benchmark::DoNotOptimize(volume.at(0, 0, 0).tsdf);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(res) * res * res);
+}
+
+void
+BM_Raycast(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    const int res = static_cast<int>(state.range(0));
+    TsdfVolume volume(res, 4.8f, {-2.4f, -0.4f, -2.4f});
+    WorkCounts counts;
+    volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f, counts,
+                     nullptr);
+    RaycastParams params;
+    params.step = volume.voxelSize();
+    params.largeStep = 0.075f;
+    Image<math::Vec3f> vertex, normal;
+    for (auto _ : state) {
+        raycastKernel(vertex, normal, volume, wl.k, wl.pose, params,
+                      counts, nullptr);
+        benchmark::DoNotOptimize(vertex.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(vertex.size()));
+}
+
+} // namespace
+
+BENCHMARK(BM_Mm2Meters)->Args({320, 240})->Args({160, 120});
+BENCHMARK(BM_BilateralFilter)
+    ->Args({320, 240})
+    ->Args({160, 120})
+    ->Args({80, 60});
+BENCHMARK(BM_HalfSample)->Args({320, 240})->Args({160, 120});
+BENCHMARK(BM_Depth2Vertex)->Args({320, 240})->Args({160, 120});
+BENCHMARK(BM_Vertex2Normal)->Args({320, 240})->Args({160, 120});
+BENCHMARK(BM_TrackKernel)
+    ->Args({320, 240})
+    ->Args({160, 120})
+    ->Args({80, 60});
+BENCHMARK(BM_ReduceKernel)->Args({320, 240})->Args({160, 120});
+BENCHMARK(BM_Integrate)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Raycast)->Arg(64)->Arg(128)->Arg(256);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,274 @@
+/**
+ * @file
+ * The SLAMBench-style command-line harness: pick a dataset, a SLAM
+ * system, a configuration, and a device model entirely from flags,
+ * run the benchmark, and print the metric triple. Mirrors the flag
+ * set of the original `kfusion-benchmark` binaries.
+ *
+ * Examples:
+ *   slambench_cli --frames 60
+ *   slambench_cli --scene office --trajectory b --vr 128 --csr 2
+ *   slambench_cli --system odometry --dump-trajectory est.txt
+ *   slambench_cli --vr 64 --ir 8 --mu 0.16 --pyramid 4,3,2 \
+ *                 --dump-mesh map.obj --align
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include <fstream>
+
+#include "core/benchmark.hpp"
+#include "core/report.hpp"
+#include "core/odometry.hpp"
+#include "core/slam_system.hpp"
+#include "dataset/generator.hpp"
+#include "devices/fleet.hpp"
+#include "kfusion/mesh.hpp"
+#include "metrics/reconstruction.hpp"
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace {
+
+using namespace slambench;
+
+void
+usage()
+{
+    std::printf(
+        "slambench_cli — benchmark a SLAM system on a synthetic "
+        "RGB-D sequence\n\n"
+        "dataset:\n"
+        "  --scene living-room|office     (default living-room)\n"
+        "  --trajectory a|b|c             (default a = orbit)\n"
+        "  --frames N                     (default 40)\n"
+        "  --width W --height H           (default 320x240)\n"
+        "  --no-noise                     disable the sensor model\n"
+        "  --seed S                       sensor noise seed\n\n"
+        "system:\n"
+        "  --system kfusion|odometry      (default kfusion)\n"
+        "  --impl sequential|threaded     (default sequential)\n\n"
+        "kfusion configuration (SLAMBench flags):\n"
+        "  --csr {1,2,4,8}   compute-size ratio\n"
+        "  --icp T           ICP convergence threshold\n"
+        "  --mu M            TSDF truncation, meters\n"
+        "  --ir N            integration rate\n"
+        "  --vr N            volume resolution (voxels/edge)\n"
+        "  --vs S            volume size, meters\n"
+        "  --pyramid a,b,c   ICP iterations per level\n"
+        "  --tr N            tracking rate\n"
+        "  --rr N            rendering rate\n\n"
+        "outputs:\n"
+        "  --align                  also report rigidly aligned ATE\n"
+        "  --log FILE               per-frame metric log (CSV)\n"
+        "  --dump-trajectory FILE   estimated trajectory (TUM)\n"
+        "  --dump-groundtruth FILE  ground truth (TUM)\n"
+        "  --dump-mesh FILE         reconstructed map (.obj, "
+        "kfusion only)\n");
+}
+
+const char *
+flagValue(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    return nullptr;
+}
+
+bool
+hasFlag(int argc, char **argv, const char *name)
+{
+    for (int i = 1; i < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return true;
+    return false;
+}
+
+long
+longFlag(int argc, char **argv, const char *name, long fallback)
+{
+    const char *v = flagValue(argc, argv, name);
+    return v ? std::atol(v) : fallback;
+}
+
+double
+doubleFlag(int argc, char **argv, const char *name, double fallback)
+{
+    const char *v = flagValue(argc, argv, name);
+    return v ? std::atof(v) : fallback;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (hasFlag(argc, argv, "--help") || hasFlag(argc, argv, "-h")) {
+        usage();
+        return 0;
+    }
+
+    // --- Dataset ---
+    dataset::SequenceSpec spec;
+    const char *scene = flagValue(argc, argv, "--scene");
+    if (scene && std::string(scene) == "office")
+        spec.scene = dataset::SceneId::Office;
+    else if (scene && std::string(scene) != "living-room")
+        support::fatal("unknown --scene (living-room|office)");
+    const char *trajectory = flagValue(argc, argv, "--trajectory");
+    if (trajectory &&
+        !dataset::parsePreset(trajectory, spec.trajectory))
+        support::fatal("unknown --trajectory (a|b|c)");
+    spec.numFrames =
+        static_cast<size_t>(longFlag(argc, argv, "--frames", 40));
+    spec.width =
+        static_cast<size_t>(longFlag(argc, argv, "--width", 320));
+    spec.height =
+        static_cast<size_t>(longFlag(argc, argv, "--height", 240));
+    spec.sensorNoise = !hasFlag(argc, argv, "--no-noise");
+    spec.seed =
+        static_cast<uint64_t>(longFlag(argc, argv, "--seed", 42));
+    spec.renderRgb = false;
+
+    std::printf("generating %zu frames (%zux%zu, %s, trajectory "
+                "%s)...\n",
+                spec.numFrames, spec.width, spec.height,
+                spec.scene == dataset::SceneId::Office
+                    ? "office"
+                    : "living-room",
+                trajectory ? trajectory : "a");
+    const dataset::Sequence sequence = generateSequence(spec);
+
+    // --- Configuration ---
+    kfusion::KFusionConfig config;
+    config.computeSizeRatio =
+        static_cast<int>(longFlag(argc, argv, "--csr", 1));
+    config.icpThreshold = static_cast<float>(
+        doubleFlag(argc, argv, "--icp", config.icpThreshold));
+    config.mu =
+        static_cast<float>(doubleFlag(argc, argv, "--mu", config.mu));
+    config.integrationRate =
+        static_cast<int>(longFlag(argc, argv, "--ir", 2));
+    config.volumeResolution =
+        static_cast<int>(longFlag(argc, argv, "--vr", 256));
+    config.volumeSize = static_cast<float>(
+        doubleFlag(argc, argv, "--vs", config.volumeSize));
+    config.trackingRate =
+        static_cast<int>(longFlag(argc, argv, "--tr", 1));
+    config.renderingRate =
+        static_cast<int>(longFlag(argc, argv, "--rr", 4));
+    if (const char *pyramid = flagValue(argc, argv, "--pyramid")) {
+        config.pyramidIterations.clear();
+        for (const std::string &field :
+             support::split(pyramid, ',')) {
+            long iters = 0;
+            if (!support::parseLong(field, iters))
+                support::fatal("bad --pyramid (want e.g. 10,5,4)");
+            config.pyramidIterations.push_back(
+                static_cast<int>(iters));
+        }
+    }
+
+    kfusion::Implementation impl = kfusion::Implementation::Sequential;
+    if (const char *impl_flag = flagValue(argc, argv, "--impl")) {
+        if (std::string(impl_flag) == "threaded")
+            impl = kfusion::Implementation::Threaded;
+        else if (std::string(impl_flag) != "sequential")
+            support::fatal("unknown --impl (sequential|threaded)");
+    }
+
+    // --- System ---
+    std::unique_ptr<core::SlamSystem> system;
+    core::KFusionSystem *kfusion_system = nullptr;
+    const char *system_flag = flagValue(argc, argv, "--system");
+    const std::string system_name =
+        system_flag ? system_flag : "kfusion";
+    if (system_name == "kfusion") {
+        auto kf = std::make_unique<core::KFusionSystem>(config, impl);
+        kfusion_system = kf.get();
+        system = std::move(kf);
+    } else if (system_name == "odometry") {
+        core::OdometryConfig odo;
+        odo.computeSizeRatio = config.computeSizeRatio;
+        odo.pyramidIterations = config.pyramidIterations;
+        odo.icpThreshold = config.icpThreshold;
+        system = std::make_unique<core::OdometrySystem>(odo);
+    } else {
+        support::fatal("unknown --system (kfusion|odometry)");
+    }
+
+    std::printf("running %s (%s)...\n", system->name().c_str(),
+                config.toString().c_str());
+    core::BenchmarkOptions options;
+    options.alignedAte = hasFlag(argc, argv, "--align");
+    const core::BenchmarkResult result =
+        core::runBenchmark(*system, sequence, options);
+
+    // --- Report ---
+    std::printf("\ntracked    : %zu/%zu frames\n",
+                result.trackedFrames, result.frames);
+    std::printf("accuracy   : max ATE %.4f m | mean %.4f m | RMSE "
+                "%.4f m\n",
+                result.ate.maxAte, result.ate.meanAte,
+                result.ate.rmse);
+    if (options.alignedAte)
+        std::printf("aligned    : max ATE %.4f m | RMSE %.4f m\n",
+                    result.ateAligned.maxAte, result.ateAligned.rmse);
+    std::printf("drift      : RPE %.5f m/frame, %.5f rad/frame\n",
+                result.rpe.translationRmse,
+                result.rpe.rotationRmse);
+    std::printf("host speed : %s\n",
+                metrics::describeTiming(result.hostTiming).c_str());
+
+    const auto xu3 = devices::odroidXu3();
+    const auto sim = devices::simulateRun(xu3, result.frameWork);
+    std::printf("odroid-xu3 : %.1f ms/frame (%.1f FPS) | %.2f W "
+                "paced, %.2f W batch\n",
+                sim.meanFrameSeconds * 1e3, sim.meanFps,
+                sim.pacedWatts, sim.meanWatts);
+
+    // --- Optional artifacts ---
+    if (const char *path = flagValue(argc, argv, "--log")) {
+        std::ofstream log(path);
+        if (log) {
+            core::writeFrameLog(log, result, xu3);
+            std::printf("wrote %s\n", path);
+        }
+    }
+    if (const char *path =
+            flagValue(argc, argv, "--dump-trajectory")) {
+        dataset::Trajectory estimated;
+        for (size_t i = 0; i < result.estimatedPoses.size(); ++i)
+            estimated.append(result.estimatedPoses[i],
+                             sequence.groundTruth.timestamp(i));
+        if (estimated.saveTum(path))
+            std::printf("wrote %s\n", path);
+    }
+    if (const char *path =
+            flagValue(argc, argv, "--dump-groundtruth")) {
+        if (sequence.groundTruth.saveTum(path))
+            std::printf("wrote %s\n", path);
+    }
+    if (const char *path = flagValue(argc, argv, "--dump-mesh")) {
+        if (!kfusion_system) {
+            std::printf("--dump-mesh requires --system kfusion\n");
+        } else {
+            const kfusion::TriangleMesh mesh = kfusion::extractMesh(
+                kfusion_system->pipeline().volume());
+            if (mesh.saveObj(path)) {
+                const auto recon =
+                    metrics::computeReconstructionError(
+                        mesh, dataset::makeScene(spec.scene), 5);
+                std::printf("wrote %s (%zu triangles, surface RMSE "
+                            "%.4f m)\n",
+                            path, mesh.triangleCount(), recon.rmse);
+            }
+        }
+    }
+    return 0;
+}

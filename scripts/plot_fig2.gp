@@ -1,0 +1,20 @@
+# Render the Fig. 2 left pane from fig2_scatter.csv
+# (produced by build/bench/bench_fig2_dse). Usage:
+#   gnuplot -e "csv='fig2_scatter.csv'" scripts/plot_fig2.gp
+if (!exists("csv")) csv = "fig2_scatter.csv"
+set datafile separator ","
+set terminal svg size 720,480
+set output "fig2_scatter.svg"
+set xlabel "Runtime (s/frame, simulated Odroid-XU3)"
+set ylabel "Max ATE (m)"
+set key top right
+set yrange [0:0.12]
+# The paper's accuracy limit.
+set arrow from graph 0, first 0.05 to graph 1, first 0.05 nohead dt 2
+set label "accuracy limit = 0.05 m" at graph 0.02, first 0.053
+plot csv using ($3==1 && strcol(1) eq "random"  ? $4 : NaN):5 \
+         title "random sampling"  pt 6  ps 0.6 lc rgb "#888888", \
+     csv using ($3==1 && strcol(1) eq "active"  ? $4 : NaN):5 \
+         title "active learning"  pt 7  ps 0.6 lc rgb "#cc3311", \
+     csv using ($3==1 && strcol(1) eq "default" ? $4 : NaN):5 \
+         title "default configuration" pt 5 ps 1.4 lc rgb "#0044cc"

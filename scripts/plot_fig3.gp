@@ -1,0 +1,15 @@
+# Render the Fig. 3 speed-up histogram from fig3_devices.csv
+# (produced by build/bench/bench_fig3_mobile). Usage:
+#   gnuplot -e "csv='fig3_devices.csv'" scripts/plot_fig3.gp
+if (!exists("csv")) csv = "fig3_devices.csv"
+set datafile separator ","
+set terminal svg size 720,400
+set output "fig3_speedup.svg"
+set xlabel "Speed-up of the XU3-tuned configuration"
+set ylabel "Devices"
+set style fill solid 0.7
+binwidth = 1.0
+bin(x) = binwidth * floor(x / binwidth) + binwidth / 2.0
+set boxwidth binwidth * 0.9
+plot csv using (bin($5)):(($6==1 && $7==1) ? 1.0 : 0.0) \
+     smooth freq with boxes lc rgb "#0044cc" notitle

@@ -1,0 +1,58 @@
+#include "core/benchmark.hpp"
+
+#include <chrono>
+
+#include "support/logging.hpp"
+
+namespace slambench::core {
+
+BenchmarkResult
+runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
+             const BenchmarkOptions &options)
+{
+    BenchmarkResult result;
+    if (sequence.frames.empty())
+        support::fatal("runBenchmark: empty sequence");
+
+    system.initialize(sequence.intrinsics, sequence.groundTruth.pose(0));
+
+    std::vector<double> frame_seconds;
+    frame_seconds.reserve(sequence.frames.size());
+
+    for (size_t i = 0; i < sequence.frames.size(); ++i) {
+        const auto start = std::chrono::steady_clock::now();
+        const bool tracked = system.processFrame(sequence.frames[i]);
+        const auto end = std::chrono::steady_clock::now();
+
+        frame_seconds.push_back(
+            std::chrono::duration<double>(end - start).count());
+        result.estimatedPoses.push_back(system.currentPose());
+        ++result.frames;
+        if (tracked)
+            ++result.trackedFrames;
+        if (options.verbose) {
+            support::logDebug()
+                << "frame " << i << (tracked ? " tracked" : " LOST")
+                << " in " << frame_seconds.back() * 1e3 << " ms";
+        }
+    }
+
+    result.hostTiming = metrics::summarizeTiming(frame_seconds);
+    result.ate = metrics::computeAte(result.estimatedPoses,
+                                     sequence.groundTruth.poses(),
+                                     /*align=*/false);
+    if (options.alignedAte) {
+        result.ateAligned = metrics::computeAte(
+            result.estimatedPoses, sequence.groundTruth.poses(),
+            /*align=*/true);
+    }
+    result.rpe = metrics::computeRpe(result.estimatedPoses,
+                                     sequence.groundTruth.poses());
+
+    result.frameWork = system.frameWork();
+    for (const kfusion::WorkCounts &w : result.frameWork)
+        result.totalWork.merge(w);
+    return result;
+}
+
+} // namespace slambench::core

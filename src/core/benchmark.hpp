@@ -1,0 +1,77 @@
+#ifndef SLAMBENCH_CORE_BENCHMARK_HPP
+#define SLAMBENCH_CORE_BENCHMARK_HPP
+
+/**
+ * @file
+ * The benchmark loop: feed a sequence through a SLAM system and
+ * collect the SLAMBench metric triple (speed, accuracy, power/work).
+ */
+
+#include <vector>
+
+#include "core/slam_system.hpp"
+#include "dataset/generator.hpp"
+#include "metrics/ate.hpp"
+#include "metrics/timing.hpp"
+
+namespace slambench::core {
+
+/** Options of one benchmark run. */
+struct BenchmarkOptions
+{
+    /** Also compute the rigidly aligned ATE (TUM methodology). */
+    bool alignedAte = true;
+    /** Print per-frame progress at debug level. */
+    bool verbose = false;
+};
+
+/** Everything measured during one run. */
+struct BenchmarkResult
+{
+    size_t frames = 0;
+    size_t trackedFrames = 0;
+
+    /** ATE with the shared-start-frame convention (SLAMBench). */
+    metrics::AteResult ate;
+    /** ATE after rigid alignment (TUM), when requested. */
+    metrics::AteResult ateAligned;
+    /** Relative pose error over one frame (local drift). */
+    metrics::RpeResult rpe;
+
+    /** Host wall-clock timing of the pipeline. */
+    metrics::TimingSummary hostTiming;
+
+    /** Per-frame work counts (feed these to device models). */
+    std::vector<kfusion::WorkCounts> frameWork;
+    /** Sum of frameWork. */
+    kfusion::WorkCounts totalWork;
+
+    /** Estimated camera-to-world pose per frame. */
+    std::vector<math::Mat4f> estimatedPoses;
+
+    /** @return tracked frames / frames. */
+    double
+    trackedFraction() const
+    {
+        return frames ? static_cast<double>(trackedFrames) /
+                            static_cast<double>(frames)
+                      : 0.0;
+    }
+};
+
+/**
+ * Run @p system over @p sequence, starting from the sequence's
+ * ground-truth initial pose (the SLAMBench protocol).
+ *
+ * @param system SLAM system under test (re-initialized here).
+ * @param sequence Input frames plus ground truth.
+ * @param options Run options.
+ * @return collected metrics.
+ */
+BenchmarkResult runBenchmark(SlamSystem &system,
+                             const dataset::Sequence &sequence,
+                             const BenchmarkOptions &options = {});
+
+} // namespace slambench::core
+
+#endif // SLAMBENCH_CORE_BENCHMARK_HPP

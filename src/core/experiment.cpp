@@ -1,0 +1,157 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace slambench::core {
+
+double
+volumeBytes(const kfusion::KFusionConfig &config)
+{
+    const double r = static_cast<double>(config.volumeResolution);
+    return r * r * r * static_cast<double>(sizeof(kfusion::Voxel));
+}
+
+EvaluatedConfig
+evaluateConfigOnDevice(const kfusion::KFusionConfig &config,
+                       const dataset::Sequence &sequence,
+                       const devices::DeviceModel &device,
+                       const DseObjectiveOptions &options)
+{
+    EvaluatedConfig record;
+    record.config = config;
+
+    if (options.enforceMemoryBudget &&
+        volumeBytes(config) > device.memoryBudgetBytes) {
+        // The configuration does not fit on the device at all.
+        record.valid = false;
+        return record;
+    }
+
+    if (!kfusion::KFusion::checkCompatibility(config,
+                                              sequence.intrinsics)
+             .empty()) {
+        // The configuration cannot run on this input size (e.g. the
+        // compute-size ratio shrinks the image below the minimum).
+        record.valid = false;
+        return record;
+    }
+
+    KFusionSystem system(config);
+    BenchmarkOptions bench_options;
+    bench_options.alignedAte = false;
+    const BenchmarkResult bench =
+        runBenchmark(system, sequence, bench_options);
+
+    record.ate = bench.ate;
+    record.trackedFraction = bench.trackedFraction();
+    record.simulated = devices::simulateRun(device, bench.frameWork);
+    record.valid =
+        record.trackedFraction >= options.minTrackedFraction &&
+        std::isfinite(record.ate.maxAte);
+    return record;
+}
+
+hypermapper::Evaluator
+makeDseEvaluator(const hypermapper::ParameterSpace &space,
+                 const dataset::Sequence &sequence,
+                 const devices::DeviceModel &device,
+                 const DseObjectiveOptions &options,
+                 std::vector<EvaluatedConfig> *log)
+{
+    // The lambda copies the space and device; the sequence is large,
+    // so callers must keep it alive (noted in the header docs).
+    return [&sequence, space, device, options,
+            log](const hypermapper::Point &point)
+               -> hypermapper::EvaluationOutcome {
+        const kfusion::KFusionConfig config =
+            pointToConfig(space, point);
+        const EvaluatedConfig record = evaluateConfigOnDevice(
+            config, sequence, device, options);
+        if (log)
+            log->push_back(record);
+
+        hypermapper::EvaluationOutcome outcome;
+        outcome.valid = record.valid;
+        outcome.objectives.assign(kNumObjectives, 0.0);
+        outcome.objectives[kObjRuntime] =
+            record.simulated.meanFrameSeconds;
+        outcome.objectives[kObjMaxAte] = record.ate.maxAte;
+        outcome.objectives[kObjWatts] = record.simulated.pacedWatts;
+        return outcome;
+    };
+}
+
+hypermapper::Evaluator
+makeMultiSequenceEvaluator(const hypermapper::ParameterSpace &space,
+                           const std::vector<dataset::Sequence> &sequences,
+                           const devices::DeviceModel &device,
+                           const DseObjectiveOptions &options)
+{
+    if (sequences.empty())
+        support::fatal("makeMultiSequenceEvaluator: no sequences");
+    return [&sequences, space, device,
+            options](const hypermapper::Point &point)
+               -> hypermapper::EvaluationOutcome {
+        const kfusion::KFusionConfig config =
+            pointToConfig(space, point);
+        hypermapper::EvaluationOutcome outcome;
+        outcome.valid = true;
+        outcome.objectives.assign(kNumObjectives, 0.0);
+        for (const dataset::Sequence &sequence : sequences) {
+            const EvaluatedConfig record = evaluateConfigOnDevice(
+                config, sequence, device, options);
+            outcome.valid = outcome.valid && record.valid;
+            outcome.objectives[kObjRuntime] +=
+                record.simulated.meanFrameSeconds;
+            outcome.objectives[kObjWatts] +=
+                record.simulated.pacedWatts;
+            outcome.objectives[kObjMaxAte] =
+                std::max(outcome.objectives[kObjMaxAte],
+                         record.ate.maxAte);
+        }
+        const double n = static_cast<double>(sequences.size());
+        outcome.objectives[kObjRuntime] /= n;
+        outcome.objectives[kObjWatts] /= n;
+        return outcome;
+    };
+}
+
+std::vector<FleetEntry>
+replayOnFleet(const std::vector<devices::DeviceModel> &fleet,
+              const std::vector<kfusion::WorkCounts> &default_run,
+              double default_volume_bytes,
+              const std::vector<kfusion::WorkCounts> &tuned_run,
+              double tuned_volume_bytes)
+{
+    std::vector<FleetEntry> entries;
+    entries.reserve(fleet.size());
+    for (const devices::DeviceModel &device : fleet) {
+        FleetEntry entry;
+        entry.device = device.name;
+        entry.deviceClass = devices::deviceClassName(device.deviceClass);
+        entry.ranDefault =
+            default_volume_bytes <= device.memoryBudgetBytes;
+        entry.ranTuned = tuned_volume_bytes <= device.memoryBudgetBytes;
+        if (entry.ranDefault) {
+            entry.defaultSeconds =
+                devices::simulateRun(device, default_run)
+                    .meanFrameSeconds;
+        }
+        if (entry.ranTuned) {
+            entry.tunedSeconds =
+                devices::simulateRun(device, tuned_run)
+                    .meanFrameSeconds;
+        }
+        if (entry.ranDefault && entry.ranTuned &&
+            entry.tunedSeconds > 0.0) {
+            entry.speedup = entry.defaultSeconds / entry.tunedSeconds;
+        }
+        entries.push_back(std::move(entry));
+    }
+    return entries;
+}
+
+} // namespace slambench::core

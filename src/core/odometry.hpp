@@ -1,0 +1,81 @@
+#ifndef SLAMBENCH_CORE_ODOMETRY_HPP
+#define SLAMBENCH_CORE_ODOMETRY_HPP
+
+/**
+ * @file
+ * A second SLAM algorithm behind the SlamSystem interface: pure
+ * frame-to-frame ICP visual odometry (no map, no TSDF volume).
+ *
+ * SLAMBench's purpose is comparing *different* SLAM systems under
+ * one harness; this system is the classic drift-prone baseline that
+ * KinectFusion's frame-to-model tracking is evaluated against. It
+ * reuses the same preprocessing and ICP kernels, so per-kernel work
+ * accounting and device simulation work identically.
+ */
+
+#include <memory>
+#include <vector>
+
+#include "core/slam_system.hpp"
+#include "kfusion/kernels.hpp"
+#include "kfusion/tracking.hpp"
+
+namespace slambench::core {
+
+/** Configuration of the odometry baseline. */
+struct OdometryConfig
+{
+    /** Input down-scaling ratio, as in KFusionConfig. */
+    int computeSizeRatio = 1;
+    /** ICP iterations per pyramid level, finest first. */
+    std::vector<int> pyramidIterations{10, 5, 4};
+    /** ICP convergence threshold on the twist norm. */
+    float icpThreshold = 1e-5f;
+    /** Bilateral filter radius (0 disables). */
+    int filterRadius = 2;
+    /** Correspondence gates (see KFusionConfig). */
+    float distThreshold = 0.1f;
+    float normalThreshold = 0.8f;
+    /** Pose acceptance gates. */
+    float trackInlierFraction = 0.10f;
+    float trackResidualLimit = 2e-2f;
+};
+
+/**
+ * Frame-to-frame ICP odometry bound to the SlamSystem interface.
+ */
+class OdometrySystem : public SlamSystem
+{
+  public:
+    explicit OdometrySystem(const OdometryConfig &config = {});
+
+    std::string name() const override;
+    void initialize(const math::CameraIntrinsics &intrinsics,
+                    const math::Mat4f &initial_pose) override;
+    bool processFrame(const dataset::Frame &frame) override;
+    math::Mat4f currentPose() const override;
+    const std::vector<kfusion::WorkCounts> &frameWork() const override;
+
+  private:
+    void buildPyramid(const support::Image<uint16_t> &depth_mm,
+                      std::vector<kfusion::PyramidLevel> &pyramid,
+                      kfusion::WorkCounts &work) const;
+
+    OdometryConfig config_;
+    math::CameraIntrinsics inputIntrinsics_;
+    math::CameraIntrinsics scaledIntrinsics_;
+    std::vector<math::CameraIntrinsics> levelIntrinsics_;
+    math::Mat4f pose_;
+
+    // Previous frame's maps in world coordinates (the reference).
+    support::Image<math::Vec3f> refVertex_;
+    support::Image<math::Vec3f> refNormal_;
+    math::Mat4f refPose_;
+    bool haveReference_ = false;
+
+    std::vector<kfusion::WorkCounts> frameWork_;
+};
+
+} // namespace slambench::core
+
+#endif // SLAMBENCH_CORE_ODOMETRY_HPP

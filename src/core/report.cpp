@@ -1,0 +1,81 @@
+#include "core/report.hpp"
+
+#include <sstream>
+
+#include "support/csv.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::core {
+
+size_t
+writeFrameLog(std::ostream &out, const BenchmarkResult &result,
+              const devices::DeviceModel &device)
+{
+    std::vector<std::string> header{"frame", "ate_m",
+                                    "host_seconds", "sim_seconds",
+                                    "sim_joules"};
+    for (size_t k = 0; k < kfusion::kNumKernels; ++k) {
+        const auto id = static_cast<kfusion::KernelId>(k);
+        header.push_back(std::string(kfusion::kernelName(id)) +
+                         "_items");
+    }
+    support::CsvWriter csv(out, header);
+    for (size_t f = 0; f < result.frameWork.size(); ++f) {
+        const kfusion::WorkCounts &work = result.frameWork[f];
+        csv.beginRow()
+            .cell(static_cast<int64_t>(f))
+            .cell(f < result.ate.perFrame.size()
+                      ? result.ate.perFrame[f]
+                      : 0.0)
+            .cell(work.totalHostSeconds())
+            .cell(device.frameSeconds(work))
+            .cell(device.frameJoules(work));
+        for (size_t k = 0; k < kfusion::kNumKernels; ++k)
+            csv.cell(work.items[k]);
+    }
+    csv.endRow();
+    return csv.rowCount();
+}
+
+std::string
+summarizeRun(const BenchmarkResult &result,
+             const devices::DeviceModel &device,
+             const std::string &system_name)
+{
+    const devices::SimulatedRun sim =
+        devices::simulateRun(device, result.frameWork);
+
+    std::ostringstream out;
+    out << "=== " << system_name << " ===\n";
+    out << support::format(
+        "frames      : %zu (%zu tracked, %.0f%%)\n", result.frames,
+        result.trackedFrames, result.trackedFraction() * 100.0);
+    out << support::format(
+        "accuracy    : max ATE %.4f m | mean %.4f m | RMSE %.4f m\n",
+        result.ate.maxAte, result.ate.meanAte, result.ate.rmse);
+    out << support::format(
+        "local drift : RPE %.5f m/frame | %.5f rad/frame\n",
+        result.rpe.translationRmse, result.rpe.rotationRmse);
+    out << support::format(
+        "host        : %s\n",
+        metrics::describeTiming(result.hostTiming).c_str());
+    out << support::format(
+        "%-12s: %.1f ms/frame (%.1f FPS) | %.2f W paced | %.2f W "
+        "batch\n",
+        device.name.c_str(), sim.meanFrameSeconds * 1e3, sim.meanFps,
+        sim.pacedWatts, sim.meanWatts);
+    out << "per-kernel work (items / bytes / host ms):\n";
+    for (size_t k = 0; k < kfusion::kNumKernels; ++k) {
+        const auto id = static_cast<kfusion::KernelId>(k);
+        if (result.totalWork.itemsFor(id) == 0.0)
+            continue;
+        out << support::format(
+            "  %-16s %14.0f %12.0f %10.2f\n", kfusion::kernelName(id),
+            result.totalWork.itemsFor(id),
+            result.totalWork.bytesFor(id),
+            result.totalWork.hostSecondsFor(id) * 1e3);
+    }
+    return out.str();
+}
+
+} // namespace slambench::core

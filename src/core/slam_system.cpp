@@ -1,0 +1,94 @@
+#include "core/slam_system.hpp"
+
+#include "support/logging.hpp"
+
+namespace slambench::core {
+
+KFusionSystem::KFusionSystem(const kfusion::KFusionConfig &config,
+                             kfusion::Implementation impl)
+    : config_(config), impl_(impl)
+{}
+
+std::string
+KFusionSystem::name() const
+{
+    return std::string("kfusion-") +
+           kfusion::implementationName(impl_);
+}
+
+void
+KFusionSystem::initialize(const math::CameraIntrinsics &intrinsics,
+                          const math::Mat4f &initial_pose)
+{
+    kfusion_ = std::make_unique<kfusion::KFusion>(config_, intrinsics,
+                                                  impl_);
+    kfusion_->setPose(initial_pose);
+    framesSeen_ = 0;
+    framesTracked_ = 0;
+}
+
+bool
+KFusionSystem::processFrame(const dataset::Frame &frame)
+{
+    if (!kfusion_)
+        support::panic("KFusionSystem: processFrame before initialize");
+    const kfusion::FrameResult result =
+        kfusion_->processFrame(frame.depthMm);
+
+    // The GUI visualization is part of the measured pipeline (as in
+    // SLAMBench); render at the compute resolution every Nth frame.
+    if (result.frameIndex %
+            static_cast<size_t>(config_.renderingRate) ==
+        0) {
+        const math::CameraIntrinsics k = kfusion_->computeIntrinsics();
+        kfusion_->renderModel(renderScratch_, kfusion_->pose(), &k);
+    }
+
+    ++framesSeen_;
+    if (result.tracking.tracked)
+        ++framesTracked_;
+    return result.tracking.tracked;
+}
+
+math::Mat4f
+KFusionSystem::currentPose() const
+{
+    if (!kfusion_)
+        support::panic("KFusionSystem: currentPose before initialize");
+    return kfusion_->pose();
+}
+
+const std::vector<kfusion::WorkCounts> &
+KFusionSystem::frameWork() const
+{
+    if (!kfusion_)
+        support::panic("KFusionSystem: frameWork before initialize");
+    return kfusion_->frameWork();
+}
+
+kfusion::KFusion &
+KFusionSystem::pipeline()
+{
+    if (!kfusion_)
+        support::panic("KFusionSystem: pipeline before initialize");
+    return *kfusion_;
+}
+
+const kfusion::KFusion &
+KFusionSystem::pipeline() const
+{
+    if (!kfusion_)
+        support::panic("KFusionSystem: pipeline before initialize");
+    return *kfusion_;
+}
+
+double
+KFusionSystem::trackedFraction() const
+{
+    return framesSeen_ == 0
+               ? 0.0
+               : static_cast<double>(framesTracked_) /
+                     static_cast<double>(framesSeen_);
+}
+
+} // namespace slambench::core

@@ -1,0 +1,102 @@
+#ifndef SLAMBENCH_CORE_SLAM_SYSTEM_HPP
+#define SLAMBENCH_CORE_SLAM_SYSTEM_HPP
+
+/**
+ * @file
+ * The SLAMBench algorithm interface.
+ *
+ * SLAMBench's central idea is a unified API so that different SLAM
+ * systems (open or closed source) can be benchmarked identically.
+ * SlamSystem is that API; KFusionSystem is the bundled dense SLAM
+ * implementation behind it.
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataset/generator.hpp"
+#include "kfusion/pipeline.hpp"
+#include "math/camera.hpp"
+#include "math/mat.hpp"
+
+namespace slambench::core {
+
+/**
+ * Abstract SLAM system under benchmark.
+ */
+class SlamSystem
+{
+  public:
+    virtual ~SlamSystem() = default;
+
+    /** @return a short identifier ("kfusion-sequential", ...). */
+    virtual std::string name() const = 0;
+
+    /**
+     * Prepare for a sequence.
+     *
+     * @param intrinsics Input camera intrinsics.
+     * @param initial_pose Starting camera-to-world pose.
+     */
+    virtual void initialize(const math::CameraIntrinsics &intrinsics,
+                            const math::Mat4f &initial_pose) = 0;
+
+    /**
+     * Ingest the next frame.
+     *
+     * @param frame Sensor data.
+     * @return true when tracking succeeded for this frame.
+     */
+    virtual bool processFrame(const dataset::Frame &frame) = 0;
+
+    /** @return current camera-to-world pose estimate. */
+    virtual math::Mat4f currentPose() const = 0;
+
+    /** @return per-frame work records accumulated so far. */
+    virtual const std::vector<kfusion::WorkCounts> &
+    frameWork() const = 0;
+};
+
+/**
+ * KinectFusion bound to the SlamSystem interface.
+ */
+class KFusionSystem : public SlamSystem
+{
+  public:
+    /**
+     * @param config Algorithmic configuration.
+     * @param impl Kernel implementation flavor.
+     */
+    explicit KFusionSystem(
+        const kfusion::KFusionConfig &config,
+        kfusion::Implementation impl =
+            kfusion::Implementation::Sequential);
+
+    std::string name() const override;
+    void initialize(const math::CameraIntrinsics &intrinsics,
+                    const math::Mat4f &initial_pose) override;
+    bool processFrame(const dataset::Frame &frame) override;
+    math::Mat4f currentPose() const override;
+    const std::vector<kfusion::WorkCounts> &frameWork() const override;
+
+    /** @return the underlying pipeline (for rendering/inspection). */
+    kfusion::KFusion &pipeline();
+    /** @return the underlying pipeline. */
+    const kfusion::KFusion &pipeline() const;
+
+    /** @return fraction of frames whose tracking was accepted. */
+    double trackedFraction() const;
+
+  private:
+    kfusion::KFusionConfig config_;
+    kfusion::Implementation impl_;
+    std::unique_ptr<kfusion::KFusion> kfusion_;
+    size_t framesSeen_ = 0;
+    size_t framesTracked_ = 0;
+    support::Image<support::Rgb8> renderScratch_;
+};
+
+} // namespace slambench::core
+
+#endif // SLAMBENCH_CORE_SLAM_SYSTEM_HPP

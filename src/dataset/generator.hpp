@@ -1,0 +1,92 @@
+#ifndef SLAMBENCH_DATASET_GENERATOR_HPP
+#define SLAMBENCH_DATASET_GENERATOR_HPP
+
+/**
+ * @file
+ * End-to-end dataset generation: scene + trajectory + renderer +
+ * sensor model = an RGB-D sequence with exact ground truth, the
+ * synthetic equivalent of an ICL-NUIM sequence.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dataset/noise.hpp"
+#include "dataset/renderer.hpp"
+#include "dataset/scene.hpp"
+#include "dataset/trajectory.hpp"
+#include "math/camera.hpp"
+
+namespace slambench::dataset {
+
+/** One sensor frame as the SLAM pipeline consumes it. */
+struct Frame
+{
+    /** Depth in millimeters; 0 marks an invalid pixel. */
+    support::Image<uint16_t> depthMm;
+    /** Color image (may be empty when RGB is disabled). */
+    support::Image<support::Rgb8> rgb;
+    /** Capture time, seconds. */
+    double timestamp = 0.0;
+};
+
+/** Which procedural scene a sequence is rendered from. */
+enum class SceneId {
+    LivingRoom,
+    Office,
+};
+
+/** Full specification of a synthetic sequence. */
+struct SequenceSpec
+{
+    std::string name = "living_room-orbit-a";
+    SceneId scene = SceneId::LivingRoom;
+    TrajectoryPreset trajectory = TrajectoryPreset::OrbitA;
+    size_t width = 320;
+    size_t height = 240;
+    /** Horizontal field of view, radians (Kinect is ~1.02 rad). */
+    float hfovRad = 1.02f;
+    size_t numFrames = 60;
+    double fps = 30.0;
+    /**
+     * Camera speed multiplier: divides the preset trajectory's
+     * duration, making per-frame motion proportionally larger.
+     * 1.0 reproduces the preset's gentle handheld pace; benchmark
+     * workloads use >1 so aggressive configurations actually lose
+     * tracking (the trade-off the DSE explores).
+     */
+    double trajectorySpeedup = 1.0;
+    /** Apply the Kinect sensor model (noise/dropouts/quantization). */
+    bool sensorNoise = true;
+    DepthNoiseOptions noise;
+    /** Render RGB images (depth-only runs are faster). */
+    bool renderRgb = true;
+    /** Seed of the sensor-noise stream. */
+    uint64_t seed = 42;
+};
+
+/** A generated RGB-D sequence with ground truth. */
+struct Sequence
+{
+    SequenceSpec spec;
+    math::CameraIntrinsics intrinsics;
+    std::vector<Frame> frames;
+    /** Ground-truth camera-to-world pose per frame. */
+    Trajectory groundTruth;
+};
+
+/**
+ * Render a full sequence per @p spec. Deterministic given the spec.
+ *
+ * @param spec What to generate.
+ * @return frames, intrinsics, and ground-truth trajectory.
+ */
+Sequence generateSequence(const SequenceSpec &spec);
+
+/** @return the scene object referenced by @p id. */
+Scene makeScene(SceneId id);
+
+} // namespace slambench::dataset
+
+#endif // SLAMBENCH_DATASET_GENERATOR_HPP

@@ -1,0 +1,73 @@
+#include "dataset/noise.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slambench::dataset {
+
+support::Image<uint16_t>
+applySensorModel(const support::Image<float> &ideal_depth,
+                 const support::Image<float> &cos_incidence,
+                 const DepthNoiseOptions &options, support::Rng &rng)
+{
+    support::Image<uint16_t> out(ideal_depth.width(),
+                                 ideal_depth.height());
+    for (size_t i = 0; i < ideal_depth.size(); ++i) {
+        float z = ideal_depth[i];
+        if (z <= 0.0f) {
+            out[i] = 0;
+            continue;
+        }
+        if (z < options.minRange || z > options.maxRange) {
+            out[i] = 0;
+            continue;
+        }
+        if (options.dropouts) {
+            const float c = cos_incidence[i];
+            if (c < options.dropoutCosine) {
+                const float p = options.dropoutMaxProb *
+                                (1.0f - c / options.dropoutCosine);
+                if (rng.bernoulli(p)) {
+                    out[i] = 0;
+                    continue;
+                }
+            }
+        }
+        if (options.axialNoise) {
+            const float dz = z - options.sigmaRefDepth;
+            const float sigma =
+                options.sigmaBase + options.sigmaQuad * dz * dz;
+            z += static_cast<float>(rng.normal(0.0, sigma));
+        }
+        if (z < options.minRange || z > options.maxRange) {
+            out[i] = 0;
+            continue;
+        }
+        float mm = z * 1000.0f;
+        if (options.quantize)
+            mm = std::round(mm);
+        out[i] = static_cast<uint16_t>(
+            std::clamp(mm, 0.0f, 65535.0f));
+    }
+    return out;
+}
+
+support::Image<uint16_t>
+depthToMillimeters(const support::Image<float> &ideal_depth,
+                   float max_range)
+{
+    support::Image<uint16_t> out(ideal_depth.width(),
+                                 ideal_depth.height());
+    for (size_t i = 0; i < ideal_depth.size(); ++i) {
+        const float z = ideal_depth[i];
+        if (z <= 0.0f || z > max_range) {
+            out[i] = 0;
+            continue;
+        }
+        out[i] = static_cast<uint16_t>(
+            std::clamp(std::round(z * 1000.0f), 0.0f, 65535.0f));
+    }
+    return out;
+}
+
+} // namespace slambench::dataset

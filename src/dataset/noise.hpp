@@ -1,0 +1,73 @@
+#ifndef SLAMBENCH_DATASET_NOISE_HPP
+#define SLAMBENCH_DATASET_NOISE_HPP
+
+/**
+ * @file
+ * Structured-light (Kinect-style) depth sensor noise model.
+ *
+ * Implements the axial noise law of Nguyen, Izadi & Lovell (2012):
+ * sigma_z(z) = 0.0012 + 0.0019 (z - 0.4)^2 meters, plus grazing-angle
+ * dropouts, range clipping, and millimeter quantization — so the
+ * synthetic frames exercise the same failure modes (holes, far-range
+ * noise) that the bilateral filter and TSDF fusion exist to handle.
+ */
+
+#include <cstdint>
+
+#include "support/image.hpp"
+#include "support/rng.hpp"
+
+namespace slambench::dataset {
+
+/** Parameters of the sensor model. */
+struct DepthNoiseOptions
+{
+    /** Enable additive axial Gaussian noise. */
+    bool axialNoise = true;
+    /** Base sigma at the reference distance, meters. */
+    float sigmaBase = 0.0012f;
+    /** Quadratic growth coefficient, meters^-1. */
+    float sigmaQuad = 0.0019f;
+    /** Reference distance of the noise law, meters. */
+    float sigmaRefDepth = 0.4f;
+
+    /** Enable grazing-angle dropouts. */
+    bool dropouts = true;
+    /** |cos(incidence)| below which returns start failing. */
+    float dropoutCosine = 0.25f;
+    /** Dropout probability at zero cosine (linear ramp to 0). */
+    float dropoutMaxProb = 0.95f;
+
+    /** Valid sensing range, meters (outside becomes invalid/0). */
+    float minRange = 0.4f;
+    float maxRange = 4.5f;
+
+    /** Quantize to whole millimeters (the sensor's output unit). */
+    bool quantize = true;
+};
+
+/**
+ * Apply the sensor model to an ideal depth image.
+ *
+ * @param ideal_depth Ideal camera-Z depth, meters; 0 marks no surface.
+ * @param cos_incidence |cos| of the incidence angle per pixel.
+ * @param options Noise parameters.
+ * @param rng Randomness source (deterministic given seed).
+ * @return depth in millimeters as the sensor would report (0 invalid).
+ */
+support::Image<uint16_t>
+applySensorModel(const support::Image<float> &ideal_depth,
+                 const support::Image<float> &cos_incidence,
+                 const DepthNoiseOptions &options, support::Rng &rng);
+
+/**
+ * Convert an ideal metric depth image straight to sensor units with
+ * no noise (used for noise-free ablations).
+ */
+support::Image<uint16_t>
+depthToMillimeters(const support::Image<float> &ideal_depth,
+                   float max_range = 4.5f);
+
+} // namespace slambench::dataset
+
+#endif // SLAMBENCH_DATASET_NOISE_HPP

@@ -1,0 +1,162 @@
+#include "dataset/scene.hpp"
+
+namespace slambench::dataset {
+
+namespace {
+
+Primitive
+box(const char *name, Vec3f center, Vec3f half, support::Rgb8 color,
+    float yaw = 0.0f, float rounding = 0.0f)
+{
+    Primitive p;
+    p.kind = PrimitiveKind::Box;
+    p.name = name;
+    p.center = center;
+    p.params = half;
+    p.albedo = color;
+    p.yaw = yaw;
+    p.rounding = rounding;
+    return p;
+}
+
+Primitive
+sphere(const char *name, Vec3f center, float radius, support::Rgb8 color)
+{
+    Primitive p;
+    p.kind = PrimitiveKind::Sphere;
+    p.name = name;
+    p.center = center;
+    p.params = {radius, 0.0f, 0.0f};
+    p.albedo = color;
+    return p;
+}
+
+Primitive
+cylinder(const char *name, Vec3f center, float radius, float half_height,
+         support::Rgb8 color)
+{
+    Primitive p;
+    p.kind = PrimitiveKind::Cylinder;
+    p.name = name;
+    p.center = center;
+    p.params = {radius, half_height, 0.0f};
+    p.albedo = color;
+    return p;
+}
+
+Primitive
+roomShell(Vec3f half, support::Rgb8 color)
+{
+    Primitive p;
+    p.kind = PrimitiveKind::InvertedBox;
+    p.name = "room";
+    p.center = {0.0f, half.y, 0.0f};
+    p.params = half;
+    p.albedo = color;
+    return p;
+}
+
+} // namespace
+
+Scene
+livingRoomScene()
+{
+    Scene scene;
+    scene.setFarClip(12.0f);
+
+    // Room shell: 4.8 x 4.8 m floor plan, 2.5 m ceiling.
+    scene.add(roomShell({2.28f, 1.22f, 2.28f}, {225, 218, 205}));
+
+    // Coffee table: top plus four legs.
+    scene.add(box("table_top", {1.0f, 0.72f, 0.5f}, {0.5f, 0.025f, 0.35f},
+                  {140, 95, 60}, 0.3f, 0.005f));
+    const float leg_r = 0.03f;
+    const float leg_h = 0.35f;
+    const support::Rgb8 leg_color{110, 75, 45};
+    scene.add(cylinder("table_leg0", {0.62f, leg_h, 0.30f}, leg_r, leg_h,
+                       leg_color));
+    scene.add(cylinder("table_leg1", {1.38f, leg_h, 0.30f}, leg_r, leg_h,
+                       leg_color));
+    scene.add(cylinder("table_leg2", {0.62f, leg_h, 0.70f}, leg_r, leg_h,
+                       leg_color));
+    scene.add(cylinder("table_leg3", {1.38f, leg_h, 0.70f}, leg_r, leg_h,
+                       leg_color));
+
+    // Sofa: seat, backrest, armrests.
+    scene.add(box("sofa_seat", {-1.3f, 0.25f, -1.2f}, {0.9f, 0.25f, 0.45f},
+                  {60, 90, 150}, 0.0f, 0.03f));
+    scene.add(box("sofa_back", {-1.3f, 0.70f, -1.58f}, {0.9f, 0.30f, 0.10f},
+                  {55, 82, 140}, 0.0f, 0.03f));
+    scene.add(box("sofa_arm0", {-2.12f, 0.45f, -1.2f}, {0.10f, 0.22f, 0.45f},
+                  {50, 76, 130}, 0.0f, 0.03f));
+    scene.add(box("sofa_arm1", {-0.48f, 0.45f, -1.2f}, {0.10f, 0.22f, 0.45f},
+                  {50, 76, 130}, 0.0f, 0.03f));
+
+    // Bookshelf against the +z wall.
+    scene.add(box("shelf", {-0.2f, 1.0f, 2.22f}, {1.0f, 1.0f, 0.16f},
+                  {120, 85, 55}, 0.0f, 0.0f));
+    scene.add(box("shelf_books", {-0.2f, 1.55f, 2.02f}, {0.8f, 0.18f, 0.06f},
+                  {170, 60, 60}));
+
+    // Floor lamp in the corner.
+    scene.add(cylinder("lamp_pole", {1.9f, 0.7f, -1.9f}, 0.025f, 0.7f,
+                       {60, 60, 60}));
+    scene.add(sphere("lamp_shade", {1.9f, 1.55f, -1.9f}, 0.22f,
+                     {240, 225, 160}));
+
+    // Clutter: a ball and a low storage cube.
+    scene.add(sphere("ball", {0.25f, 0.15f, -0.45f}, 0.15f, {190, 60, 50}));
+    scene.add(box("crate", {-1.9f, 0.2f, 1.4f}, {0.22f, 0.2f, 0.22f},
+                  {90, 140, 90}, 0.5f, 0.01f));
+
+    // Rug (very low box; gives the floor texture in depth).
+    scene.add(box("rug", {0.2f, 0.006f, -0.2f}, {1.2f, 0.006f, 0.9f},
+                  {170, 150, 120}));
+
+    return scene;
+}
+
+Scene
+officeScene()
+{
+    Scene scene;
+    scene.setFarClip(12.0f);
+
+    scene.add(roomShell({2.28f, 1.22f, 2.28f}, {210, 212, 215}));
+
+    // Desk along the -x wall.
+    scene.add(box("desk_top", {-1.7f, 0.74f, 0.0f}, {0.4f, 0.02f, 1.1f},
+                  {150, 120, 90}));
+    scene.add(box("desk_side0", {-1.7f, 0.37f, -0.95f}, {0.38f, 0.37f, 0.02f},
+                  {140, 110, 80}));
+    scene.add(box("desk_side1", {-1.7f, 0.37f, 0.95f}, {0.38f, 0.37f, 0.02f},
+                  {140, 110, 80}));
+
+    // Monitor on the desk.
+    scene.add(box("monitor", {-1.85f, 1.05f, 0.0f}, {0.03f, 0.17f, 0.28f},
+                  {30, 30, 35}));
+
+    // Filing cabinet.
+    scene.add(box("cabinet", {1.8f, 0.6f, 1.7f}, {0.3f, 0.6f, 0.35f},
+                  {120, 125, 130}, -0.4f));
+
+    // Structural pillar.
+    scene.add(cylinder("pillar", {1.2f, 1.25f, -1.4f}, 0.18f, 1.25f,
+                       {190, 188, 182}));
+
+    // Office chair: seat + back.
+    scene.add(box("chair_seat", {-0.9f, 0.45f, 0.0f}, {0.25f, 0.03f, 0.25f},
+                  {45, 45, 50}));
+    scene.add(box("chair_back", {-0.65f, 0.75f, 0.0f}, {0.03f, 0.28f, 0.25f},
+                  {45, 45, 50}));
+    scene.add(cylinder("chair_pole", {-0.9f, 0.22f, 0.0f}, 0.03f, 0.22f,
+                       {70, 70, 75}));
+
+    // Waste bin.
+    scene.add(cylinder("bin", {-1.9f, 0.18f, -1.6f}, 0.14f, 0.18f,
+                       {100, 105, 110}));
+
+    return scene;
+}
+
+} // namespace slambench::dataset

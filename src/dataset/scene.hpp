@@ -1,0 +1,38 @@
+#ifndef SLAMBENCH_DATASET_SCENE_HPP
+#define SLAMBENCH_DATASET_SCENE_HPP
+
+/**
+ * @file
+ * Procedural indoor scenes standing in for the ICL-NUIM living room.
+ */
+
+#include "dataset/sdf.hpp"
+
+namespace slambench::dataset {
+
+/**
+ * Build the "living room" scene: a 4.8 x 2.5 x 4.8 m room shell with
+ * a table, sofa, shelf, lamp, and small floor clutter. World axes:
+ * +Y up, floor at y = 0, room centered on the origin in x/z.
+ *
+ * @return the populated scene.
+ */
+Scene livingRoomScene();
+
+/**
+ * Build the "office" scene: desk, cabinets, and a pillar. Same world
+ * conventions as livingRoomScene(). Used as a second dataset to show
+ * the framework is dataset-extensible (as SLAMBench is).
+ */
+Scene officeScene();
+
+/**
+ * Side length in meters of the cubic reconstruction volume that
+ * encloses either scene (matches the KinectFusion volume-size
+ * parameter default used throughout the benches).
+ */
+constexpr float kSceneVolumeSize = 4.8f;
+
+} // namespace slambench::dataset
+
+#endif // SLAMBENCH_DATASET_SCENE_HPP

@@ -1,0 +1,210 @@
+#include "dataset/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::dataset {
+
+using math::Mat3f;
+using math::Quat;
+
+Vec3f
+catmullRom(const std::vector<Vec3f> &keys, float t, bool closed)
+{
+    const size_t n = keys.size();
+    if (n == 0)
+        return {};
+    if (n == 1)
+        return keys[0];
+
+    const size_t segments = closed ? n : n - 1;
+    float u = std::clamp(t, 0.0f, 1.0f) * static_cast<float>(segments);
+    size_t seg = std::min(static_cast<size_t>(u), segments - 1);
+    u -= static_cast<float>(seg);
+
+    auto key = [&](long i) -> const Vec3f & {
+        if (closed) {
+            const long m = static_cast<long>(n);
+            return keys[static_cast<size_t>(((i % m) + m) % m)];
+        }
+        const long clamped =
+            std::clamp<long>(i, 0, static_cast<long>(n) - 1);
+        return keys[static_cast<size_t>(clamped)];
+    };
+
+    const Vec3f &p0 = key(static_cast<long>(seg) - 1);
+    const Vec3f &p1 = key(static_cast<long>(seg));
+    const Vec3f &p2 = key(static_cast<long>(seg) + 1);
+    const Vec3f &p3 = key(static_cast<long>(seg) + 2);
+
+    const float u2 = u * u;
+    const float u3 = u2 * u;
+    // Uniform Catmull-Rom basis.
+    return (p1 * 2.0f + (p2 - p0) * u +
+            (p0 * 2.0f - p1 * 5.0f + p2 * 4.0f - p3) * u2 +
+            (p1 * 3.0f - p0 - p2 * 3.0f + p3) * u3) *
+           0.5f;
+}
+
+Trajectory
+Trajectory::fromSpline(const TrajectorySpec &spec, size_t num_frames,
+                       double fps)
+{
+    if (spec.positions.size() < 2)
+        support::fatal("Trajectory::fromSpline: need >= 2 keyframes");
+    if (spec.targets.size() != spec.positions.size())
+        support::fatal("Trajectory::fromSpline: positions/targets "
+                       "keyframe counts differ");
+    if (num_frames == 0)
+        support::fatal("Trajectory::fromSpline: need >= 1 frame");
+
+    Trajectory traj;
+    const Vec3f up{0.0f, 1.0f, 0.0f};
+    const double total_path_frames =
+        std::max(1.0, spec.durationSeconds * fps);
+    for (size_t i = 0; i < num_frames; ++i) {
+        const float t = std::min(
+            1.0f, static_cast<float>(i / total_path_frames));
+        const Vec3f eye = catmullRom(spec.positions, t, spec.closed);
+        Vec3f target = catmullRom(spec.targets, t, spec.closed);
+        if ((target - eye).squaredNorm() < 1e-8f)
+            target = eye + Vec3f{0.0f, 0.0f, 1.0f};
+        traj.append(math::lookAt(eye, target, up),
+                    static_cast<double>(i) / fps);
+    }
+    return traj;
+}
+
+bool
+Trajectory::saveTum(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    out << "# timestamp tx ty tz qx qy qz qw\n";
+    for (size_t i = 0; i < poses_.size(); ++i) {
+        const Mat4f &p = poses_[i];
+        const Vec3f t = p.translationPart();
+        const Quat<float> q = Quat<float>::fromMatrix(p.rotation());
+        char line[256];
+        std::snprintf(line, sizeof(line),
+                      "%.6f %.7f %.7f %.7f %.7f %.7f %.7f %.7f\n",
+                      timestamps_[i], t.x, t.y, t.z, q.x, q.y, q.z, q.w);
+        out << line;
+    }
+    return static_cast<bool>(out);
+}
+
+bool
+Trajectory::loadTum(const std::string &path, Trajectory &out)
+{
+    std::ifstream in(path);
+    if (!in)
+        return false;
+    out = Trajectory();
+    std::string line;
+    while (std::getline(in, line)) {
+        const std::string trimmed = support::trim(line);
+        if (trimmed.empty() || trimmed[0] == '#')
+            continue;
+        std::istringstream ss(trimmed);
+        double ts, tx, ty, tz, qx, qy, qz, qw;
+        if (!(ss >> ts >> tx >> ty >> tz >> qx >> qy >> qz >> qw))
+            return false;
+        const Quat<float> q{static_cast<float>(qw), static_cast<float>(qx),
+                            static_cast<float>(qy), static_cast<float>(qz)};
+        const Mat4f pose = Mat4f::fromRt(
+            q.normalized().toMatrix(),
+            {static_cast<float>(tx), static_cast<float>(ty),
+             static_cast<float>(tz)});
+        out.append(pose, ts);
+    }
+    return out.size() > 0;
+}
+
+TrajectorySpec
+presetSpec(TrajectoryPreset preset)
+{
+    TrajectorySpec spec;
+    switch (preset) {
+      case TrajectoryPreset::OrbitA: {
+        // Slow orbit at standing height, always facing the room middle.
+        const float r = 1.35f;
+        const float h = 1.45f;
+        const int n = 8;
+        for (int i = 0; i < n; ++i) {
+            const float a =
+                static_cast<float>(i) / n * 2.0f * static_cast<float>(M_PI);
+            spec.positions.push_back(
+                {r * std::cos(a), h + 0.08f * std::sin(2.0f * a),
+                 r * std::sin(a)});
+            spec.targets.push_back(
+                {0.35f * std::cos(a + 1.2f), 0.65f,
+                 0.35f * std::sin(a + 1.2f)});
+        }
+        spec.closed = true;
+        spec.durationSeconds = 60.0;
+        break;
+      }
+      case TrajectoryPreset::SweepB: {
+        // Lateral sweep in front of the sofa, panning across it.
+        spec.positions = {{-1.6f, 1.30f, 0.9f},
+                          {-0.8f, 1.35f, 1.0f},
+                          {0.0f, 1.40f, 1.05f},
+                          {0.8f, 1.35f, 1.0f},
+                          {1.6f, 1.30f, 0.9f}};
+        spec.targets = {{-1.6f, 0.5f, -1.2f},
+                        {-1.0f, 0.5f, -1.2f},
+                        {-0.2f, 0.55f, -1.0f},
+                        {0.4f, 0.6f, -0.6f},
+                        {1.0f, 0.65f, 0.2f}};
+        spec.closed = false;
+        spec.durationSeconds = 20.0;
+        break;
+      }
+      case TrajectoryPreset::CloseupC: {
+        // Approach the coffee table then pull back toward the shelf.
+        spec.positions = {{-0.6f, 1.5f, -0.9f},
+                          {0.1f, 1.25f, -0.35f},
+                          {0.55f, 1.05f, 0.0f},
+                          {0.3f, 1.25f, 0.9f},
+                          {-0.5f, 1.45f, 1.1f}};
+        spec.targets = {{0.9f, 0.72f, 0.5f},
+                        {1.0f, 0.72f, 0.5f},
+                        {1.05f, 0.70f, 0.55f},
+                        {0.4f, 1.0f, 2.2f},
+                        {-0.2f, 1.2f, 2.2f}};
+        spec.closed = false;
+        spec.durationSeconds = 20.0;
+        break;
+      }
+    }
+    return spec;
+}
+
+bool
+parsePreset(const std::string &name, TrajectoryPreset &out)
+{
+    const std::string n = support::toLower(support::trim(name));
+    if (n == "orbit-a" || n == "lr-a" || n == "a") {
+        out = TrajectoryPreset::OrbitA;
+        return true;
+    }
+    if (n == "sweep-b" || n == "lr-b" || n == "b") {
+        out = TrajectoryPreset::SweepB;
+        return true;
+    }
+    if (n == "closeup-c" || n == "lr-c" || n == "c") {
+        out = TrajectoryPreset::CloseupC;
+        return true;
+    }
+    return false;
+}
+
+} // namespace slambench::dataset

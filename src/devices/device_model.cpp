@@ -1,0 +1,99 @@
+#include "devices/device_model.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace slambench::devices {
+
+const char *
+deviceClassName(DeviceClass cls)
+{
+    switch (cls) {
+      case DeviceClass::EmbeddedBoard: return "embedded";
+      case DeviceClass::Flagship: return "flagship";
+      case DeviceClass::HighEnd: return "high-end";
+      case DeviceClass::MidRange: return "mid-range";
+      case DeviceClass::LowEnd: return "low-end";
+      case DeviceClass::Tablet: return "tablet";
+    }
+    return "?";
+}
+
+double
+DeviceModel::kernelSeconds(KernelId id, const WorkCounts &work) const
+{
+    const size_t k = static_cast<size_t>(id);
+    const double rate = itemsPerSecond[k];
+    if (rate <= 0.0)
+        support::panic("DeviceModel: zero throughput for kernel " +
+                       std::string(kfusion::kernelName(id)));
+    const double compute = work.items[k] / rate;
+    const double memory = work.bytes[k] / memoryBandwidth;
+    return std::max(compute, memory);
+}
+
+double
+DeviceModel::frameSeconds(const WorkCounts &work) const
+{
+    double total = frameOverheadSeconds;
+    for (size_t k = 0; k < kNumKernels; ++k)
+        total += kernelSeconds(static_cast<KernelId>(k), work);
+    return total;
+}
+
+double
+DeviceModel::frameDynamicJoules(const WorkCounts &work) const
+{
+    double dynamic = 0.0;
+    for (size_t k = 0; k < kNumKernels; ++k) {
+        dynamic += work.items[k] * joulesPerItem[k];
+        dynamic += work.bytes[k] * joulesPerByte;
+    }
+    return dynamic;
+}
+
+double
+DeviceModel::frameJoules(const WorkCounts &work) const
+{
+    return frameDynamicJoules(work) + staticWatts * frameSeconds(work);
+}
+
+SimulatedRun
+simulateRun(const DeviceModel &device,
+            const std::vector<WorkCounts> &frames, double camera_fps)
+{
+    SimulatedRun run;
+    run.frameSeconds.reserve(frames.size());
+    const double camera_period =
+        camera_fps > 0.0 ? 1.0 / camera_fps : 0.0;
+    double paced_joules = 0.0;
+    for (const WorkCounts &work : frames) {
+        const double seconds = device.frameSeconds(work);
+        run.frameSeconds.push_back(seconds);
+        run.totalSeconds += seconds;
+        run.maxFrameSeconds = std::max(run.maxFrameSeconds, seconds);
+        run.totalJoules += device.frameJoules(work);
+
+        // Camera-paced accounting: a fast device waits for the next
+        // frame drawing static power; a slow one drops frames and
+        // keeps computing.
+        const double paced = std::max(seconds, camera_period);
+        run.pacedSeconds += paced;
+        paced_joules += device.frameDynamicJoules(work) +
+                        device.staticWatts * paced;
+    }
+    if (!frames.empty()) {
+        run.meanFrameSeconds =
+            run.totalSeconds / static_cast<double>(frames.size());
+        if (run.meanFrameSeconds > 0.0)
+            run.meanFps = 1.0 / run.meanFrameSeconds;
+        if (run.totalSeconds > 0.0)
+            run.meanWatts = run.totalJoules / run.totalSeconds;
+        if (run.pacedSeconds > 0.0)
+            run.pacedWatts = paced_joules / run.pacedSeconds;
+    }
+    return run;
+}
+
+} // namespace slambench::devices

@@ -1,0 +1,142 @@
+#ifndef SLAMBENCH_DEVICES_DEVICE_MODEL_HPP
+#define SLAMBENCH_DEVICES_DEVICE_MODEL_HPP
+
+/**
+ * @file
+ * Analytic performance/power models of target devices.
+ *
+ * The paper's evaluation platforms (Odroid-XU3 and 83 Android phones)
+ * are hardware we cannot run here. Following the substitution rule in
+ * DESIGN.md they are replaced by roofline-style analytic models: each
+ * kernel's simulated runtime is the max of a compute term (work items
+ * over the device's per-kernel rate) and a memory term (bytes over
+ * the device's bandwidth); energy integrates a per-item switching
+ * cost, a per-byte DRAM cost, and static power. Work items and bytes
+ * come from the pipeline's exact WorkCounts, so all simulated numbers
+ * are deterministic and monotone in the same quantities that drive
+ * real devices.
+ */
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "kfusion/work_counters.hpp"
+
+namespace slambench::devices {
+
+using kfusion::kNumKernels;
+using kfusion::KernelId;
+using kfusion::WorkCounts;
+
+/** Market segment of a device (affects the fleet generator). */
+enum class DeviceClass {
+    EmbeddedBoard, ///< Developer boards (the Odroid-XU3).
+    Flagship,      ///< Current-gen high-end phones.
+    HighEnd,       ///< Previous-gen high-end phones.
+    MidRange,      ///< Mainstream phones.
+    LowEnd,        ///< Entry-level phones.
+    Tablet,        ///< Large-screen devices, often older SoCs.
+};
+
+/** @return a printable name for a device class. */
+const char *deviceClassName(DeviceClass cls);
+
+/**
+ * Roofline performance/power model of one device.
+ */
+struct DeviceModel
+{
+    std::string name;      ///< Unique device name.
+    std::string soc;       ///< SoC description (informational).
+    DeviceClass deviceClass = DeviceClass::MidRange;
+
+    /**
+     * Compute throughput per kernel, items/second, at this device's
+     * accelerator (GPU or multicore CPU, whichever the OpenCL build
+     * would use).
+     */
+    std::array<double, kNumKernels> itemsPerSecond{};
+
+    /** Sustained memory bandwidth, bytes/second. */
+    double memoryBandwidth = 8e9;
+
+    /** Fixed per-frame dispatch/driver overhead, seconds. */
+    double frameOverheadSeconds = 2e-3;
+
+    /** Dynamic switching energy per work item, joules (per kernel). */
+    std::array<double, kNumKernels> joulesPerItem{};
+
+    /** DRAM traffic energy, joules per byte. */
+    double joulesPerByte = 1e-9;
+
+    /** Static (leakage + rail) power attributed to the run, watts. */
+    double staticWatts = 0.3;
+
+    /**
+     * Peak memory available to the application, bytes. Configurations
+     * whose TSDF volume exceeds it do not run (matches phones that
+     * failed to run large volumes in the crowdsourced study).
+     */
+    double memoryBudgetBytes = 1e9;
+
+    /**
+     * Simulated execution time of one frame's work.
+     *
+     * @param work Per-frame work counts.
+     * @return seconds.
+     */
+    double frameSeconds(const WorkCounts &work) const;
+
+    /**
+     * Simulated dynamic + static energy of one frame's work.
+     *
+     * @param work Per-frame work counts.
+     * @return joules (includes static power over frameSeconds).
+     */
+    double frameJoules(const WorkCounts &work) const;
+
+    /** Dynamic (switching + DRAM) energy only, joules. */
+    double frameDynamicJoules(const WorkCounts &work) const;
+
+    /** Simulated seconds spent in one kernel for @p work. */
+    double kernelSeconds(KernelId id, const WorkCounts &work) const;
+};
+
+/** Simulated run summary on a device. */
+struct SimulatedRun
+{
+    double totalSeconds = 0.0;  ///< Sum of frame times.
+    double meanFrameSeconds = 0.0;
+    double maxFrameSeconds = 0.0;
+    double totalJoules = 0.0;
+    double meanWatts = 0.0;     ///< totalJoules / totalSeconds.
+    double meanFps = 0.0;
+    /**
+     * Power when the pipeline is paced by the camera: a device
+     * faster than the sensor rate idles (drawing static power only)
+     * until the next frame arrives. This is the deployment-relevant
+     * power the paper's 1 W budget refers to; meanWatts is the
+     * batch-replay (as fast as possible) figure.
+     */
+    double pacedWatts = 0.0;
+    double pacedSeconds = 0.0;  ///< Wall time at the camera rate.
+    /** Simulated seconds per frame. */
+    std::vector<double> frameSeconds;
+};
+
+/**
+ * Replay a run's per-frame work counts through a device model.
+ *
+ * @param device Target device.
+ * @param frames Per-frame work counts from a pipeline run.
+ * @param camera_fps Sensor rate used for the paced-power figure.
+ * @return simulated timing and energy summary.
+ */
+SimulatedRun simulateRun(const DeviceModel &device,
+                         const std::vector<WorkCounts> &frames,
+                         double camera_fps = 30.0);
+
+} // namespace slambench::devices
+
+#endif // SLAMBENCH_DEVICES_DEVICE_MODEL_HPP

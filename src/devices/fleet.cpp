@@ -1,0 +1,220 @@
+#include "devices/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "support/rng.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::devices {
+
+namespace {
+
+/** Kernel groups sharing a hardware affinity. */
+enum class KernelGroup { Image, Track, Volume, Ray, Scalar };
+
+KernelGroup
+groupOf(KernelId id)
+{
+    switch (id) {
+      case KernelId::Mm2Meters:
+      case KernelId::BilateralFilter:
+      case KernelId::HalfSample:
+      case KernelId::Depth2Vertex:
+      case KernelId::Vertex2Normal:
+        return KernelGroup::Image;
+      case KernelId::Track:
+      case KernelId::Reduce:
+        return KernelGroup::Track;
+      case KernelId::Integrate:
+        return KernelGroup::Volume;
+      case KernelId::Raycast:
+      case KernelId::RenderVolume:
+        return KernelGroup::Ray;
+      case KernelId::Solve:
+      case KernelId::Count:
+        return KernelGroup::Scalar;
+    }
+    return KernelGroup::Scalar;
+}
+
+/** XU3 reference per-kernel compute rates, items/second. */
+std::array<double, kNumKernels>
+referenceRates()
+{
+    std::array<double, kNumKernels> rates{};
+    rates[static_cast<size_t>(KernelId::Mm2Meters)] = 4.0e8;
+    rates[static_cast<size_t>(KernelId::BilateralFilter)] = 1.5e8;
+    rates[static_cast<size_t>(KernelId::HalfSample)] = 3.0e8;
+    rates[static_cast<size_t>(KernelId::Depth2Vertex)] = 3.0e8;
+    rates[static_cast<size_t>(KernelId::Vertex2Normal)] = 2.5e8;
+    rates[static_cast<size_t>(KernelId::Track)] = 8.0e7;
+    rates[static_cast<size_t>(KernelId::Reduce)] = 2.0e8;
+    rates[static_cast<size_t>(KernelId::Solve)] = 2.0e4;
+    rates[static_cast<size_t>(KernelId::Integrate)] = 1.2e8;
+    rates[static_cast<size_t>(KernelId::Raycast)] = 6.0e7;
+    rates[static_cast<size_t>(KernelId::RenderVolume)] = 6.0e7;
+    return rates;
+}
+
+/** XU3 reference per-kernel switching energy, joules/item. */
+std::array<double, kNumKernels>
+referenceEnergy()
+{
+    std::array<double, kNumKernels> e{};
+    e[static_cast<size_t>(KernelId::Mm2Meters)] = 1.0e-9;
+    e[static_cast<size_t>(KernelId::BilateralFilter)] = 2.0e-9;
+    e[static_cast<size_t>(KernelId::HalfSample)] = 1.0e-9;
+    e[static_cast<size_t>(KernelId::Depth2Vertex)] = 2.0e-9;
+    e[static_cast<size_t>(KernelId::Vertex2Normal)] = 3.0e-9;
+    e[static_cast<size_t>(KernelId::Track)] = 8.0e-9;
+    e[static_cast<size_t>(KernelId::Reduce)] = 2.0e-9;
+    e[static_cast<size_t>(KernelId::Solve)] = 2.0e-6;
+    e[static_cast<size_t>(KernelId::Integrate)] = 3.0e-8;
+    e[static_cast<size_t>(KernelId::Raycast)] = 1.4e-8;
+    e[static_cast<size_t>(KernelId::RenderVolume)] = 1.4e-8;
+    return e;
+}
+
+/** Per-class generation parameters. */
+struct ClassSpec
+{
+    DeviceClass cls;
+    const char *socFamily;
+    size_t share;        ///< Devices of this class per 83.
+    double computeLo;    ///< Compute scale range vs. XU3.
+    double computeHi;
+    double bwLo;         ///< Bandwidth scale range vs. XU3 (8 GB/s).
+    double bwHi;
+    double energyLo;     ///< Energy-per-item scale range vs. XU3.
+    double energyHi;
+    double staticLo;     ///< Static watts range.
+    double staticHi;
+    double memLo;        ///< App memory budget range, GB.
+    double memHi;
+    /** Relative strength per kernel group (Image/Track/Volume/Ray). */
+    double groupBias[4];
+};
+
+const ClassSpec kClasses[] = {
+    {DeviceClass::Flagship, "octa-2017", 12, 2.8, 5.0, 1.8, 2.8,
+     0.45, 0.70, 0.25, 0.45, 2.0, 3.0, {1.1, 1.0, 0.8, 1.3}},
+    {DeviceClass::HighEnd, "octa-2016", 18, 1.6, 3.0, 1.4, 2.2,
+     0.60, 0.90, 0.25, 0.50, 1.5, 2.5, {1.0, 1.0, 0.9, 1.1}},
+    {DeviceClass::MidRange, "hexa-2016", 28, 0.6, 1.6, 0.8, 1.4,
+     0.85, 1.20, 0.30, 0.55, 0.8, 2.0, {1.0, 1.1, 1.1, 0.8}},
+    {DeviceClass::LowEnd, "quad-2015", 15, 0.15, 0.60, 0.5, 0.9,
+     1.10, 1.60, 0.30, 0.60, 0.1, 0.8, {1.1, 1.2, 1.4, 0.7}},
+    {DeviceClass::Tablet, "quad-2014", 10, 0.4, 2.4, 0.7, 1.8,
+     0.80, 1.40, 0.35, 0.70, 0.3, 2.5, {1.0, 0.9, 1.2, 1.2}},
+};
+
+double
+groupBiasFor(const ClassSpec &spec, KernelId id)
+{
+    switch (groupOf(id)) {
+      case KernelGroup::Image: return spec.groupBias[0];
+      case KernelGroup::Track: return spec.groupBias[1];
+      case KernelGroup::Volume: return spec.groupBias[2];
+      case KernelGroup::Ray: return spec.groupBias[3];
+      case KernelGroup::Scalar: return 1.0;
+    }
+    return 1.0;
+}
+
+/** Lognormal multiplicative jitter with sigma in log space. */
+double
+jitter(support::Rng &rng, double sigma)
+{
+    return std::exp(rng.normal(0.0, sigma));
+}
+
+} // namespace
+
+DeviceModel
+odroidXu3()
+{
+    DeviceModel model;
+    model.name = "odroid-xu3";
+    model.soc = "Exynos 5422 (4xA15 + 4xA7, Mali-T628 MP6)";
+    model.deviceClass = DeviceClass::EmbeddedBoard;
+    model.itemsPerSecond = referenceRates();
+    model.memoryBandwidth = 8.0e9;
+    model.frameOverheadSeconds = 2.0e-3;
+    model.joulesPerItem = referenceEnergy();
+    model.joulesPerByte = 4.0e-10;
+    model.staticWatts = 0.15;
+    model.memoryBudgetBytes = 1.5e9;
+    return model;
+}
+
+std::vector<DeviceModel>
+mobileFleet(size_t count, uint64_t seed)
+{
+    std::vector<DeviceModel> fleet;
+    fleet.reserve(count);
+    support::Rng rng(seed);
+
+    const std::array<double, kNumKernels> base_rates = referenceRates();
+    const std::array<double, kNumKernels> base_energy =
+        referenceEnergy();
+
+    // Total share across classes (83 by construction).
+    size_t total_share = 0;
+    for (const ClassSpec &spec : kClasses)
+        total_share += spec.share;
+
+    size_t made = 0;
+    size_t class_index = 0;
+    size_t in_class = 0;
+    while (made < count) {
+        const ClassSpec &spec =
+            kClasses[class_index % std::size(kClasses)];
+        // Allocate devices proportionally to the class share.
+        const size_t class_quota = std::max<size_t>(
+            1, (count * spec.share + total_share - 1) / total_share);
+        if (in_class >= class_quota) {
+            ++class_index;
+            in_class = 0;
+            continue;
+        }
+        ++in_class;
+
+        DeviceModel model;
+        model.deviceClass = spec.cls;
+        model.soc = spec.socFamily;
+        model.name = support::format(
+            "phone-%s-%02zu", deviceClassName(spec.cls), in_class);
+        if (spec.cls == DeviceClass::Tablet)
+            model.name = support::format("tablet-%02zu", in_class);
+
+        const double compute =
+            rng.uniform(spec.computeLo, spec.computeHi);
+        const double bw = rng.uniform(spec.bwLo, spec.bwHi);
+        const double energy_scale =
+            rng.uniform(spec.energyLo, spec.energyHi);
+
+        for (size_t k = 0; k < kNumKernels; ++k) {
+            const KernelId id = static_cast<KernelId>(k);
+            model.itemsPerSecond[k] = base_rates[k] * compute *
+                                      groupBiasFor(spec, id) *
+                                      jitter(rng, 0.30);
+            model.joulesPerItem[k] =
+                base_energy[k] * energy_scale * jitter(rng, 0.10);
+        }
+        model.memoryBandwidth = 8.0e9 * bw * jitter(rng, 0.10);
+        model.joulesPerByte = 4.0e-10 * energy_scale * jitter(rng, 0.10);
+        model.staticWatts = rng.uniform(spec.staticLo, spec.staticHi);
+        model.frameOverheadSeconds =
+            rng.uniform(1.0e-3, 6.0e-3) / std::sqrt(compute);
+        model.memoryBudgetBytes =
+            rng.uniform(spec.memLo, spec.memHi) * 1e9;
+
+        fleet.push_back(std::move(model));
+        ++made;
+    }
+    return fleet;
+}
+
+} // namespace slambench::devices

@@ -1,0 +1,46 @@
+#ifndef SLAMBENCH_DEVICES_FLEET_HPP
+#define SLAMBENCH_DEVICES_FLEET_HPP
+
+/**
+ * @file
+ * Concrete device models: the Odroid-XU3 reference board and the
+ * procedurally generated fleet of 83 phones/tablets used to
+ * reproduce the crowdsourced evaluation (Fig. 3 of the paper).
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "devices/device_model.hpp"
+
+namespace slambench::devices {
+
+/**
+ * Analytic model of the Odroid-XU3 (Exynos 5422: 4x A15 + 4x A7 +
+ * Mali-T628 MP6, 2 GB LPDDR3), the paper's embedded target.
+ *
+ * Calibrated so that the default KinectFusion configuration on the
+ * living-room sequence lands in the paper's regime (a few FPS at
+ * roughly 3 W) and kernel-time ordering matches published SLAMBench
+ * profiles (integrate > raycast > bilateral filter > tracking).
+ */
+DeviceModel odroidXu3();
+
+/**
+ * Generate the simulated phone/tablet fleet.
+ *
+ * Devices span five market segments with per-device lognormal
+ * jitter on every kernel's throughput, on bandwidth, and on energy
+ * coefficients; the mix (and the resulting spread of tuned-vs-default
+ * speed-ups) imitates the 83-device crowdsourced population.
+ *
+ * @param count Number of devices (83 reproduces the paper).
+ * @param seed Seed for the deterministic generator.
+ * @return device models, deterministic given (count, seed).
+ */
+std::vector<DeviceModel> mobileFleet(size_t count = 83,
+                                     uint64_t seed = 2018);
+
+} // namespace slambench::devices
+
+#endif // SLAMBENCH_DEVICES_FLEET_HPP

@@ -1,0 +1,273 @@
+#include "hypermapper/drivers.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace slambench::hypermapper {
+
+std::vector<Evaluation>
+randomSearch(const ParameterSpace &space, const Evaluator &evaluate,
+             const RandomSearchOptions &options)
+{
+    support::Rng rng(options.seed);
+    std::vector<Evaluation> evals;
+    evals.reserve(options.budget);
+    for (size_t i = 0; i < options.budget; ++i) {
+        Evaluation e;
+        e.point = space.sample(rng);
+        const EvaluationOutcome outcome = evaluate(e.point);
+        e.objectives = outcome.objectives;
+        e.valid = outcome.valid;
+        e.method = "random";
+        e.iteration = 0;
+        evals.push_back(std::move(e));
+    }
+    return evals;
+}
+
+namespace {
+
+/** Fit one forest per objective on the valid evaluations so far. */
+std::vector<ml::RandomForest>
+fitModels(const ParameterSpace &space,
+          const std::vector<Evaluation> &evals, size_t num_objectives,
+          const ml::ForestOptions &forest_options, support::Rng &rng,
+          std::vector<double> &mse_out)
+{
+    std::vector<ml::RandomForest> models(num_objectives);
+    mse_out.assign(num_objectives, 0.0);
+    for (size_t k = 0; k < num_objectives; ++k) {
+        ml::Dataset data(space.size());
+        data.setFeatureNames(space.names());
+        for (const Evaluation &e : evals) {
+            if (!e.valid)
+                continue;
+            data.addRow(e.point, e.objectives[k]);
+        }
+        if (data.empty())
+            support::fatal("activeLearning: no valid warm-up "
+                           "evaluations to train on");
+        models[k].fit(data, forest_options, rng);
+        mse_out[k] = models[k].mseOn(data);
+    }
+    return models;
+}
+
+/** A candidate with model-predicted (LCB) objectives. */
+struct Candidate
+{
+    Point point;
+    Evaluation predicted; ///< objectives = LCB predictions.
+};
+
+} // namespace
+
+ActiveLearningResult
+activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
+               size_t num_objectives,
+               const ActiveLearningOptions &options)
+{
+    support::Rng rng(options.seed);
+    ActiveLearningResult result;
+
+    // --- Warm-up: uniform random sampling. ---
+    for (size_t i = 0; i < options.warmupSamples; ++i) {
+        Evaluation e;
+        e.point = space.sample(rng);
+        const EvaluationOutcome outcome = evaluate(e.point);
+        e.objectives = outcome.objectives;
+        e.valid = outcome.valid;
+        e.method = "random";
+        e.iteration = 0;
+        result.evaluations.push_back(std::move(e));
+    }
+
+    // --- Active-learning rounds. ---
+    for (size_t iter = 1; iter <= options.iterations; ++iter) {
+        std::vector<double> mse;
+        std::vector<ml::RandomForest> models =
+            fitModels(space, result.evaluations, num_objectives,
+                      options.forest, rng, mse);
+        result.modelMse.push_back(mse);
+
+        // Feasibility model (HyperMapper's valid-region classifier):
+        // fit only when both classes exist.
+        ml::RandomForest feasibility;
+        bool have_feasibility = false;
+        if (options.learnFeasibility) {
+            size_t valid_count = 0, invalid_count = 0;
+            for (const Evaluation &e : result.evaluations)
+                (e.valid ? valid_count : invalid_count) += 1;
+            if (valid_count > 0 && invalid_count > 0) {
+                ml::Dataset labels(space.size());
+                for (const Evaluation &e : result.evaluations)
+                    labels.addRow(e.point, e.valid ? 1.0 : 0.0);
+                feasibility.fit(labels, options.forest, rng);
+                have_feasibility = true;
+            }
+        }
+        size_t rejected = 0;
+
+        // Incumbent Pareto points seed the exploit candidates.
+        const std::vector<size_t> front =
+            paretoFront(result.evaluations);
+
+        std::vector<Candidate> pool;
+        pool.reserve(options.candidatePool);
+        for (size_t c = 0; c < options.candidatePool; ++c) {
+            Candidate cand;
+            const bool exploit =
+                !front.empty() &&
+                rng.bernoulli(options.exploitFraction);
+            if (exploit) {
+                const size_t pick =
+                    front[rng.uniformInt(
+                        static_cast<uint64_t>(front.size()))];
+                cand.point = space.mutate(
+                    result.evaluations[pick].point,
+                    options.mutationRate, rng);
+            } else {
+                cand.point = space.sample(rng);
+            }
+            if (have_feasibility &&
+                feasibility.predict(cand.point) <
+                    options.minPredictedValidity) {
+                ++rejected;
+                continue;
+            }
+            cand.predicted.point = cand.point;
+            cand.predicted.valid = true;
+            cand.predicted.objectives.resize(num_objectives);
+            for (size_t k = 0; k < num_objectives; ++k) {
+                const ml::ForestPrediction p =
+                    models[k].predictWithUncertainty(cand.point);
+                cand.predicted.objectives[k] =
+                    p.mean - options.kappa * std::sqrt(p.variance);
+            }
+            pool.push_back(std::move(cand));
+        }
+
+        // Keep the model-predicted Pareto front of the pool.
+        std::vector<Evaluation> predicted;
+        predicted.reserve(pool.size());
+        for (const Candidate &c : pool)
+            predicted.push_back(c.predicted);
+        std::vector<size_t> predicted_front = paretoFront(predicted);
+        rng.shuffle(predicted_front);
+
+        // Evaluate up to batchSize new, distinct configurations.
+        size_t evaluated = 0;
+        for (size_t idx : predicted_front) {
+            if (evaluated >= options.batchSize)
+                break;
+            const Point &candidate = pool[idx].point;
+            bool seen = false;
+            for (const Evaluation &e : result.evaluations) {
+                if (space.samePoint(e.point, candidate)) {
+                    seen = true;
+                    break;
+                }
+            }
+            if (seen)
+                continue;
+
+            Evaluation e;
+            e.point = candidate;
+            const EvaluationOutcome outcome = evaluate(candidate);
+            e.objectives = outcome.objectives;
+            e.valid = outcome.valid;
+            e.method = "active";
+            e.iteration = iter;
+            result.evaluations.push_back(std::move(e));
+            ++evaluated;
+        }
+
+        result.feasibilityRejections.push_back(rejected);
+
+        // Degenerate pools (everything already seen): fall back to
+        // random samples so the budget is spent as promised.
+        while (evaluated < options.batchSize) {
+            Evaluation e;
+            e.point = space.sample(rng);
+            const EvaluationOutcome outcome = evaluate(e.point);
+            e.objectives = outcome.objectives;
+            e.valid = outcome.valid;
+            e.method = "active";
+            e.iteration = iter;
+            result.evaluations.push_back(std::move(e));
+            ++evaluated;
+        }
+    }
+    return result;
+}
+
+std::vector<Evaluation>
+gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
+           const GridSearchOptions &options)
+{
+    const size_t axes = space.size();
+    const size_t n = std::max<size_t>(2, options.pointsPerAxis);
+
+    // Axis value lists.
+    std::vector<std::vector<double>> values(axes);
+    for (size_t i = 0; i < axes; ++i) {
+        const Parameter &p = space.param(i);
+        if (p.kind == ParamKind::Ordinal) {
+            if (p.values.size() <= n) {
+                values[i] = p.values;
+            } else {
+                for (size_t k = 0; k < n; ++k)
+                    values[i].push_back(
+                        p.values[k * (p.values.size() - 1) / (n - 1)]);
+            }
+            continue;
+        }
+        for (size_t k = 0; k < n; ++k) {
+            const double t = static_cast<double>(k) /
+                             static_cast<double>(n - 1);
+            double v;
+            if (p.kind == ParamKind::Real && p.logScale) {
+                v = std::pow(10.0,
+                             std::log10(p.lo) +
+                                 t * (std::log10(p.hi) -
+                                      std::log10(p.lo)));
+            } else {
+                v = p.lo + t * (p.hi - p.lo);
+            }
+            values[i].push_back(v);
+        }
+    }
+
+    std::vector<Evaluation> evals;
+    std::vector<size_t> index(axes, 0);
+    for (;;) {
+        if (evals.size() >= options.maxEvaluations)
+            break;
+        Point point(axes);
+        for (size_t i = 0; i < axes; ++i)
+            point[i] = values[i][index[i]];
+        Evaluation e;
+        e.point = space.canonicalize(point);
+        const EvaluationOutcome outcome = evaluate(e.point);
+        e.objectives = outcome.objectives;
+        e.valid = outcome.valid;
+        e.method = "grid";
+        evals.push_back(std::move(e));
+
+        // Odometer increment.
+        size_t axis = 0;
+        while (axis < axes) {
+            if (++index[axis] < values[axis].size())
+                break;
+            index[axis] = 0;
+            ++axis;
+        }
+        if (axis == axes)
+            break;
+    }
+    return evals;
+}
+
+} // namespace slambench::hypermapper

@@ -1,0 +1,136 @@
+#ifndef SLAMBENCH_HYPERMAPPER_DRIVERS_HPP
+#define SLAMBENCH_HYPERMAPPER_DRIVERS_HPP
+
+/**
+ * @file
+ * Design-space exploration drivers.
+ *
+ * RandomSearch is the baseline of the paper's Fig. 2; ActiveLearning
+ * is the HyperMapper methodology: random warm-up, per-objective
+ * random-forest models, then batches chosen from the model-predicted
+ * Pareto region of a large candidate pool (with mutation around the
+ * incumbent front), each batch evaluated for real and fed back.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hypermapper/pareto.hpp"
+#include "ml/random_forest.hpp"
+
+namespace slambench::hypermapper {
+
+/**
+ * Black-box objective function: configuration -> objective vector
+ * (all minimized) plus a validity flag.
+ */
+struct EvaluationOutcome
+{
+    std::vector<double> objectives;
+    bool valid = true;
+};
+
+using Evaluator = std::function<EvaluationOutcome(const Point &)>;
+
+/** Options of the random-search baseline. */
+struct RandomSearchOptions
+{
+    size_t budget = 100; ///< Number of evaluations.
+    uint64_t seed = 1;
+};
+
+/**
+ * Evaluate @p options.budget uniform random configurations.
+ *
+ * @param space Design space.
+ * @param evaluate Black-box objective.
+ * @param options Budget and seed.
+ * @return all evaluations, tagged method="random".
+ */
+std::vector<Evaluation> randomSearch(const ParameterSpace &space,
+                                     const Evaluator &evaluate,
+                                     const RandomSearchOptions &options);
+
+/** Options of the HyperMapper-style active-learning driver. */
+struct ActiveLearningOptions
+{
+    size_t warmupSamples = 40;   ///< Random evaluations first.
+    size_t iterations = 6;       ///< Model/evaluate rounds.
+    size_t batchSize = 10;       ///< Evaluations per round.
+    size_t candidatePool = 3000; ///< Model-predicted points per round.
+    /** Fraction of the pool mutated from the incumbent front. */
+    double exploitFraction = 0.5;
+    /** Coordinate mutation rate for exploit candidates. */
+    double mutationRate = 0.3;
+    /**
+     * Optimism: candidates ranked by mean - kappa * stddev (lower
+     * confidence bound) per objective.
+     */
+    double kappa = 1.0;
+    /**
+     * Learn the feasible region (HyperMapper's validity classifier):
+     * when invalid evaluations exist, fit a forest on the 0/1
+     * validity labels and drop candidates whose predicted
+     * feasibility falls below minPredictedValidity.
+     */
+    bool learnFeasibility = true;
+    double minPredictedValidity = 0.3;
+    ml::ForestOptions forest;
+    uint64_t seed = 1;
+};
+
+/** Full trace of an active-learning run. */
+struct ActiveLearningResult
+{
+    /** All real evaluations (warm-up first, then per-iteration). */
+    std::vector<Evaluation> evaluations;
+    /** Model quality (training MSE per objective) per iteration. */
+    std::vector<std::vector<double>> modelMse;
+    /** Candidates rejected by the feasibility model, per iteration. */
+    std::vector<size_t> feasibilityRejections;
+};
+
+/**
+ * Run HyperMapper-style active learning.
+ *
+ * @param space Design space.
+ * @param evaluate Black-box objective.
+ * @param num_objectives Length of the objective vectors.
+ * @param options Driver options.
+ * @return evaluations tagged method="active" (warm-up tagged
+ *         method="random", iteration=0).
+ */
+ActiveLearningResult
+activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
+               size_t num_objectives,
+               const ActiveLearningOptions &options);
+
+/** Options of the exhaustive / grid baseline. */
+struct GridSearchOptions
+{
+    /** Sample points per parameter axis (>= 2). */
+    size_t pointsPerAxis = 3;
+    /** Hard cap on evaluations (the full grid is exponential). */
+    size_t maxEvaluations = 1000;
+};
+
+/**
+ * Exhaustive grid sweep (the baseline the paper calls infeasible at
+ * full resolution; useful at coarse resolution and in tests).
+ * Integer/real axes are sampled uniformly (log-uniformly when the
+ * parameter is log-scaled); ordinal axes use their value lists,
+ * subsampled to at most pointsPerAxis entries.
+ *
+ * @param space Design space.
+ * @param evaluate Black-box objective.
+ * @param options Grid shape; evaluation stops at maxEvaluations.
+ * @return evaluations tagged method="grid".
+ */
+std::vector<Evaluation> gridSearch(const ParameterSpace &space,
+                                   const Evaluator &evaluate,
+                                   const GridSearchOptions &options);
+
+} // namespace slambench::hypermapper
+
+#endif // SLAMBENCH_HYPERMAPPER_DRIVERS_HPP

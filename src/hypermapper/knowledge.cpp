@@ -1,0 +1,73 @@
+#include "hypermapper/knowledge.hpp"
+
+#include <numeric>
+
+#include "support/logging.hpp"
+
+namespace slambench::hypermapper {
+
+bool
+isGood(const Evaluation &e, const GoodnessCriteria &criteria)
+{
+    if (!e.valid)
+        return false;
+    const double runtime = e.objectives[criteria.runtimeIndex];
+    const double ate = e.objectives[criteria.ateIndex];
+    const double watts = e.objectives[criteria.wattsIndex];
+    const double fps = runtime > 0.0 ? 1.0 / runtime : 0.0;
+    return ate <= criteria.maxAteLimit && fps >= criteria.minFps &&
+           watts <= criteria.maxWatts;
+}
+
+Knowledge
+extractKnowledge(const ParameterSpace &space,
+                 const std::vector<Evaluation> &evals,
+                 const GoodnessCriteria &criteria, size_t max_depth)
+{
+    Knowledge knowledge;
+
+    ml::Dataset data(space.size());
+    data.setFeatureNames(space.names());
+    for (const Evaluation &e : evals) {
+        if (!e.valid)
+            continue;
+        const bool good = isGood(e, criteria);
+        data.addRow(e.point, good ? 1.0 : 0.0);
+        knowledge.goodCount += good ? 1 : 0;
+        ++knowledge.totalCount;
+    }
+    if (knowledge.totalCount == 0) {
+        support::logWarn() << "extractKnowledge: no valid evaluations";
+        return knowledge;
+    }
+
+    ml::TreeOptions options;
+    options.maxDepth = max_depth;
+    options.minSamplesLeaf = 3;
+    options.minSamplesSplit = 6;
+    options.featureSubset = 0; // deterministic full-CART splits
+
+    std::vector<size_t> rows(data.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    support::Rng rng(7);
+    knowledge.tree.fitClassification(data, rows, options, rng);
+    knowledge.rules = knowledge.tree.toRules(
+        data, "GOOD (accurate + real-time + power-efficient)",
+        "BAD");
+
+    // Training accuracy of the readout (reported, not optimized).
+    size_t correct = 0;
+    std::vector<double> features;
+    for (size_t i = 0; i < data.size(); ++i) {
+        data.rowFeatures(i, features);
+        const bool predicted = knowledge.tree.predict(features) > 0.5;
+        const bool actual = data.target(i) > 0.5;
+        if (predicted == actual)
+            ++correct;
+    }
+    knowledge.trainAccuracy = static_cast<double>(correct) /
+                              static_cast<double>(data.size());
+    return knowledge;
+}
+
+} // namespace slambench::hypermapper

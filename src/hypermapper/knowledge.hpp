@@ -1,0 +1,65 @@
+#ifndef SLAMBENCH_HYPERMAPPER_KNOWLEDGE_HPP
+#define SLAMBENCH_HYPERMAPPER_KNOWLEDGE_HPP
+
+/**
+ * @file
+ * Knowledge extraction (the right-hand side of the paper's Fig. 2):
+ * label every evaluated configuration good/bad against the
+ * accuracy/speed/power requirements, fit a small classification
+ * tree, and print it as parameter rules such as
+ * "volume_resolution <= 96 AND compute_size_ratio <= 3 -> GOOD".
+ */
+
+#include <string>
+#include <vector>
+
+#include "hypermapper/pareto.hpp"
+#include "ml/decision_tree.hpp"
+
+namespace slambench::hypermapper {
+
+/** The paper's quality-of-result requirements. */
+struct GoodnessCriteria
+{
+    /** Max ATE limit, meters (paper: 0.05 m). */
+    double maxAteLimit = 0.05;
+    /** Minimum frame rate, FPS (paper: real-time, 30 FPS). */
+    double minFps = 30.0;
+    /** Power cap, watts (paper: 3 W in Fig. 2; 1 W headline). */
+    double maxWatts = 3.0;
+    /** Objective vector layout: indices into Evaluation::objectives. */
+    size_t runtimeIndex = 0;
+    size_t ateIndex = 1;
+    size_t wattsIndex = 2;
+};
+
+/** @return true when @p e satisfies all three requirements. */
+bool isGood(const Evaluation &e, const GoodnessCriteria &criteria);
+
+/** Result of the knowledge-extraction step. */
+struct Knowledge
+{
+    ml::DecisionTree tree;
+    std::string rules;      ///< Printable if/else rules.
+    size_t goodCount = 0;   ///< Configurations labeled good.
+    size_t totalCount = 0;  ///< Valid configurations considered.
+    double trainAccuracy = 0.0;
+};
+
+/**
+ * Fit the Fig. 2 knowledge tree over evaluated configurations.
+ *
+ * @param space Design space (feature names for the rules).
+ * @param evals Evaluated configurations.
+ * @param criteria Good/bad thresholds.
+ * @param max_depth Tree depth cap (small keeps rules readable).
+ * @return fitted tree, printable rules, and label statistics.
+ */
+Knowledge extractKnowledge(const ParameterSpace &space,
+                           const std::vector<Evaluation> &evals,
+                           const GoodnessCriteria &criteria,
+                           size_t max_depth = 3);
+
+} // namespace slambench::hypermapper
+
+#endif // SLAMBENCH_HYPERMAPPER_KNOWLEDGE_HPP

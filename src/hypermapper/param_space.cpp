@@ -1,0 +1,201 @@
+#include "hypermapper/param_space.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::hypermapper {
+
+size_t
+ParameterSpace::addInteger(const std::string &name, long lo, long hi,
+                           long default_value)
+{
+    if (hi < lo)
+        support::fatal("ParameterSpace: integer range is empty for " +
+                       name);
+    Parameter p;
+    p.name = name;
+    p.kind = ParamKind::Integer;
+    p.lo = static_cast<double>(lo);
+    p.hi = static_cast<double>(hi);
+    p.defaultValue = static_cast<double>(default_value);
+    params_.push_back(std::move(p));
+    return params_.size() - 1;
+}
+
+size_t
+ParameterSpace::addReal(const std::string &name, double lo, double hi,
+                        double default_value, bool log_scale)
+{
+    if (!(hi > lo))
+        support::fatal("ParameterSpace: real range is empty for " +
+                       name);
+    if (log_scale && !(lo > 0.0))
+        support::fatal("ParameterSpace: log-scaled range needs lo > 0 "
+                       "for " + name);
+    Parameter p;
+    p.name = name;
+    p.kind = ParamKind::Real;
+    p.lo = lo;
+    p.hi = hi;
+    p.logScale = log_scale;
+    p.defaultValue = default_value;
+    params_.push_back(std::move(p));
+    return params_.size() - 1;
+}
+
+size_t
+ParameterSpace::addOrdinal(const std::string &name,
+                           std::vector<double> values,
+                           double default_value)
+{
+    if (values.empty())
+        support::fatal("ParameterSpace: ordinal needs values for " +
+                       name);
+    if (!std::is_sorted(values.begin(), values.end()))
+        support::fatal("ParameterSpace: ordinal values must ascend "
+                       "for " + name);
+    Parameter p;
+    p.name = name;
+    p.kind = ParamKind::Ordinal;
+    p.values = std::move(values);
+    p.lo = p.values.front();
+    p.hi = p.values.back();
+    p.defaultValue = default_value;
+    params_.push_back(std::move(p));
+    return params_.size() - 1;
+}
+
+size_t
+ParameterSpace::indexOf(const std::string &name) const
+{
+    for (size_t i = 0; i < params_.size(); ++i)
+        if (params_[i].name == name)
+            return i;
+    support::fatal("ParameterSpace: unknown parameter " + name);
+}
+
+Point
+ParameterSpace::defaultPoint() const
+{
+    Point p(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+        p[i] = snapOne(params_[i], params_[i].defaultValue);
+    return p;
+}
+
+double
+ParameterSpace::sampleOne(const Parameter &p, support::Rng &rng) const
+{
+    switch (p.kind) {
+      case ParamKind::Integer:
+        return static_cast<double>(rng.uniformInt(
+            static_cast<int64_t>(p.lo), static_cast<int64_t>(p.hi)));
+      case ParamKind::Real:
+        if (p.logScale) {
+            const double e =
+                rng.uniform(std::log10(p.lo), std::log10(p.hi));
+            return std::pow(10.0, e);
+        }
+        return rng.uniform(p.lo, p.hi);
+      case ParamKind::Ordinal:
+        return p.values[rng.uniformInt(
+            static_cast<uint64_t>(p.values.size()))];
+    }
+    return p.defaultValue;
+}
+
+double
+ParameterSpace::snapOne(const Parameter &p, double value) const
+{
+    switch (p.kind) {
+      case ParamKind::Integer:
+        return std::clamp(std::round(value), p.lo, p.hi);
+      case ParamKind::Real:
+        return std::clamp(value, p.lo, p.hi);
+      case ParamKind::Ordinal: {
+        // Snap to the nearest listed value.
+        double best = p.values.front();
+        double best_d = std::abs(value - best);
+        for (double v : p.values) {
+            const double d = std::abs(value - v);
+            if (d < best_d) {
+                best = v;
+                best_d = d;
+            }
+        }
+        return best;
+      }
+    }
+    return value;
+}
+
+Point
+ParameterSpace::sample(support::Rng &rng) const
+{
+    Point p(params_.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+        p[i] = sampleOne(params_[i], rng);
+    return p;
+}
+
+Point
+ParameterSpace::mutate(const Point &point, double rate,
+                       support::Rng &rng) const
+{
+    Point out = point;
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (rng.bernoulli(rate))
+            out[i] = sampleOne(params_[i], rng);
+    }
+    return out;
+}
+
+Point
+ParameterSpace::canonicalize(const Point &point) const
+{
+    if (point.size() != params_.size())
+        support::panic("ParameterSpace::canonicalize: size mismatch");
+    Point out(point.size());
+    for (size_t i = 0; i < params_.size(); ++i)
+        out[i] = snapOne(params_[i], point[i]);
+    return out;
+}
+
+std::vector<std::string>
+ParameterSpace::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(params_.size());
+    for (const Parameter &p : params_)
+        out.push_back(p.name);
+    return out;
+}
+
+std::string
+ParameterSpace::describe(const Point &point) const
+{
+    std::string out;
+    for (size_t i = 0; i < params_.size(); ++i) {
+        if (i)
+            out += ' ';
+        out += support::format("%s=%.6g", params_[i].name.c_str(),
+                               point[i]);
+    }
+    return out;
+}
+
+bool
+ParameterSpace::samePoint(const Point &a, const Point &b) const
+{
+    const Point ca = canonicalize(a);
+    const Point cb = canonicalize(b);
+    for (size_t i = 0; i < ca.size(); ++i)
+        if (ca[i] != cb[i])
+            return false;
+    return true;
+}
+
+} // namespace slambench::hypermapper

@@ -1,0 +1,112 @@
+#ifndef SLAMBENCH_HYPERMAPPER_PARAM_SPACE_HPP
+#define SLAMBENCH_HYPERMAPPER_PARAM_SPACE_HPP
+
+/**
+ * @file
+ * The design space HyperMapper explores: named parameters with
+ * integer ranges, real ranges (optionally log-scaled), or explicit
+ * ordinal value lists.
+ *
+ * A configuration ("point") is a vector of doubles, one entry per
+ * parameter, holding actual parameter values (not normalized), so
+ * the same vector feeds the random forest and the decision-tree
+ * knowledge readout with interpretable thresholds.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace slambench::hypermapper {
+
+/** One configuration of the design space. */
+using Point = std::vector<double>;
+
+/** Kind of one explorable parameter. */
+enum class ParamKind {
+    Integer, ///< Uniform integer in [lo, hi].
+    Real,    ///< Uniform real in [lo, hi] (log10-uniform if logScale).
+    Ordinal, ///< One of an explicit ascending value list.
+};
+
+/** Declaration of one parameter. */
+struct Parameter
+{
+    std::string name;
+    ParamKind kind = ParamKind::Real;
+    double lo = 0.0;
+    double hi = 1.0;
+    bool logScale = false;
+    std::vector<double> values; ///< For Ordinal.
+    double defaultValue = 0.0;
+};
+
+/**
+ * Ordered set of parameters plus sampling and mutation.
+ */
+class ParameterSpace
+{
+  public:
+    /** Add an integer-range parameter. @return its index. */
+    size_t addInteger(const std::string &name, long lo, long hi,
+                      long default_value);
+
+    /** Add a real-range parameter. @return its index. */
+    size_t addReal(const std::string &name, double lo, double hi,
+                   double default_value, bool log_scale = false);
+
+    /**
+     * Add an ordinal parameter with explicit ascending values.
+     * @return its index.
+     */
+    size_t addOrdinal(const std::string &name,
+                      std::vector<double> values,
+                      double default_value);
+
+    /** @return number of parameters. */
+    size_t size() const { return params_.size(); }
+
+    /** @return declaration of parameter @p i. */
+    const Parameter &param(size_t i) const { return params_[i]; }
+
+    /** @return index of the parameter named @p name; fatal if absent. */
+    size_t indexOf(const std::string &name) const;
+
+    /** @return the point of all default values. */
+    Point defaultPoint() const;
+
+    /** @return a uniform random point. */
+    Point sample(support::Rng &rng) const;
+
+    /**
+     * Mutate @p point: each coordinate re-sampled with probability
+     * @p rate, others kept (the local-search move used to refine the
+     * predicted-Pareto candidates).
+     */
+    Point mutate(const Point &point, double rate,
+                 support::Rng &rng) const;
+
+    /** Clamp/snap every coordinate to a legal value. */
+    Point canonicalize(const Point &point) const;
+
+    /** @return names in declaration order (for ml::Dataset). */
+    std::vector<std::string> names() const;
+
+    /** One-line rendering "name=value ...". */
+    std::string describe(const Point &point) const;
+
+    /** @return true when the two points are identical after snap. */
+    bool samePoint(const Point &a, const Point &b) const;
+
+  private:
+    double sampleOne(const Parameter &p, support::Rng &rng) const;
+    double snapOne(const Parameter &p, double value) const;
+
+    std::vector<Parameter> params_;
+};
+
+} // namespace slambench::hypermapper
+
+#endif // SLAMBENCH_HYPERMAPPER_PARAM_SPACE_HPP

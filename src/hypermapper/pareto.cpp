@@ -1,0 +1,101 @@
+#include "hypermapper/pareto.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "support/logging.hpp"
+
+namespace slambench::hypermapper {
+
+bool
+dominates(const Evaluation &a, const Evaluation &b)
+{
+    if (!a.valid)
+        return false;
+    if (!b.valid)
+        return true;
+    if (a.objectives.size() != b.objectives.size())
+        support::panic("dominates: objective count mismatch");
+    bool strictly_better = false;
+    for (size_t i = 0; i < a.objectives.size(); ++i) {
+        if (a.objectives[i] > b.objectives[i])
+            return false;
+        if (a.objectives[i] < b.objectives[i])
+            strictly_better = true;
+    }
+    return strictly_better;
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<Evaluation> &evals)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < evals.size(); ++i) {
+        if (!evals[i].valid)
+            continue;
+        bool dominated = false;
+        for (size_t j = 0; j < evals.size(); ++j) {
+            if (i != j && dominates(evals[j], evals[i])) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    return front;
+}
+
+double
+hypervolume2d(const std::vector<Evaluation> &evals, double ref0,
+              double ref1)
+{
+    // Collect clipped, valid points and sort by the first objective.
+    std::vector<std::pair<double, double>> pts;
+    for (const Evaluation &e : evals) {
+        if (!e.valid || e.objectives.size() < 2)
+            continue;
+        const double x = e.objectives[0];
+        const double y = e.objectives[1];
+        if (x >= ref0 || y >= ref1)
+            continue;
+        pts.emplace_back(x, y);
+    }
+    if (pts.empty())
+        return 0.0;
+    std::sort(pts.begin(), pts.end());
+
+    // Sweep left to right, accumulating the staircase area.
+    double volume = 0.0;
+    double best_y = ref1;
+    for (const auto &[x, y] : pts) {
+        if (y < best_y) {
+            volume += (ref0 - x) * (best_y - y);
+            best_y = y;
+        }
+    }
+    return volume;
+}
+
+double
+bestUnderCaps(const std::vector<Evaluation> &evals, size_t k,
+              const std::vector<double> &caps)
+{
+    double best = std::numeric_limits<double>::infinity();
+    for (const Evaluation &e : evals) {
+        if (!e.valid)
+            continue;
+        bool ok = true;
+        for (size_t i = 0; i < e.objectives.size() && ok; ++i) {
+            if (i == k)
+                continue;
+            if (i < caps.size() && e.objectives[i] > caps[i])
+                ok = false;
+        }
+        if (ok)
+            best = std::min(best, e.objectives[k]);
+    }
+    return best;
+}
+
+} // namespace slambench::hypermapper

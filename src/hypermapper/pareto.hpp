@@ -1,0 +1,72 @@
+#ifndef SLAMBENCH_HYPERMAPPER_PARETO_HPP
+#define SLAMBENCH_HYPERMAPPER_PARETO_HPP
+
+/**
+ * @file
+ * Evaluation records and multi-objective (Pareto) machinery.
+ *
+ * All objectives are minimized; callers negate quantities they want
+ * maximized. The DSE in this repository minimizes (simulated runtime,
+ * Max ATE, mean power), matching the axes of the paper's Fig. 2.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "hypermapper/param_space.hpp"
+
+namespace slambench::hypermapper {
+
+/** One evaluated configuration. */
+struct Evaluation
+{
+    Point point;
+    /** Objective values, all minimized. */
+    std::vector<double> objectives;
+    /** False when the run failed (tracking lost, out of memory...). */
+    bool valid = true;
+    /** Which driver produced it ("default"/"random"/"active"). */
+    std::string method;
+    /** Active-learning iteration (0 for warm-up/random). */
+    size_t iteration = 0;
+};
+
+/**
+ * @return true when @p a dominates @p b: a is <= in every objective
+ * and < in at least one. Invalid evaluations never dominate and are
+ * dominated by any valid one.
+ */
+bool dominates(const Evaluation &a, const Evaluation &b);
+
+/**
+ * Indices of the non-dominated subset of @p evals (valid ones only).
+ */
+std::vector<size_t> paretoFront(const std::vector<Evaluation> &evals);
+
+/**
+ * 2D hypervolume indicator (areas are computed on the first two
+ * objectives) dominated by @p evals relative to @p ref; larger is
+ * better. Used by tests and the DSE-quality comparison.
+ *
+ * @param evals Evaluated points.
+ * @param ref Reference point; contributions are clipped to it.
+ */
+double hypervolume2d(const std::vector<Evaluation> &evals,
+                     double ref0, double ref1);
+
+/**
+ * Best (minimum) value of objective @p k among valid evaluations
+ * whose other objectives satisfy the given caps; +inf when none.
+ *
+ * @param evals Evaluated points.
+ * @param k Objective index to minimize.
+ * @param caps Per-objective upper bounds (ignore entries of +inf,
+ *             including index k).
+ */
+double bestUnderCaps(const std::vector<Evaluation> &evals, size_t k,
+                     const std::vector<double> &caps);
+
+} // namespace slambench::hypermapper
+
+#endif // SLAMBENCH_HYPERMAPPER_PARETO_HPP

@@ -1,0 +1,252 @@
+#include "kfusion/pipeline.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace slambench::kfusion {
+
+using math::Mat4f;
+using math::Vec3f;
+
+std::string
+KFusion::checkCompatibility(
+    const KFusionConfig &config,
+    const math::CameraIntrinsics &input_intrinsics)
+{
+    const std::string problem = config.validate();
+    if (!problem.empty())
+        return problem;
+    const math::CameraIntrinsics scaled = input_intrinsics.scaled(
+        static_cast<size_t>(config.computeSizeRatio));
+    if (scaled.width < 8 || scaled.height < 8)
+        return "compute image too small; lower the compute-size "
+               "ratio";
+    math::CameraIntrinsics level_k = scaled;
+    for (size_t l = 0; l < config.levels(); ++l) {
+        if (level_k.width < 4 || level_k.height < 4)
+            return "too many pyramid levels for the compute image "
+                   "size";
+        level_k = level_k.scaled(2);
+    }
+    return "";
+}
+
+KFusion::KFusion(const KFusionConfig &config,
+                 const math::CameraIntrinsics &input_intrinsics,
+                 Implementation impl, size_t num_threads)
+    : config_(config), inputIntrinsics_(input_intrinsics), impl_(impl)
+{
+    const std::string problem =
+        checkCompatibility(config, input_intrinsics);
+    if (!problem.empty())
+        support::fatal("KFusion: invalid configuration: " + problem);
+
+    if (impl_ == Implementation::Threaded)
+        pool_ = std::make_unique<support::ThreadPool>(num_threads);
+
+    scaledIntrinsics_ = inputIntrinsics_.scaled(
+        static_cast<size_t>(config_.computeSizeRatio));
+
+    volume_ = std::make_unique<TsdfVolume>(
+        config_.volumeResolution, config_.volumeSize,
+        config_.volumeOrigin);
+
+    pyramid_.resize(config_.levels());
+    math::CameraIntrinsics level_k = scaledIntrinsics_;
+    for (size_t l = 0; l < config_.levels(); ++l) {
+        pyramid_[l].intrinsics = level_k;
+        level_k = level_k.scaled(2);
+    }
+}
+
+RaycastParams
+KFusion::raycastParams() const
+{
+    RaycastParams params;
+    params.nearPlane = config_.nearPlane;
+    params.farPlane = config_.farPlane;
+    params.step = config_.voxelSize();
+    params.largeStep = 0.75f * config_.mu;
+    // The coarse step must never be finer than the fine step.
+    params.largeStep = std::max(params.largeStep, params.step);
+    return params;
+}
+
+void
+KFusion::preprocess(const support::Image<uint16_t> &depth_mm,
+                    WorkCounts &work)
+{
+    {
+        KernelTimer timer(work, KernelId::Mm2Meters);
+        mm2metersKernel(rawDepth_, depth_mm, config_.computeSizeRatio,
+                        pool_.get());
+        work.addItems(KernelId::Mm2Meters,
+                      static_cast<double>(rawDepth_.size()));
+        work.addBytes(KernelId::Mm2Meters,
+                      static_cast<double>(rawDepth_.size()) * 6.0);
+    }
+    {
+        KernelTimer timer(work, KernelId::BilateralFilter);
+        bilateralFilterKernel(filteredDepth_, rawDepth_,
+                              config_.filterRadius,
+                              config_.gaussianDelta, config_.eDelta,
+                              pool_.get());
+        work.addItems(
+            KernelId::BilateralFilter,
+            static_cast<double>(filteredDepth_.size()) *
+                bilateralItemsPerPixel(config_.filterRadius));
+        work.addBytes(
+            KernelId::BilateralFilter,
+            static_cast<double>(filteredDepth_.size()) *
+                (bilateralItemsPerPixel(config_.filterRadius) * 4.0 +
+                 4.0));
+    }
+}
+
+void
+KFusion::buildPyramid(WorkCounts &work)
+{
+    pyramid_[0].depth = filteredDepth_;
+    for (size_t l = 1; l < pyramid_.size(); ++l) {
+        KernelTimer timer(work, KernelId::HalfSample);
+        halfSampleRobustKernel(pyramid_[l].depth,
+                               pyramid_[l - 1].depth,
+                               config_.eDelta * 3.0f, pool_.get());
+        work.addItems(KernelId::HalfSample,
+                      static_cast<double>(pyramid_[l].depth.size()));
+        work.addBytes(KernelId::HalfSample,
+                      static_cast<double>(pyramid_[l].depth.size()) *
+                          20.0);
+    }
+    for (size_t l = 0; l < pyramid_.size(); ++l) {
+        {
+            KernelTimer timer(work, KernelId::Depth2Vertex);
+            depth2vertexKernel(pyramid_[l].vertex, pyramid_[l].depth,
+                               pyramid_[l].intrinsics, pool_.get());
+            work.addItems(
+                KernelId::Depth2Vertex,
+                static_cast<double>(pyramid_[l].vertex.size()));
+            work.addBytes(
+                KernelId::Depth2Vertex,
+                static_cast<double>(pyramid_[l].vertex.size()) * 16.0);
+        }
+        {
+            KernelTimer timer(work, KernelId::Vertex2Normal);
+            vertex2normalKernel(pyramid_[l].normal, pyramid_[l].vertex,
+                                pool_.get());
+            work.addItems(
+                KernelId::Vertex2Normal,
+                static_cast<double>(pyramid_[l].normal.size()));
+            work.addBytes(
+                KernelId::Vertex2Normal,
+                static_cast<double>(pyramid_[l].normal.size()) * 48.0);
+        }
+    }
+}
+
+FrameResult
+KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
+{
+    if (depth_mm.width() != inputIntrinsics_.width ||
+        depth_mm.height() != inputIntrinsics_.height)
+        support::fatal("KFusion::processFrame: frame size does not "
+                       "match the input intrinsics");
+
+    FrameResult result;
+    result.frameIndex = frame_;
+    WorkCounts &work = result.work;
+
+    preprocess(depth_mm, work);
+
+    // --- Tracking ---
+    const bool do_track =
+        frame_ % static_cast<size_t>(config_.trackingRate) == 0;
+    if (frame_ == 0) {
+        // The first frame defines the reference; nothing to track
+        // against yet.
+        buildPyramid(work);
+        result.tracking.tracked = true;
+    } else if (do_track && haveReference_) {
+        buildPyramid(work);
+        result.tracking = icpTrack(
+            pose_, pyramid_, raycastVertex_, raycastNormal_,
+            scaledIntrinsics_, raycastPose_, config_, work,
+            pool_.get(), &lastTrackData_);
+    } else {
+        // Tracking skipped this frame: reuse the previous pose.
+        result.tracking.tracked = true;
+    }
+
+    // --- Integration ---
+    const bool do_integrate =
+        result.tracking.tracked &&
+        (frame_ % static_cast<size_t>(config_.integrationRate) == 0 ||
+         frame_ < 4);
+    if (do_integrate) {
+        volume_->integrate(rawDepth_, scaledIntrinsics_, pose_,
+                           config_.mu, config_.maxWeight, work,
+                           pool_.get());
+        result.integrated = true;
+    }
+
+    // --- Raycast the model for the next frame's tracking ---
+    if (frame_ > 2 || do_integrate) {
+        raycastKernel(raycastVertex_, raycastNormal_, *volume_,
+                      scaledIntrinsics_, pose_, raycastParams(), work,
+                      pool_.get());
+        raycastPose_ = pose_;
+        haveReference_ = true;
+        result.raycast = true;
+    }
+
+    result.pose = pose_;
+    totalWork_.merge(work);
+    frameWork_.push_back(work);
+    ++frame_;
+    return result;
+}
+
+void
+KFusion::renderModel(support::Image<support::Rgb8> &out,
+                     const Mat4f &view_pose,
+                     const math::CameraIntrinsics *intrinsics)
+{
+    WorkCounts work;
+    renderVolumeKernel(out, *volume_,
+                       intrinsics ? *intrinsics : inputIntrinsics_,
+                       view_pose, raycastParams(), work, pool_.get());
+    totalWork_.merge(work);
+    if (!frameWork_.empty())
+        frameWork_.back().merge(work);
+}
+
+void
+KFusion::renderTrack(support::Image<support::Rgb8> &out) const
+{
+    out.resize(lastTrackData_.width(), lastTrackData_.height());
+    for (size_t i = 0; i < lastTrackData_.size(); ++i) {
+        switch (lastTrackData_[i].result) {
+          case TrackResult::Ok:
+            out[i] = {128, 128, 128};
+            break;
+          case TrackResult::NoInputVertex:
+            out[i] = {0, 0, 0};
+            break;
+          case TrackResult::ProjectedOutside:
+            out[i] = {255, 0, 0};
+            break;
+          case TrackResult::NoRefNormal:
+            out[i] = {0, 0, 255};
+            break;
+          case TrackResult::TooFar:
+            out[i] = {255, 255, 0};
+            break;
+          case TrackResult::NormalMismatch:
+            out[i] = {255, 0, 255};
+            break;
+        }
+    }
+}
+
+} // namespace slambench::kfusion

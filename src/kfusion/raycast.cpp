@@ -1,0 +1,224 @@
+#include "kfusion/raycast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace slambench::kfusion {
+
+using math::Vec3f;
+
+namespace {
+
+/**
+ * Intersect a ray with the volume's AABB.
+ *
+ * @return false when the ray misses entirely.
+ */
+bool
+clipToVolume(const TsdfVolume &volume, const Vec3f &origin,
+             const Vec3f &dir, float &t_near, float &t_far)
+{
+    const Vec3f lo = volume.origin();
+    const Vec3f hi = volume.origin() + Vec3f::all(volume.size());
+    t_near = -1e30f;
+    t_far = 1e30f;
+    for (int axis = 0; axis < 3; ++axis) {
+        const float o = origin[static_cast<size_t>(axis)];
+        const float d = dir[static_cast<size_t>(axis)];
+        const float l = lo[static_cast<size_t>(axis)];
+        const float h = hi[static_cast<size_t>(axis)];
+        if (std::abs(d) < 1e-9f) {
+            if (o < l || o > h)
+                return false;
+            continue;
+        }
+        float t0 = (l - o) / d;
+        float t1 = (h - o) / d;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+    }
+    return t_near <= t_far && t_far > 0.0f;
+}
+
+} // namespace
+
+bool
+castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
+        const RaycastParams &params, Vec3f &hit, int &steps)
+{
+    steps = 0;
+    float t_near, t_far;
+    if (!clipToVolume(volume, origin, dir, t_near, t_far))
+        return false;
+    float t = std::max(t_near, params.nearPlane);
+    const float t_end = std::min(t_far, params.farPlane);
+    if (t >= t_end)
+        return false;
+
+    bool valid = false;
+    float f_t = volume.interp(origin + dir * t, valid);
+    if (valid && f_t < 0.0f)
+        return false; // started inside the surface
+
+    float stepsize = params.largeStep;
+    while (t < t_end) {
+        ++steps;
+        t += stepsize;
+        bool sample_valid = false;
+        const float f_tt =
+            volume.interp(origin + dir * t, sample_valid);
+        if (!sample_valid) {
+            // Unknown space: cross at the coarse rate.
+            f_t = 1.0f;
+            stepsize = params.largeStep;
+            continue;
+        }
+        if (f_tt < 0.0f) {
+            // Zero crossing: linear refinement between samples.
+            const float denom = f_t - f_tt;
+            const float t_star =
+                denom > 1e-12f ? t + stepsize * f_tt / denom : t;
+            hit = origin + dir * t_star;
+            return true;
+        }
+        // Close to the surface: drop to the fine step.
+        stepsize = f_tt < 0.8f ? params.step : params.largeStep;
+        f_t = f_tt;
+    }
+    return false;
+}
+
+void
+raycastKernel(support::Image<Vec3f> &vertex_out,
+              support::Image<Vec3f> &normal_out,
+              const TsdfVolume &volume,
+              const math::CameraIntrinsics &intrinsics,
+              const math::Mat4f &camera_to_world,
+              const RaycastParams &params, WorkCounts &counts,
+              support::ThreadPool *pool)
+{
+    KernelTimer timer(counts, KernelId::Raycast);
+    const size_t w = intrinsics.width;
+    const size_t h = intrinsics.height;
+    vertex_out.resize(w, h);
+    normal_out.resize(w, h);
+
+    const Vec3f origin = camera_to_world.translationPart();
+    std::vector<double> row_steps(h, 0.0);
+
+    auto process_row = [&](size_t y) {
+        double steps_in_row = 0.0;
+        for (size_t x = 0; x < w; ++x) {
+            const Vec3f dir_cam = intrinsics.rayDir(
+                static_cast<float>(x) + 0.5f,
+                static_cast<float>(y) + 0.5f);
+            const Vec3f dir =
+                camera_to_world.transformDir(dir_cam).normalized();
+
+            Vec3f hit;
+            int steps = 0;
+            if (castRay(volume, origin, dir, params, hit, steps)) {
+                const Vec3f g = volume.grad(hit);
+                if (g.squaredNorm() > 1e-18f) {
+                    vertex_out(x, y) = hit;
+                    // TSDF increases away from the surface toward the
+                    // camera side, so the gradient already points
+                    // outward.
+                    normal_out(x, y) = g.normalized();
+                } else {
+                    vertex_out(x, y) = Vec3f{};
+                    normal_out(x, y) = Vec3f{};
+                }
+            } else {
+                vertex_out(x, y) = Vec3f{};
+                normal_out(x, y) = Vec3f{};
+            }
+            steps_in_row += steps;
+        }
+        row_steps[y] = steps_in_row;
+    };
+
+    if (pool) {
+        pool->parallelFor(0, h, process_row);
+    } else {
+        for (size_t y = 0; y < h; ++y)
+            process_row(y);
+    }
+
+    double total_steps = 0.0;
+    for (double s : row_steps)
+        total_steps += s;
+    counts.addItems(KernelId::Raycast, total_steps);
+    counts.addBytes(KernelId::Raycast, total_steps * 32.0);
+}
+
+void
+renderVolumeKernel(support::Image<support::Rgb8> &out,
+                   const TsdfVolume &volume,
+                   const math::CameraIntrinsics &intrinsics,
+                   const math::Mat4f &camera_to_world,
+                   const RaycastParams &params, WorkCounts &counts,
+                   support::ThreadPool *pool)
+{
+    KernelTimer timer(counts, KernelId::RenderVolume);
+    const size_t w = intrinsics.width;
+    const size_t h = intrinsics.height;
+    out.resize(w, h);
+
+    const Vec3f origin = camera_to_world.translationPart();
+    const Vec3f light = Vec3f{0.3f, 0.8f, -0.5f}.normalized();
+    std::vector<double> row_steps(h, 0.0);
+
+    auto process_row = [&](size_t y) {
+        double steps_in_row = 0.0;
+        for (size_t x = 0; x < w; ++x) {
+            const Vec3f dir_cam = intrinsics.rayDir(
+                static_cast<float>(x) + 0.5f,
+                static_cast<float>(y) + 0.5f);
+            const Vec3f dir =
+                camera_to_world.transformDir(dir_cam).normalized();
+
+            Vec3f hit;
+            int steps = 0;
+            if (!castRay(volume, origin, dir, params, hit, steps)) {
+                out(x, y) = {20, 20, 28};
+                steps_in_row += steps;
+                continue;
+            }
+            steps_in_row += steps;
+            const Vec3f g = volume.grad(hit);
+            if (g.squaredNorm() < 1e-18f) {
+                out(x, y) = {20, 20, 28};
+                continue;
+            }
+            const Vec3f n = g.normalized();
+            const float diffuse =
+                std::max(0.0f, n.dot(light)) * 0.7f + 0.25f;
+            const auto channel = [diffuse](float base) {
+                return static_cast<uint8_t>(
+                    std::clamp(base * diffuse, 0.0f, 255.0f));
+            };
+            out(x, y) = {channel(200.0f), channel(205.0f),
+                         channel(215.0f)};
+        }
+        row_steps[y] = steps_in_row;
+    };
+
+    if (pool) {
+        pool->parallelFor(0, h, process_row);
+    } else {
+        for (size_t y = 0; y < h; ++y)
+            process_row(y);
+    }
+
+    double total_steps = 0.0;
+    for (double s : row_steps)
+        total_steps += s;
+    counts.addItems(KernelId::RenderVolume, total_steps);
+    counts.addBytes(KernelId::RenderVolume, total_steps * 32.0);
+}
+
+} // namespace slambench::kfusion

@@ -1,0 +1,86 @@
+#ifndef SLAMBENCH_KFUSION_RAYCAST_HPP
+#define SLAMBENCH_KFUSION_RAYCAST_HPP
+
+/**
+ * @file
+ * TSDF surface extraction by ray marching (KinectFusion's raycast
+ * stage) plus the shaded visualization render used by the GUI path.
+ */
+
+#include "kfusion/volume.hpp"
+#include "kfusion/work_counters.hpp"
+#include "math/camera.hpp"
+#include "support/image.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slambench::kfusion {
+
+/** Raycast tuning (derived from the configuration). */
+struct RaycastParams
+{
+    float nearPlane = 0.4f; ///< Meters.
+    float farPlane = 4.5f;  ///< Meters.
+    /** Coarse step while outside the truncation band, meters. */
+    float largeStep = 0.075f;
+    /** Fine step near the surface (typically the voxel size). */
+    float step = 0.01875f;
+};
+
+/**
+ * Raycast the volume from a camera, producing model vertex and
+ * normal maps in *world* coordinates (the tracker's reference).
+ *
+ * @param[out] vertex_out World-space hit per pixel; zero on miss.
+ * @param[out] normal_out World-space unit normal; zero on miss.
+ * @param volume Fused TSDF volume.
+ * @param intrinsics Output camera intrinsics.
+ * @param camera_to_world Camera pose to cast from.
+ * @param params Stepping parameters.
+ * @param[in,out] counts Work accounting (Raycast kernel; the item
+ *                       unit is marching steps taken).
+ * @param pool Optional worker pool.
+ */
+void raycastKernel(support::Image<math::Vec3f> &vertex_out,
+                   support::Image<math::Vec3f> &normal_out,
+                   const TsdfVolume &volume,
+                   const math::CameraIntrinsics &intrinsics,
+                   const math::Mat4f &camera_to_world,
+                   const RaycastParams &params, WorkCounts &counts,
+                   support::ThreadPool *pool);
+
+/**
+ * Shaded rendering of the current model (the GUI's right pane).
+ *
+ * @param[out] out Shaded image.
+ * @param volume Fused TSDF volume.
+ * @param intrinsics Output camera intrinsics.
+ * @param camera_to_world View pose.
+ * @param params Stepping parameters.
+ * @param[in,out] counts Work accounting (RenderVolume kernel).
+ * @param pool Optional worker pool.
+ */
+void renderVolumeKernel(support::Image<support::Rgb8> &out,
+                        const TsdfVolume &volume,
+                        const math::CameraIntrinsics &intrinsics,
+                        const math::Mat4f &camera_to_world,
+                        const RaycastParams &params, WorkCounts &counts,
+                        support::ThreadPool *pool);
+
+/**
+ * Cast a single ray against the volume.
+ *
+ * @param volume Fused TSDF volume.
+ * @param origin Ray origin (world).
+ * @param dir Unit ray direction (world).
+ * @param params Stepping parameters.
+ * @param[out] hit World-space surface point when found.
+ * @param[out] steps Marching steps consumed.
+ * @return true when a zero crossing (+ to -) was found.
+ */
+bool castRay(const TsdfVolume &volume, const math::Vec3f &origin,
+             const math::Vec3f &dir, const RaycastParams &params,
+             math::Vec3f &hit, int &steps);
+
+} // namespace slambench::kfusion
+
+#endif // SLAMBENCH_KFUSION_RAYCAST_HPP

@@ -1,0 +1,316 @@
+#include "kfusion/tracking.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "math/se3.hpp"
+#include "math/solve.hpp"
+#include "support/logging.hpp"
+
+namespace slambench::kfusion {
+
+using math::Mat4f;
+using math::Vec3f;
+
+void
+trackKernel(support::Image<TrackData> &track_data,
+            const support::Image<Vec3f> &live_vertex,
+            const support::Image<Vec3f> &live_normal,
+            const Mat4f &pose, const support::Image<Vec3f> &ref_vertex,
+            const support::Image<Vec3f> &ref_normal,
+            const math::CameraIntrinsics &ref_intrinsics,
+            const Mat4f &ref_pose, float dist_threshold,
+            float normal_threshold, support::ThreadPool *pool,
+            IcpResidual residual)
+{
+    const size_t w = live_vertex.width();
+    const size_t h = live_vertex.height();
+    track_data.resize(w, h);
+
+    const Mat4f world_to_ref = ref_pose.rigidInverse();
+
+    auto process_row = [&](size_t y) {
+        for (size_t x = 0; x < w; ++x) {
+            TrackData &row = track_data(x, y);
+            const Vec3f &in_vertex = live_vertex(x, y);
+            const Vec3f &in_normal = live_normal(x, y);
+            if (in_vertex.squaredNorm() == 0.0f ||
+                in_normal.squaredNorm() == 0.0f) {
+                row.result = TrackResult::NoInputVertex;
+                continue;
+            }
+
+            const Vec3f world_vertex = pose.transformPoint(in_vertex);
+            const Vec3f ref_cam = world_to_ref.transformPoint(world_vertex);
+            if (ref_cam.z <= 0.0f) {
+                row.result = TrackResult::ProjectedOutside;
+                continue;
+            }
+            const math::Vec2f pix = ref_intrinsics.project(ref_cam);
+            const int px = static_cast<int>(pix.x);
+            const int py = static_cast<int>(pix.y);
+            if (px < 0 || py < 0 ||
+                px >= static_cast<int>(ref_vertex.width()) ||
+                py >= static_cast<int>(ref_vertex.height())) {
+                row.result = TrackResult::ProjectedOutside;
+                continue;
+            }
+
+            const Vec3f &r_normal = ref_normal(
+                static_cast<size_t>(px), static_cast<size_t>(py));
+            if (r_normal.squaredNorm() == 0.0f) {
+                row.result = TrackResult::NoRefNormal;
+                continue;
+            }
+            const Vec3f &r_vertex = ref_vertex(
+                static_cast<size_t>(px), static_cast<size_t>(py));
+
+            const Vec3f diff = r_vertex - world_vertex;
+            if (diff.norm() > dist_threshold) {
+                row.result = TrackResult::TooFar;
+                continue;
+            }
+            const Vec3f world_normal = pose.transformDir(in_normal);
+            if (world_normal.dot(r_normal) < normal_threshold) {
+                row.result = TrackResult::NormalMismatch;
+                continue;
+            }
+
+            row.result = TrackResult::Ok;
+            // Point-to-plane projects the correspondence difference
+            // onto the reference normal. Point-to-point minimizes
+            // the full 3D difference; its three component residuals
+            // are round-robined across pixels so the scalar
+            // reduction sees an (evenly subsampled) full-rank
+            // system.
+            Vec3f direction = r_normal;
+            if (residual == IcpResidual::PointToPoint) {
+                const size_t axis = (x + y) % 3;
+                direction = Vec3f{};
+                direction[axis] = 1.0f;
+            }
+            row.error = direction.dot(diff);
+            const Vec3f jw = world_vertex.cross(direction);
+            row.jacobian = {direction.x, direction.y, direction.z,
+                            jw.x, jw.y, jw.z};
+        }
+    };
+
+    if (pool) {
+        pool->parallelFor(0, h, process_row);
+    } else {
+        for (size_t y = 0; y < h; ++y)
+            process_row(y);
+    }
+}
+
+ReductionResult
+reduceKernel(const support::Image<TrackData> &track_data,
+             support::ThreadPool *pool)
+{
+    // The reduction is associative; compute per-chunk partials and
+    // merge. The sequential path is a single chunk.
+    auto reduce_range = [&track_data](size_t begin,
+                                      size_t end) -> ReductionResult {
+        ReductionResult partial;
+        for (size_t i = begin; i < end; ++i) {
+            const TrackData &row = track_data[i];
+            if (row.result != TrackResult::Ok)
+                continue;
+            ++partial.validCount;
+            partial.errorSq += static_cast<double>(row.error) * row.error;
+            size_t t = 0;
+            for (int r = 0; r < 6; ++r) {
+                partial.jte[static_cast<size_t>(r)] +=
+                    static_cast<double>(row.jacobian[r]) * row.error;
+                for (int c = r; c < 6; ++c, ++t) {
+                    partial.jtj[t] +=
+                        static_cast<double>(row.jacobian[r]) *
+                        row.jacobian[c];
+                }
+            }
+        }
+        return partial;
+    };
+
+    ReductionResult total;
+    total.pixelCount = track_data.size();
+
+    if (pool && track_data.size() > 4096) {
+        const size_t chunks = pool->numThreads() * 2;
+        const size_t n = track_data.size();
+        std::vector<ReductionResult> partials(chunks);
+        pool->parallelFor(0, chunks, [&](size_t c) {
+            const size_t begin = n * c / chunks;
+            const size_t end = n * (c + 1) / chunks;
+            partials[c] = reduce_range(begin, end);
+        });
+        for (const ReductionResult &p : partials) {
+            total.validCount += p.validCount;
+            total.errorSq += p.errorSq;
+            for (size_t i = 0; i < total.jtj.size(); ++i)
+                total.jtj[i] += p.jtj[i];
+            for (size_t i = 0; i < total.jte.size(); ++i)
+                total.jte[i] += p.jte[i];
+        }
+    } else {
+        const ReductionResult p = reduce_range(0, track_data.size());
+        total.validCount = p.validCount;
+        total.errorSq = p.errorSq;
+        total.jtj = p.jtj;
+        total.jte = p.jte;
+    }
+    return total;
+}
+
+bool
+updatePose(Mat4f &pose, const ReductionResult &reduction,
+           double &twist_norm)
+{
+    twist_norm = 0.0;
+    if (reduction.validCount < 6)
+        return false;
+
+    // Expand the packed upper triangle into a full symmetric matrix.
+    std::array<double, 36> a{};
+    size_t t = 0;
+    for (int r = 0; r < 6; ++r) {
+        for (int c = r; c < 6; ++c, ++t) {
+            a[static_cast<size_t>(r * 6 + c)] = reduction.jtj[t];
+            a[static_cast<size_t>(c * 6 + r)] = reduction.jtj[t];
+        }
+    }
+
+    std::array<double, 6> x{};
+    if (!math::solveLdlt6(a, reduction.jte, x)) {
+        // Rank-deficient system (e.g. point-to-point residuals with
+        // a single correspondence direction): retry with Levenberg
+        // damping, which steps along the observable subspace only.
+        double trace = 0.0;
+        for (int i = 0; i < 6; ++i)
+            trace += a[static_cast<size_t>(i * 7)];
+        bool solved = false;
+        double lambda = std::max(1e-9, 1e-6 * trace);
+        for (int attempt = 0; attempt < 8 && !solved; ++attempt) {
+            std::array<double, 36> damped = a;
+            for (int i = 0; i < 6; ++i)
+                damped[static_cast<size_t>(i * 7)] += lambda;
+            solved = math::solveLdlt6(damped, reduction.jte, x);
+            lambda *= 10.0;
+        }
+        if (!solved)
+            return false;
+    }
+
+    const math::Vec3d v{x[0], x[1], x[2]};
+    const math::Vec3d w{x[3], x[4], x[5]};
+    twist_norm = std::sqrt(v.squaredNorm() + w.squaredNorm());
+
+    const math::Mat4d delta = math::expSe3(v, w);
+    pose = (delta.cast<float>() * pose);
+    return true;
+}
+
+TrackingStats
+icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
+         const support::Image<Vec3f> &ref_vertex,
+         const support::Image<Vec3f> &ref_normal,
+         const math::CameraIntrinsics &ref_intrinsics,
+         const Mat4f &ref_pose, const KFusionConfig &config,
+         WorkCounts &counts, support::ThreadPool *pool,
+         support::Image<TrackData> *final_track_data)
+{
+    TrackingStats stats;
+    if (live.empty())
+        support::panic("icpTrack: empty pyramid");
+
+    const Mat4f old_pose = pose;
+    support::Image<TrackData> track_data;
+    ReductionResult last_reduction;
+    bool have_reduction = false;
+
+    // Coarse-to-fine schedule.
+    for (size_t li = live.size(); li-- > 0;) {
+        const PyramidLevel &level = live[li];
+        const int iterations =
+            config.pyramidIterations[li];
+        for (int iter = 0; iter < iterations; ++iter) {
+            {
+                KernelTimer timer(counts, KernelId::Track);
+                trackKernel(track_data, level.vertex, level.normal,
+                            pose, ref_vertex, ref_normal,
+                            ref_intrinsics, ref_pose,
+                            config.distThreshold,
+                            config.normalThreshold, pool,
+                            config.icpResidual);
+                counts.addItems(
+                    KernelId::Track,
+                    static_cast<double>(level.vertex.size()));
+                counts.addBytes(
+                    KernelId::Track,
+                    static_cast<double>(level.vertex.size()) * 80.0);
+            }
+            ReductionResult reduction;
+            {
+                KernelTimer timer(counts, KernelId::Reduce);
+                reduction = reduceKernel(track_data, pool);
+                counts.addItems(
+                    KernelId::Reduce,
+                    static_cast<double>(track_data.size()));
+                counts.addBytes(
+                    KernelId::Reduce,
+                    static_cast<double>(track_data.size()) * 32.0);
+            }
+            last_reduction = reduction;
+            have_reduction = true;
+            ++stats.iterations;
+
+            double twist_norm = 0.0;
+            bool solved;
+            {
+                KernelTimer timer(counts, KernelId::Solve);
+                solved = updatePose(pose, reduction, twist_norm);
+                counts.addItems(KernelId::Solve, 1.0);
+                counts.addBytes(KernelId::Solve, 512.0);
+            }
+            if (!solved)
+                break;
+            if (twist_norm < config.icpThreshold)
+                break;
+        }
+    }
+
+    if (final_track_data)
+        *final_track_data = track_data;
+
+    if (!have_reduction) {
+        // No iterations configured: keep the prior pose, report it
+        // as tracked so the pipeline can continue (open-loop mode).
+        stats.tracked = true;
+        return stats;
+    }
+
+    stats.inlierFraction =
+        last_reduction.pixelCount
+            ? static_cast<double>(last_reduction.validCount) /
+                  static_cast<double>(last_reduction.pixelCount)
+            : 0.0;
+    stats.rmse =
+        last_reduction.validCount
+            ? std::sqrt(last_reduction.errorSq /
+                        static_cast<double>(last_reduction.validCount))
+            : std::numeric_limits<double>::infinity();
+
+    // Pose acceptance gates (KFusion's checkPoseKernel).
+    if (stats.rmse > config.trackResidualLimit ||
+        stats.inlierFraction < config.trackInlierFraction) {
+        pose = old_pose;
+        stats.tracked = false;
+    } else {
+        stats.tracked = true;
+    }
+    return stats;
+}
+
+} // namespace slambench::kfusion

@@ -1,0 +1,154 @@
+#ifndef SLAMBENCH_KFUSION_TRACKING_HPP
+#define SLAMBENCH_KFUSION_TRACKING_HPP
+
+/**
+ * @file
+ * Frame-to-model ICP camera tracking (point-to-plane), the
+ * KinectFusion tracking stage.
+ *
+ * Each iteration projects the live vertex map into the reference
+ * (raycasted model) view, gates correspondences by distance and
+ * normal agreement, accumulates the 6x6 Gauss-Newton normal
+ * equations, and applies the se(3) twist that solves them.
+ */
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "kfusion/config.hpp"
+#include "kfusion/work_counters.hpp"
+#include "math/camera.hpp"
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+#include "support/image.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slambench::kfusion {
+
+/** Per-pixel correspondence outcome (mirrors KFusion's TrackData). */
+enum class TrackResult : int8_t {
+    Ok = 1,               ///< Valid correspondence found.
+    NoInputVertex = -1,   ///< Live pixel has no depth.
+    ProjectedOutside = -2,///< Projects outside the reference image.
+    NoRefNormal = -3,     ///< Reference pixel has no normal.
+    TooFar = -4,          ///< Distance gate failed.
+    NormalMismatch = -5,  ///< Normal-agreement gate failed.
+};
+
+/** Per-pixel tracking record. */
+struct TrackData
+{
+    TrackResult result = TrackResult::NoInputVertex;
+    float error = 0.0f;          ///< Point-to-plane residual.
+    std::array<float, 6> jacobian{}; ///< d(error)/d(twist).
+};
+
+/** Residual statistics of one ICP solve. */
+struct TrackingStats
+{
+    bool tracked = false;     ///< Pose accepted by the gates.
+    double rmse = 0.0;        ///< RMS point-to-plane residual, meters.
+    double inlierFraction = 0.0; ///< Valid correspondences / pixels.
+    int iterations = 0;       ///< Total ICP iterations executed.
+};
+
+/** Inputs the tracker needs per pyramid level. */
+struct PyramidLevel
+{
+    support::Image<float> depth;
+    support::Image<math::Vec3f> vertex;
+    support::Image<math::Vec3f> normal;
+    math::CameraIntrinsics intrinsics;
+};
+
+/**
+ * Multi-level ICP aligning the live pyramid to the reference model
+ * maps (raycasted vertex/normal at the reference pose).
+ *
+ * @param[in,out] pose Camera-to-world estimate; updated in place.
+ * @param live Pyramid of the current frame (level 0 = finest).
+ * @param ref_vertex Model vertex map (world frame) at level-0 size.
+ * @param ref_normal Model normal map (world frame) at level-0 size.
+ * @param ref_intrinsics Intrinsics of the reference maps.
+ * @param ref_pose Camera-to-world pose the reference maps were
+ *                 raycast from.
+ * @param config Gates, per-level iterations, convergence threshold.
+ * @param[in,out] counts Work accounting (Track/Reduce/Solve).
+ * @param pool Optional worker pool.
+ * @param[out] final_track_data When non-null, receives the per-pixel
+ *             records of the last executed iteration (GUI pane).
+ * @return residual statistics and whether the pose was accepted.
+ */
+TrackingStats icpTrack(math::Mat4f &pose,
+                       const std::vector<PyramidLevel> &live,
+                       const support::Image<math::Vec3f> &ref_vertex,
+                       const support::Image<math::Vec3f> &ref_normal,
+                       const math::CameraIntrinsics &ref_intrinsics,
+                       const math::Mat4f &ref_pose,
+                       const KFusionConfig &config, WorkCounts &counts,
+                       support::ThreadPool *pool,
+                       support::Image<TrackData> *final_track_data =
+                           nullptr);
+
+/**
+ * One correspondence+residual evaluation over a full image (exposed
+ * separately for unit tests and the point-to-point ablation).
+ *
+ * @param[out] track_data Per-pixel records, sized like live_vertex.
+ * @param live_vertex Live vertex map (camera frame).
+ * @param live_normal Live normal map (camera frame).
+ * @param pose Current camera-to-world estimate.
+ * @param ref_vertex Reference vertex map (world frame).
+ * @param ref_normal Reference normal map (world frame).
+ * @param ref_intrinsics Intrinsics of the reference maps.
+ * @param ref_pose Reference camera pose (camera-to-world).
+ * @param dist_threshold Distance gate, meters.
+ * @param normal_threshold Normal-agreement gate, cosine.
+ * @param pool Optional worker pool.
+ * @param residual Residual formulation: point-to-plane projects the
+ *                 correspondence difference onto the reference
+ *                 normal; point-to-point projects it onto its own
+ *                 direction (classic ICP distance, linearized).
+ */
+void trackKernel(support::Image<TrackData> &track_data,
+                 const support::Image<math::Vec3f> &live_vertex,
+                 const support::Image<math::Vec3f> &live_normal,
+                 const math::Mat4f &pose,
+                 const support::Image<math::Vec3f> &ref_vertex,
+                 const support::Image<math::Vec3f> &ref_normal,
+                 const math::CameraIntrinsics &ref_intrinsics,
+                 const math::Mat4f &ref_pose, float dist_threshold,
+                 float normal_threshold, support::ThreadPool *pool,
+                 IcpResidual residual = IcpResidual::PointToPlane);
+
+/** Reduction output: J^T J (upper triangle), J^T e, error, count. */
+struct ReductionResult
+{
+    std::array<double, 21> jtj{}; ///< Upper triangle, row-major.
+    std::array<double, 6> jte{};
+    double errorSq = 0.0;
+    size_t validCount = 0;
+    size_t pixelCount = 0;
+};
+
+/**
+ * Sum the normal equations over all valid pixels of @p track_data.
+ */
+ReductionResult reduceKernel(const support::Image<TrackData> &track_data,
+                             support::ThreadPool *pool);
+
+/**
+ * Solve the reduced system and left-multiply the pose by exp(twist).
+ *
+ * @param[in,out] pose Camera-to-world estimate.
+ * @param reduction Accumulated normal equations.
+ * @param[out] twist_norm Norm of the applied twist.
+ * @return false when the system was singular (pose unchanged).
+ */
+bool updatePose(math::Mat4f &pose, const ReductionResult &reduction,
+                double &twist_norm);
+
+} // namespace slambench::kfusion
+
+#endif // SLAMBENCH_KFUSION_TRACKING_HPP

@@ -1,0 +1,174 @@
+#include "kfusion/volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace slambench::kfusion {
+
+TsdfVolume::TsdfVolume(int resolution, float size_m, const Vec3f &origin)
+    : resolution_(resolution), size_(size_m), origin_(origin)
+{
+    if (resolution < 8)
+        support::fatal("TsdfVolume: resolution must be >= 8");
+    if (!(size_m > 0.0f))
+        support::fatal("TsdfVolume: size must be positive");
+    voxels_.assign(static_cast<size_t>(resolution) * resolution *
+                       resolution,
+                   Voxel{});
+}
+
+void
+TsdfVolume::reset()
+{
+    std::fill(voxels_.begin(), voxels_.end(), Voxel{});
+}
+
+bool
+TsdfVolume::contains(const Vec3f &p) const
+{
+    const Vec3f local = p - origin_;
+    return local.x >= 0.0f && local.y >= 0.0f && local.z >= 0.0f &&
+           local.x < size_ && local.y < size_ && local.z < size_;
+}
+
+float
+TsdfVolume::interp(const Vec3f &p, bool &valid) const
+{
+    const float vs = voxelSize();
+    // Shift by half a voxel so samples are taken at voxel centers.
+    const Vec3f local = (p - origin_) * (1.0f / vs) -
+                        Vec3f{0.5f, 0.5f, 0.5f};
+    const int x0 = static_cast<int>(std::floor(local.x));
+    const int y0 = static_cast<int>(std::floor(local.y));
+    const int z0 = static_cast<int>(std::floor(local.z));
+    if (x0 < 0 || y0 < 0 || z0 < 0 || x0 + 1 >= resolution_ ||
+        y0 + 1 >= resolution_ || z0 + 1 >= resolution_) {
+        valid = false;
+        return 1.0f;
+    }
+    const float fx = local.x - x0;
+    const float fy = local.y - y0;
+    const float fz = local.z - z0;
+
+    // Unobserved voxels contribute their initial value (+1, free
+    // space), exactly as the original KinectFusion interpolation
+    // does; the sample is only invalid when *nothing* under the
+    // stencil has ever been observed.
+    float value = 0.0f;
+    bool any_observed = false;
+    for (int dz = 0; dz < 2; ++dz) {
+        for (int dy = 0; dy < 2; ++dy) {
+            for (int dx = 0; dx < 2; ++dx) {
+                const Voxel &v = at(x0 + dx, y0 + dy, z0 + dz);
+                any_observed |= v.weight > 0.0f;
+                const float wx = dx ? fx : 1.0f - fx;
+                const float wy = dy ? fy : 1.0f - fy;
+                const float wz = dz ? fz : 1.0f - fz;
+                value += v.tsdf * wx * wy * wz;
+            }
+        }
+    }
+    valid = any_observed;
+    return any_observed ? value : 1.0f;
+}
+
+Vec3f
+TsdfVolume::grad(const Vec3f &p) const
+{
+    const float step = voxelSize();
+    // Each central difference needs at least one of its two samples
+    // observed; unobserved samples read as +1 (free space), matching
+    // the interpolation convention above.
+    bool ok_p, ok_m;
+    const float xp = interp({p.x + step, p.y, p.z}, ok_p);
+    const float xm = interp({p.x - step, p.y, p.z}, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float yp = interp({p.x, p.y + step, p.z}, ok_p);
+    const float ym = interp({p.x, p.y - step, p.z}, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float zp = interp({p.x, p.y, p.z + step}, ok_p);
+    const float zm = interp({p.x, p.y, p.z - step}, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    return {xp - xm, yp - ym, zp - zm};
+}
+
+void
+TsdfVolume::integrate(const support::Image<float> &depth,
+                      const CameraIntrinsics &intrinsics,
+                      const Mat4f &camera_to_world, float mu,
+                      float max_weight, WorkCounts &counts,
+                      support::ThreadPool *pool)
+{
+    KernelTimer timer(counts, KernelId::Integrate);
+    const Mat4f world_to_camera = camera_to_world.rigidInverse();
+    const float vs = voxelSize();
+    const int res = resolution_;
+    const float inv_mu = 1.0f / mu;
+
+    // March along voxel columns: for fixed (x, y) the camera-frame
+    // position is affine in z, so compute it incrementally (this is
+    // the same strategy the CUDA kernel uses per thread).
+    auto process_column_range = [&](size_t begin, size_t end) {
+        for (size_t xy = begin; xy < end; ++xy) {
+            const int x = static_cast<int>(xy) % res;
+            const int y = static_cast<int>(xy) / res;
+            Vec3f pos = world_to_camera.transformPoint(
+                voxelCenter(x, y, 0));
+            const Vec3f step =
+                world_to_camera.transformDir({0.0f, 0.0f, vs});
+            for (int z = 0; z < res; ++z, pos += step) {
+                if (pos.z <= 0.001f)
+                    continue;
+                const math::Vec2f pix = intrinsics.project(pos);
+                const int px = static_cast<int>(pix.x);
+                const int py = static_cast<int>(pix.y);
+                if (px < 0 || py < 0 ||
+                    px >= static_cast<int>(depth.width()) ||
+                    py >= static_cast<int>(depth.height()))
+                    continue;
+                const float measured =
+                    depth(static_cast<size_t>(px),
+                          static_cast<size_t>(py));
+                if (measured <= 0.0f)
+                    continue;
+                // Scale the depth difference to distance along the
+                // ray (KinectFusion's lambda correction).
+                const float lambda = std::sqrt(
+                    1.0f +
+                    ((pix.x - intrinsics.cx) / intrinsics.fx) *
+                        ((pix.x - intrinsics.cx) / intrinsics.fx) +
+                    ((pix.y - intrinsics.cy) / intrinsics.fy) *
+                        ((pix.y - intrinsics.cy) / intrinsics.fy));
+                const float sdf = (measured - pos.z) * lambda;
+                if (sdf < -mu)
+                    continue; // occluded: behind the surface band
+                const float tsdf =
+                    std::min(1.0f, sdf * inv_mu);
+                Voxel &v = at(x, y, z);
+                const float w = v.weight;
+                v.tsdf = (v.tsdf * w + tsdf) / (w + 1.0f);
+                v.weight = std::min(w + 1.0f, max_weight);
+            }
+        }
+    };
+
+    const size_t columns = static_cast<size_t>(res) * res;
+    if (pool) {
+        pool->parallelForChunked(0, columns, process_column_range);
+    } else {
+        process_column_range(0, columns);
+    }
+
+    // Work unit: voxel-column steps (res^3 voxel visits).
+    counts.addItems(KernelId::Integrate,
+                    static_cast<double>(columns) * res);
+    counts.addBytes(KernelId::Integrate,
+                    static_cast<double>(columns) * res * 16.0);
+}
+
+} // namespace slambench::kfusion

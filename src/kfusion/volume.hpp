@@ -1,0 +1,146 @@
+#ifndef SLAMBENCH_KFUSION_VOLUME_HPP
+#define SLAMBENCH_KFUSION_VOLUME_HPP
+
+/**
+ * @file
+ * Truncated signed distance function (TSDF) volume and depth-map
+ * fusion, the map representation of KinectFusion.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "kfusion/work_counters.hpp"
+#include "math/camera.hpp"
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+#include "support/image.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slambench::kfusion {
+
+using math::CameraIntrinsics;
+using math::Mat4f;
+using math::Vec3f;
+using math::Vec3i;
+
+/** One voxel: truncated SDF value in [-1, 1] and fusion weight. */
+struct Voxel
+{
+    float tsdf = 1.0f;
+    float weight = 0.0f;
+};
+
+/**
+ * Cubic, uniform TSDF volume positioned in world space.
+ *
+ * Values are normalized: tsdf = clamp(signed_distance / mu, -1, 1).
+ * A weight of 0 marks never-observed voxels.
+ */
+class TsdfVolume
+{
+  public:
+    /**
+     * @param resolution Voxels per edge (>= 8).
+     * @param size_m Edge length in meters.
+     * @param origin World position of the minimum corner.
+     */
+    TsdfVolume(int resolution, float size_m, const Vec3f &origin);
+
+    /** @return voxels per edge. */
+    int resolution() const { return resolution_; }
+    /** @return edge length, meters. */
+    float size() const { return size_; }
+    /** @return world position of the minimum corner. */
+    const Vec3f &origin() const { return origin_; }
+    /** @return voxel edge length, meters. */
+    float voxelSize() const { return size_ / resolution_; }
+
+    /** Reset every voxel to unobserved. */
+    void reset();
+
+    /** Unchecked voxel access. */
+    Voxel &
+    at(int x, int y, int z)
+    {
+        return voxels_[index(x, y, z)];
+    }
+
+    /** Unchecked voxel access. */
+    const Voxel &
+    at(int x, int y, int z) const
+    {
+        return voxels_[index(x, y, z)];
+    }
+
+    /** @return world position of the center of voxel (x, y, z). */
+    Vec3f
+    voxelCenter(int x, int y, int z) const
+    {
+        const float vs = voxelSize();
+        return origin_ + Vec3f{(x + 0.5f) * vs, (y + 0.5f) * vs,
+                               (z + 0.5f) * vs};
+    }
+
+    /** @return true when @p p (world) lies inside the volume. */
+    bool contains(const Vec3f &p) const;
+
+    /**
+     * Trilinearly interpolated TSDF at world point @p p.
+     *
+     * @param p World-space point; should lie inside the volume.
+     * @param[out] valid Set false when any contributing voxel is
+     *                   unobserved or @p p is outside.
+     * @return interpolated normalized TSDF (1 when invalid).
+     */
+    float interp(const Vec3f &p, bool &valid) const;
+
+    /**
+     * TSDF gradient (surface normal direction) at world point @p p
+     * via central differences of interp().
+     *
+     * @param p World-space point near the surface.
+     * @return unnormalized gradient; zero when samples are invalid.
+     */
+    Vec3f grad(const Vec3f &p) const;
+
+    /**
+     * Fuse one metric depth map into the volume (KinectFusion
+     * integration step).
+     *
+     * @param depth Metric depth image; 0 marks invalid pixels.
+     * @param intrinsics Intrinsics of @p depth.
+     * @param camera_to_world Camera pose of the depth map.
+     * @param mu Truncation band, meters.
+     * @param max_weight Weight saturation bound.
+     * @param[in,out] counts Work accounting (Integrate kernel).
+     * @param pool Optional worker pool.
+     */
+    void integrate(const support::Image<float> &depth,
+                   const CameraIntrinsics &intrinsics,
+                   const Mat4f &camera_to_world, float mu,
+                   float max_weight, WorkCounts &counts,
+                   support::ThreadPool *pool);
+
+    /** @return total voxel count (resolution^3). */
+    size_t voxelCount() const { return voxels_.size(); }
+
+  private:
+    size_t
+    index(int x, int y, int z) const
+    {
+        return (static_cast<size_t>(z) * resolution_ +
+                static_cast<size_t>(y)) *
+                   resolution_ +
+               static_cast<size_t>(x);
+    }
+
+    int resolution_;
+    float size_;
+    Vec3f origin_;
+    std::vector<Voxel> voxels_;
+};
+
+} // namespace slambench::kfusion
+
+#endif // SLAMBENCH_KFUSION_VOLUME_HPP

@@ -1,0 +1,43 @@
+#include "kfusion/work_counters.hpp"
+
+namespace slambench::kfusion {
+
+const char *
+kernelName(KernelId id)
+{
+    switch (id) {
+      case KernelId::Mm2Meters: return "mm2meters";
+      case KernelId::BilateralFilter: return "bilateral_filter";
+      case KernelId::HalfSample: return "half_sample";
+      case KernelId::Depth2Vertex: return "depth2vertex";
+      case KernelId::Vertex2Normal: return "vertex2normal";
+      case KernelId::Track: return "track";
+      case KernelId::Reduce: return "reduce";
+      case KernelId::Solve: return "solve";
+      case KernelId::Integrate: return "integrate";
+      case KernelId::Raycast: return "raycast";
+      case KernelId::RenderVolume: return "render_volume";
+      case KernelId::Count: break;
+    }
+    return "unknown";
+}
+
+double
+WorkCounts::totalHostSeconds() const
+{
+    double total = 0.0;
+    for (double s : hostSeconds)
+        total += s;
+    return total;
+}
+
+double
+WorkCounts::totalItems() const
+{
+    double total = 0.0;
+    for (double n : items)
+        total += n;
+    return total;
+}
+
+} // namespace slambench::kfusion

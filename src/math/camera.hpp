@@ -1,0 +1,108 @@
+#ifndef SLAMBENCH_MATH_CAMERA_HPP
+#define SLAMBENCH_MATH_CAMERA_HPP
+
+/**
+ * @file
+ * Pinhole camera intrinsics with projection/back-projection.
+ *
+ * Convention: camera frame has +Z forward along the optical axis,
+ * +X right, +Y down; pixel (0, 0) is the top-left corner and pixel
+ * centers sit at integer + 0.5 offsets (so fx/fy/cx/cy follow the
+ * usual computer-vision definition).
+ */
+
+#include <cmath>
+#include <cstddef>
+
+#include "math/vec.hpp"
+
+namespace slambench::math {
+
+/** Pinhole intrinsics (no distortion, as in ICL-NUIM / SLAMBench). */
+struct CameraIntrinsics
+{
+    float fx = 0.0f; ///< Focal length in pixels, horizontal.
+    float fy = 0.0f; ///< Focal length in pixels, vertical.
+    float cx = 0.0f; ///< Principal point x, pixels.
+    float cy = 0.0f; ///< Principal point y, pixels.
+    size_t width = 0;  ///< Image width in pixels.
+    size_t height = 0; ///< Image height in pixels.
+
+    /**
+     * Intrinsics with a given horizontal field of view.
+     *
+     * @param width Image width in pixels.
+     * @param height Image height in pixels.
+     * @param hfov_rad Horizontal field of view in radians.
+     */
+    static CameraIntrinsics
+    fromFov(size_t width, size_t height, float hfov_rad)
+    {
+        CameraIntrinsics k;
+        k.width = width;
+        k.height = height;
+        k.fx = static_cast<float>(width) /
+               (2.0f * std::tan(hfov_rad / 2.0f));
+        k.fy = k.fx;
+        k.cx = static_cast<float>(width) / 2.0f;
+        k.cy = static_cast<float>(height) / 2.0f;
+        return k;
+    }
+
+    /**
+     * Intrinsics for an image downscaled by an integer @p ratio;
+     * used to implement the compute-size-ratio parameter.
+     */
+    CameraIntrinsics
+    scaled(size_t ratio) const
+    {
+        CameraIntrinsics k;
+        const float r = static_cast<float>(ratio);
+        k.width = width / ratio;
+        k.height = height / ratio;
+        k.fx = fx / r;
+        k.fy = fy / r;
+        k.cx = cx / r;
+        k.cy = cy / r;
+        return k;
+    }
+
+    /**
+     * Project a camera-frame point to pixel coordinates.
+     *
+     * @param p Point with p.z > 0.
+     * @return (u, v) in pixels.
+     */
+    Vec2f
+    project(const Vec3f &p) const
+    {
+        return {fx * p.x / p.z + cx, fy * p.y / p.z + cy};
+    }
+
+    /**
+     * Back-project pixel (u, v) at depth @p depth into the camera
+     * frame.
+     *
+     * @param u Pixel column (may be fractional).
+     * @param v Pixel row (may be fractional).
+     * @param depth Z coordinate along the optical axis, meters.
+     */
+    Vec3f
+    backProject(float u, float v, float depth) const
+    {
+        return {(u - cx) / fx * depth, (v - cy) / fy * depth, depth};
+    }
+
+    /**
+     * Unit ray direction through pixel (u, v) in the camera frame.
+     */
+    Vec3f
+    rayDir(float u, float v) const
+    {
+        return Vec3f{(u - cx) / fx, (v - cy) / fy, 1.0f}.normalized();
+    }
+};
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_CAMERA_HPP

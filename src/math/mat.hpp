@@ -1,0 +1,300 @@
+#ifndef SLAMBENCH_MATH_MAT_HPP
+#define SLAMBENCH_MATH_MAT_HPP
+
+/**
+ * @file
+ * Small dense matrices: 3x3 rotations/covariances and 4x4 rigid-body
+ * transforms, row-major.
+ */
+
+#include <cmath>
+#include <cstddef>
+
+#include "math/vec.hpp"
+
+namespace slambench::math {
+
+/** Row-major 3x3 matrix. */
+template <typename T>
+struct Mat3
+{
+    T m[3][3] = {{T(1), T(0), T(0)},
+                 {T(0), T(1), T(0)},
+                 {T(0), T(0), T(1)}};
+
+    constexpr Mat3() = default;
+
+    /** @return the identity matrix. */
+    static constexpr Mat3 identity() { return Mat3(); }
+
+    /** @return the all-zero matrix. */
+    static constexpr Mat3
+    zero()
+    {
+        Mat3 z;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                z.m[r][c] = T(0);
+        return z;
+    }
+
+    /** Build from three row vectors. */
+    static constexpr Mat3
+    fromRows(const Vec3<T> &r0, const Vec3<T> &r1, const Vec3<T> &r2)
+    {
+        Mat3 a;
+        a.m[0][0] = r0.x; a.m[0][1] = r0.y; a.m[0][2] = r0.z;
+        a.m[1][0] = r1.x; a.m[1][1] = r1.y; a.m[1][2] = r1.z;
+        a.m[2][0] = r2.x; a.m[2][1] = r2.y; a.m[2][2] = r2.z;
+        return a;
+    }
+
+    /** Build from three column vectors. */
+    static constexpr Mat3
+    fromCols(const Vec3<T> &c0, const Vec3<T> &c1, const Vec3<T> &c2)
+    {
+        Mat3 a;
+        a.m[0][0] = c0.x; a.m[0][1] = c1.x; a.m[0][2] = c2.x;
+        a.m[1][0] = c0.y; a.m[1][1] = c1.y; a.m[1][2] = c2.y;
+        a.m[2][0] = c0.z; a.m[2][1] = c1.z; a.m[2][2] = c2.z;
+        return a;
+    }
+
+    /** Skew-symmetric cross-product matrix of @p v. */
+    static constexpr Mat3
+    skew(const Vec3<T> &v)
+    {
+        Mat3 a = zero();
+        a.m[0][1] = -v.z; a.m[0][2] = v.y;
+        a.m[1][0] = v.z;  a.m[1][2] = -v.x;
+        a.m[2][0] = -v.y; a.m[2][1] = v.x;
+        return a;
+    }
+
+    constexpr T &operator()(size_t r, size_t c) { return m[r][c]; }
+    constexpr const T &operator()(size_t r, size_t c) const { return m[r][c]; }
+
+    constexpr Vec3<T> row(size_t r) const { return {m[r][0], m[r][1], m[r][2]}; }
+    constexpr Vec3<T> col(size_t c) const { return {m[0][c], m[1][c], m[2][c]}; }
+
+    constexpr Vec3<T>
+    operator*(const Vec3<T> &v) const
+    {
+        return {row(0).dot(v), row(1).dot(v), row(2).dot(v)};
+    }
+
+    constexpr Mat3
+    operator*(const Mat3 &o) const
+    {
+        Mat3 out = zero();
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                for (int k = 0; k < 3; ++k)
+                    out.m[r][c] += m[r][k] * o.m[k][c];
+        return out;
+    }
+
+    constexpr Mat3
+    operator+(const Mat3 &o) const
+    {
+        Mat3 out;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                out.m[r][c] = m[r][c] + o.m[r][c];
+        return out;
+    }
+
+    constexpr Mat3
+    operator*(T s) const
+    {
+        Mat3 out;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                out.m[r][c] = m[r][c] * s;
+        return out;
+    }
+
+    constexpr Mat3
+    transposed() const
+    {
+        Mat3 t;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                t.m[r][c] = m[c][r];
+        return t;
+    }
+
+    constexpr T
+    trace() const
+    {
+        return m[0][0] + m[1][1] + m[2][2];
+    }
+
+    constexpr T
+    determinant() const
+    {
+        return m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1]) -
+               m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0]) +
+               m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+    }
+
+    /**
+     * Matrix inverse via the adjugate. The caller must ensure the
+     * matrix is nonsingular (rotations always are).
+     */
+    constexpr Mat3
+    inverse() const
+    {
+        const T det = determinant();
+        const T inv_det = T(1) / det;
+        Mat3 inv;
+        inv.m[0][0] = (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det;
+        inv.m[0][1] = (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det;
+        inv.m[0][2] = (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det;
+        inv.m[1][0] = (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det;
+        inv.m[1][1] = (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det;
+        inv.m[1][2] = (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det;
+        inv.m[2][0] = (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det;
+        inv.m[2][1] = (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det;
+        inv.m[2][2] = (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det;
+        return inv;
+    }
+
+    template <typename U>
+    constexpr Mat3<U>
+    cast() const
+    {
+        Mat3<U> out;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                out.m[r][c] = static_cast<U>(m[r][c]);
+        return out;
+    }
+};
+
+/**
+ * Row-major 4x4 matrix, used as a rigid-body (or projective) transform.
+ */
+template <typename T>
+struct Mat4
+{
+    T m[4][4] = {{T(1), T(0), T(0), T(0)},
+                 {T(0), T(1), T(0), T(0)},
+                 {T(0), T(0), T(1), T(0)},
+                 {T(0), T(0), T(0), T(1)}};
+
+    constexpr Mat4() = default;
+
+    static constexpr Mat4 identity() { return Mat4(); }
+
+    /** Compose from rotation block and translation column. */
+    static constexpr Mat4
+    fromRt(const Mat3<T> &rot, const Vec3<T> &t)
+    {
+        Mat4 a;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                a.m[r][c] = rot.m[r][c];
+        a.m[0][3] = t.x;
+        a.m[1][3] = t.y;
+        a.m[2][3] = t.z;
+        return a;
+    }
+
+    /** Pure-translation transform. */
+    static constexpr Mat4
+    translation(const Vec3<T> &t)
+    {
+        return fromRt(Mat3<T>::identity(), t);
+    }
+
+    constexpr T &operator()(size_t r, size_t c) { return m[r][c]; }
+    constexpr const T &operator()(size_t r, size_t c) const { return m[r][c]; }
+
+    /** Upper-left 3x3 block. */
+    constexpr Mat3<T>
+    rotation() const
+    {
+        Mat3<T> rot;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                rot.m[r][c] = m[r][c];
+        return rot;
+    }
+
+    /** Last column's first three entries. */
+    constexpr Vec3<T>
+    translationPart() const
+    {
+        return {m[0][3], m[1][3], m[2][3]};
+    }
+
+    /** Transform a point (applies rotation and translation). */
+    constexpr Vec3<T>
+    transformPoint(const Vec3<T> &p) const
+    {
+        return {
+            m[0][0] * p.x + m[0][1] * p.y + m[0][2] * p.z + m[0][3],
+            m[1][0] * p.x + m[1][1] * p.y + m[1][2] * p.z + m[1][3],
+            m[2][0] * p.x + m[2][1] * p.y + m[2][2] * p.z + m[2][3],
+        };
+    }
+
+    /** Transform a direction (rotation only). */
+    constexpr Vec3<T>
+    transformDir(const Vec3<T> &d) const
+    {
+        return {
+            m[0][0] * d.x + m[0][1] * d.y + m[0][2] * d.z,
+            m[1][0] * d.x + m[1][1] * d.y + m[1][2] * d.z,
+            m[2][0] * d.x + m[2][1] * d.y + m[2][2] * d.z,
+        };
+    }
+
+    constexpr Mat4
+    operator*(const Mat4 &o) const
+    {
+        Mat4 out;
+        for (int r = 0; r < 4; ++r) {
+            for (int c = 0; c < 4; ++c) {
+                T acc = T(0);
+                for (int k = 0; k < 4; ++k)
+                    acc += m[r][k] * o.m[k][c];
+                out.m[r][c] = acc;
+            }
+        }
+        return out;
+    }
+
+    /**
+     * Inverse assuming this is a rigid transform (orthonormal rotation
+     * block plus translation); O(1) and exact up to rounding.
+     */
+    constexpr Mat4
+    rigidInverse() const
+    {
+        const Mat3<T> rt = rotation().transposed();
+        const Vec3<T> t = translationPart();
+        return fromRt(rt, -(rt * t));
+    }
+
+    template <typename U>
+    constexpr Mat4<U>
+    cast() const
+    {
+        Mat4<U> out;
+        for (int r = 0; r < 4; ++r)
+            for (int c = 0; c < 4; ++c)
+                out.m[r][c] = static_cast<U>(m[r][c]);
+        return out;
+    }
+};
+
+using Mat3f = Mat3<float>;
+using Mat3d = Mat3<double>;
+using Mat4f = Mat4<float>;
+using Mat4d = Mat4<double>;
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_MAT_HPP

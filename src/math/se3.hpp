@@ -1,0 +1,330 @@
+#ifndef SLAMBENCH_MATH_SE3_HPP
+#define SLAMBENCH_MATH_SE3_HPP
+
+/**
+ * @file
+ * Rotations and rigid-body transforms: quaternions, axis-angle,
+ * so(3)/se(3) exponential and logarithm maps, and camera look-at.
+ *
+ * The ICP solver updates poses with se(3) twists; the trajectory
+ * generator interpolates ground-truth poses with quaternion slerp.
+ */
+
+#include <cmath>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace slambench::math {
+
+/** Unit quaternion (w, x, y, z) representing a rotation. */
+template <typename T>
+struct Quat
+{
+    T w = T(1);
+    T x = T(0);
+    T y = T(0);
+    T z = T(0);
+
+    constexpr Quat() = default;
+    constexpr Quat(T w_, T x_, T y_, T z_) : w(w_), x(x_), y(y_), z(z_) {}
+
+    constexpr T
+    dot(const Quat &o) const
+    {
+        return w * o.w + x * o.x + y * o.y + z * o.z;
+    }
+
+    T norm() const { return std::sqrt(dot(*this)); }
+
+    Quat
+    normalized() const
+    {
+        const T n = norm();
+        if (n <= T(0))
+            return Quat();
+        return {w / n, x / n, y / n, z / n};
+    }
+
+    constexpr Quat conjugate() const { return {w, -x, -y, -z}; }
+
+    constexpr Quat
+    operator*(const Quat &o) const
+    {
+        return {
+            w * o.w - x * o.x - y * o.y - z * o.z,
+            w * o.x + x * o.w + y * o.z - z * o.y,
+            w * o.y - x * o.z + y * o.w + z * o.x,
+            w * o.z + x * o.y - y * o.x + z * o.w,
+        };
+    }
+
+    /** Rotation matrix of this (assumed unit) quaternion. */
+    Mat3<T>
+    toMatrix() const
+    {
+        Mat3<T> r;
+        const T xx = x * x, yy = y * y, zz = z * z;
+        const T xy = x * y, xz = x * z, yz = y * z;
+        const T wx = w * x, wy = w * y, wz = w * z;
+        r(0, 0) = T(1) - T(2) * (yy + zz);
+        r(0, 1) = T(2) * (xy - wz);
+        r(0, 2) = T(2) * (xz + wy);
+        r(1, 0) = T(2) * (xy + wz);
+        r(1, 1) = T(1) - T(2) * (xx + zz);
+        r(1, 2) = T(2) * (yz - wx);
+        r(2, 0) = T(2) * (xz - wy);
+        r(2, 1) = T(2) * (yz + wx);
+        r(2, 2) = T(1) - T(2) * (xx + yy);
+        return r;
+    }
+
+    /** Quaternion of the rotation matrix @p r (Shepperd's method). */
+    static Quat
+    fromMatrix(const Mat3<T> &r)
+    {
+        Quat q;
+        const T tr = r.trace();
+        if (tr > T(0)) {
+            const T s = std::sqrt(tr + T(1)) * T(2);
+            q.w = s / T(4);
+            q.x = (r(2, 1) - r(1, 2)) / s;
+            q.y = (r(0, 2) - r(2, 0)) / s;
+            q.z = (r(1, 0) - r(0, 1)) / s;
+        } else if (r(0, 0) > r(1, 1) && r(0, 0) > r(2, 2)) {
+            const T s =
+                std::sqrt(T(1) + r(0, 0) - r(1, 1) - r(2, 2)) * T(2);
+            q.w = (r(2, 1) - r(1, 2)) / s;
+            q.x = s / T(4);
+            q.y = (r(0, 1) + r(1, 0)) / s;
+            q.z = (r(0, 2) + r(2, 0)) / s;
+        } else if (r(1, 1) > r(2, 2)) {
+            const T s =
+                std::sqrt(T(1) + r(1, 1) - r(0, 0) - r(2, 2)) * T(2);
+            q.w = (r(0, 2) - r(2, 0)) / s;
+            q.x = (r(0, 1) + r(1, 0)) / s;
+            q.y = s / T(4);
+            q.z = (r(1, 2) + r(2, 1)) / s;
+        } else {
+            const T s =
+                std::sqrt(T(1) + r(2, 2) - r(0, 0) - r(1, 1)) * T(2);
+            q.w = (r(1, 0) - r(0, 1)) / s;
+            q.x = (r(0, 2) + r(2, 0)) / s;
+            q.y = (r(1, 2) + r(2, 1)) / s;
+            q.z = s / T(4);
+        }
+        return q.normalized();
+    }
+
+    /** Rotation of angle |axis*angle| around @p axis (unit). */
+    static Quat
+    fromAxisAngle(const Vec3<T> &axis, T angle)
+    {
+        const T half = angle / T(2);
+        const T s = std::sin(half);
+        const Vec3<T> a = axis.normalized();
+        return {std::cos(half), a.x * s, a.y * s, a.z * s};
+    }
+};
+
+/**
+ * Spherical linear interpolation between unit quaternions.
+ *
+ * @param a Start rotation (t = 0).
+ * @param b End rotation (t = 1).
+ * @param t Interpolation parameter; not clamped.
+ */
+template <typename T>
+Quat<T>
+slerp(const Quat<T> &a, Quat<T> b, T t)
+{
+    T cos_theta = a.dot(b);
+    if (cos_theta < T(0)) {
+        // Take the short arc.
+        b = {-b.w, -b.x, -b.y, -b.z};
+        cos_theta = -cos_theta;
+    }
+    if (cos_theta > T(0.9995)) {
+        // Nearly parallel: fall back to nlerp.
+        Quat<T> out{a.w + (b.w - a.w) * t, a.x + (b.x - a.x) * t,
+                    a.y + (b.y - a.y) * t, a.z + (b.z - a.z) * t};
+        return out.normalized();
+    }
+    const T theta = std::acos(cos_theta);
+    const T sin_theta = std::sin(theta);
+    const T wa = std::sin((T(1) - t) * theta) / sin_theta;
+    const T wb = std::sin(t * theta) / sin_theta;
+    return Quat<T>{wa * a.w + wb * b.w, wa * a.x + wb * b.x,
+                   wa * a.y + wb * b.y, wa * a.z + wb * b.z}
+        .normalized();
+}
+
+/** Rotation about the X axis by @p angle radians. */
+template <typename T>
+Mat3<T>
+rotationX(T angle)
+{
+    const T c = std::cos(angle), s = std::sin(angle);
+    Mat3<T> r;
+    r(1, 1) = c; r(1, 2) = -s;
+    r(2, 1) = s; r(2, 2) = c;
+    return r;
+}
+
+/** Rotation about the Y axis by @p angle radians. */
+template <typename T>
+Mat3<T>
+rotationY(T angle)
+{
+    const T c = std::cos(angle), s = std::sin(angle);
+    Mat3<T> r;
+    r(0, 0) = c;  r(0, 2) = s;
+    r(2, 0) = -s; r(2, 2) = c;
+    return r;
+}
+
+/** Rotation about the Z axis by @p angle radians. */
+template <typename T>
+Mat3<T>
+rotationZ(T angle)
+{
+    const T c = std::cos(angle), s = std::sin(angle);
+    Mat3<T> r;
+    r(0, 0) = c; r(0, 1) = -s;
+    r(1, 0) = s; r(1, 1) = c;
+    return r;
+}
+
+/** so(3) exponential: rotation matrix of the rotation vector @p w. */
+template <typename T>
+Mat3<T>
+expSo3(const Vec3<T> &w)
+{
+    const T theta = w.norm();
+    const Mat3<T> wx = Mat3<T>::skew(w);
+    if (theta < T(1e-8)) {
+        // Second-order Taylor expansion near the identity.
+        return Mat3<T>::identity() + wx + wx * wx * T(0.5);
+    }
+    const T a = std::sin(theta) / theta;
+    const T b = (T(1) - std::cos(theta)) / (theta * theta);
+    return Mat3<T>::identity() + wx * a + wx * wx * b;
+}
+
+/** so(3) logarithm: rotation vector of the rotation matrix @p r. */
+template <typename T>
+Vec3<T>
+logSo3(const Mat3<T> &r)
+{
+    const T cos_theta =
+        std::max(T(-1), std::min(T(1), (r.trace() - T(1)) / T(2)));
+    const T theta = std::acos(cos_theta);
+    const Vec3<T> axis_raw{r(2, 1) - r(1, 2), r(0, 2) - r(2, 0),
+                           r(1, 0) - r(0, 1)};
+    if (theta < T(1e-8))
+        return axis_raw * T(0.5);
+    if (theta > T(M_PI) - T(1e-5)) {
+        // Near pi the off-diagonal formula degenerates; recover the
+        // axis from the diagonal of R = I + 2*sin^2(theta/2)*(aa^T - I).
+        Vec3<T> axis;
+        axis.x = std::sqrt(std::max(T(0), (r(0, 0) + T(1)) / T(2)));
+        axis.y = std::sqrt(std::max(T(0), (r(1, 1) + T(1)) / T(2)));
+        axis.z = std::sqrt(std::max(T(0), (r(2, 2) + T(1)) / T(2)));
+        // Fix signs using the largest component.
+        if (axis.x >= axis.y && axis.x >= axis.z) {
+            if (r(0, 1) + r(1, 0) < T(0)) axis.y = -axis.y;
+            if (r(0, 2) + r(2, 0) < T(0)) axis.z = -axis.z;
+        } else if (axis.y >= axis.z) {
+            if (r(0, 1) + r(1, 0) < T(0)) axis.x = -axis.x;
+            if (r(1, 2) + r(2, 1) < T(0)) axis.z = -axis.z;
+        } else {
+            if (r(0, 2) + r(2, 0) < T(0)) axis.x = -axis.x;
+            if (r(1, 2) + r(2, 1) < T(0)) axis.y = -axis.y;
+        }
+        return axis.normalized() * theta;
+    }
+    return axis_raw * (theta / (T(2) * std::sin(theta)));
+}
+
+/**
+ * se(3) exponential.
+ *
+ * @param v Translational part of the twist.
+ * @param w Rotational part of the twist.
+ * @return the rigid transform exp([w]x, v).
+ */
+template <typename T>
+Mat4<T>
+expSe3(const Vec3<T> &v, const Vec3<T> &w)
+{
+    const T theta = w.norm();
+    const Mat3<T> rot = expSo3(w);
+    Mat3<T> jl; // left Jacobian of SO(3)
+    const Mat3<T> wx = Mat3<T>::skew(w);
+    if (theta < T(1e-8)) {
+        jl = Mat3<T>::identity() + wx * T(0.5);
+    } else {
+        const T t2 = theta * theta;
+        const T b = (T(1) - std::cos(theta)) / t2;
+        const T c = (theta - std::sin(theta)) / (t2 * theta);
+        jl = Mat3<T>::identity() + wx * b + wx * wx * c;
+    }
+    return Mat4<T>::fromRt(rot, jl * v);
+}
+
+/**
+ * se(3) logarithm.
+ *
+ * @param pose Rigid transform.
+ * @param[out] v Translational twist component.
+ * @param[out] w Rotational twist component.
+ */
+template <typename T>
+void
+logSe3(const Mat4<T> &pose, Vec3<T> &v, Vec3<T> &w)
+{
+    w = logSo3(pose.rotation());
+    const T theta = w.norm();
+    const Mat3<T> wx = Mat3<T>::skew(w);
+    Mat3<T> jl_inv;
+    if (theta < T(1e-8)) {
+        jl_inv = Mat3<T>::identity() + wx * T(-0.5);
+    } else {
+        const T half = theta / T(2);
+        const T cot = T(1) / std::tan(half);
+        const T a = (T(1) - half * cot) / (theta * theta);
+        jl_inv = Mat3<T>::identity() + wx * T(-0.5) + wx * wx * a;
+    }
+    v = jl_inv * pose.translationPart();
+}
+
+/**
+ * Camera pose looking from @p eye toward @p target (camera-to-world).
+ *
+ * The camera frame follows the usual computer-vision convention:
+ * +Z forward, +X right, +Y down.
+ *
+ * @param eye Camera position in world coordinates.
+ * @param target Point the optical axis passes through.
+ * @param up_hint Approximate world up direction (not the camera's -Y).
+ */
+template <typename T>
+Mat4<T>
+lookAt(const Vec3<T> &eye, const Vec3<T> &target, const Vec3<T> &up_hint)
+{
+    const Vec3<T> forward = (target - eye).normalized();
+    Vec3<T> right = forward.cross(up_hint);
+    if (right.squaredNorm() < T(1e-12)) {
+        // Forward is parallel to the up hint; pick any perpendicular.
+        right = forward.cross(Vec3<T>{T(1), T(0), T(0)});
+        if (right.squaredNorm() < T(1e-12))
+            right = forward.cross(Vec3<T>{T(0), T(1), T(0)});
+    }
+    right = right.normalized();
+    const Vec3<T> down = forward.cross(right).normalized();
+    return Mat4<T>::fromRt(Mat3<T>::fromCols(right, down, forward), eye);
+}
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_SE3_HPP

@@ -1,0 +1,192 @@
+#include "math/solve.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "math/se3.hpp"
+
+namespace slambench::math {
+
+bool
+solveLdlt6(const std::array<double, 36> &a,
+           const std::array<double, 6> &b,
+           std::array<double, 6> &x)
+{
+    constexpr int n = 6;
+    double l[n][n] = {};
+    double d[n] = {};
+
+    for (int j = 0; j < n; ++j) {
+        double dj = a[j * n + j];
+        for (int k = 0; k < j; ++k)
+            dj -= l[j][k] * l[j][k] * d[k];
+        if (!(dj > 1e-15))
+            return false;
+        d[j] = dj;
+        l[j][j] = 1.0;
+        for (int i = j + 1; i < n; ++i) {
+            double v = a[i * n + j];
+            for (int k = 0; k < j; ++k)
+                v -= l[i][k] * l[j][k] * d[k];
+            l[i][j] = v / dj;
+        }
+    }
+
+    // Forward substitution: L y = b.
+    double y[n];
+    for (int i = 0; i < n; ++i) {
+        double v = b[i];
+        for (int k = 0; k < i; ++k)
+            v -= l[i][k] * y[k];
+        y[i] = v;
+    }
+    // Diagonal: D z = y.
+    for (int i = 0; i < n; ++i)
+        y[i] /= d[i];
+    // Backward substitution: L^T x = z.
+    for (int i = n - 1; i >= 0; --i) {
+        double v = y[i];
+        for (int k = i + 1; k < n; ++k)
+            v -= l[k][i] * x[k];
+        x[i] = v;
+    }
+    return true;
+}
+
+namespace {
+
+/**
+ * Cyclic Jacobi sweeps on a symmetric NxN matrix; returns eigenvalues
+ * on the diagonal and accumulates rotations into @p v.
+ */
+template <int N>
+void
+jacobiSweep(std::array<std::array<double, N>, N> &a,
+            std::array<std::array<double, N>, N> &v)
+{
+    for (int r = 0; r < N; ++r)
+        for (int c = 0; c < N; ++c)
+            v[r][c] = (r == c) ? 1.0 : 0.0;
+
+    for (int sweep = 0; sweep < 64; ++sweep) {
+        double off = 0.0;
+        for (int p = 0; p < N; ++p)
+            for (int q = p + 1; q < N; ++q)
+                off += a[p][q] * a[p][q];
+        if (off < 1e-24)
+            break;
+
+        for (int p = 0; p < N; ++p) {
+            for (int q = p + 1; q < N; ++q) {
+                if (std::abs(a[p][q]) < 1e-30)
+                    continue;
+                const double theta =
+                    (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                const double t =
+                    (theta >= 0.0 ? 1.0 : -1.0) /
+                    (std::abs(theta) +
+                     std::sqrt(theta * theta + 1.0));
+                const double c = 1.0 / std::sqrt(t * t + 1.0);
+                const double s = t * c;
+
+                for (int k = 0; k < N; ++k) {
+                    const double akp = a[k][p];
+                    const double akq = a[k][q];
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for (int k = 0; k < N; ++k) {
+                    const double apk = a[p][k];
+                    const double aqk = a[q][k];
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for (int k = 0; k < N; ++k) {
+                    const double vkp = v[k][p];
+                    const double vkq = v[k][q];
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+}
+
+template <int N>
+EigenSym<N>
+eigenSymImpl(const double *raw)
+{
+    std::array<std::array<double, N>, N> a;
+    std::array<std::array<double, N>, N> v;
+    for (int r = 0; r < N; ++r)
+        for (int c = 0; c < N; ++c)
+            a[r][c] = raw[r * N + c];
+
+    jacobiSweep<N>(a, v);
+
+    EigenSym<N> out;
+    // Order eigenpairs by descending eigenvalue.
+    std::array<int, N> order;
+    for (int i = 0; i < N; ++i)
+        order[i] = i;
+    for (int i = 0; i < N; ++i)
+        for (int j = i + 1; j < N; ++j)
+            if (a[order[j]][order[j]] > a[order[i]][order[i]])
+                std::swap(order[i], order[j]);
+
+    for (int i = 0; i < N; ++i) {
+        out.values[i] = a[order[i]][order[i]];
+        for (int k = 0; k < N; ++k)
+            out.vectors[i][k] = v[k][order[i]];
+    }
+    return out;
+}
+
+} // namespace
+
+EigenSym<3>
+eigenSym3(const std::array<double, 9> &a)
+{
+    return eigenSymImpl<3>(a.data());
+}
+
+EigenSym<4>
+eigenSym4(const std::array<double, 16> &a)
+{
+    return eigenSymImpl<4>(a.data());
+}
+
+Mat3d
+hornRotation(const Mat3d &cov)
+{
+    // Build Horn's symmetric 4x4 matrix whose principal eigenvector is
+    // the optimal quaternion.
+    const double sxx = cov(0, 0), sxy = cov(0, 1), sxz = cov(0, 2);
+    const double syx = cov(1, 0), syy = cov(1, 1), syz = cov(1, 2);
+    const double szx = cov(2, 0), szy = cov(2, 1), szz = cov(2, 2);
+
+    std::array<double, 16> n{};
+    n[0 * 4 + 0] = sxx + syy + szz;
+    n[0 * 4 + 1] = syz - szy;
+    n[0 * 4 + 2] = szx - sxz;
+    n[0 * 4 + 3] = sxy - syx;
+    n[1 * 4 + 0] = n[0 * 4 + 1];
+    n[1 * 4 + 1] = sxx - syy - szz;
+    n[1 * 4 + 2] = sxy + syx;
+    n[1 * 4 + 3] = szx + sxz;
+    n[2 * 4 + 0] = n[0 * 4 + 2];
+    n[2 * 4 + 1] = n[1 * 4 + 2];
+    n[2 * 4 + 2] = -sxx + syy - szz;
+    n[2 * 4 + 3] = syz + szy;
+    n[3 * 4 + 0] = n[0 * 4 + 3];
+    n[3 * 4 + 1] = n[1 * 4 + 3];
+    n[3 * 4 + 2] = n[2 * 4 + 3];
+    n[3 * 4 + 3] = -sxx - syy + szz;
+
+    const EigenSym<4> eig = eigenSym4(n);
+    const Quat<double> q{eig.vectors[0][0], eig.vectors[0][1],
+                         eig.vectors[0][2], eig.vectors[0][3]};
+    return q.normalized().toMatrix();
+}
+
+} // namespace slambench::math

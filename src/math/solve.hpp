@@ -1,0 +1,67 @@
+#ifndef SLAMBENCH_MATH_SOLVE_HPP
+#define SLAMBENCH_MATH_SOLVE_HPP
+
+/**
+ * @file
+ * Small dense linear-algebra routines: the 6x6 LDLT solve used by the
+ * ICP normal equations, a Jacobi eigen-solver for small symmetric
+ * matrices, and Horn's closed-form best-rotation (used by trajectory
+ * alignment).
+ */
+
+#include <array>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace slambench::math {
+
+/**
+ * Solve A x = b for symmetric positive-definite 6x6 A via LDLT.
+ *
+ * @param a Row-major symmetric matrix.
+ * @param b Right-hand side.
+ * @param[out] x Solution on success; unspecified on failure.
+ * @return false when a pivot is (numerically) non-positive.
+ */
+bool solveLdlt6(const std::array<double, 36> &a,
+                const std::array<double, 6> &b,
+                std::array<double, 6> &x);
+
+/** Eigen-decomposition result of a small symmetric matrix. */
+template <int N>
+struct EigenSym
+{
+    /** Eigenvalues in descending order. */
+    std::array<double, N> values{};
+    /** eigenvectors[i] is the unit eigenvector for values[i]. */
+    std::array<std::array<double, N>, N> vectors{};
+};
+
+/**
+ * Cyclic Jacobi eigen-decomposition of a symmetric matrix.
+ *
+ * @param a Row-major symmetric matrix (only the given values are
+ *          read; symmetry is assumed, not checked).
+ * @return eigenvalues (descending) and matching unit eigenvectors.
+ */
+EigenSym<3> eigenSym3(const std::array<double, 9> &a);
+
+/** @copydoc eigenSym3 */
+EigenSym<4> eigenSym4(const std::array<double, 16> &a);
+
+/**
+ * Best proper rotation (Horn 1987) mapping a source point set onto a
+ * target set: given the cross-covariance
+ * cov = sum_i (p_i - p_mean) (q_i - q_mean)^T of centered
+ * source/target correspondences (p = source, q = target), returns
+ * the R minimizing sum_i |R p_i - q_i|^2 over rotations.
+ *
+ * @param cov Cross-covariance, source x target.
+ * @return the optimal rotation (always proper, det = +1).
+ */
+Mat3d hornRotation(const Mat3d &cov);
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_SOLVE_HPP

@@ -1,0 +1,210 @@
+#ifndef SLAMBENCH_MATH_VEC_HPP
+#define SLAMBENCH_MATH_VEC_HPP
+
+/**
+ * @file
+ * Fixed-size vector types used throughout the pipeline.
+ *
+ * Float precision (Vec3f, ...) is used inside the SLAM kernels to
+ * match what GPU implementations of KinectFusion use; double precision
+ * (Vec3d, ...) is used by the accuracy metrics and the DSE machinery.
+ */
+
+#include <cmath>
+#include <cstddef>
+
+namespace slambench::math {
+
+/** 2-component vector. */
+template <typename T>
+struct Vec2
+{
+    T x{};
+    T y{};
+
+    constexpr Vec2() = default;
+    constexpr Vec2(T x_, T y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(T s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(T s) const { return {x / s, y / s}; }
+
+    constexpr T dot(const Vec2 &o) const { return x * o.x + y * o.y; }
+    T norm() const { return std::sqrt(dot(*this)); }
+
+    friend constexpr bool
+    operator==(const Vec2 &a, const Vec2 &b)
+    {
+        return a.x == b.x && a.y == b.y;
+    }
+};
+
+/** 3-component vector. */
+template <typename T>
+struct Vec3
+{
+    T x{};
+    T y{};
+    T z{};
+
+    constexpr Vec3() = default;
+    constexpr Vec3(T x_, T y_, T z_) : x(x_), y(y_), z(z_) {}
+
+    /** Broadcast constructor. */
+    static constexpr Vec3 all(T v) { return {v, v, v}; }
+
+    constexpr Vec3
+    operator+(const Vec3 &o) const
+    {
+        return {x + o.x, y + o.y, z + o.z};
+    }
+
+    constexpr Vec3
+    operator-(const Vec3 &o) const
+    {
+        return {x - o.x, y - o.y, z - o.z};
+    }
+
+    constexpr Vec3 operator-() const { return {-x, -y, -z}; }
+    constexpr Vec3 operator*(T s) const { return {x * s, y * s, z * s}; }
+    constexpr Vec3 operator/(T s) const { return {x / s, y / s, z / s}; }
+
+    Vec3 &
+    operator+=(const Vec3 &o)
+    {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator-=(const Vec3 &o)
+    {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+
+    Vec3 &
+    operator*=(T s)
+    {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    /** Component-wise product. */
+    constexpr Vec3
+    cwise(const Vec3 &o) const
+    {
+        return {x * o.x, y * o.y, z * o.z};
+    }
+
+    constexpr T dot(const Vec3 &o) const { return x * o.x + y * o.y + z * o.z; }
+
+    constexpr Vec3
+    cross(const Vec3 &o) const
+    {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+
+    constexpr T squaredNorm() const { return dot(*this); }
+    T norm() const { return std::sqrt(squaredNorm()); }
+
+    /** @return this / norm(); the zero vector is returned unchanged. */
+    Vec3
+    normalized() const
+    {
+        const T n = norm();
+        return n > T(0) ? *this / n : *this;
+    }
+
+    /** Indexed access: 0 = x, 1 = y, 2 = z. */
+    T &
+    operator[](size_t i)
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    /** Indexed access: 0 = x, 1 = y, 2 = z. */
+    const T &
+    operator[](size_t i) const
+    {
+        return i == 0 ? x : (i == 1 ? y : z);
+    }
+
+    friend constexpr bool
+    operator==(const Vec3 &a, const Vec3 &b)
+    {
+        return a.x == b.x && a.y == b.y && a.z == b.z;
+    }
+
+    template <typename U>
+    constexpr Vec3<U>
+    cast() const
+    {
+        return {static_cast<U>(x), static_cast<U>(y), static_cast<U>(z)};
+    }
+};
+
+template <typename T>
+constexpr Vec3<T>
+operator*(T s, const Vec3<T> &v)
+{
+    return v * s;
+}
+
+/** 4-component vector. */
+template <typename T>
+struct Vec4
+{
+    T x{};
+    T y{};
+    T z{};
+    T w{};
+
+    constexpr Vec4() = default;
+    constexpr Vec4(T x_, T y_, T z_, T w_) : x(x_), y(y_), z(z_), w(w_) {}
+    constexpr Vec4(const Vec3<T> &v, T w_) : x(v.x), y(v.y), z(v.z), w(w_) {}
+
+    constexpr Vec3<T> xyz() const { return {x, y, z}; }
+
+    constexpr T
+    dot(const Vec4 &o) const
+    {
+        return x * o.x + y * o.y + z * o.z + w * o.w;
+    }
+
+    T norm() const { return std::sqrt(dot(*this)); }
+
+    friend constexpr bool
+    operator==(const Vec4 &a, const Vec4 &b)
+    {
+        return a.x == b.x && a.y == b.y && a.z == b.z && a.w == b.w;
+    }
+};
+
+using Vec2f = Vec2<float>;
+using Vec2d = Vec2<double>;
+using Vec2i = Vec2<int>;
+using Vec3f = Vec3<float>;
+using Vec3d = Vec3<double>;
+using Vec3i = Vec3<int>;
+using Vec4f = Vec4<float>;
+using Vec4d = Vec4<double>;
+
+/** Linear interpolation between @p a and @p b at parameter @p t. */
+template <typename T>
+constexpr Vec3<T>
+lerp(const Vec3<T> &a, const Vec3<T> &b, T t)
+{
+    return a + (b - a) * t;
+}
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_VEC_HPP

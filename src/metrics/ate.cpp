@@ -1,0 +1,141 @@
+#include "metrics/ate.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/se3.hpp"
+#include "math/solve.hpp"
+#include "support/logging.hpp"
+
+namespace slambench::metrics {
+
+using math::Mat3d;
+using math::Mat4d;
+using math::Vec3d;
+
+Mat4d
+alignRigid(const std::vector<Vec3d> &source,
+           const std::vector<Vec3d> &target)
+{
+    if (source.size() != target.size())
+        support::panic("alignRigid: point sets differ in size");
+    if (source.empty())
+        return Mat4d::identity();
+
+    const double n = static_cast<double>(source.size());
+    Vec3d mean_s{}, mean_t{};
+    for (size_t i = 0; i < source.size(); ++i) {
+        mean_s += source[i];
+        mean_t += target[i];
+    }
+    mean_s = mean_s / n;
+    mean_t = mean_t / n;
+
+    // Cross-covariance of centered sets, source x target.
+    Mat3d cov = Mat3d::zero();
+    for (size_t i = 0; i < source.size(); ++i) {
+        const Vec3d s = source[i] - mean_s;
+        const Vec3d t = target[i] - mean_t;
+        for (int r = 0; r < 3; ++r)
+            for (int c = 0; c < 3; ++c)
+                cov(r, c) += s[static_cast<size_t>(r)] *
+                             t[static_cast<size_t>(c)];
+    }
+
+    const Mat3d rot = math::hornRotation(cov);
+    const Vec3d t = mean_t - rot * mean_s;
+    return Mat4d::fromRt(rot, t);
+}
+
+AteResult
+computeAtePositions(const std::vector<Vec3d> &estimated,
+                    const std::vector<Vec3d> &ground_truth, bool align)
+{
+    if (estimated.size() != ground_truth.size())
+        support::panic("computeAte: trajectory lengths differ");
+
+    AteResult result;
+    result.frames = estimated.size();
+    if (estimated.empty())
+        return result;
+
+    Mat4d transform = Mat4d::identity();
+    if (align)
+        transform = alignRigid(estimated, ground_truth);
+
+    result.perFrame.reserve(estimated.size());
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < estimated.size(); ++i) {
+        const Vec3d mapped = transform.transformPoint(estimated[i]);
+        const double err = (mapped - ground_truth[i]).norm();
+        result.perFrame.push_back(err);
+        result.maxAte = std::max(result.maxAte, err);
+        sum += err;
+        sum_sq += err * err;
+    }
+    const double n = static_cast<double>(estimated.size());
+    result.meanAte = sum / n;
+    result.rmse = std::sqrt(sum_sq / n);
+
+    std::vector<double> sorted = result.perFrame;
+    std::sort(sorted.begin(), sorted.end());
+    result.medianAte = sorted[sorted.size() / 2];
+    return result;
+}
+
+AteResult
+computeAte(const std::vector<math::Mat4f> &estimated,
+           const std::vector<math::Mat4f> &ground_truth, bool align)
+{
+    if (estimated.size() != ground_truth.size())
+        support::panic("computeAte: trajectory lengths differ");
+    std::vector<Vec3d> est_pos, gt_pos;
+    est_pos.reserve(estimated.size());
+    gt_pos.reserve(ground_truth.size());
+    for (size_t i = 0; i < estimated.size(); ++i) {
+        est_pos.push_back(
+            estimated[i].translationPart().cast<double>());
+        gt_pos.push_back(
+            ground_truth[i].translationPart().cast<double>());
+    }
+    return computeAtePositions(est_pos, gt_pos, align);
+}
+
+RpeResult
+computeRpe(const std::vector<math::Mat4f> &estimated,
+           const std::vector<math::Mat4f> &ground_truth, size_t delta)
+{
+    if (estimated.size() != ground_truth.size())
+        support::panic("computeRpe: trajectory lengths differ");
+    RpeResult result;
+    if (delta == 0 || estimated.size() <= delta)
+        return result;
+
+    double t_sq = 0.0;
+    double r_sq = 0.0;
+    for (size_t i = 0; i + delta < estimated.size(); ++i) {
+        const math::Mat4d est_motion =
+            (estimated[i].rigidInverse() * estimated[i + delta])
+                .cast<double>();
+        const math::Mat4d gt_motion =
+            (ground_truth[i].rigidInverse() * ground_truth[i + delta])
+                .cast<double>();
+        const math::Mat4d error =
+            gt_motion.rigidInverse() * est_motion;
+
+        const double t_err = error.translationPart().norm();
+        const double r_err = math::logSo3(error.rotation()).norm();
+        t_sq += t_err * t_err;
+        r_sq += r_err * r_err;
+        result.translationMax = std::max(result.translationMax, t_err);
+        result.rotationMax = std::max(result.rotationMax, r_err);
+        ++result.pairs;
+    }
+    const double n = static_cast<double>(result.pairs);
+    result.translationRmse = std::sqrt(t_sq / n);
+    result.rotationRmse = std::sqrt(r_sq / n);
+    return result;
+}
+
+} // namespace slambench::metrics

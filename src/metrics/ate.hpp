@@ -1,0 +1,93 @@
+#ifndef SLAMBENCH_METRICS_ATE_HPP
+#define SLAMBENCH_METRICS_ATE_HPP
+
+/**
+ * @file
+ * Absolute Trajectory Error (ATE), the accuracy metric of SLAMBench.
+ *
+ * Follows the TUM RGB-D / ICL-NUIM methodology: optionally align the
+ * estimated trajectory to the ground truth with the closed-form
+ * rigid-body fit (Horn/Umeyama, no scale), then report statistics of
+ * the per-frame translational differences. SLAMBench's headline
+ * quality-of-result metric is Max ATE; mean and RMSE are reported too.
+ */
+
+#include <vector>
+
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace slambench::metrics {
+
+/** Summary statistics of the per-frame translational error. */
+struct AteResult
+{
+    double maxAte = 0.0;  ///< Maximum error over frames, meters.
+    double meanAte = 0.0; ///< Mean error, meters.
+    double rmse = 0.0;    ///< Root-mean-square error, meters.
+    double medianAte = 0.0; ///< Median error, meters.
+    size_t frames = 0;    ///< Number of compared poses.
+    /** Per-frame translational error, meters. */
+    std::vector<double> perFrame;
+};
+
+/**
+ * Closed-form rigid alignment (rotation + translation, no scale)
+ * mapping @p source points onto @p target in the least-squares sense.
+ *
+ * @param source Point set to be transformed.
+ * @param target Reference point set (same length).
+ * @return the transform T minimizing sum |T(source_i) - target_i|^2.
+ */
+math::Mat4d alignRigid(const std::vector<math::Vec3d> &source,
+                       const std::vector<math::Vec3d> &target);
+
+/**
+ * Compute the ATE between an estimated and a ground-truth trajectory.
+ *
+ * @param estimated Camera-to-world pose per frame.
+ * @param ground_truth Camera-to-world pose per frame (same length).
+ * @param align When true, rigidly align the estimate first (TUM
+ *              methodology); when false, compare raw positions
+ *              (SLAMBench compares in a shared start frame).
+ * @return error statistics.
+ */
+AteResult computeAte(const std::vector<math::Mat4f> &estimated,
+                     const std::vector<math::Mat4f> &ground_truth,
+                     bool align = false);
+
+/**
+ * Convenience overload on camera positions only.
+ */
+AteResult computeAtePositions(const std::vector<math::Vec3d> &estimated,
+                              const std::vector<math::Vec3d> &ground_truth,
+                              bool align = false);
+
+/** Relative Pose Error statistics (TUM RGB-D methodology). */
+struct RpeResult
+{
+    double translationRmse = 0.0; ///< Meters per interval.
+    double translationMax = 0.0;  ///< Worst interval, meters.
+    double rotationRmse = 0.0;    ///< Radians per interval.
+    double rotationMax = 0.0;     ///< Worst interval, radians.
+    size_t pairs = 0;             ///< Pose pairs compared.
+};
+
+/**
+ * Relative Pose Error over a fixed frame interval: for every i the
+ * estimated motion between frames i and i+delta is compared to the
+ * ground-truth motion over the same interval. Measures local drift,
+ * complementary to the global ATE (TUM RGB-D benchmark definition).
+ *
+ * @param estimated Camera-to-world pose per frame.
+ * @param ground_truth Camera-to-world pose per frame (same length).
+ * @param delta Frame interval (>= 1).
+ * @return error statistics (zeroes when too few frames).
+ */
+RpeResult computeRpe(const std::vector<math::Mat4f> &estimated,
+                     const std::vector<math::Mat4f> &ground_truth,
+                     size_t delta = 1);
+
+} // namespace slambench::metrics
+
+#endif // SLAMBENCH_METRICS_ATE_HPP

@@ -1,0 +1,32 @@
+#include "metrics/reconstruction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace slambench::metrics {
+
+ReconstructionError
+computeReconstructionError(const kfusion::TriangleMesh &mesh,
+                           const dataset::Scene &scene, size_t stride)
+{
+    ReconstructionError error;
+    if (mesh.vertices.empty() || stride == 0)
+        return error;
+
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    for (size_t i = 0; i < mesh.vertices.size(); i += stride) {
+        const double d = std::abs(
+            static_cast<double>(scene.distance(mesh.vertices[i])));
+        sum += d;
+        sum_sq += d * d;
+        error.maxAbs = std::max(error.maxAbs, d);
+        ++error.samples;
+    }
+    const double n = static_cast<double>(error.samples);
+    error.meanAbs = sum / n;
+    error.rmse = std::sqrt(sum_sq / n);
+    return error;
+}
+
+} // namespace slambench::metrics

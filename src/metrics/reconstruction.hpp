@@ -1,0 +1,44 @@
+#ifndef SLAMBENCH_METRICS_RECONSTRUCTION_HPP
+#define SLAMBENCH_METRICS_RECONSTRUCTION_HPP
+
+/**
+ * @file
+ * Surface reconstruction error: how far the reconstructed model lies
+ * from the true scene surface. ICL-NUIM measures this by comparing
+ * the output mesh against the synthetic model; with our procedural
+ * SDF scene the ground-truth distance of any point is exact, so the
+ * metric evaluates |scene SDF| at mesh vertices.
+ */
+
+#include <cstddef>
+
+#include "dataset/sdf.hpp"
+#include "kfusion/mesh.hpp"
+
+namespace slambench::metrics {
+
+/** Summary of the per-vertex surface distances. */
+struct ReconstructionError
+{
+    double meanAbs = 0.0;  ///< Mean |distance to true surface|, m.
+    double rmse = 0.0;     ///< RMS distance, meters.
+    double maxAbs = 0.0;   ///< Worst vertex, meters.
+    size_t samples = 0;    ///< Vertices evaluated.
+};
+
+/**
+ * Evaluate a reconstructed mesh against the true scene.
+ *
+ * @param mesh Mesh extracted from the TSDF volume.
+ * @param scene The procedural ground-truth scene.
+ * @param stride Evaluate every Nth vertex (>= 1) to bound cost.
+ * @return distance statistics (zeroes when the mesh is empty).
+ */
+ReconstructionError
+computeReconstructionError(const kfusion::TriangleMesh &mesh,
+                           const dataset::Scene &scene,
+                           size_t stride = 1);
+
+} // namespace slambench::metrics
+
+#endif // SLAMBENCH_METRICS_RECONSTRUCTION_HPP

@@ -1,0 +1,31 @@
+#include "metrics/timing.hpp"
+
+#include "support/strings.hpp"
+
+namespace slambench::metrics {
+
+TimingSummary
+summarizeTiming(const std::vector<double> &frame_seconds)
+{
+    TimingSummary summary;
+    for (double s : frame_seconds) {
+        summary.frameSeconds.add(s);
+        summary.totalSeconds += s;
+    }
+    summary.p95Seconds = support::percentile(frame_seconds, 95.0);
+    return summary;
+}
+
+std::string
+describeTiming(const TimingSummary &summary)
+{
+    return support::format(
+        "%zu frames, mean %.2f ms/frame (%.1f FPS), p95 %.2f ms, "
+        "worst %.2f ms, total %.3f s",
+        summary.frameSeconds.count(),
+        summary.frameSeconds.mean() * 1e3, summary.meanFps(),
+        summary.p95Seconds * 1e3, summary.frameSeconds.max() * 1e3,
+        summary.totalSeconds);
+}
+
+} // namespace slambench::metrics

@@ -1,0 +1,55 @@
+#ifndef SLAMBENCH_METRICS_TIMING_HPP
+#define SLAMBENCH_METRICS_TIMING_HPP
+
+/**
+ * @file
+ * Frame-timing aggregation: the "speed" axis of the SLAMBench
+ * performance/accuracy/power triad.
+ */
+
+#include <string>
+#include <vector>
+
+#include "support/stats.hpp"
+
+namespace slambench::metrics {
+
+/** Aggregated per-frame timing of a run. */
+struct TimingSummary
+{
+    support::RunningStat frameSeconds; ///< Distribution of frame times.
+    double p95Seconds = 0.0;           ///< 95th percentile frame time.
+    double totalSeconds = 0.0;         ///< Sum over frames.
+
+    /** @return mean frames per second (0 when empty). */
+    double
+    meanFps() const
+    {
+        const double mean = frameSeconds.mean();
+        return mean > 0.0 ? 1.0 / mean : 0.0;
+    }
+
+    /** @return worst-case frames per second. */
+    double
+    worstFps() const
+    {
+        const double worst = frameSeconds.max();
+        return worst > 0.0 ? 1.0 / worst : 0.0;
+    }
+};
+
+/**
+ * Summarize a sequence of per-frame durations.
+ *
+ * @param frame_seconds One duration per processed frame.
+ */
+TimingSummary summarizeTiming(const std::vector<double> &frame_seconds);
+
+/**
+ * Format a timing summary as a one-line human-readable string.
+ */
+std::string describeTiming(const TimingSummary &summary);
+
+} // namespace slambench::metrics
+
+#endif // SLAMBENCH_METRICS_TIMING_HPP

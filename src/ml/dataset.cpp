@@ -1,0 +1,42 @@
+#include "ml/dataset.hpp"
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::ml {
+
+void
+Dataset::addRow(const std::vector<double> &features, double target)
+{
+    if (features.size() != numFeatures_)
+        support::panic("Dataset::addRow: feature count mismatch");
+    features_.insert(features_.end(), features.begin(), features.end());
+    targets_.push_back(target);
+}
+
+void
+Dataset::rowFeatures(size_t row, std::vector<double> &out) const
+{
+    out.assign(features_.begin() +
+                   static_cast<long>(row * numFeatures_),
+               features_.begin() +
+                   static_cast<long>((row + 1) * numFeatures_));
+}
+
+void
+Dataset::setFeatureNames(std::vector<std::string> names)
+{
+    if (names.size() != numFeatures_)
+        support::panic("Dataset::setFeatureNames: name count mismatch");
+    names_ = std::move(names);
+}
+
+std::string
+Dataset::featureName(size_t f) const
+{
+    if (f < names_.size())
+        return names_[f];
+    return support::format("f%zu", f);
+}
+
+} // namespace slambench::ml

@@ -1,0 +1,77 @@
+#ifndef SLAMBENCH_ML_DATASET_HPP
+#define SLAMBENCH_ML_DATASET_HPP
+
+/**
+ * @file
+ * Tabular dataset container for the learning substrate.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace slambench::ml {
+
+/**
+ * Dense feature matrix with one numeric target per row.
+ *
+ * Categorical/ordinal features are encoded as doubles by the caller
+ * (the parameter-space layer owns the encoding).
+ */
+class Dataset
+{
+  public:
+    /** @param num_features Columns of the feature matrix. */
+    explicit Dataset(size_t num_features)
+        : numFeatures_(num_features)
+    {}
+
+    /** @return feature (column) count. */
+    size_t numFeatures() const { return numFeatures_; }
+
+    /** @return row count. */
+    size_t size() const { return targets_.size(); }
+
+    /** @return true when no rows were added. */
+    bool empty() const { return targets_.empty(); }
+
+    /**
+     * Append a row.
+     *
+     * @param features Exactly numFeatures() values.
+     * @param target Regression target or class label.
+     */
+    void addRow(const std::vector<double> &features, double target);
+
+    /** @return feature @p f of row @p row. */
+    double
+    feature(size_t row, size_t f) const
+    {
+        return features_[row * numFeatures_ + f];
+    }
+
+    /** @return target of row @p row. */
+    double target(size_t row) const { return targets_[row]; }
+
+    /** @return all targets. */
+    const std::vector<double> &targets() const { return targets_; }
+
+    /** Copy row @p row's features into @p out. */
+    void rowFeatures(size_t row, std::vector<double> &out) const;
+
+    /** Optional column names (for rule printing). */
+    void setFeatureNames(std::vector<std::string> names);
+
+    /** @return name of feature @p f ("f<index>" when unset). */
+    std::string featureName(size_t f) const;
+
+  private:
+    size_t numFeatures_;
+    std::vector<double> features_;
+    std::vector<double> targets_;
+    std::vector<std::string> names_;
+};
+
+} // namespace slambench::ml
+
+#endif // SLAMBENCH_ML_DATASET_HPP

@@ -1,0 +1,313 @@
+#include "ml/decision_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "support/logging.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::ml {
+
+namespace {
+
+/** Split candidate scored by its criterion improvement. */
+struct BestSplit
+{
+    int feature = -1;
+    double threshold = 0.0;
+    double score = std::numeric_limits<double>::infinity();
+    size_t splitAt = 0; ///< Count of rows going left after the sort.
+};
+
+/**
+ * Find the best SSE split of rows[begin..end) on @p feature. The rows
+ * slice must already be sorted by that feature.
+ */
+void
+scoreSseSplits(const Dataset &data, const std::vector<size_t> &rows,
+               size_t begin, size_t end, int feature,
+               size_t min_leaf, BestSplit &best)
+{
+    const size_t n = end - begin;
+    // Prefix sums of y and y^2 allow O(1) SSE for any split point.
+    double sum_left = 0.0, sq_left = 0.0;
+    double sum_total = 0.0, sq_total = 0.0;
+    for (size_t i = begin; i < end; ++i) {
+        const double y = data.target(rows[i]);
+        sum_total += y;
+        sq_total += y * y;
+    }
+
+    for (size_t i = 0; i + 1 < n; ++i) {
+        const double y = data.target(rows[begin + i]);
+        sum_left += y;
+        sq_left += y * y;
+
+        const double a =
+            data.feature(rows[begin + i], static_cast<size_t>(feature));
+        const double b = data.feature(rows[begin + i + 1],
+                                      static_cast<size_t>(feature));
+        if (a == b)
+            continue; // can't split between equal values
+        const size_t n_left = i + 1;
+        const size_t n_right = n - n_left;
+        if (n_left < min_leaf || n_right < min_leaf)
+            continue;
+
+        const double sum_right = sum_total - sum_left;
+        const double sq_right = sq_total - sq_left;
+        const double sse_left =
+            sq_left - sum_left * sum_left / static_cast<double>(n_left);
+        const double sse_right =
+            sq_right -
+            sum_right * sum_right / static_cast<double>(n_right);
+        const double score = sse_left + sse_right;
+        if (score < best.score) {
+            best.score = score;
+            best.feature = feature;
+            best.threshold = (a + b) / 2.0;
+            best.splitAt = n_left;
+        }
+    }
+}
+
+/**
+ * Find the best Gini split (binary labels) of the sorted slice.
+ */
+void
+scoreGiniSplits(const Dataset &data, const std::vector<size_t> &rows,
+                size_t begin, size_t end, int feature,
+                size_t min_leaf, BestSplit &best)
+{
+    const size_t n = end - begin;
+    double pos_total = 0.0;
+    for (size_t i = begin; i < end; ++i)
+        pos_total += data.target(rows[i]);
+
+    double pos_left = 0.0;
+    for (size_t i = 0; i + 1 < n; ++i) {
+        pos_left += data.target(rows[begin + i]);
+
+        const double a =
+            data.feature(rows[begin + i], static_cast<size_t>(feature));
+        const double b = data.feature(rows[begin + i + 1],
+                                      static_cast<size_t>(feature));
+        if (a == b)
+            continue;
+        const size_t n_left = i + 1;
+        const size_t n_right = n - n_left;
+        if (n_left < min_leaf || n_right < min_leaf)
+            continue;
+
+        const double pl = pos_left / static_cast<double>(n_left);
+        const double pr = (pos_total - pos_left) /
+                          static_cast<double>(n_right);
+        const double gini_left = 2.0 * pl * (1.0 - pl);
+        const double gini_right = 2.0 * pr * (1.0 - pr);
+        const double score =
+            (static_cast<double>(n_left) * gini_left +
+             static_cast<double>(n_right) * gini_right) /
+            static_cast<double>(n);
+        if (score < best.score) {
+            best.score = score;
+            best.feature = feature;
+            best.threshold = (a + b) / 2.0;
+            best.splitAt = n_left;
+        }
+    }
+}
+
+} // namespace
+
+void
+DecisionTree::fitRegression(const Dataset &data,
+                            const std::vector<size_t> &rows,
+                            const TreeOptions &options,
+                            support::Rng &rng)
+{
+    fit(data, rows, options, rng, Criterion::Sse);
+}
+
+void
+DecisionTree::fitClassification(const Dataset &data,
+                                const std::vector<size_t> &rows,
+                                const TreeOptions &options,
+                                support::Rng &rng)
+{
+    fit(data, rows, options, rng, Criterion::Gini);
+}
+
+void
+DecisionTree::fit(const Dataset &data, const std::vector<size_t> &rows,
+                  const TreeOptions &options, support::Rng &rng,
+                  Criterion criterion)
+{
+    if (rows.empty())
+        support::panic("DecisionTree::fit: no training rows");
+    nodes_.clear();
+    std::vector<size_t> working = rows;
+    buildNode(data, working, 0, working.size(), 0, options, rng,
+              criterion);
+}
+
+int
+DecisionTree::buildNode(const Dataset &data, std::vector<size_t> &rows,
+                        size_t begin, size_t end, size_t depth,
+                        const TreeOptions &options, support::Rng &rng,
+                        Criterion criterion)
+{
+    const size_t n = end - begin;
+    const int node_id = static_cast<int>(nodes_.size());
+    nodes_.push_back(Node{});
+    nodes_[static_cast<size_t>(node_id)].samples = n;
+
+    double mean = 0.0;
+    for (size_t i = begin; i < end; ++i)
+        mean += data.target(rows[i]);
+    mean /= static_cast<double>(n);
+    nodes_[static_cast<size_t>(node_id)].value = mean;
+
+    const bool pure =
+        criterion == Criterion::Gini && (mean == 0.0 || mean == 1.0);
+    if (depth >= options.maxDepth || n < options.minSamplesSplit ||
+        pure)
+        return node_id;
+
+    // Select the feature subset for this split.
+    std::vector<int> candidates;
+    for (size_t f = 0; f < data.numFeatures(); ++f)
+        candidates.push_back(static_cast<int>(f));
+    if (options.featureSubset > 0 &&
+        options.featureSubset < candidates.size()) {
+        rng.shuffle(candidates);
+        candidates.resize(options.featureSubset);
+    }
+
+    BestSplit best;
+    std::vector<size_t> scratch(rows.begin() + static_cast<long>(begin),
+                                rows.begin() + static_cast<long>(end));
+    for (int feature : candidates) {
+        // Sort the slice by this feature, then scan split points.
+        std::sort(scratch.begin(), scratch.end(),
+                  [&](size_t a, size_t b) {
+                      return data.feature(a,
+                                          static_cast<size_t>(feature)) <
+                             data.feature(b,
+                                          static_cast<size_t>(feature));
+                  });
+        std::copy(scratch.begin(), scratch.end(),
+                  rows.begin() + static_cast<long>(begin));
+        if (criterion == Criterion::Sse) {
+            scoreSseSplits(data, rows, begin, end, feature,
+                           options.minSamplesLeaf, best);
+        } else {
+            scoreGiniSplits(data, rows, begin, end, feature,
+                            options.minSamplesLeaf, best);
+        }
+    }
+
+    if (best.feature < 0)
+        return node_id;
+
+    // Re-sort by the winning feature and partition.
+    std::sort(rows.begin() + static_cast<long>(begin),
+              rows.begin() + static_cast<long>(end),
+              [&](size_t a, size_t b) {
+                  return data.feature(
+                             a, static_cast<size_t>(best.feature)) <
+                         data.feature(
+                             b, static_cast<size_t>(best.feature));
+              });
+    const size_t mid = begin + best.splitAt;
+
+    nodes_[static_cast<size_t>(node_id)].feature = best.feature;
+    nodes_[static_cast<size_t>(node_id)].threshold = best.threshold;
+
+    const int left = buildNode(data, rows, begin, mid, depth + 1,
+                               options, rng, criterion);
+    nodes_[static_cast<size_t>(node_id)].left = left;
+    const int right = buildNode(data, rows, mid, end, depth + 1,
+                                options, rng, criterion);
+    nodes_[static_cast<size_t>(node_id)].right = right;
+    return node_id;
+}
+
+double
+DecisionTree::predict(const std::vector<double> &features) const
+{
+    if (nodes_.empty())
+        support::panic("DecisionTree::predict: tree is not fitted");
+    int node = 0;
+    for (;;) {
+        const Node &n = nodes_[static_cast<size_t>(node)];
+        if (n.feature < 0)
+            return n.value;
+        node = features[static_cast<size_t>(n.feature)] <= n.threshold
+                   ? n.left
+                   : n.right;
+    }
+}
+
+size_t
+DecisionTree::depth() const
+{
+    return nodes_.empty() ? 0 : depthRecursive(0);
+}
+
+size_t
+DecisionTree::depthRecursive(int node) const
+{
+    const Node &n = nodes_[static_cast<size_t>(node)];
+    if (n.feature < 0)
+        return 1;
+    return 1 + std::max(depthRecursive(n.left),
+                        depthRecursive(n.right));
+}
+
+std::string
+DecisionTree::toRules(const Dataset &data,
+                      const std::string &positive_label,
+                      const std::string &negative_label) const
+{
+    std::string out;
+    if (nodes_.empty())
+        return out;
+    rulesRecursive(data, 0, 0, positive_label, negative_label, out);
+    return out;
+}
+
+void
+DecisionTree::rulesRecursive(const Dataset &data, int node,
+                             size_t indent,
+                             const std::string &positive_label,
+                             const std::string &negative_label,
+                             std::string &out) const
+{
+    const Node &n = nodes_[static_cast<size_t>(node)];
+    const std::string pad(indent * 2, ' ');
+    if (n.feature < 0) {
+        out += support::format(
+            "%s-> %s (p=%.2f, n=%zu)\n", pad.c_str(),
+            n.value > 0.5 ? positive_label.c_str()
+                          : negative_label.c_str(),
+            n.value, n.samples);
+        return;
+    }
+    out += support::format(
+        "%sif %s <= %.4g:\n", pad.c_str(),
+        data.featureName(static_cast<size_t>(n.feature)).c_str(),
+        n.threshold);
+    rulesRecursive(data, n.left, indent + 1, positive_label,
+                   negative_label, out);
+    out += support::format("%selse:  # %s > %.4g\n", pad.c_str(),
+                           data.featureName(
+                                   static_cast<size_t>(n.feature))
+                               .c_str(),
+                           n.threshold);
+    rulesRecursive(data, n.right, indent + 1, positive_label,
+                   negative_label, out);
+}
+
+} // namespace slambench::ml

@@ -1,0 +1,128 @@
+#ifndef SLAMBENCH_ML_DECISION_TREE_HPP
+#define SLAMBENCH_ML_DECISION_TREE_HPP
+
+/**
+ * @file
+ * CART decision trees: regression (SSE splitting) for the random
+ * forest, and classification (Gini splitting) for the Fig. 2
+ * "knowledge extraction" readout, which turns DSE results into
+ * human-readable parameter rules.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ml/dataset.hpp"
+#include "support/rng.hpp"
+
+namespace slambench::ml {
+
+/** Hyper-parameters shared by both tree types. */
+struct TreeOptions
+{
+    size_t maxDepth = 12;
+    size_t minSamplesLeaf = 2;
+    size_t minSamplesSplit = 4;
+    /**
+     * Features considered per split; 0 means all (plain CART).
+     * Forests pass ~sqrt(num_features) for decorrelation.
+     */
+    size_t featureSubset = 0;
+};
+
+/**
+ * CART tree, regression or classification depending on fit call.
+ */
+class DecisionTree
+{
+  public:
+    DecisionTree() = default;
+
+    /**
+     * Fit a regression tree minimizing within-leaf SSE.
+     *
+     * @param data Training rows.
+     * @param rows Indices of rows to use (bootstrap sample).
+     * @param options Hyper-parameters.
+     * @param rng Source for feature subsampling.
+     */
+    void fitRegression(const Dataset &data,
+                       const std::vector<size_t> &rows,
+                       const TreeOptions &options, support::Rng &rng);
+
+    /**
+     * Fit a binary classification tree minimizing Gini impurity.
+     * Targets must be 0.0 or 1.0.
+     *
+     * @param data Training rows (targets are class labels).
+     * @param rows Indices of rows to use.
+     * @param options Hyper-parameters.
+     * @param rng Source for feature subsampling.
+     */
+    void fitClassification(const Dataset &data,
+                           const std::vector<size_t> &rows,
+                           const TreeOptions &options,
+                           support::Rng &rng);
+
+    /**
+     * Predict for one feature vector.
+     *
+     * Regression: leaf mean. Classification: positive-class
+     * probability (leaf fraction).
+     */
+    double predict(const std::vector<double> &features) const;
+
+    /** @return number of nodes (0 before fitting). */
+    size_t nodeCount() const { return nodes_.size(); }
+
+    /** @return maximum depth of the fitted tree. */
+    size_t depth() const;
+
+    /**
+     * Render the tree as indented if/else rules using the dataset's
+     * feature names (the Fig. 2 knowledge readout).
+     *
+     * @param data Dataset whose feature names label the splits.
+     * @param positive_label Text for leaves predicting > 0.5.
+     * @param negative_label Text for the other leaves.
+     */
+    std::string toRules(const Dataset &data,
+                        const std::string &positive_label = "GOOD",
+                        const std::string &negative_label = "BAD") const;
+
+  private:
+    struct Node
+    {
+        int feature = -1;      ///< -1 marks a leaf.
+        double threshold = 0.0;
+        int left = -1;         ///< Index of the <= branch.
+        int right = -1;        ///< Index of the > branch.
+        double value = 0.0;    ///< Leaf prediction.
+        size_t samples = 0;    ///< Training rows that reached it.
+    };
+
+    enum class Criterion { Sse, Gini };
+
+    void fit(const Dataset &data, const std::vector<size_t> &rows,
+             const TreeOptions &options, support::Rng &rng,
+             Criterion criterion);
+
+    int buildNode(const Dataset &data, std::vector<size_t> &rows,
+                  size_t begin, size_t end, size_t depth,
+                  const TreeOptions &options, support::Rng &rng,
+                  Criterion criterion);
+
+    void rulesRecursive(const Dataset &data, int node, size_t indent,
+                        const std::string &positive_label,
+                        const std::string &negative_label,
+                        std::string &out) const;
+
+    size_t depthRecursive(int node) const;
+
+    std::vector<Node> nodes_;
+};
+
+} // namespace slambench::ml
+
+#endif // SLAMBENCH_ML_DECISION_TREE_HPP

@@ -1,0 +1,78 @@
+#include "ml/random_forest.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/logging.hpp"
+
+namespace slambench::ml {
+
+void
+RandomForest::fit(const Dataset &data, const ForestOptions &options,
+                  support::Rng &rng)
+{
+    if (data.empty())
+        support::panic("RandomForest::fit: empty dataset");
+
+    ForestOptions opts = options;
+    if (opts.tree.featureSubset == 0) {
+        opts.tree.featureSubset = static_cast<size_t>(
+            std::ceil(std::sqrt(
+                static_cast<double>(data.numFeatures()))));
+    }
+
+    const size_t sample_size = std::max<size_t>(
+        1, static_cast<size_t>(opts.bootstrapFraction *
+                               static_cast<double>(data.size())));
+
+    trees_.assign(opts.numTrees, DecisionTree{});
+    std::vector<size_t> rows(sample_size);
+    for (DecisionTree &tree : trees_) {
+        for (size_t &row : rows)
+            row = rng.uniformInt(static_cast<uint64_t>(data.size()));
+        tree.fitRegression(data, rows, opts.tree, rng);
+    }
+}
+
+double
+RandomForest::predict(const std::vector<double> &features) const
+{
+    return predictWithUncertainty(features).mean;
+}
+
+ForestPrediction
+RandomForest::predictWithUncertainty(
+    const std::vector<double> &features) const
+{
+    if (trees_.empty())
+        support::panic("RandomForest::predict: forest is not fitted");
+    double sum = 0.0;
+    double sq = 0.0;
+    for (const DecisionTree &tree : trees_) {
+        const double p = tree.predict(features);
+        sum += p;
+        sq += p * p;
+    }
+    const double n = static_cast<double>(trees_.size());
+    ForestPrediction pred;
+    pred.mean = sum / n;
+    pred.variance = std::max(0.0, sq / n - pred.mean * pred.mean);
+    return pred;
+}
+
+double
+RandomForest::mseOn(const Dataset &data) const
+{
+    if (data.empty())
+        return 0.0;
+    double sse = 0.0;
+    std::vector<double> features;
+    for (size_t i = 0; i < data.size(); ++i) {
+        data.rowFeatures(i, features);
+        const double err = predict(features) - data.target(i);
+        sse += err * err;
+    }
+    return sse / static_cast<double>(data.size());
+}
+
+} // namespace slambench::ml

@@ -1,0 +1,76 @@
+#ifndef SLAMBENCH_ML_RANDOM_FOREST_HPP
+#define SLAMBENCH_ML_RANDOM_FOREST_HPP
+
+/**
+ * @file
+ * Random-forest regression: bagged CART trees with per-split feature
+ * subsampling. This is the predictive model HyperMapper's active
+ * learning builds over the algorithmic configuration space.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "ml/decision_tree.hpp"
+
+namespace slambench::ml {
+
+/** Forest hyper-parameters. */
+struct ForestOptions
+{
+    size_t numTrees = 40;
+    TreeOptions tree;
+    /**
+     * Bootstrap sample size as a fraction of the training set
+     * (sampling with replacement).
+     */
+    double bootstrapFraction = 1.0;
+};
+
+/** Mean and spread of the per-tree predictions for one query. */
+struct ForestPrediction
+{
+    double mean = 0.0;
+    double variance = 0.0; ///< Across trees; an uncertainty proxy.
+};
+
+/**
+ * Bagged regression forest.
+ */
+class RandomForest
+{
+  public:
+    /**
+     * Fit on all rows of @p data.
+     *
+     * @param data Training rows.
+     * @param options Forest hyper-parameters. A featureSubset of 0
+     *                defaults to ceil(sqrt(num_features)).
+     * @param rng Randomness for bootstrapping and splits.
+     */
+    void fit(const Dataset &data, const ForestOptions &options,
+             support::Rng &rng);
+
+    /** @return mean prediction for @p features. */
+    double predict(const std::vector<double> &features) const;
+
+    /** @return mean and across-tree variance for @p features. */
+    ForestPrediction
+    predictWithUncertainty(const std::vector<double> &features) const;
+
+    /** @return number of fitted trees. */
+    size_t size() const { return trees_.size(); }
+
+    /**
+     * Out-of-bag-style quality check: mean squared error of the
+     * forest on a held-out dataset.
+     */
+    double mseOn(const Dataset &data) const;
+
+  private:
+    std::vector<DecisionTree> trees_;
+};
+
+} // namespace slambench::ml
+
+#endif // SLAMBENCH_ML_RANDOM_FOREST_HPP

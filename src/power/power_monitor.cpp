@@ -1,0 +1,59 @@
+#include "power/power_monitor.hpp"
+
+namespace slambench::power {
+
+SimulatedPowerMonitor::SimulatedPowerMonitor(devices::DeviceModel device)
+    : device_(std::move(device))
+{}
+
+void
+SimulatedPowerMonitor::recordFrame(const kfusion::WorkCounts &work)
+{
+    joules_ += device_.frameJoules(work);
+    seconds_ += device_.frameSeconds(work);
+}
+
+EnergyReading
+SimulatedPowerMonitor::reading() const
+{
+    EnergyReading r;
+    r.available = true;
+    r.joules = joules_;
+    r.seconds = seconds_;
+    return r;
+}
+
+void
+SimulatedPowerMonitor::reset()
+{
+    joules_ = 0.0;
+    seconds_ = 0.0;
+}
+
+void
+NullPowerMonitor::recordFrame(const kfusion::WorkCounts &)
+{}
+
+EnergyReading
+NullPowerMonitor::reading() const
+{
+    return EnergyReading{};
+}
+
+void
+NullPowerMonitor::reset()
+{}
+
+std::unique_ptr<PowerMonitor>
+makeSimulatedMonitor(const devices::DeviceModel &device)
+{
+    return std::make_unique<SimulatedPowerMonitor>(device);
+}
+
+std::unique_ptr<PowerMonitor>
+makeNullMonitor()
+{
+    return std::make_unique<NullPowerMonitor>();
+}
+
+} // namespace slambench::power

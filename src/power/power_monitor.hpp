@@ -1,0 +1,100 @@
+#ifndef SLAMBENCH_POWER_POWER_MONITOR_HPP
+#define SLAMBENCH_POWER_POWER_MONITOR_HPP
+
+/**
+ * @file
+ * Power measurement abstraction.
+ *
+ * SLAMBench reads board sensors (the XU3's INA231 rails) or PAPI
+ * counters where available. This reproduction keeps the same
+ * abstraction with two backends: a simulated monitor that integrates
+ * a device model over the pipeline's per-frame work counts, and a
+ * null monitor for hosts without sensors (power reported as
+ * unavailable, exactly as SLAMBench does on unsupported machines).
+ */
+
+#include <memory>
+#include <vector>
+
+#include "devices/device_model.hpp"
+#include "kfusion/work_counters.hpp"
+
+namespace slambench::power {
+
+/** Energy/power reading for an interval of frames. */
+struct EnergyReading
+{
+    bool available = false;
+    double joules = 0.0;
+    double seconds = 0.0;
+
+    /** @return mean power, watts; 0 when unavailable or instant. */
+    double
+    watts() const
+    {
+        return (available && seconds > 0.0) ? joules / seconds : 0.0;
+    }
+};
+
+/**
+ * Interface: accumulate per-frame work and report energy.
+ */
+class PowerMonitor
+{
+  public:
+    virtual ~PowerMonitor() = default;
+
+    /** Record one processed frame's work counts. */
+    virtual void recordFrame(const kfusion::WorkCounts &work) = 0;
+
+    /** @return the accumulated reading since construction/reset. */
+    virtual EnergyReading reading() const = 0;
+
+    /** Clear accumulated state. */
+    virtual void reset() = 0;
+};
+
+/**
+ * Backend that integrates a DeviceModel: the simulated equivalent of
+ * the XU3's on-board INA231 power rails.
+ */
+class SimulatedPowerMonitor : public PowerMonitor
+{
+  public:
+    /** @param device Model whose energy coefficients are used. */
+    explicit SimulatedPowerMonitor(devices::DeviceModel device);
+
+    void recordFrame(const kfusion::WorkCounts &work) override;
+    EnergyReading reading() const override;
+    void reset() override;
+
+    /** @return the wrapped device model. */
+    const devices::DeviceModel &device() const { return device_; }
+
+  private:
+    devices::DeviceModel device_;
+    double joules_ = 0.0;
+    double seconds_ = 0.0;
+};
+
+/**
+ * Backend for hosts without power sensors: always unavailable.
+ */
+class NullPowerMonitor : public PowerMonitor
+{
+  public:
+    void recordFrame(const kfusion::WorkCounts &work) override;
+    EnergyReading reading() const override;
+    void reset() override;
+};
+
+/** @return a simulated monitor for @p device. */
+std::unique_ptr<PowerMonitor>
+makeSimulatedMonitor(const devices::DeviceModel &device);
+
+/** @return a monitor that reports power as unavailable. */
+std::unique_ptr<PowerMonitor> makeNullMonitor();
+
+} // namespace slambench::power
+
+#endif // SLAMBENCH_POWER_POWER_MONITOR_HPP

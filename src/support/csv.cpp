@@ -1,0 +1,117 @@
+#include "support/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace slambench::support {
+
+CsvWriter::CsvWriter(std::ostream &out, std::vector<std::string> columns)
+    : out_(out), columns_(columns.size())
+{
+    if (columns.empty())
+        panic("CsvWriter: header must have at least one column");
+    for (size_t i = 0; i < columns.size(); ++i) {
+        if (i)
+            out_ << ',';
+        out_ << escape(columns[i]);
+    }
+    out_ << '\n';
+}
+
+CsvWriter::~CsvWriter()
+{
+    endRow();
+}
+
+CsvWriter &
+CsvWriter::beginRow()
+{
+    endRow();
+    rowOpen_ = true;
+    cellsInRow_ = 0;
+    return *this;
+}
+
+void
+CsvWriter::writeRaw(const std::string &value)
+{
+    if (!rowOpen_)
+        beginRow();
+    if (cellsInRow_ >= columns_)
+        panic("CsvWriter: more cells than header columns");
+    if (cellsInRow_)
+        out_ << ',';
+    out_ << value;
+    ++cellsInRow_;
+}
+
+CsvWriter &
+CsvWriter::cell(const std::string &value)
+{
+    writeRaw(escape(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(const char *value)
+{
+    return cell(std::string(value));
+}
+
+CsvWriter &
+CsvWriter::cell(double value)
+{
+    std::ostringstream ss;
+    ss << std::setprecision(std::numeric_limits<double>::max_digits10)
+       << value;
+    writeRaw(ss.str());
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(int64_t value)
+{
+    writeRaw(std::to_string(value));
+    return *this;
+}
+
+CsvWriter &
+CsvWriter::cell(uint64_t value)
+{
+    writeRaw(std::to_string(value));
+    return *this;
+}
+
+void
+CsvWriter::endRow()
+{
+    if (!rowOpen_)
+        return;
+    if (cellsInRow_ != columns_)
+        panic("CsvWriter: row has fewer cells than header columns");
+    out_ << '\n';
+    rowOpen_ = false;
+    ++rows_;
+}
+
+std::string
+CsvWriter::escape(const std::string &value)
+{
+    const bool needs_quote =
+        value.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quote)
+        return value;
+    std::string quoted = "\"";
+    for (char c : value) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
+} // namespace slambench::support

@@ -1,0 +1,71 @@
+#ifndef SLAMBENCH_SUPPORT_CSV_HPP
+#define SLAMBENCH_SUPPORT_CSV_HPP
+
+/**
+ * @file
+ * Small CSV writer used by the benchmark harness and DSE drivers to
+ * emit figure data series.
+ */
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace slambench::support {
+
+/**
+ * Streams rows of comma-separated values with a fixed header.
+ *
+ * Fields containing commas, quotes, or newlines are quoted per RFC
+ * 4180. The writer does not own the output stream.
+ */
+class CsvWriter
+{
+  public:
+    /**
+     * @param out Destination stream; must outlive the writer.
+     * @param columns Header names, written immediately.
+     */
+    CsvWriter(std::ostream &out, std::vector<std::string> columns);
+
+    /** Begin a new row; any unfinished row is flushed first. */
+    CsvWriter &beginRow();
+
+    /** Append one string cell to the current row. */
+    CsvWriter &cell(const std::string &value);
+    /** Append one C-string cell to the current row. */
+    CsvWriter &cell(const char *value);
+    /** Append one floating-point cell (max_digits10 precision). */
+    CsvWriter &cell(double value);
+    /** Append one integer cell. */
+    CsvWriter &cell(int64_t value);
+    /** Append one unsigned integer cell. */
+    CsvWriter &cell(uint64_t value);
+    /** Append one integer cell. */
+    CsvWriter &cell(int value) { return cell(static_cast<int64_t>(value)); }
+
+    /** Flush the in-progress row, if any. Called by the destructor. */
+    void endRow();
+
+    ~CsvWriter();
+
+    /** @return number of data rows fully written so far. */
+    size_t rowCount() const { return rows_; }
+
+    /** Quote a value per RFC 4180 if it needs quoting. */
+    static std::string escape(const std::string &value);
+
+  private:
+    void writeRaw(const std::string &value);
+
+    std::ostream &out_;
+    size_t columns_;
+    size_t cellsInRow_ = 0;
+    bool rowOpen_ = false;
+    size_t rows_ = 0;
+};
+
+} // namespace slambench::support
+
+#endif // SLAMBENCH_SUPPORT_CSV_HPP

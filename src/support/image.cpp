@@ -1,0 +1,77 @@
+#include "support/image.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace slambench::support {
+
+bool
+writePpm(const Image<Rgb8> &image, const std::string &path)
+{
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P6\n" << image.width() << ' ' << image.height() << "\n255\n";
+    static_assert(sizeof(Rgb8) == 3, "Rgb8 must be tightly packed");
+    out.write(reinterpret_cast<const char *>(image.data()),
+              static_cast<std::streamsize>(image.size() * sizeof(Rgb8)));
+    return static_cast<bool>(out);
+}
+
+bool
+writePgm(const Image<float> &image, const std::string &path,
+         float lo, float hi)
+{
+    if (hi == lo)
+        return false;
+    std::ofstream out(path, std::ios::binary);
+    if (!out)
+        return false;
+    out << "P5\n" << image.width() << ' ' << image.height() << "\n255\n";
+    std::vector<uint8_t> row(image.width());
+    for (size_t y = 0; y < image.height(); ++y) {
+        for (size_t x = 0; x < image.width(); ++x) {
+            const float t = (image(x, y) - lo) / (hi - lo);
+            const float c = std::clamp(t, 0.0f, 1.0f) * 255.0f;
+            row[x] = static_cast<uint8_t>(std::lround(c));
+        }
+        out.write(reinterpret_cast<const char *>(row.data()),
+                  static_cast<std::streamsize>(row.size()));
+    }
+    return static_cast<bool>(out);
+}
+
+std::string
+asciiArt(const Image<float> &image, size_t out_width, float lo, float hi)
+{
+    static const char glyphs[] = " .:-=+*#%@";
+    const size_t levels = sizeof(glyphs) - 2;
+    if (image.empty() || out_width == 0 || hi == lo)
+        return "";
+
+    const size_t out_w = std::min(out_width, image.width());
+    // Terminal cells are roughly twice as tall as wide.
+    const double scale = static_cast<double>(image.width()) / out_w;
+    const size_t out_h = std::max<size_t>(
+        1, static_cast<size_t>(image.height() / (scale * 2.0)));
+
+    std::string art;
+    art.reserve((out_w + 1) * out_h);
+    for (size_t oy = 0; oy < out_h; ++oy) {
+        for (size_t ox = 0; ox < out_w; ++ox) {
+            const size_t sx = std::min(
+                image.width() - 1, static_cast<size_t>(ox * scale));
+            const size_t sy = std::min(
+                image.height() - 1,
+                static_cast<size_t>(oy * scale * 2.0));
+            const float t =
+                std::clamp((image(sx, sy) - lo) / (hi - lo), 0.0f, 1.0f);
+            art += glyphs[static_cast<size_t>(t * levels)];
+        }
+        art += '\n';
+    }
+    return art;
+}
+
+} // namespace slambench::support

@@ -1,0 +1,64 @@
+#include "support/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace slambench::support {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::Info};
+std::mutex g_mutex;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Error: return "ERROR";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel
+logLevel()
+{
+    return g_level.load(std::memory_order_relaxed);
+}
+
+void
+logMessage(LogLevel level, const std::string &message)
+{
+    if (static_cast<int>(level) < static_cast<int>(logLevel()))
+        return;
+    std::lock_guard<std::mutex> lock(g_mutex);
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+}
+
+void
+fatal(const std::string &message)
+{
+    std::fprintf(stderr, "[FATAL] %s\n", message.c_str());
+    std::exit(1);
+}
+
+void
+panic(const std::string &message)
+{
+    std::fprintf(stderr, "[PANIC] %s\n", message.c_str());
+    std::abort();
+}
+
+} // namespace slambench::support

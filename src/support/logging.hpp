@@ -1,0 +1,97 @@
+#ifndef SLAMBENCH_SUPPORT_LOGGING_HPP
+#define SLAMBENCH_SUPPORT_LOGGING_HPP
+
+/**
+ * @file
+ * Minimal logging and error-reporting facilities.
+ *
+ * Follows the gem5 convention: fatal() is for user errors that make it
+ * impossible to continue (bad configuration, missing files); panic() is
+ * for internal invariant violations that indicate a bug in this library.
+ */
+
+#include <sstream>
+#include <string>
+
+namespace slambench::support {
+
+/** Severity of a log record. */
+enum class LogLevel {
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Set the global minimum severity; records below it are dropped.
+ *
+ * @param level New threshold. Defaults to Info at program start.
+ */
+void setLogLevel(LogLevel level);
+
+/** @return the current global minimum severity. */
+LogLevel logLevel();
+
+/**
+ * Emit a log record to stderr if @p level passes the global threshold.
+ *
+ * @param level Severity of the record.
+ * @param message Preformatted message body.
+ */
+void logMessage(LogLevel level, const std::string &message);
+
+/**
+ * Report an unrecoverable *user* error and exit(1).
+ *
+ * @param message Explanation shown to the user.
+ */
+[[noreturn]] void fatal(const std::string &message);
+
+/**
+ * Report an internal invariant violation and abort().
+ *
+ * @param message Explanation of the broken invariant.
+ */
+[[noreturn]] void panic(const std::string &message);
+
+namespace detail {
+
+/** Stream-builder that emits its buffer as one log record on destruction. */
+class LogStream
+{
+  public:
+    explicit LogStream(LogLevel level) : level_(level) {}
+
+    LogStream(const LogStream &) = delete;
+    LogStream &operator=(const LogStream &) = delete;
+
+    ~LogStream() { logMessage(level_, buffer_.str()); }
+
+    template <typename T>
+    LogStream &
+    operator<<(const T &value)
+    {
+        buffer_ << value;
+        return *this;
+    }
+
+  private:
+    LogLevel level_;
+    std::ostringstream buffer_;
+};
+
+} // namespace detail
+
+/** @return a stream that logs at Debug severity when destroyed. */
+inline detail::LogStream logDebug() { return detail::LogStream(LogLevel::Debug); }
+/** @return a stream that logs at Info severity when destroyed. */
+inline detail::LogStream logInfo() { return detail::LogStream(LogLevel::Info); }
+/** @return a stream that logs at Warn severity when destroyed. */
+inline detail::LogStream logWarn() { return detail::LogStream(LogLevel::Warn); }
+/** @return a stream that logs at Error severity when destroyed. */
+inline detail::LogStream logError() { return detail::LogStream(LogLevel::Error); }
+
+} // namespace slambench::support
+
+#endif // SLAMBENCH_SUPPORT_LOGGING_HPP

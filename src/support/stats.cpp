@@ -1,0 +1,131 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "support/logging.hpp"
+
+namespace slambench::support {
+
+void
+RunningStat::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+double
+RunningStat::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStat::merge(const RunningStat &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    if (samples.empty())
+        return 0.0;
+    std::sort(samples.begin(), samples.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    const double rank =
+        clamped / 100.0 * static_cast<double>(samples.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return samples[lo] + frac * (samples[hi] - samples[lo]);
+}
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0)
+{
+    if (bins == 0)
+        panic("Histogram: bins must be >= 1");
+    if (!(hi > lo))
+        panic("Histogram: hi must be > lo");
+}
+
+void
+Histogram::add(double x)
+{
+    const double t = (x - lo_) / (hi_ - lo_);
+    const long raw = static_cast<long>(
+        std::floor(t * static_cast<double>(counts_.size())));
+    const long last = static_cast<long>(counts_.size()) - 1;
+    const long bin = std::clamp(raw, 0L, last);
+    ++counts_[static_cast<size_t>(bin)];
+    ++total_;
+}
+
+double
+Histogram::binLo(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                     static_cast<double>(counts_.size());
+}
+
+double
+Histogram::binHi(size_t i) const
+{
+    return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                     static_cast<double>(counts_.size());
+}
+
+std::string
+Histogram::toAscii(size_t max_bar_width) const
+{
+    uint64_t peak = 1;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+
+    std::ostringstream out;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        char label[64];
+        std::snprintf(label, sizeof(label), "[%6.2f,%6.2f) ",
+                      binLo(i), binHi(i));
+        out << label;
+        const size_t bar =
+            static_cast<size_t>(counts_[i] * max_bar_width / peak);
+        for (size_t j = 0; j < bar; ++j)
+            out << '#';
+        out << ' ' << counts_[i] << '\n';
+    }
+    return out.str();
+}
+
+} // namespace slambench::support

@@ -1,0 +1,103 @@
+#ifndef SLAMBENCH_SUPPORT_STATS_HPP
+#define SLAMBENCH_SUPPORT_STATS_HPP
+
+/**
+ * @file
+ * Streaming statistics and histograms for metric aggregation.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace slambench::support {
+
+/**
+ * Welford streaming accumulator for mean/variance plus min/max.
+ */
+class RunningStat
+{
+  public:
+    /** Fold one sample into the accumulator. */
+    void add(double x);
+
+    /** @return number of samples seen. */
+    size_t count() const { return count_; }
+    /** @return sample mean, or 0 when empty. */
+    double mean() const { return count_ ? mean_ : 0.0; }
+    /** @return unbiased sample variance, or 0 with < 2 samples. */
+    double variance() const;
+    /** @return sqrt(variance()). */
+    double stddev() const;
+    /** @return smallest sample, or +inf when empty. */
+    double min() const { return min_; }
+    /** @return largest sample, or -inf when empty. */
+    double max() const { return max_; }
+    /** @return sum of all samples. */
+    double sum() const { return sum_; }
+
+    /** Merge another accumulator into this one (parallel reduction). */
+    void merge(const RunningStat &other);
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Compute the p-th percentile (0..100) by linear interpolation of the
+ * sorted samples. @p samples is copied; empty input returns 0.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * Fixed-range histogram with uniform bins, used for the Fig. 3
+ * speed-up distribution readout.
+ */
+class Histogram
+{
+  public:
+    /**
+     * @param lo Lower edge of the first bin.
+     * @param hi Upper edge of the last bin; must be > lo.
+     * @param bins Number of bins; must be >= 1.
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Add a sample; out-of-range values clamp to the edge bins. */
+    void add(double x);
+
+    /** @return count in bin @p i. */
+    uint64_t binCount(size_t i) const { return counts_[i]; }
+    /** @return number of bins. */
+    size_t numBins() const { return counts_.size(); }
+    /** @return inclusive lower edge of bin @p i. */
+    double binLo(size_t i) const;
+    /** @return exclusive upper edge of bin @p i. */
+    double binHi(size_t i) const;
+    /** @return total samples added. */
+    uint64_t total() const { return total_; }
+
+    /**
+     * Render as an ASCII bar chart, one bin per line.
+     *
+     * @param max_bar_width Width in characters of the longest bar.
+     */
+    std::string toAscii(size_t max_bar_width = 50) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<uint64_t> counts_;
+    uint64_t total_ = 0;
+};
+
+} // namespace slambench::support
+
+#endif // SLAMBENCH_SUPPORT_STATS_HPP

@@ -1,0 +1,133 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+
+#include "support/logging.hpp"
+
+namespace slambench::support {
+
+ThreadPool::ThreadPool(size_t num_threads)
+{
+    size_t n = num_threads;
+    if (n == 0) {
+        n = std::thread::hardware_concurrency();
+        if (n == 0)
+            n = 1;
+    }
+    threads_.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        threads_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    wake_.notify_all();
+    for (auto &t : threads_)
+        t.join();
+}
+
+void
+ThreadPool::parallelFor(size_t begin, size_t end,
+                        const std::function<void(size_t)> &body)
+{
+    const std::function<void(size_t, size_t)> chunked =
+        [&body](size_t lo, size_t hi) {
+            for (size_t i = lo; i < hi; ++i)
+                body(i);
+        };
+    parallelForChunked(begin, end, chunked);
+}
+
+void
+ThreadPool::parallelForChunked(
+    size_t begin, size_t end,
+    const std::function<void(size_t, size_t)> &body)
+{
+    if (begin >= end)
+        return;
+
+    const size_t count = end - begin;
+    // Aim for ~4 chunks per worker to absorb imbalance without
+    // excessive dispatch overhead.
+    const size_t target_chunks = std::max<size_t>(threads_.size() * 4, 1);
+    const size_t chunk = std::max<size_t>(1, count / target_chunks);
+
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        if (jobActive_)
+            panic("ThreadPool::parallelFor: nested parallel regions "
+                  "are not supported");
+        job_.begin = begin;
+        job_.end = end;
+        job_.chunk = chunk;
+        job_.body = &body;
+        job_.next = begin;
+        job_.remainingChunks = (count + chunk - 1) / chunk;
+        jobActive_ = true;
+        ++generation_;
+    }
+    wake_.notify_all();
+
+    // The caller participates too, so a 1-thread pool still makes
+    // forward progress even if the worker is descheduled.
+    runChunks(job_);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_.wait(lock, [this] { return job_.remainingChunks == 0; });
+    jobActive_ = false;
+}
+
+void
+ThreadPool::runChunks(Job &job)
+{
+    for (;;) {
+        size_t lo, hi;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (job.next >= job.end)
+                return;
+            lo = job.next;
+            hi = std::min(job.end, lo + job.chunk);
+            job.next = hi;
+        }
+        (*job.body)(lo, hi);
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--job.remainingChunks == 0) {
+                done_.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    uint64_t seen = 0;
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            wake_.wait(lock, [this, seen] {
+                return stopping_ || (jobActive_ && generation_ != seen);
+            });
+            if (stopping_)
+                return;
+            seen = generation_;
+        }
+        runChunks(job_);
+    }
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+} // namespace slambench::support

@@ -1,0 +1,92 @@
+#ifndef SLAMBENCH_SUPPORT_THREAD_POOL_HPP
+#define SLAMBENCH_SUPPORT_THREAD_POOL_HPP
+
+/**
+ * @file
+ * Fixed-size worker pool with a blocking parallelFor.
+ *
+ * This is the substrate behind the `Threaded` kernel implementations,
+ * mirroring SLAMBench's OpenMP builds without an OpenMP dependency.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace slambench::support {
+
+/**
+ * A fixed set of worker threads executing parallelFor range chunks.
+ *
+ * The pool is created idle; parallelFor blocks the caller until every
+ * chunk has completed. Nested parallelFor calls are not supported.
+ */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads Worker count; 0 selects hardware_concurrency().
+     */
+    explicit ThreadPool(size_t num_threads = 0);
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    ~ThreadPool();
+
+    /** @return number of worker threads (always >= 1). */
+    size_t numThreads() const { return threads_.size(); }
+
+    /**
+     * Run @p body(i) for every i in [begin, end), split into chunks
+     * executed by the workers. Blocks until all iterations complete.
+     *
+     * @param begin First index.
+     * @param end One past the last index.
+     * @param body Callable invoked once per index; must be thread-safe.
+     */
+    void parallelFor(size_t begin, size_t end,
+                     const std::function<void(size_t)> &body);
+
+    /**
+     * Chunked variant: @p body(chunk_begin, chunk_end) is called once
+     * per contiguous chunk, which lets the body keep per-chunk state.
+     */
+    void parallelForChunked(
+        size_t begin, size_t end,
+        const std::function<void(size_t, size_t)> &body);
+
+    /** @return a process-wide shared pool sized to the host. */
+    static ThreadPool &global();
+
+  private:
+    struct Job
+    {
+        size_t begin = 0;
+        size_t end = 0;
+        size_t chunk = 1;
+        const std::function<void(size_t, size_t)> *body = nullptr;
+        size_t next = 0;
+        size_t remainingChunks = 0;
+    };
+
+    void workerLoop();
+    void runChunks(Job &job);
+
+    std::vector<std::thread> threads_;
+    std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable done_;
+    Job job_;
+    uint64_t generation_ = 0;
+    bool jobActive_ = false;
+    bool stopping_ = false;
+};
+
+} // namespace slambench::support
+
+#endif // SLAMBENCH_SUPPORT_THREAD_POOL_HPP

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Tests for the framework layer: the SlamSystem interface, the
+ * benchmark loop, configuration binding, and experiment glue.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "core/benchmark.hpp"
+#include "core/config_binding.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/slam_system.hpp"
+#include "devices/fleet.hpp"
+
+namespace {
+
+using namespace slambench::core;
+using slambench::dataset::Sequence;
+using slambench::dataset::SequenceSpec;
+using slambench::devices::DeviceModel;
+using slambench::devices::odroidXu3;
+using slambench::hypermapper::ParameterSpace;
+using slambench::hypermapper::Point;
+using slambench::kfusion::KFusionConfig;
+
+Sequence
+tinySequence(size_t frames = 6)
+{
+    SequenceSpec spec;
+    spec.width = 64;
+    spec.height = 48;
+    spec.numFrames = frames;
+    spec.renderRgb = false;
+    return generateSequence(spec);
+}
+
+KFusionConfig
+tinyConfig()
+{
+    KFusionConfig config;
+    config.volumeResolution = 64;
+    config.pyramidIterations = {5, 3, 2};
+    return config;
+}
+
+// --- KFusionSystem / benchmark loop ---
+
+TEST(KFusionSystem, NameReflectsImplementation)
+{
+    KFusionSystem seq(tinyConfig());
+    EXPECT_EQ(seq.name(), "kfusion-sequential");
+    KFusionSystem par(tinyConfig(),
+                      slambench::kfusion::Implementation::Threaded);
+    EXPECT_EQ(par.name(), "kfusion-threaded");
+}
+
+TEST(Benchmark, RunsAndCollectsAllMetrics)
+{
+    const Sequence seq = tinySequence();
+    KFusionSystem system(tinyConfig());
+    const BenchmarkResult result = runBenchmark(system, seq);
+
+    EXPECT_EQ(result.frames, 6u);
+    EXPECT_EQ(result.estimatedPoses.size(), 6u);
+    EXPECT_EQ(result.frameWork.size(), 6u);
+    EXPECT_GT(result.trackedFraction(), 0.8);
+    EXPECT_LT(result.ate.maxAte, 0.05);
+    EXPECT_GT(result.hostTiming.totalSeconds, 0.0);
+    EXPECT_GT(result.totalWork.itemsFor(
+                  slambench::kfusion::KernelId::Integrate),
+              0.0);
+    // Aligned ATE is computed by default and is never worse than 2x
+    // the raw ATE on a healthy run.
+    EXPECT_GT(result.ateAligned.frames, 0u);
+}
+
+TEST(Benchmark, RenderingRateChargesRenderVolume)
+{
+    const Sequence seq = tinySequence(5);
+    KFusionConfig config = tinyConfig();
+    config.renderingRate = 2;
+    KFusionSystem system(config);
+    const BenchmarkResult result = runBenchmark(system, seq);
+    // Frames 0, 2, 4 render.
+    size_t rendered_frames = 0;
+    for (const auto &work : result.frameWork)
+        rendered_frames +=
+            work.itemsFor(
+                slambench::kfusion::KernelId::RenderVolume) > 0.0;
+    EXPECT_EQ(rendered_frames, 3u);
+}
+
+// --- config binding ---
+
+TEST(ConfigBinding, SpaceHasTenParameters)
+{
+    const ParameterSpace space = kfusionParameterSpace();
+    EXPECT_EQ(space.size(), 10u);
+    // Defaults decode to the default KFusionConfig.
+    const KFusionConfig config =
+        pointToConfig(space, space.defaultPoint());
+    const KFusionConfig reference;
+    EXPECT_EQ(config.computeSizeRatio, reference.computeSizeRatio);
+    EXPECT_EQ(config.volumeResolution, reference.volumeResolution);
+    EXPECT_EQ(config.integrationRate, reference.integrationRate);
+    EXPECT_EQ(config.pyramidIterations, reference.pyramidIterations);
+    EXPECT_FLOAT_EQ(config.mu, reference.mu);
+}
+
+TEST(ConfigBinding, RoundTripThroughPoint)
+{
+    const ParameterSpace space = kfusionParameterSpace();
+    KFusionConfig config;
+    config.computeSizeRatio = 4;
+    config.volumeResolution = 96;
+    config.mu = 0.15f;
+    config.integrationRate = 7;
+    config.pyramidIterations = {8, 4, 2};
+    config.trackingRate = 2;
+    config.renderingRate = 6;
+    const Point p = configToPoint(space, config);
+    const KFusionConfig decoded = pointToConfig(space, p);
+    EXPECT_EQ(decoded.computeSizeRatio, 4);
+    EXPECT_EQ(decoded.volumeResolution, 96);
+    EXPECT_NEAR(decoded.mu, 0.15f, 1e-6f);
+    EXPECT_EQ(decoded.integrationRate, 7);
+    EXPECT_EQ(decoded.pyramidIterations,
+              (std::vector<int>{8, 4, 2}));
+    EXPECT_EQ(decoded.trackingRate, 2);
+    EXPECT_EQ(decoded.renderingRate, 6);
+}
+
+TEST(ConfigBinding, RandomPointsAlwaysValidate)
+{
+    const ParameterSpace space = kfusionParameterSpace();
+    slambench::support::Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const KFusionConfig config =
+            pointToConfig(space, space.sample(rng));
+        EXPECT_TRUE(config.validate().empty())
+            << config.toString() << ": " << config.validate();
+    }
+}
+
+// --- experiment glue ---
+
+TEST(Experiment, VolumeBytes)
+{
+    KFusionConfig config;
+    config.volumeResolution = 64;
+    EXPECT_DOUBLE_EQ(volumeBytes(config), 64.0 * 64 * 64 * 8);
+}
+
+TEST(Experiment, EvaluateConfigOnDeviceProducesObjectives)
+{
+    const Sequence seq = tinySequence();
+    const EvaluatedConfig record =
+        evaluateConfigOnDevice(tinyConfig(), seq, odroidXu3());
+    EXPECT_TRUE(record.valid);
+    EXPECT_GT(record.simulated.meanFrameSeconds, 0.0);
+    EXPECT_GT(record.simulated.meanWatts, 0.0);
+    EXPECT_GE(record.ate.maxAte, 0.0);
+    EXPECT_GT(record.trackedFraction, 0.9);
+}
+
+TEST(Experiment, MemoryBudgetInvalidatesHugeVolumes)
+{
+    const Sequence seq = tinySequence(2);
+    DeviceModel small_device = odroidXu3();
+    small_device.memoryBudgetBytes = 1e6; // 1 MB: nothing fits
+    const EvaluatedConfig record =
+        evaluateConfigOnDevice(tinyConfig(), seq, small_device);
+    EXPECT_FALSE(record.valid);
+}
+
+TEST(Experiment, DseEvaluatorMatchesDirectEvaluation)
+{
+    const Sequence seq = tinySequence();
+    const ParameterSpace space = kfusionParameterSpace();
+    std::vector<EvaluatedConfig> log;
+    auto evaluator =
+        makeDseEvaluator(space, seq, odroidXu3(), {}, &log);
+
+    Point p = space.defaultPoint();
+    p[space.indexOf("volume_resolution")] = 64;
+    const auto outcome = evaluator(p);
+    ASSERT_EQ(log.size(), 1u);
+    EXPECT_EQ(outcome.objectives.size(),
+              static_cast<size_t>(kNumObjectives));
+    EXPECT_NEAR(outcome.objectives[kObjRuntime],
+                log[0].simulated.meanFrameSeconds, 1e-12);
+    EXPECT_NEAR(outcome.objectives[kObjMaxAte], log[0].ate.maxAte,
+                1e-12);
+    EXPECT_NEAR(outcome.objectives[kObjWatts],
+                log[0].simulated.pacedWatts, 1e-12);
+}
+
+TEST(Experiment, ReplayOnFleetComputesSpeedups)
+{
+    const Sequence seq = tinySequence(4);
+
+    KFusionConfig default_config = tinyConfig();
+    default_config.volumeResolution = 128;
+    KFusionConfig tuned_config = tinyConfig();
+    tuned_config.computeSizeRatio = 2;
+    tuned_config.volumeResolution = 64;
+    tuned_config.integrationRate = 4;
+
+    KFusionSystem default_system(default_config);
+    KFusionSystem tuned_system(tuned_config);
+    const BenchmarkResult default_run =
+        runBenchmark(default_system, seq);
+    const BenchmarkResult tuned_run = runBenchmark(tuned_system, seq);
+
+    const auto fleet = slambench::devices::mobileFleet(20, 7);
+    const auto entries = replayOnFleet(
+        fleet, default_run.frameWork, volumeBytes(default_config),
+        tuned_run.frameWork, volumeBytes(tuned_config));
+    ASSERT_EQ(entries.size(), 20u);
+    for (const FleetEntry &e : entries) {
+        if (e.ranDefault && e.ranTuned) {
+            EXPECT_GT(e.speedup, 1.0) << e.device;
+            EXPECT_LT(e.speedup, 100.0) << e.device;
+        }
+    }
+}
+
+TEST(Report, FrameLogHasOneRowPerFrame)
+{
+    const Sequence seq = tinySequence(4);
+    KFusionSystem system(tinyConfig());
+    const BenchmarkResult result = runBenchmark(system, seq);
+    std::ostringstream out;
+    const size_t rows =
+        writeFrameLog(out, result, odroidXu3());
+    EXPECT_EQ(rows, 4u);
+    // Header + 4 data rows.
+    const std::string text = out.str();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 5);
+}
+
+TEST(Report, SummaryMentionsKeyMetrics)
+{
+    const Sequence seq = tinySequence(3);
+    KFusionSystem system(tinyConfig());
+    const BenchmarkResult result = runBenchmark(system, seq);
+    const std::string text =
+        summarizeRun(result, odroidXu3(), system.name());
+    EXPECT_NE(text.find("kfusion-sequential"), std::string::npos);
+    EXPECT_NE(text.find("max ATE"), std::string::npos);
+    EXPECT_NE(text.find("odroid-xu3"), std::string::npos);
+    EXPECT_NE(text.find("integrate"), std::string::npos);
+}
+
+TEST(Experiment, UntrackableRunIsInvalid)
+{
+    // A configuration that cannot track: zero ICP iterations at
+    // every level makes the pipeline open-loop; with a moving camera
+    // ATE grows but the run stays "tracked" -- instead use a tiny
+    // tracked-fraction threshold trick: demand an impossible 1.1.
+    const Sequence seq = tinySequence(3);
+    DseObjectiveOptions options;
+    options.minTrackedFraction = 1.1;
+    const EvaluatedConfig record = evaluateConfigOnDevice(
+        tinyConfig(), seq, odroidXu3(), options);
+    EXPECT_FALSE(record.valid);
+}
+
+} // namespace

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Tests for the analytic device models and the generated phone fleet.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "devices/device_model.hpp"
+#include "devices/fleet.hpp"
+
+namespace {
+
+using namespace slambench::devices;
+using slambench::kfusion::KernelId;
+using slambench::kfusion::WorkCounts;
+
+WorkCounts
+sampleWork()
+{
+    WorkCounts w;
+    w.addItems(KernelId::BilateralFilter, 2e6);
+    w.addBytes(KernelId::BilateralFilter, 8e6);
+    w.addItems(KernelId::Track, 1e6);
+    w.addBytes(KernelId::Track, 8e7);
+    w.addItems(KernelId::Integrate, 1.6e7);
+    w.addBytes(KernelId::Integrate, 2.6e8);
+    w.addItems(KernelId::Raycast, 3e6);
+    w.addBytes(KernelId::Raycast, 1e8);
+    w.addItems(KernelId::Solve, 20);
+    return w;
+}
+
+TEST(DeviceModel, FrameTimePositiveAndIncludesOverhead)
+{
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts empty;
+    EXPECT_DOUBLE_EQ(xu3.frameSeconds(empty),
+                     xu3.frameOverheadSeconds);
+    EXPECT_GT(xu3.frameSeconds(sampleWork()),
+              xu3.frameOverheadSeconds);
+}
+
+TEST(DeviceModel, TimeMonotoneInWork)
+{
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts less = sampleWork();
+    WorkCounts more = sampleWork();
+    more.addItems(KernelId::Integrate, 1e8);
+    EXPECT_GT(xu3.frameSeconds(more), xu3.frameSeconds(less));
+}
+
+TEST(DeviceModel, EnergyMonotoneInWork)
+{
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts less = sampleWork();
+    WorkCounts more = sampleWork();
+    more.addItems(KernelId::Raycast, 1e8);
+    more.addBytes(KernelId::Raycast, 1e9);
+    EXPECT_GT(xu3.frameJoules(more), xu3.frameJoules(less));
+}
+
+TEST(DeviceModel, RooflineMemoryBound)
+{
+    DeviceModel dev = odroidXu3();
+    dev.memoryBandwidth = 1e6; // cripple bandwidth
+    WorkCounts w;
+    w.addItems(KernelId::Integrate, 1.0);
+    w.addBytes(KernelId::Integrate, 1e6); // 1 s of traffic
+    EXPECT_NEAR(dev.kernelSeconds(KernelId::Integrate, w), 1.0,
+                1e-9);
+}
+
+TEST(DeviceModel, RooflineComputeBound)
+{
+    DeviceModel dev = odroidXu3();
+    dev.memoryBandwidth = 1e18;
+    WorkCounts w;
+    const double rate = dev.itemsPerSecond[static_cast<size_t>(
+        KernelId::Integrate)];
+    w.addItems(KernelId::Integrate, rate); // 1 s of compute
+    EXPECT_NEAR(dev.kernelSeconds(KernelId::Integrate, w), 1.0,
+                1e-9);
+}
+
+TEST(DeviceModel, StaticPowerDominatesIdleRuns)
+{
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts w; // no work: only overhead time & static energy
+    const double joules = xu3.frameJoules(w);
+    EXPECT_NEAR(joules,
+                xu3.staticWatts * xu3.frameOverheadSeconds, 1e-12);
+}
+
+TEST(SimulateRun, AggregatesFrames)
+{
+    const DeviceModel xu3 = odroidXu3();
+    std::vector<WorkCounts> frames(10, sampleWork());
+    const SimulatedRun run = simulateRun(xu3, frames);
+    EXPECT_EQ(run.frameSeconds.size(), 10u);
+    EXPECT_NEAR(run.totalSeconds, run.meanFrameSeconds * 10, 1e-9);
+    EXPECT_GT(run.meanFps, 0.0);
+    EXPECT_GT(run.meanWatts, 0.0);
+    EXPECT_NEAR(run.meanWatts * run.totalSeconds, run.totalJoules,
+                1e-9);
+}
+
+TEST(SimulateRun, PacedPowerLowerForFastRuns)
+{
+    // A device much faster than the camera rate idles most of the
+    // time, so paced power approaches static power while batch power
+    // stays high.
+    DeviceModel fast = odroidXu3();
+    for (double &r : fast.itemsPerSecond)
+        r *= 100.0;
+    fast.memoryBandwidth *= 100.0;
+    fast.frameOverheadSeconds = 1e-4;
+    std::vector<WorkCounts> frames(5, sampleWork());
+    const SimulatedRun run = simulateRun(fast, frames, 30.0);
+    EXPECT_LT(run.pacedWatts, run.meanWatts);
+    EXPECT_GT(run.pacedWatts, fast.staticWatts * 0.99);
+}
+
+TEST(SimulateRun, PacedEqualsBatchWhenSlowerThanCamera)
+{
+    // A run slower than the camera period never idles.
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts heavy = sampleWork();
+    heavy.addItems(KernelId::Integrate, 1e9);
+    std::vector<WorkCounts> frames(3, heavy);
+    const SimulatedRun run = simulateRun(xu3, frames, 30.0);
+    EXPECT_NEAR(run.pacedWatts, run.meanWatts,
+                1e-9 * run.meanWatts);
+    EXPECT_NEAR(run.pacedSeconds, run.totalSeconds, 1e-12);
+}
+
+TEST(SimulateRun, EmptyRunIsZero)
+{
+    const SimulatedRun run = simulateRun(odroidXu3(), {});
+    EXPECT_DOUBLE_EQ(run.totalSeconds, 0.0);
+    EXPECT_DOUBLE_EQ(run.meanFps, 0.0);
+}
+
+TEST(Xu3, LandsInThePaperRegimeForDefaultishWork)
+{
+    // Default-config-like per-frame work (QVGA, vr=256, ir=2):
+    // a few FPS at roughly 2-4 W.
+    const DeviceModel xu3 = odroidXu3();
+    WorkCounts w;
+    w.addItems(KernelId::Mm2Meters, 7.7e4);
+    w.addBytes(KernelId::Mm2Meters, 4.6e5);
+    w.addItems(KernelId::BilateralFilter, 1.9e6);
+    w.addBytes(KernelId::BilateralFilter, 8e6);
+    w.addItems(KernelId::Track, 9e5);
+    w.addBytes(KernelId::Track, 7e7);
+    w.addItems(KernelId::Reduce, 9e5);
+    w.addBytes(KernelId::Reduce, 3e7);
+    w.addItems(KernelId::Integrate, 8.4e6); // amortized over ir=2
+    w.addBytes(KernelId::Integrate, 1.3e8);
+    w.addItems(KernelId::Raycast, 2.5e6);
+    w.addBytes(KernelId::Raycast, 8e7);
+    const double seconds = xu3.frameSeconds(w);
+    const double watts = xu3.frameJoules(w) / seconds;
+    EXPECT_GT(seconds, 0.05);
+    EXPECT_LT(seconds, 0.6);
+    EXPECT_GT(watts, 1.0);
+    EXPECT_LT(watts, 6.0);
+}
+
+// --- fleet ---
+
+TEST(Fleet, GeneratesRequestedCountDeterministically)
+{
+    const auto a = mobileFleet(83, 2018);
+    const auto b = mobileFleet(83, 2018);
+    ASSERT_EQ(a.size(), 83u);
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].name, b[i].name);
+        EXPECT_DOUBLE_EQ(a[i].memoryBandwidth, b[i].memoryBandwidth);
+        for (size_t k = 0; k < slambench::kfusion::kNumKernels; ++k)
+            EXPECT_DOUBLE_EQ(a[i].itemsPerSecond[k],
+                             b[i].itemsPerSecond[k]);
+    }
+}
+
+TEST(Fleet, DifferentSeedDifferentFleet)
+{
+    const auto a = mobileFleet(10, 1);
+    const auto b = mobileFleet(10, 2);
+    bool any_diff = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        any_diff |= a[i].memoryBandwidth != b[i].memoryBandwidth;
+    EXPECT_TRUE(any_diff);
+}
+
+TEST(Fleet, NamesAreUnique)
+{
+    const auto fleet = mobileFleet(83, 2018);
+    std::set<std::string> names;
+    for (const DeviceModel &d : fleet)
+        names.insert(d.name);
+    EXPECT_EQ(names.size(), fleet.size());
+}
+
+TEST(Fleet, CoversAllMarketSegments)
+{
+    const auto fleet = mobileFleet(83, 2018);
+    std::set<DeviceClass> classes;
+    for (const DeviceModel &d : fleet)
+        classes.insert(d.deviceClass);
+    EXPECT_GE(classes.size(), 5u);
+}
+
+TEST(Fleet, FlagshipsFasterThanLowEndOnAverage)
+{
+    const auto fleet = mobileFleet(83, 2018);
+    const WorkCounts w = sampleWork();
+    double flagship_sum = 0.0, lowend_sum = 0.0;
+    size_t flagship_n = 0, lowend_n = 0;
+    for (const DeviceModel &d : fleet) {
+        if (d.deviceClass == DeviceClass::Flagship) {
+            flagship_sum += d.frameSeconds(w);
+            ++flagship_n;
+        } else if (d.deviceClass == DeviceClass::LowEnd) {
+            lowend_sum += d.frameSeconds(w);
+            ++lowend_n;
+        }
+    }
+    ASSERT_GT(flagship_n, 0u);
+    ASSERT_GT(lowend_n, 0u);
+    EXPECT_LT(flagship_sum / flagship_n, lowend_sum / lowend_n);
+}
+
+TEST(Fleet, AllDevicesHavePositiveRates)
+{
+    for (const DeviceModel &d : mobileFleet(83, 2018)) {
+        EXPECT_GT(d.memoryBandwidth, 0.0) << d.name;
+        EXPECT_GT(d.staticWatts, 0.0) << d.name;
+        EXPECT_GT(d.memoryBudgetBytes, 0.0) << d.name;
+        for (size_t k = 0; k < slambench::kfusion::kNumKernels; ++k)
+            EXPECT_GT(d.itemsPerSecond[k], 0.0) << d.name;
+    }
+}
+
+TEST(DeviceClassNames, AreStable)
+{
+    EXPECT_STREQ(deviceClassName(DeviceClass::EmbeddedBoard),
+                 "embedded");
+    EXPECT_STREQ(deviceClassName(DeviceClass::Flagship), "flagship");
+    EXPECT_STREQ(deviceClassName(DeviceClass::Tablet), "tablet");
+}
+
+} // namespace

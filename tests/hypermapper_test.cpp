@@ -1,0 +1,475 @@
+/**
+ * @file
+ * Tests for the DSE machinery: parameter spaces, Pareto fronts, the
+ * random-search and active-learning drivers (on cheap synthetic
+ * objectives), and knowledge extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hypermapper/drivers.hpp"
+#include "hypermapper/knowledge.hpp"
+#include "hypermapper/param_space.hpp"
+#include "hypermapper/pareto.hpp"
+
+namespace {
+
+using namespace slambench::hypermapper;
+using slambench::support::Rng;
+
+ParameterSpace
+toySpace()
+{
+    ParameterSpace space;
+    space.addReal("x", 0.0, 1.0, 0.5);
+    space.addReal("y", 0.0, 1.0, 0.5);
+    return space;
+}
+
+// --- ParameterSpace ---
+
+TEST(ParamSpace, DefaultsAndNames)
+{
+    ParameterSpace space;
+    space.addInteger("i", 1, 10, 3);
+    space.addReal("r", 0.1, 1.0, 0.2);
+    space.addOrdinal("o", {2, 4, 8}, 4);
+    EXPECT_EQ(space.size(), 3u);
+    const Point d = space.defaultPoint();
+    EXPECT_DOUBLE_EQ(d[0], 3.0);
+    EXPECT_DOUBLE_EQ(d[1], 0.2);
+    EXPECT_DOUBLE_EQ(d[2], 4.0);
+    EXPECT_EQ(space.names(),
+              (std::vector<std::string>{"i", "r", "o"}));
+    EXPECT_EQ(space.indexOf("o"), 2u);
+}
+
+TEST(ParamSpace, SamplesRespectDomains)
+{
+    ParameterSpace space;
+    space.addInteger("i", -5, 5, 0);
+    space.addReal("r", 0.5, 2.0, 1.0);
+    space.addOrdinal("o", {1, 2, 4, 8}, 2);
+    space.addReal("log", 1e-6, 1e-2, 1e-4, /*log_scale=*/true);
+    Rng rng(1);
+    for (int trial = 0; trial < 500; ++trial) {
+        const Point p = space.sample(rng);
+        EXPECT_GE(p[0], -5.0);
+        EXPECT_LE(p[0], 5.0);
+        EXPECT_DOUBLE_EQ(p[0], std::round(p[0]));
+        EXPECT_GE(p[1], 0.5);
+        EXPECT_LT(p[1], 2.0);
+        EXPECT_TRUE(p[2] == 1 || p[2] == 2 || p[2] == 4 || p[2] == 8);
+        EXPECT_GE(p[3], 1e-6);
+        EXPECT_LE(p[3], 1e-2);
+    }
+}
+
+TEST(ParamSpace, LogScaleSpreadsDecades)
+{
+    ParameterSpace space;
+    space.addReal("log", 1e-6, 1e-2, 1e-4, true);
+    Rng rng(2);
+    int tiny = 0;
+    const int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        const Point p = space.sample(rng);
+        tiny += p[0] < 1e-4; // half the decades
+    }
+    // Log-uniform: ~half below the geometric middle. Linear-uniform
+    // would put only ~1% there.
+    EXPECT_GT(tiny, n / 3);
+}
+
+TEST(ParamSpace, CanonicalizeSnapsValues)
+{
+    ParameterSpace space;
+    space.addInteger("i", 0, 10, 5);
+    space.addOrdinal("o", {1, 2, 4, 8}, 2);
+    const Point raw{3.7, 5.0};
+    const Point snapped = space.canonicalize(raw);
+    EXPECT_DOUBLE_EQ(snapped[0], 4.0);
+    EXPECT_DOUBLE_EQ(snapped[1], 4.0);
+}
+
+TEST(ParamSpace, MutateChangesSomeCoordinates)
+{
+    const ParameterSpace space = toySpace();
+    Rng rng(3);
+    const Point p{0.5, 0.5};
+    int changed = 0;
+    for (int i = 0; i < 100; ++i) {
+        const Point m = space.mutate(p, 0.5, rng);
+        changed += (m[0] != p[0]) + (m[1] != p[1]);
+    }
+    EXPECT_GT(changed, 50);
+    EXPECT_LT(changed, 150);
+}
+
+TEST(ParamSpace, SamePointAfterSnap)
+{
+    ParameterSpace space;
+    space.addInteger("i", 0, 10, 5);
+    EXPECT_TRUE(space.samePoint({3.2}, {2.8}));
+    EXPECT_FALSE(space.samePoint({3.0}, {4.0}));
+}
+
+TEST(ParamSpace, DescribeContainsNames)
+{
+    const ParameterSpace space = toySpace();
+    const std::string text = space.describe({0.25, 0.75});
+    EXPECT_NE(text.find("x=0.25"), std::string::npos);
+    EXPECT_NE(text.find("y=0.75"), std::string::npos);
+}
+
+// --- Pareto ---
+
+Evaluation
+makeEval(std::vector<double> objectives, bool valid = true)
+{
+    Evaluation e;
+    e.objectives = std::move(objectives);
+    e.valid = valid;
+    return e;
+}
+
+TEST(Pareto, DominatesBasics)
+{
+    EXPECT_TRUE(dominates(makeEval({1, 1}), makeEval({2, 2})));
+    EXPECT_TRUE(dominates(makeEval({1, 2}), makeEval({2, 2})));
+    EXPECT_FALSE(dominates(makeEval({2, 2}), makeEval({2, 2})));
+    EXPECT_FALSE(dominates(makeEval({1, 3}), makeEval({2, 2})));
+    EXPECT_FALSE(dominates(makeEval({1, 1}, false), makeEval({9, 9})));
+    EXPECT_TRUE(dominates(makeEval({9, 9}), makeEval({1, 1}, false)));
+}
+
+TEST(Pareto, FrontOfSimpleSet)
+{
+    std::vector<Evaluation> evals{
+        makeEval({1, 4}), makeEval({2, 2}), makeEval({4, 1}),
+        makeEval({3, 3}),          // dominated by (2,2)
+        makeEval({0, 0}, false),   // invalid
+    };
+    const std::vector<size_t> front = paretoFront(evals);
+    EXPECT_EQ(front, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(Pareto, AllNonDominatedKept)
+{
+    std::vector<Evaluation> evals;
+    for (int i = 0; i < 10; ++i)
+        evals.push_back(makeEval(
+            {static_cast<double>(i), static_cast<double>(9 - i)}));
+    EXPECT_EQ(paretoFront(evals).size(), 10u);
+}
+
+TEST(Pareto, Hypervolume2dKnownValue)
+{
+    // One point (1,1) with ref (2,2): area 1.
+    EXPECT_DOUBLE_EQ(hypervolume2d({makeEval({1, 1})}, 2, 2), 1.0);
+    // Staircase of (1,3),(2,2),(3,1) with ref (4,4).
+    const std::vector<Evaluation> evals{
+        makeEval({1, 3}), makeEval({2, 2}), makeEval({3, 1})};
+    // Area = 3*1 + 2*1 + 1*... sweep: (4-1)*(4-3)=3, (4-2)*(3-2)=2,
+    // (4-3)*(2-1)=1 => 6.
+    EXPECT_DOUBLE_EQ(hypervolume2d(evals, 4, 4), 6.0);
+}
+
+TEST(Pareto, HypervolumeIgnoresOutOfRef)
+{
+    EXPECT_DOUBLE_EQ(hypervolume2d({makeEval({5, 5})}, 2, 2), 0.0);
+}
+
+TEST(Pareto, BestUnderCaps)
+{
+    const double inf = std::numeric_limits<double>::infinity();
+    std::vector<Evaluation> evals{
+        makeEval({0.1, 0.08, 4.0}), // fails watts cap
+        makeEval({0.2, 0.04, 2.0}), // ok
+        makeEval({0.3, 0.03, 1.0}), // ok but slower
+        makeEval({0.05, 0.2, 1.0}), // fails ate cap
+    };
+    const double best =
+        bestUnderCaps(evals, 0, {inf, 0.05, 3.0});
+    EXPECT_DOUBLE_EQ(best, 0.2);
+}
+
+TEST(Pareto, BestUnderCapsEmptyIsInf)
+{
+    const double best = bestUnderCaps({}, 0, {});
+    EXPECT_TRUE(std::isinf(best));
+}
+
+// --- Drivers on synthetic objectives ---
+
+/** Trivial objective used by the grid tests. */
+EvaluationOutcome
+toyObjective2(const Point &p)
+{
+    EvaluationOutcome out;
+    out.objectives = {p[0], p.size() > 1 ? p[1] : 0.0};
+    out.valid = true;
+    return out;
+}
+
+/** Cheap 2-objective problem with a known trade-off curve. */
+EvaluationOutcome
+toyObjective(const Point &p)
+{
+    EvaluationOutcome out;
+    const double x = p[0];
+    const double y = p[1];
+    // f0 minimized at x=1, f1 minimized at x=0; y adds noise-free
+    // second dimension shaping.
+    out.objectives = {
+        (1 - x) * (1 - x) + 0.3 * y,
+        x * x + 0.3 * (1 - y),
+    };
+    out.valid = true;
+    return out;
+}
+
+TEST(RandomSearchDriver, SpendsExactBudget)
+{
+    const ParameterSpace space = toySpace();
+    RandomSearchOptions options;
+    options.budget = 37;
+    options.seed = 5;
+    const auto evals = randomSearch(space, toyObjective, options);
+    EXPECT_EQ(evals.size(), 37u);
+    for (const Evaluation &e : evals) {
+        EXPECT_EQ(e.method, "random");
+        EXPECT_EQ(e.objectives.size(), 2u);
+    }
+}
+
+TEST(RandomSearchDriver, DeterministicGivenSeed)
+{
+    const ParameterSpace space = toySpace();
+    RandomSearchOptions options;
+    options.budget = 10;
+    options.seed = 9;
+    const auto a = randomSearch(space, toyObjective, options);
+    const auto b = randomSearch(space, toyObjective, options);
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].point, b[i].point);
+}
+
+TEST(ActiveLearningDriver, SpendsBudgetAndTagsPhases)
+{
+    const ParameterSpace space = toySpace();
+    ActiveLearningOptions options;
+    options.warmupSamples = 10;
+    options.iterations = 3;
+    options.batchSize = 5;
+    options.candidatePool = 200;
+    options.forest.numTrees = 10;
+    options.seed = 7;
+    const ActiveLearningResult result =
+        activeLearning(space, toyObjective, 2, options);
+    EXPECT_EQ(result.evaluations.size(), 10u + 3u * 5u);
+    size_t warmup = 0, active = 0;
+    for (const Evaluation &e : result.evaluations) {
+        warmup += e.method == "random";
+        active += e.method == "active";
+    }
+    EXPECT_EQ(warmup, 10u);
+    EXPECT_EQ(active, 15u);
+    EXPECT_EQ(result.modelMse.size(), 3u);
+}
+
+TEST(ActiveLearningDriver, BeatsRandomAtEqualBudgetOnToyProblem)
+{
+    const ParameterSpace space = toySpace();
+
+    ActiveLearningOptions al_options;
+    al_options.warmupSamples = 12;
+    al_options.iterations = 4;
+    al_options.batchSize = 6;
+    al_options.candidatePool = 400;
+    al_options.forest.numTrees = 15;
+
+    RandomSearchOptions rs_options;
+    rs_options.budget =
+        al_options.warmupSamples +
+        al_options.iterations * al_options.batchSize;
+
+    // Average hypervolume over several seeds to avoid flakiness.
+    double al_hv = 0.0, rs_hv = 0.0;
+    for (uint64_t seed = 1; seed <= 5; ++seed) {
+        al_options.seed = seed;
+        rs_options.seed = seed + 100;
+        const auto al =
+            activeLearning(space, toyObjective, 2, al_options);
+        const auto rs = randomSearch(space, toyObjective, rs_options);
+        al_hv += hypervolume2d(al.evaluations, 1.5, 1.5);
+        rs_hv += hypervolume2d(rs, 1.5, 1.5);
+    }
+    EXPECT_GE(al_hv, rs_hv * 0.98);
+}
+
+TEST(ActiveLearningDriver, HandlesInvalidEvaluations)
+{
+    const ParameterSpace space = toySpace();
+    auto objective = [](const Point &p) {
+        EvaluationOutcome out = toyObjective(p);
+        out.valid = p[0] < 0.8; // a fifth of the space is infeasible
+        return out;
+    };
+    ActiveLearningOptions options;
+    options.warmupSamples = 15;
+    options.iterations = 2;
+    options.batchSize = 4;
+    options.candidatePool = 100;
+    options.forest.numTrees = 8;
+    const ActiveLearningResult result =
+        activeLearning(space, objective, 2, options);
+    EXPECT_EQ(result.evaluations.size(), 23u);
+}
+
+TEST(GridSearchDriver, CoversTheGridAndCaps)
+{
+    ParameterSpace space;
+    space.addInteger("a", 0, 10, 5);
+    space.addOrdinal("b", {1, 2, 4}, 2);
+    GridSearchOptions options;
+    options.pointsPerAxis = 3;
+    const auto evals = gridSearch(space, toyObjective2, options);
+    // 3 x 3 grid.
+    EXPECT_EQ(evals.size(), 9u);
+    for (const auto &e : evals)
+        EXPECT_EQ(e.method, "grid");
+    // Axis endpoints must appear.
+    bool saw_lo = false, saw_hi = false;
+    for (const auto &e : evals) {
+        saw_lo |= e.point[0] == 0.0;
+        saw_hi |= e.point[0] == 10.0;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(GridSearchDriver, MaxEvaluationsCap)
+{
+    ParameterSpace space;
+    space.addInteger("a", 0, 9, 0);
+    space.addInteger("b", 0, 9, 0);
+    space.addInteger("c", 0, 9, 0);
+    GridSearchOptions options;
+    options.pointsPerAxis = 10;
+    options.maxEvaluations = 50;
+    const auto evals = gridSearch(space, toyObjective2, options);
+    EXPECT_EQ(evals.size(), 50u);
+}
+
+TEST(GridSearchDriver, LogAxisUsesDecades)
+{
+    ParameterSpace space;
+    space.addReal("l", 1e-6, 1e-2, 1e-4, /*log_scale=*/true);
+    GridSearchOptions options;
+    options.pointsPerAxis = 5;
+    const auto evals = gridSearch(space, toyObjective2, options);
+    ASSERT_EQ(evals.size(), 5u);
+    EXPECT_NEAR(evals[1].point[0] / evals[0].point[0], 10.0, 1e-6);
+}
+
+TEST(ActiveLearningDriver, FeasibilityModelRejectsKnownBadRegion)
+{
+    const ParameterSpace space = toySpace();
+    // Half the space is infeasible along x.
+    auto objective = [](const Point &p) {
+        EvaluationOutcome out = toyObjective(p);
+        out.valid = p[0] < 0.5;
+        return out;
+    };
+    ActiveLearningOptions options;
+    options.warmupSamples = 30;
+    options.iterations = 3;
+    options.batchSize = 5;
+    options.candidatePool = 400;
+    options.forest.numTrees = 15;
+    options.learnFeasibility = true;
+    options.seed = 13;
+    const auto with = activeLearning(space, objective, 2, options);
+    // The feasibility model must reject some candidates...
+    size_t total_rejected = 0;
+    for (size_t r : with.feasibilityRejections)
+        total_rejected += r;
+    EXPECT_GT(total_rejected, 0u);
+    // ...and the active phase should mostly evaluate feasible points.
+    size_t active_valid = 0, active_total = 0;
+    for (const auto &e : with.evaluations) {
+        if (e.method != "active")
+            continue;
+        ++active_total;
+        active_valid += e.valid;
+    }
+    ASSERT_GT(active_total, 0u);
+    EXPECT_GT(static_cast<double>(active_valid) /
+                  static_cast<double>(active_total),
+              0.55);
+}
+
+// --- Knowledge extraction ---
+
+TEST(Knowledge, LabelsAndRules)
+{
+    ParameterSpace space;
+    space.addOrdinal("volume_resolution", {64, 128, 256}, 256);
+    space.addReal("mu", 0.02, 0.2, 0.1);
+    Rng rng(21);
+
+    // Synthetic evaluations: small volumes are fast, big ones are
+    // accurate; power flat.
+    std::vector<Evaluation> evals;
+    for (int i = 0; i < 150; ++i) {
+        Evaluation e;
+        e.point = space.sample(rng);
+        const double vr = e.point[0];
+        e.objectives = {
+            vr / 6000.0,                    // runtime: <=30fps iff vr<200
+            vr >= 128 ? 0.02 : 0.08,        // ate: good iff vr>=128
+            2.0,                            // watts: always ok
+        };
+        e.valid = true;
+        evals.push_back(e);
+    }
+
+    GoodnessCriteria criteria;
+    const Knowledge k = extractKnowledge(space, evals, criteria, 2);
+    EXPECT_GT(k.goodCount, 0u);
+    EXPECT_LT(k.goodCount, k.totalCount);
+    EXPECT_GT(k.trainAccuracy, 0.95);
+    EXPECT_NE(k.rules.find("volume_resolution"), std::string::npos);
+}
+
+TEST(Knowledge, IsGoodChecksAllThreeCriteria)
+{
+    GoodnessCriteria c;
+    Evaluation e = makeEval({1.0 / 31.0, 0.04, 2.9});
+    EXPECT_TRUE(isGood(e, c));
+    e.objectives[0] = 0.1; // 10 FPS
+    EXPECT_FALSE(isGood(e, c));
+    e.objectives[0] = 1.0 / 31.0;
+    e.objectives[1] = 0.06; // ATE too big
+    EXPECT_FALSE(isGood(e, c));
+    e.objectives[1] = 0.04;
+    e.objectives[2] = 3.5; // too much power
+    EXPECT_FALSE(isGood(e, c));
+    e.valid = false;
+    e.objectives[2] = 2.0;
+    EXPECT_FALSE(isGood(e, c));
+}
+
+TEST(Knowledge, EmptyEvaluationsSafe)
+{
+    const ParameterSpace space = toySpace();
+    const Knowledge k =
+        extractKnowledge(space, {}, GoodnessCriteria{});
+    EXPECT_EQ(k.totalCount, 0u);
+    EXPECT_TRUE(k.rules.empty());
+}
+
+} // namespace

@@ -1,0 +1,440 @@
+/**
+ * @file
+ * Unit and property tests for the math substrate: vectors, matrices,
+ * rotations, se(3) maps, and the small linear-algebra routines.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/camera.hpp"
+#include "math/mat.hpp"
+#include "math/se3.hpp"
+#include "math/solve.hpp"
+#include "math/vec.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace slambench::math;
+using slambench::support::Rng;
+
+constexpr double kTol = 1e-9;
+
+Vec3d
+randomUnit(Rng &rng)
+{
+    Vec3d v;
+    do {
+        v = {rng.normal(), rng.normal(), rng.normal()};
+    } while (v.norm() < 1e-6);
+    return v.normalized();
+}
+
+Mat3d
+randomRotation(Rng &rng)
+{
+    return expSo3(randomUnit(rng) * rng.uniform(0.0, 3.0));
+}
+
+// --- Vec3 ---
+
+TEST(Vec3, ArithmeticAndDot)
+{
+    const Vec3d a{1, 2, 3}, b{4, 5, 6};
+    EXPECT_EQ(a + b, (Vec3d{5, 7, 9}));
+    EXPECT_EQ(a - b, (Vec3d{-3, -3, -3}));
+    EXPECT_EQ(a * 2.0, (Vec3d{2, 4, 6}));
+    EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, CrossProductProperties)
+{
+    Rng rng(1);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3d a = randomUnit(rng) * rng.uniform(0.1, 5.0);
+        const Vec3d b = randomUnit(rng) * rng.uniform(0.1, 5.0);
+        const Vec3d c = a.cross(b);
+        EXPECT_NEAR(c.dot(a), 0.0, 1e-9);
+        EXPECT_NEAR(c.dot(b), 0.0, 1e-9);
+        // |a x b|^2 = |a|^2 |b|^2 - (a.b)^2 (Lagrange).
+        EXPECT_NEAR(c.squaredNorm(),
+                    a.squaredNorm() * b.squaredNorm() -
+                        a.dot(b) * a.dot(b),
+                    1e-7);
+    }
+}
+
+TEST(Vec3, NormalizedIsUnitOrZero)
+{
+    EXPECT_NEAR((Vec3d{3, 4, 0}).normalized().norm(), 1.0, kTol);
+    const Vec3d zero{};
+    EXPECT_EQ(zero.normalized(), zero);
+}
+
+TEST(Vec3, IndexedAccess)
+{
+    Vec3d v{1, 2, 3};
+    EXPECT_EQ(v[0], 1.0);
+    EXPECT_EQ(v[1], 2.0);
+    EXPECT_EQ(v[2], 3.0);
+    v[1] = 9.0;
+    EXPECT_EQ(v.y, 9.0);
+}
+
+TEST(Vec3, Lerp)
+{
+    const Vec3d a{0, 0, 0}, b{2, 4, 6};
+    EXPECT_EQ(lerp(a, b, 0.5), (Vec3d{1, 2, 3}));
+}
+
+// --- Mat3 / Mat4 ---
+
+TEST(Mat3, IdentityAndMultiply)
+{
+    const Mat3d id = Mat3d::identity();
+    const Vec3d v{1, 2, 3};
+    EXPECT_EQ(id * v, v);
+    Rng rng(2);
+    const Mat3d r = randomRotation(rng);
+    const Mat3d prod = r * r.inverse();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(prod(i, j), id(i, j), 1e-12);
+}
+
+TEST(Mat3, DeterminantOfRotationIsOne)
+{
+    Rng rng(3);
+    for (int i = 0; i < 20; ++i)
+        EXPECT_NEAR(randomRotation(rng).determinant(), 1.0, 1e-9);
+}
+
+TEST(Mat3, TransposeIsInverseForRotations)
+{
+    Rng rng(4);
+    const Mat3d r = randomRotation(rng);
+    const Mat3d should_be_id = r * r.transposed();
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            EXPECT_NEAR(should_be_id(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Mat3, SkewMatchesCross)
+{
+    Rng rng(5);
+    const Vec3d w = randomUnit(rng) * 2.0;
+    const Vec3d v = randomUnit(rng) * 3.0;
+    const Vec3d via_skew = Mat3d::skew(w) * v;
+    const Vec3d via_cross = w.cross(v);
+    EXPECT_NEAR((via_skew - via_cross).norm(), 0.0, 1e-12);
+}
+
+TEST(Mat4, RigidInverse)
+{
+    Rng rng(6);
+    const Mat4d t = Mat4d::fromRt(randomRotation(rng), {1.0, -2.0, 0.5});
+    const Mat4d prod = t * t.rigidInverse();
+    for (int i = 0; i < 4; ++i)
+        for (int j = 0; j < 4; ++j)
+            EXPECT_NEAR(prod(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(Mat4, TransformPointVsDir)
+{
+    const Mat4d t = Mat4d::translation({1, 2, 3});
+    EXPECT_EQ(t.transformPoint({0, 0, 0}), (Vec3d{1, 2, 3}));
+    EXPECT_EQ(t.transformDir({1, 0, 0}), (Vec3d{1, 0, 0}));
+}
+
+// --- Quaternion ---
+
+TEST(Quat, MatrixRoundTrip)
+{
+    Rng rng(7);
+    for (int i = 0; i < 100; ++i) {
+        const Mat3d r = randomRotation(rng);
+        const Mat3d r2 = Quat<double>::fromMatrix(r).toMatrix();
+        for (int a = 0; a < 3; ++a)
+            for (int b = 0; b < 3; ++b)
+                EXPECT_NEAR(r(a, b), r2(a, b), 1e-9);
+    }
+}
+
+TEST(Quat, AxisAngleMatchesExpSo3)
+{
+    Rng rng(8);
+    for (int i = 0; i < 50; ++i) {
+        const Vec3d axis = randomUnit(rng);
+        const double angle = rng.uniform(-3.0, 3.0);
+        const Mat3d via_quat =
+            Quat<double>::fromAxisAngle(axis, angle).toMatrix();
+        const Mat3d via_exp = expSo3(axis * angle);
+        for (int a = 0; a < 3; ++a)
+            for (int b = 0; b < 3; ++b)
+                EXPECT_NEAR(via_quat(a, b), via_exp(a, b), 1e-9);
+    }
+}
+
+TEST(Quat, SlerpEndpointsAndMidpoint)
+{
+    const auto qa = Quat<double>::fromAxisAngle({0, 0, 1}, 0.0);
+    const auto qb = Quat<double>::fromAxisAngle({0, 0, 1}, 1.0);
+    const auto q0 = slerp(qa, qb, 0.0);
+    const auto q1 = slerp(qa, qb, 1.0);
+    const auto qh = slerp(qa, qb, 0.5);
+    EXPECT_NEAR(std::abs(q0.dot(qa)), 1.0, 1e-12);
+    EXPECT_NEAR(std::abs(q1.dot(qb)), 1.0, 1e-12);
+    const auto expected = Quat<double>::fromAxisAngle({0, 0, 1}, 0.5);
+    EXPECT_NEAR(std::abs(qh.dot(expected)), 1.0, 1e-9);
+}
+
+// --- so(3)/se(3) ---
+
+class So3RoundTrip : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(So3RoundTrip, ExpLogIdentity)
+{
+    Rng rng(static_cast<uint64_t>(GetParam() * 1000) + 1);
+    const double angle = GetParam();
+    for (int i = 0; i < 20; ++i) {
+        const Vec3d w = randomUnit(rng) * angle;
+        const Vec3d w2 = logSo3(expSo3(w));
+        EXPECT_NEAR((w - w2).norm(), 0.0, 1e-6)
+            << "angle=" << angle;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, So3RoundTrip,
+                         ::testing::Values(1e-9, 1e-6, 1e-3, 0.1, 1.0,
+                                           2.0, 3.0, 3.1, 3.14));
+
+TEST(So3, LogNearPiRecoversAxis)
+{
+    // Rotation by pi about a known axis.
+    const Vec3d axis = Vec3d{1, 2, 2}.normalized();
+    const Mat3d r = expSo3(axis * M_PI);
+    const Vec3d w = logSo3(r);
+    EXPECT_NEAR(w.norm(), M_PI, 1e-5);
+    // Axis may flip sign; both represent the same rotation at pi.
+    EXPECT_NEAR(std::abs(w.normalized().dot(axis)), 1.0, 1e-5);
+}
+
+TEST(Se3, ExpLogRoundTrip)
+{
+    Rng rng(9);
+    for (int i = 0; i < 100; ++i) {
+        const Vec3d v{rng.uniform(-2, 2), rng.uniform(-2, 2),
+                      rng.uniform(-2, 2)};
+        const Vec3d w = randomUnit(rng) * rng.uniform(0.0, 2.5);
+        const Mat4d t = expSe3(v, w);
+        Vec3d v2, w2;
+        logSe3(t, v2, w2);
+        EXPECT_NEAR((v - v2).norm(), 0.0, 1e-7);
+        EXPECT_NEAR((w - w2).norm(), 0.0, 1e-7);
+    }
+}
+
+TEST(Se3, SmallTwistIsNearIdentityPlusTwist)
+{
+    const Vec3d v{1e-6, 0, 0};
+    const Vec3d w{0, 1e-6, 0};
+    const Mat4d t = expSe3(v, w);
+    EXPECT_NEAR(t(0, 3), 1e-6, 1e-12);
+    EXPECT_NEAR(t(0, 2), 1e-6, 1e-10); // sin(w) in rotation block
+}
+
+TEST(LookAt, ProducesRigidTransformFacingTarget)
+{
+    const Vec3d eye{1, 2, 3};
+    const Vec3d target{4, 2, 3};
+    const Mat4d pose = lookAt(eye, target, Vec3d{0, 1, 0});
+    // Rotation block must be orthonormal with det +1.
+    EXPECT_NEAR(pose.rotation().determinant(), 1.0, 1e-9);
+    EXPECT_EQ(pose.translationPart(), eye);
+    // Forward (camera +Z in world) points at the target.
+    const Vec3d fwd = pose.rotation().col(2);
+    EXPECT_NEAR((fwd - (target - eye).normalized()).norm(), 0.0, 1e-9);
+}
+
+TEST(LookAt, DegenerateUpHintStillValid)
+{
+    const Mat4d pose = lookAt(Vec3d{0, 0, 0}, Vec3d{0, 1, 0},
+                              Vec3d{0, 1, 0});
+    EXPECT_NEAR(pose.rotation().determinant(), 1.0, 1e-9);
+}
+
+// --- solveLdlt6 ---
+
+TEST(Solve, Ldlt6SolvesRandomSpdSystems)
+{
+    Rng rng(10);
+    for (int trial = 0; trial < 50; ++trial) {
+        // Build A = B^T B + eps*I (SPD) and a known x.
+        double b[6][6];
+        for (auto &row : b)
+            for (double &x : row)
+                x = rng.normal();
+        std::array<double, 36> a{};
+        for (int i = 0; i < 6; ++i)
+            for (int j = 0; j < 6; ++j) {
+                double s = i == j ? 1e-3 : 0.0;
+                for (int k = 0; k < 6; ++k)
+                    s += b[k][i] * b[k][j];
+                a[static_cast<size_t>(i * 6 + j)] = s;
+            }
+        std::array<double, 6> x_true{};
+        for (double &v : x_true)
+            v = rng.normal();
+        std::array<double, 6> rhs{};
+        for (int i = 0; i < 6; ++i)
+            for (int j = 0; j < 6; ++j)
+                rhs[static_cast<size_t>(i)] +=
+                    a[static_cast<size_t>(i * 6 + j)] *
+                    x_true[static_cast<size_t>(j)];
+
+        std::array<double, 6> x{};
+        ASSERT_TRUE(solveLdlt6(a, rhs, x));
+        for (int i = 0; i < 6; ++i)
+            EXPECT_NEAR(x[static_cast<size_t>(i)],
+                        x_true[static_cast<size_t>(i)], 1e-6);
+    }
+}
+
+TEST(Solve, Ldlt6RejectsSingular)
+{
+    std::array<double, 36> a{}; // all zeros: singular
+    std::array<double, 6> rhs{};
+    std::array<double, 6> x{};
+    EXPECT_FALSE(solveLdlt6(a, rhs, x));
+}
+
+// --- eigenSym ---
+
+TEST(Eigen, Sym3KnownDiagonal)
+{
+    const std::array<double, 9> a{3, 0, 0, 0, 1, 0, 0, 0, 2};
+    const EigenSym<3> e = eigenSym3(a);
+    EXPECT_NEAR(e.values[0], 3.0, 1e-12);
+    EXPECT_NEAR(e.values[1], 2.0, 1e-12);
+    EXPECT_NEAR(e.values[2], 1.0, 1e-12);
+}
+
+TEST(Eigen, Sym3ReconstructsMatrix)
+{
+    Rng rng(11);
+    for (int trial = 0; trial < 30; ++trial) {
+        std::array<double, 9> a{};
+        for (int i = 0; i < 3; ++i)
+            for (int j = i; j < 3; ++j) {
+                const double v = rng.normal();
+                a[static_cast<size_t>(i * 3 + j)] = v;
+                a[static_cast<size_t>(j * 3 + i)] = v;
+            }
+        const EigenSym<3> e = eigenSym3(a);
+        // Sum_k lambda_k v_k v_k^T must reproduce A.
+        for (int i = 0; i < 3; ++i) {
+            for (int j = 0; j < 3; ++j) {
+                double sum = 0.0;
+                for (int k = 0; k < 3; ++k)
+                    sum += e.values[static_cast<size_t>(k)] *
+                           e.vectors[static_cast<size_t>(k)]
+                                    [static_cast<size_t>(i)] *
+                           e.vectors[static_cast<size_t>(k)]
+                                    [static_cast<size_t>(j)];
+                EXPECT_NEAR(sum, a[static_cast<size_t>(i * 3 + j)],
+                            1e-8);
+            }
+        }
+    }
+}
+
+TEST(Eigen, Sym4EigenvectorsOrthonormal)
+{
+    Rng rng(12);
+    std::array<double, 16> a{};
+    for (int i = 0; i < 4; ++i)
+        for (int j = i; j < 4; ++j) {
+            const double v = rng.normal();
+            a[static_cast<size_t>(i * 4 + j)] = v;
+            a[static_cast<size_t>(j * 4 + i)] = v;
+        }
+    const EigenSym<4> e = eigenSym4(a);
+    for (int p = 0; p < 4; ++p) {
+        for (int q = 0; q < 4; ++q) {
+            double dot = 0.0;
+            for (int k = 0; k < 4; ++k)
+                dot += e.vectors[static_cast<size_t>(p)]
+                                [static_cast<size_t>(k)] *
+                       e.vectors[static_cast<size_t>(q)]
+                                [static_cast<size_t>(k)];
+            EXPECT_NEAR(dot, p == q ? 1.0 : 0.0, 1e-9);
+        }
+    }
+}
+
+// --- hornRotation ---
+
+TEST(Horn, RecoversKnownRotation)
+{
+    Rng rng(13);
+    for (int trial = 0; trial < 30; ++trial) {
+        const Mat3d r_true = randomRotation(rng);
+        // Build cov = sum p (R p)^T over random points.
+        Mat3d cov = Mat3d::zero();
+        for (int i = 0; i < 40; ++i) {
+            const Vec3d p = randomUnit(rng) * rng.uniform(0.5, 2.0);
+            const Vec3d q = r_true * p;
+            for (int a = 0; a < 3; ++a)
+                for (int b = 0; b < 3; ++b)
+                    cov(a, b) += p[static_cast<size_t>(a)] *
+                                 q[static_cast<size_t>(b)];
+        }
+        const Mat3d r = hornRotation(cov);
+        for (int a = 0; a < 3; ++a)
+            for (int b = 0; b < 3; ++b)
+                EXPECT_NEAR(r(a, b), r_true(a, b), 1e-6);
+    }
+}
+
+// --- CameraIntrinsics ---
+
+TEST(Camera, ProjectBackProjectRoundTrip)
+{
+    const auto k = CameraIntrinsics::fromFov(320, 240, 1.0f);
+    Rng rng(14);
+    for (int i = 0; i < 100; ++i) {
+        const float u = static_cast<float>(rng.uniform(0, 320));
+        const float v = static_cast<float>(rng.uniform(0, 240));
+        const float d = static_cast<float>(rng.uniform(0.5, 4.0));
+        const Vec3f p = k.backProject(u, v, d);
+        const Vec2f uv = k.project(p);
+        EXPECT_NEAR(uv.x, u, 1e-3f);
+        EXPECT_NEAR(uv.y, v, 1e-3f);
+        EXPECT_NEAR(p.z, d, 1e-6f);
+    }
+}
+
+TEST(Camera, ScaledHalvesEverything)
+{
+    const auto k = CameraIntrinsics::fromFov(320, 240, 1.0f);
+    const auto k2 = k.scaled(2);
+    EXPECT_EQ(k2.width, 160u);
+    EXPECT_EQ(k2.height, 120u);
+    EXPECT_FLOAT_EQ(k2.fx, k.fx / 2.0f);
+    EXPECT_FLOAT_EQ(k2.cx, k.cx / 2.0f);
+}
+
+TEST(Camera, RayDirIsUnitAndThroughPixel)
+{
+    const auto k = CameraIntrinsics::fromFov(320, 240, 1.0f);
+    const Vec3f dir = k.rayDir(160.0f, 120.0f);
+    EXPECT_NEAR(dir.norm(), 1.0f, 1e-6f);
+    // Center pixel looks along +Z.
+    EXPECT_NEAR(dir.x, 0.0f, 1e-5f);
+    EXPECT_NEAR(dir.y, 0.0f, 1e-5f);
+}
+
+} // namespace

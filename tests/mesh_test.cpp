@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Tests for marching-tetrahedra mesh extraction and the surface
+ * reconstruction-error metric.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+
+#include "dataset/generator.hpp"
+#include "kfusion/mesh.hpp"
+#include "kfusion/pipeline.hpp"
+#include "math/se3.hpp"
+#include "metrics/reconstruction.hpp"
+
+namespace {
+
+using namespace slambench::kfusion;
+using slambench::math::CameraIntrinsics;
+using slambench::math::Mat4f;
+using slambench::math::Vec3f;
+using slambench::support::Image;
+
+/** Fill a volume analytically from a signed-distance function. */
+template <typename Sdf>
+void
+fillVolume(TsdfVolume &volume, float mu, Sdf &&sdf)
+{
+    const int res = volume.resolution();
+    for (int z = 0; z < res; ++z) {
+        for (int y = 0; y < res; ++y) {
+            for (int x = 0; x < res; ++x) {
+                const float d = sdf(volume.voxelCenter(x, y, z));
+                Voxel &v = volume.at(x, y, z);
+                v.tsdf = std::clamp(d / mu, -1.0f, 1.0f);
+                v.weight = 1.0f;
+            }
+        }
+    }
+}
+
+TEST(Mesh, EmptyVolumeGivesEmptyMesh)
+{
+    TsdfVolume volume(16, 1.0f, Vec3f{0, 0, 0});
+    const TriangleMesh mesh = extractMesh(volume);
+    EXPECT_TRUE(mesh.vertices.empty());
+    EXPECT_EQ(mesh.triangleCount(), 0u);
+}
+
+TEST(Mesh, PlaneIsExtractedAtTheRightHeight)
+{
+    TsdfVolume volume(32, 1.0f, Vec3f{0, 0, 0});
+    // Horizontal plane at y = 0.5 (solid below).
+    fillVolume(volume, 0.1f,
+               [](const Vec3f &p) { return p.y - 0.5f; });
+    const TriangleMesh mesh = extractMesh(volume);
+    ASSERT_GT(mesh.triangleCount(), 100u);
+    for (const Vec3f &v : mesh.vertices)
+        EXPECT_NEAR(v.y, 0.5f, 1e-3f);
+}
+
+TEST(Mesh, SphereHasCorrectRadiusAndArea)
+{
+    TsdfVolume volume(48, 2.0f, Vec3f{-1, -1, -1});
+    const float radius = 0.6f;
+    fillVolume(volume, 0.15f, [radius](const Vec3f &p) {
+        return p.norm() - radius;
+    });
+    const TriangleMesh mesh = extractMesh(volume);
+    ASSERT_GT(mesh.triangleCount(), 500u);
+    for (const Vec3f &v : mesh.vertices)
+        EXPECT_NEAR(v.norm(), radius, 0.02f);
+
+    // Total area should approximate 4 pi r^2.
+    double area = 0.0;
+    for (size_t i = 0; i + 2 < mesh.indices.size(); i += 3) {
+        const Vec3f &a = mesh.vertices[mesh.indices[i]];
+        const Vec3f &b = mesh.vertices[mesh.indices[i + 1]];
+        const Vec3f &c = mesh.vertices[mesh.indices[i + 2]];
+        area += 0.5 * (b - a).cross(c - a).norm();
+    }
+    const double expected = 4.0 * M_PI * radius * radius;
+    EXPECT_NEAR(area, expected, expected * 0.05);
+}
+
+TEST(Mesh, VerticesAreShared)
+{
+    TsdfVolume volume(24, 1.0f, Vec3f{0, 0, 0});
+    fillVolume(volume, 0.1f,
+               [](const Vec3f &p) { return p.y - 0.5f; });
+    const TriangleMesh mesh = extractMesh(volume);
+    // Deduplicated extraction: far fewer vertices than index slots.
+    EXPECT_LT(mesh.vertices.size(), mesh.indices.size() / 2);
+}
+
+TEST(Mesh, UnobservedCellsProduceNoSurface)
+{
+    TsdfVolume volume(16, 1.0f, Vec3f{0, 0, 0});
+    fillVolume(volume, 0.1f,
+               [](const Vec3f &p) { return p.y - 0.5f; });
+    // Erase observations in one half of the volume.
+    for (int z = 0; z < 16; ++z)
+        for (int y = 0; y < 16; ++y)
+            for (int x = 8; x < 16; ++x)
+                volume.at(x, y, z).weight = 0.0f;
+    const TriangleMesh mesh = extractMesh(volume);
+    const float x_limit = volume.voxelCenter(8, 0, 0).x;
+    for (const Vec3f &v : mesh.vertices)
+        EXPECT_LE(v.x, x_limit + 1e-4f);
+}
+
+TEST(Mesh, SaveObjRoundTripHeader)
+{
+    TsdfVolume volume(16, 1.0f, Vec3f{0, 0, 0});
+    fillVolume(volume, 0.1f,
+               [](const Vec3f &p) { return p.y - 0.5f; });
+    const TriangleMesh mesh = extractMesh(volume);
+    const std::string path = "/tmp/sb_test_mesh.obj";
+    ASSERT_TRUE(mesh.saveObj(path));
+    std::ifstream in(path);
+    std::string line;
+    size_t v_lines = 0, f_lines = 0;
+    while (std::getline(in, line)) {
+        if (line.rfind("v ", 0) == 0)
+            ++v_lines;
+        if (line.rfind("f ", 0) == 0)
+            ++f_lines;
+    }
+    EXPECT_EQ(v_lines, mesh.vertices.size());
+    EXPECT_EQ(f_lines, mesh.triangleCount());
+    std::filesystem::remove(path);
+}
+
+TEST(Mesh, BoundsEncloseVertices)
+{
+    TriangleMesh mesh;
+    mesh.vertices = {{0, 1, 2}, {-1, 5, 0}, {3, 0, -2}};
+    Vec3f lo, hi;
+    mesh.bounds(lo, hi);
+    EXPECT_EQ(lo, (Vec3f{-1, 0, -2}));
+    EXPECT_EQ(hi, (Vec3f{3, 5, 2}));
+}
+
+// --- reconstruction error ---
+
+TEST(Reconstruction, PerfectSphereHasTinyError)
+{
+    // Scene: a sphere; volume: the same sphere's exact SDF.
+    slambench::dataset::Scene scene;
+    slambench::dataset::Primitive s;
+    s.kind = slambench::dataset::PrimitiveKind::Sphere;
+    s.center = {0, 0, 0};
+    s.params = {0.6f, 0, 0};
+    scene.add(s);
+
+    TsdfVolume volume(48, 2.0f, Vec3f{-1, -1, -1});
+    fillVolume(volume, 0.15f, [](const Vec3f &p) {
+        return p.norm() - 0.6f;
+    });
+    const TriangleMesh mesh = extractMesh(volume);
+    const auto error =
+        slambench::metrics::computeReconstructionError(mesh, scene);
+    EXPECT_GT(error.samples, 100u);
+    EXPECT_LT(error.rmse, 0.01);
+    EXPECT_LT(error.maxAbs, 0.03);
+}
+
+TEST(Reconstruction, OffsetSurfaceIsDetected)
+{
+    slambench::dataset::Scene scene;
+    slambench::dataset::Primitive s;
+    s.kind = slambench::dataset::PrimitiveKind::Sphere;
+    s.center = {0, 0, 0};
+    s.params = {0.5f, 0, 0}; // true radius 0.5
+    scene.add(s);
+
+    TsdfVolume volume(48, 2.0f, Vec3f{-1, -1, -1});
+    // Reconstructed radius 0.6: a 10 cm bias.
+    fillVolume(volume, 0.15f, [](const Vec3f &p) {
+        return p.norm() - 0.6f;
+    });
+    const TriangleMesh mesh = extractMesh(volume);
+    const auto error =
+        slambench::metrics::computeReconstructionError(mesh, scene);
+    EXPECT_NEAR(error.meanAbs, 0.1, 0.02);
+}
+
+TEST(Reconstruction, StrideReducesSamples)
+{
+    slambench::dataset::Scene scene;
+    slambench::dataset::Primitive s;
+    s.kind = slambench::dataset::PrimitiveKind::Sphere;
+    s.center = {0, 0, 0};
+    s.params = {0.5f, 0, 0};
+    scene.add(s);
+    TsdfVolume volume(32, 2.0f, Vec3f{-1, -1, -1});
+    fillVolume(volume, 0.15f, [](const Vec3f &p) {
+        return p.norm() - 0.5f;
+    });
+    const TriangleMesh mesh = extractMesh(volume);
+    const auto all =
+        slambench::metrics::computeReconstructionError(mesh, scene, 1);
+    const auto strided =
+        slambench::metrics::computeReconstructionError(mesh, scene, 7);
+    EXPECT_GT(all.samples, strided.samples * 6);
+    EXPECT_NEAR(all.rmse, strided.rmse, 0.01);
+}
+
+TEST(Reconstruction, EmptyMeshIsSafe)
+{
+    const TriangleMesh mesh;
+    const auto error = slambench::metrics::computeReconstructionError(
+        mesh, slambench::dataset::livingRoomScene());
+    EXPECT_EQ(error.samples, 0u);
+    EXPECT_DOUBLE_EQ(error.rmse, 0.0);
+}
+
+// --- end-to-end: mesh from a real pipeline run ---
+
+TEST(Reconstruction, PipelineRunProducesAccurateMap)
+{
+    slambench::dataset::SequenceSpec spec;
+    spec.width = 80;
+    spec.height = 60;
+    spec.numFrames = 8;
+    spec.renderRgb = false;
+    const auto sequence = slambench::dataset::generateSequence(spec);
+
+    KFusionConfig config;
+    config.volumeResolution = 96;
+    config.pyramidIterations = {6, 4, 3};
+    KFusion pipeline(config, sequence.intrinsics);
+    pipeline.setPose(sequence.groundTruth.pose(0));
+    for (const auto &frame : sequence.frames)
+        pipeline.processFrame(frame.depthMm);
+
+    const TriangleMesh mesh = extractMesh(pipeline.volume());
+    ASSERT_GT(mesh.triangleCount(), 1000u);
+    const auto error = slambench::metrics::computeReconstructionError(
+        mesh, slambench::dataset::livingRoomScene(), 3);
+    // Voxels are 5 cm here; the fused map should sit within a couple
+    // of voxels of the true surfaces on average.
+    EXPECT_LT(error.meanAbs, 0.05);
+    EXPECT_LT(error.rmse, 0.08);
+}
+
+} // namespace

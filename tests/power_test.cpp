@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the power-monitor abstraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "devices/fleet.hpp"
+#include "power/power_monitor.hpp"
+
+namespace {
+
+using namespace slambench::power;
+using slambench::devices::odroidXu3;
+using slambench::kfusion::KernelId;
+using slambench::kfusion::WorkCounts;
+
+WorkCounts
+someWork()
+{
+    WorkCounts w;
+    w.addItems(KernelId::Integrate, 1e7);
+    w.addBytes(KernelId::Integrate, 1.6e8);
+    return w;
+}
+
+TEST(SimulatedMonitor, AccumulatesEnergyAndTime)
+{
+    SimulatedPowerMonitor monitor(odroidXu3());
+    monitor.recordFrame(someWork());
+    monitor.recordFrame(someWork());
+    const EnergyReading r = monitor.reading();
+    EXPECT_TRUE(r.available);
+    EXPECT_GT(r.joules, 0.0);
+    EXPECT_GT(r.seconds, 0.0);
+    EXPECT_GT(r.watts(), 0.0);
+
+    // Two identical frames: exactly double one frame.
+    SimulatedPowerMonitor one(odroidXu3());
+    one.recordFrame(someWork());
+    EXPECT_NEAR(r.joules, 2.0 * one.reading().joules, 1e-12);
+}
+
+TEST(SimulatedMonitor, ResetClears)
+{
+    SimulatedPowerMonitor monitor(odroidXu3());
+    monitor.recordFrame(someWork());
+    monitor.reset();
+    const EnergyReading r = monitor.reading();
+    EXPECT_DOUBLE_EQ(r.joules, 0.0);
+    EXPECT_DOUBLE_EQ(r.seconds, 0.0);
+}
+
+TEST(SimulatedMonitor, WattsMatchDeviceModel)
+{
+    const auto xu3 = odroidXu3();
+    SimulatedPowerMonitor monitor(xu3);
+    const WorkCounts w = someWork();
+    monitor.recordFrame(w);
+    const EnergyReading r = monitor.reading();
+    EXPECT_NEAR(r.joules, xu3.frameJoules(w), 1e-12);
+    EXPECT_NEAR(r.seconds, xu3.frameSeconds(w), 1e-12);
+}
+
+TEST(NullMonitor, ReportsUnavailable)
+{
+    NullPowerMonitor monitor;
+    monitor.recordFrame(someWork());
+    const EnergyReading r = monitor.reading();
+    EXPECT_FALSE(r.available);
+    EXPECT_DOUBLE_EQ(r.watts(), 0.0);
+}
+
+TEST(Factories, ProduceWorkingMonitors)
+{
+    auto simulated = makeSimulatedMonitor(odroidXu3());
+    auto null_monitor = makeNullMonitor();
+    simulated->recordFrame(someWork());
+    null_monitor->recordFrame(someWork());
+    EXPECT_TRUE(simulated->reading().available);
+    EXPECT_FALSE(null_monitor->reading().available);
+}
+
+TEST(EnergyReading, WattsGuardsAgainstZeroTime)
+{
+    EnergyReading r;
+    r.available = true;
+    r.joules = 10.0;
+    r.seconds = 0.0;
+    EXPECT_DOUBLE_EQ(r.watts(), 0.0);
+}
+
+} // namespace
