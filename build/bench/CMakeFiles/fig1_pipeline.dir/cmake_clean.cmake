@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_pipeline.dir/fig1_pipeline.cpp.o"
+  "CMakeFiles/fig1_pipeline.dir/fig1_pipeline.cpp.o.d"
+  "bench_fig1_pipeline"
+  "bench_fig1_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

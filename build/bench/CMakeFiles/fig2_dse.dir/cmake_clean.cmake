@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_dse.dir/fig2_dse.cpp.o"
+  "CMakeFiles/fig2_dse.dir/fig2_dse.cpp.o.d"
+  "bench_fig2_dse"
+  "bench_fig2_dse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_dse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

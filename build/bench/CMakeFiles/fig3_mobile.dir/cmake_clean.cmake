@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mobile.dir/fig3_mobile.cpp.o"
+  "CMakeFiles/fig3_mobile.dir/fig3_mobile.cpp.o.d"
+  "bench_fig3_mobile"
+  "bench_fig3_mobile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mobile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

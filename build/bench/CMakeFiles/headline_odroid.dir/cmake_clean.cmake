@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/headline_odroid.dir/headline_odroid.cpp.o"
+  "CMakeFiles/headline_odroid.dir/headline_odroid.cpp.o.d"
+  "bench_headline_odroid"
+  "bench_headline_odroid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/headline_odroid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

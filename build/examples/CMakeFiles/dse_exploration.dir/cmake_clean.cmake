@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dse_exploration.dir/dse_exploration.cpp.o"
+  "CMakeFiles/dse_exploration.dir/dse_exploration.cpp.o.d"
+  "dse_exploration"
+  "dse_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dse_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mobile_fleet.dir/mobile_fleet.cpp.o"
+  "CMakeFiles/mobile_fleet.dir/mobile_fleet.cpp.o.d"
+  "mobile_fleet"
+  "mobile_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mobile_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slambench_cli.dir/slambench_cli.cpp.o"
+  "CMakeFiles/slambench_cli.dir/slambench_cli.cpp.o.d"
+  "slambench_cli"
+  "slambench_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slambench_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/benchmark.cpp" "src/core/CMakeFiles/sb_core.dir/benchmark.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/benchmark.cpp.o.d"
+  "/root/repo/src/core/config_binding.cpp" "src/core/CMakeFiles/sb_core.dir/config_binding.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/config_binding.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/core/CMakeFiles/sb_core.dir/experiment.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/experiment.cpp.o.d"
+  "/root/repo/src/core/odometry.cpp" "src/core/CMakeFiles/sb_core.dir/odometry.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/odometry.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/sb_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/slam_system.cpp" "src/core/CMakeFiles/sb_core.dir/slam_system.cpp.o" "gcc" "src/core/CMakeFiles/sb_core.dir/slam_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kfusion/CMakeFiles/sb_kfusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sb_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sb_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypermapper/CMakeFiles/sb_hypermapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

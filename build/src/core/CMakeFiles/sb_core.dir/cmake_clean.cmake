@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_core.dir/benchmark.cpp.o"
+  "CMakeFiles/sb_core.dir/benchmark.cpp.o.d"
+  "CMakeFiles/sb_core.dir/config_binding.cpp.o"
+  "CMakeFiles/sb_core.dir/config_binding.cpp.o.d"
+  "CMakeFiles/sb_core.dir/experiment.cpp.o"
+  "CMakeFiles/sb_core.dir/experiment.cpp.o.d"
+  "CMakeFiles/sb_core.dir/odometry.cpp.o"
+  "CMakeFiles/sb_core.dir/odometry.cpp.o.d"
+  "CMakeFiles/sb_core.dir/report.cpp.o"
+  "CMakeFiles/sb_core.dir/report.cpp.o.d"
+  "CMakeFiles/sb_core.dir/slam_system.cpp.o"
+  "CMakeFiles/sb_core.dir/slam_system.cpp.o.d"
+  "libsb_core.a"
+  "libsb_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/generator.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/generator.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/generator.cpp.o.d"
+  "/root/repo/src/dataset/noise.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/noise.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/noise.cpp.o.d"
+  "/root/repo/src/dataset/raw_io.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/raw_io.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/raw_io.cpp.o.d"
+  "/root/repo/src/dataset/renderer.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/renderer.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/renderer.cpp.o.d"
+  "/root/repo/src/dataset/scene.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/scene.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/scene.cpp.o.d"
+  "/root/repo/src/dataset/sdf.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/sdf.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/sdf.cpp.o.d"
+  "/root/repo/src/dataset/trajectory.cpp" "src/dataset/CMakeFiles/sb_dataset.dir/trajectory.cpp.o" "gcc" "src/dataset/CMakeFiles/sb_dataset.dir/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_dataset.dir/generator.cpp.o"
+  "CMakeFiles/sb_dataset.dir/generator.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/noise.cpp.o"
+  "CMakeFiles/sb_dataset.dir/noise.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/raw_io.cpp.o"
+  "CMakeFiles/sb_dataset.dir/raw_io.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/renderer.cpp.o"
+  "CMakeFiles/sb_dataset.dir/renderer.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/scene.cpp.o"
+  "CMakeFiles/sb_dataset.dir/scene.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/sdf.cpp.o"
+  "CMakeFiles/sb_dataset.dir/sdf.cpp.o.d"
+  "CMakeFiles/sb_dataset.dir/trajectory.cpp.o"
+  "CMakeFiles/sb_dataset.dir/trajectory.cpp.o.d"
+  "libsb_dataset.a"
+  "libsb_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/devices/device_model.cpp" "src/devices/CMakeFiles/sb_devices.dir/device_model.cpp.o" "gcc" "src/devices/CMakeFiles/sb_devices.dir/device_model.cpp.o.d"
+  "/root/repo/src/devices/fleet.cpp" "src/devices/CMakeFiles/sb_devices.dir/fleet.cpp.o" "gcc" "src/devices/CMakeFiles/sb_devices.dir/fleet.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kfusion/CMakeFiles/sb_kfusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sb_math.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_devices.dir/device_model.cpp.o"
+  "CMakeFiles/sb_devices.dir/device_model.cpp.o.d"
+  "CMakeFiles/sb_devices.dir/fleet.cpp.o"
+  "CMakeFiles/sb_devices.dir/fleet.cpp.o.d"
+  "libsb_devices.a"
+  "libsb_devices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_devices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hypermapper/drivers.cpp" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/drivers.cpp.o" "gcc" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/drivers.cpp.o.d"
+  "/root/repo/src/hypermapper/knowledge.cpp" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/knowledge.cpp.o" "gcc" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/knowledge.cpp.o.d"
+  "/root/repo/src/hypermapper/param_space.cpp" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/param_space.cpp.o" "gcc" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/param_space.cpp.o.d"
+  "/root/repo/src/hypermapper/pareto.cpp" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/pareto.cpp.o" "gcc" "src/hypermapper/CMakeFiles/sb_hypermapper.dir/pareto.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ml/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_hypermapper.dir/drivers.cpp.o"
+  "CMakeFiles/sb_hypermapper.dir/drivers.cpp.o.d"
+  "CMakeFiles/sb_hypermapper.dir/knowledge.cpp.o"
+  "CMakeFiles/sb_hypermapper.dir/knowledge.cpp.o.d"
+  "CMakeFiles/sb_hypermapper.dir/param_space.cpp.o"
+  "CMakeFiles/sb_hypermapper.dir/param_space.cpp.o.d"
+  "CMakeFiles/sb_hypermapper.dir/pareto.cpp.o"
+  "CMakeFiles/sb_hypermapper.dir/pareto.cpp.o.d"
+  "libsb_hypermapper.a"
+  "libsb_hypermapper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_hypermapper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kfusion/config.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/config.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/config.cpp.o.d"
+  "/root/repo/src/kfusion/kernels.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/kernels.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/kernels.cpp.o.d"
+  "/root/repo/src/kfusion/mesh.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/mesh.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/mesh.cpp.o.d"
+  "/root/repo/src/kfusion/pipeline.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/pipeline.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/pipeline.cpp.o.d"
+  "/root/repo/src/kfusion/raycast.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/raycast.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/raycast.cpp.o.d"
+  "/root/repo/src/kfusion/tracking.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/tracking.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/tracking.cpp.o.d"
+  "/root/repo/src/kfusion/volume.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/volume.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/volume.cpp.o.d"
+  "/root/repo/src/kfusion/work_counters.cpp" "src/kfusion/CMakeFiles/sb_kfusion.dir/work_counters.cpp.o" "gcc" "src/kfusion/CMakeFiles/sb_kfusion.dir/work_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/sb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

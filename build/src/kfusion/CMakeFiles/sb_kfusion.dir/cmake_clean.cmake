@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_kfusion.dir/config.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/config.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/kernels.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/kernels.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/mesh.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/mesh.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/pipeline.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/pipeline.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/raycast.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/raycast.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/tracking.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/tracking.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/volume.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/volume.cpp.o.d"
+  "CMakeFiles/sb_kfusion.dir/work_counters.cpp.o"
+  "CMakeFiles/sb_kfusion.dir/work_counters.cpp.o.d"
+  "libsb_kfusion.a"
+  "libsb_kfusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_kfusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

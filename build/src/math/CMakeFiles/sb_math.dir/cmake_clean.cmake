@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_math.dir/solve.cpp.o"
+  "CMakeFiles/sb_math.dir/solve.cpp.o.d"
+  "libsb_math.a"
+  "libsb_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

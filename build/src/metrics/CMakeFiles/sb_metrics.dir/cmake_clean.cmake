@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_metrics.dir/ate.cpp.o"
+  "CMakeFiles/sb_metrics.dir/ate.cpp.o.d"
+  "CMakeFiles/sb_metrics.dir/reconstruction.cpp.o"
+  "CMakeFiles/sb_metrics.dir/reconstruction.cpp.o.d"
+  "CMakeFiles/sb_metrics.dir/timing.cpp.o"
+  "CMakeFiles/sb_metrics.dir/timing.cpp.o.d"
+  "libsb_metrics.a"
+  "libsb_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_ml.dir/dataset.cpp.o"
+  "CMakeFiles/sb_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/sb_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/sb_ml.dir/random_forest.cpp.o"
+  "CMakeFiles/sb_ml.dir/random_forest.cpp.o.d"
+  "libsb_ml.a"
+  "libsb_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

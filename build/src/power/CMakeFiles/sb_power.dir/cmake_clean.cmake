@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_power.dir/power_monitor.cpp.o"
+  "CMakeFiles/sb_power.dir/power_monitor.cpp.o.d"
+  "libsb_power.a"
+  "libsb_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

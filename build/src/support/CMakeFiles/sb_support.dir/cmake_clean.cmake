@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sb_support.dir/csv.cpp.o"
+  "CMakeFiles/sb_support.dir/csv.cpp.o.d"
+  "CMakeFiles/sb_support.dir/image.cpp.o"
+  "CMakeFiles/sb_support.dir/image.cpp.o.d"
+  "CMakeFiles/sb_support.dir/logging.cpp.o"
+  "CMakeFiles/sb_support.dir/logging.cpp.o.d"
+  "CMakeFiles/sb_support.dir/stats.cpp.o"
+  "CMakeFiles/sb_support.dir/stats.cpp.o.d"
+  "CMakeFiles/sb_support.dir/strings.cpp.o"
+  "CMakeFiles/sb_support.dir/strings.cpp.o.d"
+  "CMakeFiles/sb_support.dir/thread_pool.cpp.o"
+  "CMakeFiles/sb_support.dir/thread_pool.cpp.o.d"
+  "libsb_support.a"
+  "libsb_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sb_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

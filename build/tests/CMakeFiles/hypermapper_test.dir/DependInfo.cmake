@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hypermapper_test.cpp" "tests/CMakeFiles/hypermapper_test.dir/hypermapper_test.cpp.o" "gcc" "tests/CMakeFiles/hypermapper_test.dir/hypermapper_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/sb_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/sb_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/dataset/CMakeFiles/sb_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/sb_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/devices/CMakeFiles/sb_devices.dir/DependInfo.cmake"
+  "/root/repo/build/src/kfusion/CMakeFiles/sb_kfusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/sb_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/hypermapper/CMakeFiles/sb_hypermapper.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/sb_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/sb_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hypermapper_test.dir/hypermapper_test.cpp.o"
+  "CMakeFiles/hypermapper_test.dir/hypermapper_test.cpp.o.d"
+  "hypermapper_test"
+  "hypermapper_test.pdb"
+  "hypermapper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hypermapper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

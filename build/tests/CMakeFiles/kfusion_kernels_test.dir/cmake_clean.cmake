@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfusion_kernels_test.dir/kfusion_kernels_test.cpp.o"
+  "CMakeFiles/kfusion_kernels_test.dir/kfusion_kernels_test.cpp.o.d"
+  "kfusion_kernels_test"
+  "kfusion_kernels_test.pdb"
+  "kfusion_kernels_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfusion_kernels_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

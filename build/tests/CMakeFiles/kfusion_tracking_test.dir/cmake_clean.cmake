@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfusion_tracking_test.dir/kfusion_tracking_test.cpp.o"
+  "CMakeFiles/kfusion_tracking_test.dir/kfusion_tracking_test.cpp.o.d"
+  "kfusion_tracking_test"
+  "kfusion_tracking_test.pdb"
+  "kfusion_tracking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfusion_tracking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

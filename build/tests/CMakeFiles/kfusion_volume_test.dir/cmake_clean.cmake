@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kfusion_volume_test.dir/kfusion_volume_test.cpp.o"
+  "CMakeFiles/kfusion_volume_test.dir/kfusion_volume_test.cpp.o.d"
+  "kfusion_volume_test"
+  "kfusion_volume_test.pdb"
+  "kfusion_volume_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kfusion_volume_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

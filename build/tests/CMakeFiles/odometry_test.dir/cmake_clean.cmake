@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/odometry_test.dir/odometry_test.cpp.o"
+  "CMakeFiles/odometry_test.dir/odometry_test.cpp.o.d"
+  "odometry_test"
+  "odometry_test.pdb"
+  "odometry_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/odometry_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
