@@ -66,6 +66,8 @@ main(int argc, char **argv)
     const bool quick = argFlag(argc, argv, "--quick");
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", quick ? 8 : 30));
+    const support::trace::Session trace_session =
+        traceSessionFromArgs(argc, argv);
 
     std::printf("ABLATIONS: single-axis sweeps on the simulated "
                 "odroid-xu3 (%zu frames)\n",

@@ -18,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::bench {
 
@@ -97,6 +98,35 @@ argFlag(int argc, char **argv, const char *name)
         if (std::strcmp(argv[i], name) == 0)
             return true;
     return false;
+}
+
+/** Parse "--name value" string options; returns @p fallback if absent. */
+inline const char *
+argString(int argc, char **argv, const char *name,
+          const char *fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return argv[i + 1];
+    return fallback;
+}
+
+/**
+ * Arm per-kernel tracing from the shared bench flags:
+ *
+ *   --trace FILE      chrome://tracing span timeline (JSON)
+ *   --perf-csv FILE   per-frame per-kernel host-time aggregate (CSV)
+ *
+ * Keep the returned session alive for the whole measured run; the
+ * files are written when it goes out of scope. With neither flag the
+ * session is inert and tracing stays disabled.
+ */
+inline support::trace::Session
+traceSessionFromArgs(int argc, char **argv)
+{
+    return support::trace::Session(
+        argString(argc, argv, "--trace", ""),
+        argString(argc, argv, "--perf-csv", ""));
 }
 
 /** Run one configuration on the workload; returns benchmark result. */

@@ -26,6 +26,10 @@ main(int argc, char **argv)
 
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 45));
+    // --trace FILE / --perf-csv FILE: per-kernel profiling exports
+    // (see docs/OBSERVABILITY.md); files written at exit.
+    const support::trace::Session trace_session =
+        traceSessionFromArgs(argc, argv);
 
     dataset::SequenceSpec spec = canonicalWorkload(frames);
     spec.renderRgb = true; // the GUI shows the RGB pane

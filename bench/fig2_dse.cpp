@@ -57,6 +57,8 @@ main(int argc, char **argv)
     const bool quick = argFlag(argc, argv, "--quick");
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", quick ? 10 : 30));
+    const support::trace::Session trace_session =
+        traceSessionFromArgs(argc, argv);
     const size_t random_budget = static_cast<size_t>(
         argLong(argc, argv, "--random", quick ? 10 : 100));
     const size_t warmup = static_cast<size_t>(

@@ -27,6 +27,8 @@ main(int argc, char **argv)
 
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 30));
+    const support::trace::Session trace_session =
+        traceSessionFromArgs(argc, argv);
     const size_t device_count = static_cast<size_t>(
         argLong(argc, argv, "--devices", 83));
     const uint64_t seed = static_cast<uint64_t>(

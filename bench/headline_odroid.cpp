@@ -22,6 +22,8 @@ main(int argc, char **argv)
 
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 30));
+    const support::trace::Session trace_session =
+        traceSessionFromArgs(argc, argv);
 
     std::printf("HEADLINE: default vs tuned on the simulated "
                 "odroid-xu3 (%zu frames)\n\n",

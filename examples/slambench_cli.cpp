@@ -31,6 +31,7 @@
 #include "metrics/reconstruction.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -64,6 +65,10 @@ usage()
         "  --rr N            rendering rate\n\n"
         "outputs:\n"
         "  --align                  also report rigidly aligned ATE\n"
+        "  --trace FILE             chrome://tracing span timeline "
+        "(JSON)\n"
+        "  --perf-csv FILE          per-frame per-kernel host-time "
+        "aggregate (CSV)\n"
         "  --log FILE               per-frame metric log (CSV)\n"
         "  --dump-trajectory FILE   estimated trajectory (TUM)\n"
         "  --dump-groundtruth FILE  ground truth (TUM)\n"
@@ -112,6 +117,12 @@ main(int argc, char **argv)
         usage();
         return 0;
     }
+
+    // Per-kernel tracing (docs/OBSERVABILITY.md); exports at exit.
+    const char *trace_json = flagValue(argc, argv, "--trace");
+    const char *trace_csv = flagValue(argc, argv, "--perf-csv");
+    const support::trace::Session trace_session(
+        trace_json ? trace_json : "", trace_csv ? trace_csv : "");
 
     // --- Dataset ---
     dataset::SequenceSpec spec;

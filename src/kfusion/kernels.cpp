@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::kfusion {
 
@@ -62,13 +63,17 @@ bilateralFilterKernel(Image<float> &out, const Image<float> &in,
     // Precompute the spatial Gaussian window.
     const int side = 2 * radius + 1;
     std::vector<float> spatial(static_cast<size_t>(side * side));
-    for (int dy = -radius; dy <= radius; ++dy) {
-        for (int dx = -radius; dx <= radius; ++dx) {
-            const float d2 = static_cast<float>(dx * dx + dy * dy);
-            spatial[static_cast<size_t>((dy + radius) * side + dx +
-                                        radius)] =
-                std::exp(-d2 /
-                         (2.0f * gaussian_delta * gaussian_delta));
+    {
+        TRACE_SCOPE("bilateral_filter.lut");
+        for (int dy = -radius; dy <= radius; ++dy) {
+            for (int dx = -radius; dx <= radius; ++dx) {
+                const float d2 =
+                    static_cast<float>(dx * dx + dy * dy);
+                spatial[static_cast<size_t>((dy + radius) * side +
+                                            dx + radius)] =
+                    std::exp(-d2 / (2.0f * gaussian_delta *
+                                    gaussian_delta));
+            }
         }
     }
 

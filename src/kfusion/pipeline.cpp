@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::kfusion {
 
@@ -77,6 +78,7 @@ void
 KFusion::preprocess(const support::Image<uint16_t> &depth_mm,
                     WorkCounts &work)
 {
+    TRACE_SCOPE("preprocess");
     {
         KernelTimer timer(work, KernelId::Mm2Meters);
         mm2metersKernel(rawDepth_, depth_mm, config_.computeSizeRatio,
@@ -107,6 +109,7 @@ KFusion::preprocess(const support::Image<uint16_t> &depth_mm,
 void
 KFusion::buildPyramid(WorkCounts &work)
 {
+    TRACE_SCOPE("build_pyramid");
     pyramid_[0].depth = filteredDepth_;
     for (size_t l = 1; l < pyramid_.size(); ++l) {
         KernelTimer timer(work, KernelId::HalfSample);
@@ -153,6 +156,8 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
         support::fatal("KFusion::processFrame: frame size does not "
                        "match the input intrinsics");
 
+    TRACE_FRAME(frame_);
+    TRACE_SCOPE("process_frame");
     FrameResult result;
     result.frameIndex = frame_;
     WorkCounts &work = result.work;
@@ -212,6 +217,7 @@ KFusion::renderModel(support::Image<support::Rgb8> &out,
                      const Mat4f &view_pose,
                      const math::CameraIntrinsics *intrinsics)
 {
+    TRACE_SCOPE("render_model");
     WorkCounts work;
     renderVolumeKernel(out, *volume_,
                        intrinsics ? *intrinsics : inputIntrinsics_,

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "support/trace.hpp"
+
 namespace slambench::kfusion {
 
 using math::Vec3f;
@@ -153,6 +155,7 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
         total_steps += s;
     counts.addItems(KernelId::Raycast, total_steps);
     counts.addBytes(KernelId::Raycast, total_steps * 32.0);
+    TRACE_COUNTER("raycast.steps", total_steps);
 }
 
 void
@@ -219,6 +222,7 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
         total_steps += s;
     counts.addItems(KernelId::RenderVolume, total_steps);
     counts.addBytes(KernelId::RenderVolume, total_steps * 32.0);
+    TRACE_COUNTER("render_volume.steps", total_steps);
 }
 
 } // namespace slambench::kfusion

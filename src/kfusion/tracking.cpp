@@ -7,11 +7,29 @@
 #include "math/se3.hpp"
 #include "math/solve.hpp"
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::kfusion {
 
 using math::Mat4f;
 using math::Vec3f;
+
+namespace {
+
+/** @return a static span name for pyramid level @p li. */
+const char *
+icpLevelSpanName(size_t li)
+{
+    switch (li) {
+      case 0: return "icp_level_0";
+      case 1: return "icp_level_1";
+      case 2: return "icp_level_2";
+      case 3: return "icp_level_3";
+      default: return "icp_level_n";
+    }
+}
+
+} // namespace
 
 void
 trackKernel(support::Image<TrackData> &track_data,
@@ -221,6 +239,7 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
          WorkCounts &counts, support::ThreadPool *pool,
          support::Image<TrackData> *final_track_data)
 {
+    TRACE_SCOPE("icp_track");
     TrackingStats stats;
     if (live.empty())
         support::panic("icpTrack: empty pyramid");
@@ -232,6 +251,7 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
 
     // Coarse-to-fine schedule.
     for (size_t li = live.size(); li-- > 0;) {
+        TRACE_SCOPE(icpLevelSpanName(li));
         const PyramidLevel &level = live[li];
         const int iterations =
             config.pyramidIterations[li];
@@ -280,6 +300,7 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
                 break;
         }
     }
+    TRACE_COUNTER("icp_iterations", stats.iterations);
 
     if (final_track_data)
         *final_track_data = track_data;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::kfusion {
 
@@ -169,6 +170,8 @@ TsdfVolume::integrate(const support::Image<float> &depth,
                     static_cast<double>(columns) * res);
     counts.addBytes(KernelId::Integrate,
                     static_cast<double>(columns) * res * 16.0);
+    TRACE_COUNTER("integrate.voxels",
+                  static_cast<double>(columns) * res);
 }
 
 } // namespace slambench::kfusion

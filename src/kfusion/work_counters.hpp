@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "support/trace.hpp"
+
 namespace slambench::kfusion {
 
 /** Identifiers of the pipeline's compute kernels. */
@@ -116,6 +118,11 @@ struct WorkCounts
 /**
  * RAII timer adding elapsed wall time (and optionally work items) to
  * a WorkCounts entry on destruction.
+ *
+ * When tracing is enabled the timer also emits a Category::Kernel
+ * span named kernelName(id), so a timeline opened in chrome://tracing
+ * carries exactly the names of the work-counter CSV columns and the
+ * span totals reconcile with WorkCounts::hostSecondsFor().
  */
 class KernelTimer
 {
@@ -126,6 +133,9 @@ class KernelTimer
      */
     KernelTimer(WorkCounts &counts, KernelId id)
         : counts_(counts), id_(id),
+#if SLAMBENCH_TRACE_ENABLED
+          span_(kernelName(id), support::trace::Category::Kernel),
+#endif
           start_(std::chrono::steady_clock::now())
     {}
 
@@ -142,6 +152,12 @@ class KernelTimer
   private:
     WorkCounts &counts_;
     KernelId id_;
+#if SLAMBENCH_TRACE_ENABLED
+    // Declared before start_ so the span opens before timing begins
+    // and closes after the host time is accumulated: the span always
+    // covers (and slightly exceeds) the counted interval.
+    support::trace::ScopedSpan span_;
+#endif
     std::chrono::steady_clock::time_point start_;
 };
 

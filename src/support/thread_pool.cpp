@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/logging.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::support {
 
@@ -67,6 +68,15 @@ ThreadPool::parallelForChunked(
         job_.body = &body;
         job_.next = begin;
         job_.remainingChunks = (count + chunk - 1) / chunk;
+#if SLAMBENCH_TRACE_ENABLED
+        // Attribute worker-side chunks to the span that dispatched
+        // them (e.g. a KernelTimer's kernel span on the caller).
+        job_.traceName = trace::Tracer::instance().enabled()
+                             ? trace::currentSpanName()
+                             : nullptr;
+#else
+        job_.traceName = nullptr;
+#endif
         jobActive_ = true;
         ++generation_;
     }
@@ -94,7 +104,16 @@ ThreadPool::runChunks(Job &job)
             hi = std::min(job.end, lo + job.chunk);
             job.next = hi;
         }
-        (*job.body)(lo, hi);
+#if SLAMBENCH_TRACE_ENABLED
+        if (job.traceName) {
+            trace::ScopedSpan chunk_span(job.traceName,
+                                         trace::Category::Worker);
+            (*job.body)(lo, hi);
+        } else
+#endif
+        {
+            (*job.body)(lo, hi);
+        }
         {
             std::unique_lock<std::mutex> lock(mutex_);
             if (--job.remainingChunks == 0) {

@@ -72,6 +72,9 @@ class ThreadPool
         const std::function<void(size_t, size_t)> *body = nullptr;
         size_t next = 0;
         size_t remainingChunks = 0;
+        /** Span name of the dispatching scope; chunks executed by
+         *  workers are traced under it (null = no tracing). */
+        const char *traceName = nullptr;
     };
 
     void workerLoop();

@@ -1,0 +1,368 @@
+#include "support/trace.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <ostream>
+
+#include "support/logging.hpp"
+
+namespace slambench::support::trace {
+
+namespace {
+
+/**
+ * Per-thread stack of open span names backing currentSpanName(),
+ * which the thread pool uses for worker-chunk attribution.
+ */
+thread_local std::vector<const char *> t_span_stack;
+
+/** Append @p s to @p out with JSON string escaping. */
+void
+appendEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+}
+
+} // namespace
+
+const char *
+categoryName(Category cat)
+{
+    switch (cat) {
+      case Category::Kernel: return "kernel";
+      case Category::Phase: return "phase";
+      case Category::Worker: return "worker";
+      case Category::Counter: return "counter";
+      case Category::Marker: return "marker";
+    }
+    return "unknown";
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer &
+Tracer::instance()
+{
+    static Tracer tracer;
+    return tracer;
+}
+
+void
+Tracer::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+Tracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto &buffer : buffers_)
+        buffer->events.clear();
+    frame_.store(0, std::memory_order_relaxed);
+    epoch_ = std::chrono::steady_clock::now();
+}
+
+void
+Tracer::setFrame(uint64_t frame)
+{
+    frame_.store(frame, std::memory_order_relaxed);
+    record("frame", Category::Marker, 'i',
+           static_cast<double>(frame));
+}
+
+void
+Tracer::beginSpan(const char *name, Category cat)
+{
+    record(name, cat, 'B', 0.0);
+    t_span_stack.push_back(name);
+}
+
+void
+Tracer::endSpan(const char *name, Category cat)
+{
+    if (!t_span_stack.empty())
+        t_span_stack.pop_back();
+    record(name, cat, 'E', 0.0);
+}
+
+void
+Tracer::counter(const char *name, double value)
+{
+    record(name, Category::Counter, 'C', value);
+}
+
+Tracer::ThreadBuffer &
+Tracer::localBuffer()
+{
+    // The registry owns the buffer so recorded events outlive the
+    // recording thread (worker pools are destroyed before export).
+    static thread_local ThreadBuffer *buffer = nullptr;
+    if (!buffer) {
+        auto owned = std::make_unique<ThreadBuffer>();
+        std::lock_guard<std::mutex> lock(mutex_);
+        owned->tid = static_cast<uint32_t>(buffers_.size());
+        buffer = owned.get();
+        buffers_.push_back(std::move(owned));
+    }
+    return *buffer;
+}
+
+void
+Tracer::record(const char *name, Category cat, char phase,
+               double value)
+{
+    const auto now = std::chrono::steady_clock::now();
+    Event event;
+    event.name = name;
+    event.tsNs = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now -
+                                                             epoch_)
+            .count());
+    event.frame = frame_.load(std::memory_order_relaxed);
+    event.value = value;
+    event.cat = cat;
+    event.phase = phase;
+    localBuffer().events.push_back(event);
+}
+
+size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t count = 0;
+    for (const auto &buffer : buffers_)
+        count += buffer->events.size();
+    return count;
+}
+
+size_t
+Tracer::threadCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t count = 0;
+    for (const auto &buffer : buffers_)
+        count += !buffer->events.empty();
+    return count;
+}
+
+std::vector<std::vector<Event>>
+Tracer::eventsByThread() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::vector<Event>> out;
+    out.reserve(buffers_.size());
+    for (const auto &buffer : buffers_)
+        out.push_back(buffer->events);
+    return out;
+}
+
+std::vector<FrameKernelTotal>
+Tracer::frameKernelTotals() const
+{
+    // Spans are RAII, so begins and ends nest per thread: pair them
+    // with a per-thread stack and attribute the duration to the
+    // frame the span *began* in.
+    std::map<std::pair<uint64_t, std::string>,
+             std::pair<size_t, double>>
+        totals;
+    for (const auto &events : eventsByThread()) {
+        std::vector<const Event *> stack;
+        for (const Event &event : events) {
+            if (event.phase == 'B') {
+                stack.push_back(&event);
+            } else if (event.phase == 'E' && !stack.empty()) {
+                const Event *begin = stack.back();
+                stack.pop_back();
+                if (begin->cat != Category::Kernel)
+                    continue;
+                auto &slot =
+                    totals[{begin->frame, begin->name}];
+                slot.first += 1;
+                slot.second +=
+                    static_cast<double>(event.tsNs - begin->tsNs) *
+                    1e-9;
+            }
+        }
+    }
+    std::vector<FrameKernelTotal> out;
+    out.reserve(totals.size());
+    for (const auto &[key, value] : totals)
+        out.push_back({key.first, key.second, value.first,
+                       value.second});
+    return out;
+}
+
+std::vector<KernelTotal>
+Tracer::kernelTotals() const
+{
+    std::map<std::string, std::pair<size_t, double>> totals;
+    for (const FrameKernelTotal &t : frameKernelTotals()) {
+        auto &slot = totals[t.name];
+        slot.first += t.spans;
+        slot.second += t.seconds;
+    }
+    std::vector<KernelTotal> out;
+    out.reserve(totals.size());
+    for (const auto &[name, value] : totals)
+        out.push_back({name, value.first, value.second});
+    return out;
+}
+
+void
+Tracer::writeChromeJson(std::ostream &os) const
+{
+    os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+    bool first = true;
+    char buf[64];
+    const auto by_thread = eventsByThread();
+    for (size_t tid = 0; tid < by_thread.size(); ++tid) {
+        for (const Event &event : by_thread[tid]) {
+            if (!first)
+                os << ",";
+            first = false;
+            std::string line = "\n{\"name\":\"";
+            appendEscaped(line, event.name);
+            line += "\",\"cat\":\"";
+            line += categoryName(event.cat);
+            line += "\",\"ph\":\"";
+            line += event.phase;
+            line += "\",\"ts\":";
+            std::snprintf(buf, sizeof(buf), "%.3f",
+                          static_cast<double>(event.tsNs) * 1e-3);
+            line += buf;
+            line += ",\"pid\":1,\"tid\":";
+            std::snprintf(buf, sizeof(buf), "%zu", tid);
+            line += buf;
+            if (event.phase == 'i')
+                line += ",\"s\":\"g\"";
+            if (event.phase == 'C') {
+                std::snprintf(buf, sizeof(buf),
+                              ",\"args\":{\"value\":%.17g}",
+                              event.value);
+                line += buf;
+            } else {
+                std::snprintf(buf, sizeof(buf),
+                              ",\"args\":{\"frame\":%llu}",
+                              static_cast<unsigned long long>(
+                                  event.frame));
+                line += buf;
+            }
+            line += "}";
+            os << line;
+        }
+    }
+    os << "\n]}\n";
+}
+
+bool
+Tracer::writeChromeJson(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeChromeJson(os);
+    return static_cast<bool>(os);
+}
+
+void
+Tracer::writeFrameCsv(std::ostream &os) const
+{
+    os << "frame,kernel,spans,host_ms\n";
+    char buf[64];
+    for (const FrameKernelTotal &t : frameKernelTotals()) {
+        std::snprintf(buf, sizeof(buf), "%.6f", t.seconds * 1e3);
+        os << t.frame << "," << t.name << "," << t.spans << ","
+           << buf << "\n";
+    }
+}
+
+bool
+Tracer::writeFrameCsv(const std::string &path) const
+{
+    std::ofstream os(path);
+    if (!os)
+        return false;
+    writeFrameCsv(os);
+    return static_cast<bool>(os);
+}
+
+const char *
+currentSpanName()
+{
+    return t_span_stack.empty() ? nullptr : t_span_stack.back();
+}
+
+Session::Session(std::string json_path, std::string csv_path)
+    : jsonPath_(std::move(json_path)), csvPath_(std::move(csv_path))
+{
+    if (jsonPath_.empty() && csvPath_.empty())
+        return;
+    Tracer &tracer = Tracer::instance();
+    tracer.clear();
+    tracer.setEnabled(true);
+    armed_ = true;
+}
+
+Session::Session(Session &&other) noexcept
+    : jsonPath_(std::move(other.jsonPath_)),
+      csvPath_(std::move(other.csvPath_)), armed_(other.armed_)
+{
+    other.armed_ = false;
+}
+
+Session &
+Session::operator=(Session &&other) noexcept
+{
+    if (this != &other) {
+        finish();
+        jsonPath_ = std::move(other.jsonPath_);
+        csvPath_ = std::move(other.csvPath_);
+        armed_ = other.armed_;
+        other.armed_ = false;
+    }
+    return *this;
+}
+
+Session::~Session() { finish(); }
+
+void
+Session::finish()
+{
+    if (!armed_)
+        return;
+    armed_ = false;
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(false);
+    if (!jsonPath_.empty()) {
+        if (tracer.writeChromeJson(jsonPath_))
+            logInfo() << "trace: wrote " << jsonPath_;
+        else
+            logError() << "trace: cannot write " << jsonPath_;
+    }
+    if (!csvPath_.empty()) {
+        if (tracer.writeFrameCsv(csvPath_))
+            logInfo() << "trace: wrote " << csvPath_;
+        else
+            logError() << "trace: cannot write " << csvPath_;
+    }
+}
+
+} // namespace slambench::support::trace

@@ -1,0 +1,328 @@
+#ifndef SLAMBENCH_SUPPORT_TRACE_HPP
+#define SLAMBENCH_SUPPORT_TRACE_HPP
+
+/**
+ * @file
+ * Lightweight per-kernel tracing: scoped spans, counter events, and
+ * frame markers, exported as Chrome `chrome://tracing` JSON and a
+ * per-frame aggregate CSV.
+ *
+ * SLAMBench's whole methodology is timing every pipeline stage; this
+ * is the host-side instrumentation that makes those timings visible.
+ * Span names for compute kernels are exactly the
+ * `kfusion::kernelName()` strings, so a timeline opened in
+ * chrome://tracing (or Perfetto) lines up 1:1 with the
+ * `work_counters` CSV columns. See docs/OBSERVABILITY.md for the
+ * span semantics and the export schemas.
+ *
+ * Cost model: when `SLAMBENCH_TRACE_ENABLED` is defined to 0 the
+ * TRACE_* macros compile to nothing. When compiled in but not
+ * runtime-enabled (the default), every entry point is a single
+ * relaxed atomic load — no allocation, no event, no lock. When
+ * enabled, events append to per-thread buffers without locking; the
+ * registry lock is only taken once per thread (first event) and at
+ * export time.
+ */
+
+#ifndef SLAMBENCH_TRACE_ENABLED
+#define SLAMBENCH_TRACE_ENABLED 1
+#endif
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace slambench::support::trace {
+
+/** What a trace event describes; exported as the Chrome `cat` field. */
+enum class Category : uint8_t {
+    Kernel,  ///< A pipeline compute kernel (names match kernelName()).
+    Phase,   ///< A coarser grouping span (frame, preprocess, ...).
+    Worker,  ///< A thread-pool chunk executing on behalf of a span.
+    Counter, ///< A named scalar sample (counter event).
+    Marker,  ///< An instant event (frame boundaries).
+};
+
+/** @return the stable lowercase name of @p cat for exports. */
+const char *categoryName(Category cat);
+
+/** One recorded trace event (span begin/end, counter, or marker). */
+struct Event
+{
+    /** Static string; spans use it to pair begins with ends. */
+    const char *name = nullptr;
+    /** Nanoseconds since the tracer epoch (start / last clear()). */
+    uint64_t tsNs = 0;
+    /** Pipeline frame index current when the event was recorded. */
+    uint64_t frame = 0;
+    /** Counter value; unused for spans and markers. */
+    double value = 0.0;
+    /** Event category. */
+    Category cat = Category::Phase;
+    /** Chrome phase: 'B' begin, 'E' end, 'C' counter, 'i' instant. */
+    char phase = 'B';
+};
+
+/** Aggregate of all spans with one name within one frame. */
+struct FrameKernelTotal
+{
+    uint64_t frame = 0;     ///< Frame index the spans began in.
+    std::string name;       ///< Span (kernel) name.
+    size_t spans = 0;       ///< Number of completed spans.
+    double seconds = 0.0;   ///< Summed span wall time.
+};
+
+/** Aggregate of all spans with one name across the whole trace. */
+struct KernelTotal
+{
+    std::string name;       ///< Span (kernel) name.
+    size_t spans = 0;       ///< Number of completed spans.
+    double seconds = 0.0;   ///< Summed span wall time.
+};
+
+/**
+ * Process-wide trace recorder.
+ *
+ * Threads record into private buffers (no contention on the hot
+ * path); buffers are owned by the tracer and outlive their threads,
+ * so worker events survive pool destruction until export.
+ */
+class Tracer
+{
+  public:
+    /** @return the process-wide tracer. */
+    static Tracer &instance();
+
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /**
+     * Turn recording on or off. Must not race in-flight spans:
+     * enable before the measured region, disable after.
+     */
+    void setEnabled(bool on);
+
+    /** @return whether events are being recorded (relaxed load). */
+    bool
+    enabled() const
+    {
+        return enabled_.load(std::memory_order_relaxed);
+    }
+
+    /** Drop all recorded events and restart the time epoch. */
+    void clear();
+
+    /**
+     * Record a frame-boundary marker and stamp subsequent events
+     * (on every thread) with @p frame.
+     */
+    void setFrame(uint64_t frame);
+
+    /** @return the frame index currently stamped onto events. */
+    uint64_t
+    frame() const
+    {
+        return frame_.load(std::memory_order_relaxed);
+    }
+
+    /** Record a span begin; callers must check enabled() first. */
+    void beginSpan(const char *name, Category cat);
+    /** Record the matching span end. */
+    void endSpan(const char *name, Category cat);
+    /** Record a counter sample; callers must check enabled() first. */
+    void counter(const char *name, double value);
+
+    /** @return total events recorded since the last clear(). */
+    size_t eventCount() const;
+    /** @return number of threads that have recorded any event. */
+    size_t threadCount() const;
+    /** @return per-thread event sequences (registration order). */
+    std::vector<std::vector<Event>> eventsByThread() const;
+
+    /**
+     * Sum completed Category::Kernel spans per (frame, name).
+     * Begin/end pairing is per thread (spans are RAII and nest).
+     *
+     * @return totals sorted by frame then name.
+     */
+    std::vector<FrameKernelTotal> frameKernelTotals() const;
+
+    /** @return Category::Kernel span totals per name, name-sorted. */
+    std::vector<KernelTotal> kernelTotals() const;
+
+    /** Write the Chrome trace-event JSON document to @p os. */
+    void writeChromeJson(std::ostream &os) const;
+    /**
+     * Write the Chrome trace-event JSON to @p path.
+     * @return false when the file cannot be opened.
+     */
+    bool writeChromeJson(const std::string &path) const;
+
+    /** Write the per-frame per-kernel aggregate CSV to @p os. */
+    void writeFrameCsv(std::ostream &os) const;
+    /**
+     * Write the per-frame aggregate CSV to @p path.
+     * @return false when the file cannot be opened.
+     */
+    bool writeFrameCsv(const std::string &path) const;
+
+  private:
+    struct ThreadBuffer
+    {
+        uint32_t tid = 0;
+        std::vector<Event> events;
+    };
+
+    Tracer();
+
+    /** @return this thread's buffer, registering it on first use. */
+    ThreadBuffer &localBuffer();
+    void record(const char *name, Category cat, char phase,
+                double value);
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    std::atomic<bool> enabled_{false};
+    std::atomic<uint64_t> frame_{0};
+    std::chrono::steady_clock::time_point epoch_;
+};
+
+/**
+ * @return the name of the innermost open span on this thread, or
+ * nullptr outside any span. The thread pool uses this to attribute
+ * worker-side chunks to the kernel that dispatched them.
+ */
+const char *currentSpanName();
+
+/**
+ * RAII span: records a begin event on construction and the matching
+ * end on destruction. Free when the tracer is disabled.
+ */
+class ScopedSpan
+{
+  public:
+    /**
+     * @param name Static string naming the span (must outlive the
+     *     tracer; string literals and kernelName() qualify).
+     * @param cat Category exported as the Chrome `cat` field.
+     */
+    explicit ScopedSpan(const char *name,
+                        Category cat = Category::Phase)
+    {
+        Tracer &tracer = Tracer::instance();
+        if (tracer.enabled()) {
+            name_ = name;
+            cat_ = cat;
+            tracer.beginSpan(name, cat);
+        }
+    }
+
+    ScopedSpan(const ScopedSpan &) = delete;
+    ScopedSpan &operator=(const ScopedSpan &) = delete;
+
+    ~ScopedSpan()
+    {
+        if (name_)
+            Tracer::instance().endSpan(name_, cat_);
+    }
+
+  private:
+    const char *name_ = nullptr;
+    Category cat_ = Category::Phase;
+};
+
+/** Record a counter sample if tracing is enabled. */
+inline void
+counterEvent(const char *name, double value)
+{
+    Tracer &tracer = Tracer::instance();
+    if (tracer.enabled())
+        tracer.counter(name, value);
+}
+
+/** Record a frame boundary if tracing is enabled. */
+inline void
+frameMarker(uint64_t frame)
+{
+    Tracer &tracer = Tracer::instance();
+    if (tracer.enabled())
+        tracer.setFrame(frame);
+}
+
+/**
+ * RAII trace capture for a CLI run: enables the tracer on
+ * construction when at least one output path is non-empty, and on
+ * destruction exports the requested files and disables tracing.
+ */
+class Session
+{
+  public:
+    /** Inactive session (tracing stays off). */
+    Session() = default;
+
+    /**
+     * @param json_path Chrome trace output path ("" = skip).
+     * @param csv_path Per-frame aggregate CSV path ("" = skip).
+     */
+    Session(std::string json_path, std::string csv_path);
+
+    Session(Session &&other) noexcept;
+    Session &operator=(Session &&other) noexcept;
+    Session(const Session &) = delete;
+    Session &operator=(const Session &) = delete;
+
+    /** Exports the requested files when the session is active. */
+    ~Session();
+
+    /** @return whether this session turned tracing on. */
+    bool
+    active() const
+    {
+        return armed_;
+    }
+
+  private:
+    void finish();
+
+    std::string jsonPath_;
+    std::string csvPath_;
+    bool armed_ = false;
+};
+
+} // namespace slambench::support::trace
+
+#if SLAMBENCH_TRACE_ENABLED
+
+#define SB_TRACE_CONCAT_IMPL(a, b) a##b
+#define SB_TRACE_CONCAT(a, b) SB_TRACE_CONCAT_IMPL(a, b)
+
+/** Open a Category::Phase span covering the rest of this scope. */
+#define TRACE_SCOPE(name)                                            \
+    ::slambench::support::trace::ScopedSpan SB_TRACE_CONCAT(         \
+        sb_trace_span_, __LINE__)(name)
+
+/** Record a named scalar sample (Chrome counter track). */
+#define TRACE_COUNTER(name, value)                                   \
+    ::slambench::support::trace::counterEvent(                       \
+        name, static_cast<double>(value))
+
+/** Mark a frame boundary; later events belong to frame @p index. */
+#define TRACE_FRAME(index)                                           \
+    ::slambench::support::trace::frameMarker(                        \
+        static_cast<uint64_t>(index))
+
+#else // !SLAMBENCH_TRACE_ENABLED
+
+#define TRACE_SCOPE(name) ((void)0)
+#define TRACE_COUNTER(name, value) ((void)0)
+#define TRACE_FRAME(index) ((void)0)
+
+#endif // SLAMBENCH_TRACE_ENABLED
+
+#endif // SLAMBENCH_SUPPORT_TRACE_HPP

@@ -1,0 +1,315 @@
+/**
+ * @file
+ * Tests of the tracing subsystem: span nesting, zero-cost disabled
+ * path, Chrome JSON well-formedness (every B paired with an E),
+ * worker-chunk attribution, and agreement between the per-frame CSV
+ * aggregate and the WorkCounts host-time accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "dataset/generator.hpp"
+#include "kfusion/pipeline.hpp"
+#include "support/thread_pool.hpp"
+#include "support/trace.hpp"
+
+namespace {
+
+using namespace slambench;
+using namespace slambench::support::trace;
+
+/** Every test starts and ends with a disabled, empty tracer. */
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        Tracer::instance().setEnabled(false);
+        Tracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        Tracer::instance().setEnabled(false);
+        Tracer::instance().clear();
+    }
+};
+
+/** @return number of occurrences of @p needle in @p haystack. */
+size_t
+countOccurrences(const std::string &haystack,
+                 const std::string &needle)
+{
+    size_t count = 0;
+    for (size_t pos = haystack.find(needle);
+         pos != std::string::npos;
+         pos = haystack.find(needle, pos + needle.size()))
+        ++count;
+    return count;
+}
+
+TEST_F(TraceTest, SpansNestAndPair)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(true);
+    {
+        ScopedSpan outer("outer");
+        EXPECT_STREQ(currentSpanName(), "outer");
+        {
+            ScopedSpan inner("inner", Category::Kernel);
+            EXPECT_STREQ(currentSpanName(), "inner");
+        }
+        EXPECT_STREQ(currentSpanName(), "outer");
+    }
+    EXPECT_EQ(currentSpanName(), nullptr);
+    tracer.setEnabled(false);
+
+    // This thread's buffer holds B(outer) B(inner) E(inner) E(outer).
+    bool found = false;
+    for (const auto &events : tracer.eventsByThread()) {
+        if (events.empty())
+            continue;
+        ASSERT_EQ(events.size(), 4u);
+        EXPECT_STREQ(events[0].name, "outer");
+        EXPECT_EQ(events[0].phase, 'B');
+        EXPECT_STREQ(events[1].name, "inner");
+        EXPECT_EQ(events[1].phase, 'B');
+        EXPECT_STREQ(events[2].name, "inner");
+        EXPECT_EQ(events[2].phase, 'E');
+        EXPECT_STREQ(events[3].name, "outer");
+        EXPECT_EQ(events[3].phase, 'E');
+        EXPECT_LE(events[0].tsNs, events[1].tsNs);
+        EXPECT_LE(events[1].tsNs, events[2].tsNs);
+        EXPECT_LE(events[2].tsNs, events[3].tsNs);
+        found = true;
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST_F(TraceTest, DisabledEmitsNothing)
+{
+    Tracer &tracer = Tracer::instance();
+    ASSERT_FALSE(tracer.enabled());
+    {
+        ScopedSpan span("should_not_record", Category::Kernel);
+        TRACE_SCOPE("macro_should_not_record");
+        TRACE_COUNTER("counter", 42.0);
+        TRACE_FRAME(7);
+    }
+    EXPECT_EQ(tracer.eventCount(), 0u);
+    EXPECT_EQ(tracer.threadCount(), 0u);
+    // The frame stamp is untouched by the disabled TRACE_FRAME.
+    EXPECT_EQ(tracer.frame(), 0u);
+}
+
+TEST_F(TraceTest, FrameStampsAndCounters)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(true);
+    TRACE_FRAME(3);
+    {
+        ScopedSpan span("work", Category::Kernel);
+        TRACE_COUNTER("items", 11.0);
+    }
+    tracer.setEnabled(false);
+
+    const auto totals = tracer.frameKernelTotals();
+    ASSERT_EQ(totals.size(), 1u);
+    EXPECT_EQ(totals[0].frame, 3u);
+    EXPECT_EQ(totals[0].name, "work");
+    EXPECT_EQ(totals[0].spans, 1u);
+    EXPECT_GT(totals[0].seconds, 0.0);
+
+    bool counter_seen = false;
+    for (const auto &events : tracer.eventsByThread())
+        for (const Event &event : events)
+            if (event.phase == 'C') {
+                EXPECT_STREQ(event.name, "items");
+                EXPECT_DOUBLE_EQ(event.value, 11.0);
+                EXPECT_EQ(event.frame, 3u);
+                counter_seen = true;
+            }
+    EXPECT_TRUE(counter_seen);
+}
+
+TEST_F(TraceTest, WorkerChunksAttributeToDispatchingSpan)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(true);
+    support::ThreadPool pool(2);
+    {
+        ScopedSpan span("dispatch_target", Category::Kernel);
+        pool.parallelFor(0, 64, [](size_t) {});
+    }
+    tracer.setEnabled(false);
+
+    size_t worker_chunks = 0;
+    for (const auto &events : tracer.eventsByThread())
+        for (const Event &event : events)
+            if (event.cat == Category::Worker && event.phase == 'B') {
+                EXPECT_STREQ(event.name, "dispatch_target");
+                ++worker_chunks;
+            }
+    EXPECT_GE(worker_chunks, 1u);
+
+    // Worker spans are excluded from the kernel aggregate, so the
+    // dispatching span is counted exactly once.
+    const auto totals = tracer.kernelTotals();
+    ASSERT_EQ(totals.size(), 1u);
+    EXPECT_EQ(totals[0].name, "dispatch_target");
+    EXPECT_EQ(totals[0].spans, 1u);
+}
+
+TEST_F(TraceTest, ChromeJsonPairsEveryBeginWithAnEnd)
+{
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(true);
+    support::ThreadPool pool(2);
+    TRACE_FRAME(0);
+    for (int i = 0; i < 3; ++i) {
+        ScopedSpan outer("outer", Category::Phase);
+        ScopedSpan inner("inner", Category::Kernel);
+        pool.parallelFor(0, 32, [](size_t) {});
+        TRACE_COUNTER("samples", static_cast<double>(i));
+    }
+    tracer.setEnabled(false);
+
+    std::ostringstream os;
+    tracer.writeChromeJson(os);
+    const std::string json = os.str();
+
+    // Loadable object shape with one event array.
+    ASSERT_FALSE(json.empty());
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(countOccurrences(json, "\"traceEvents\""), 1u);
+    EXPECT_EQ(countOccurrences(json, "{"),
+              countOccurrences(json, "}"));
+    EXPECT_EQ(countOccurrences(json, "["),
+              countOccurrences(json, "]"));
+
+    // Every begin has an end; counters and markers are present.
+    EXPECT_GT(countOccurrences(json, "\"ph\":\"B\""), 0u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"B\""),
+              countOccurrences(json, "\"ph\":\"E\""));
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"C\""), 3u);
+    EXPECT_EQ(countOccurrences(json, "\"ph\":\"i\""), 1u);
+
+    // File variant writes the same document.
+    const std::string path =
+        ::testing::TempDir() + "trace_test_out.json";
+    ASSERT_TRUE(tracer.writeChromeJson(path));
+    std::ifstream in(path);
+    std::stringstream file_contents;
+    file_contents << in.rdbuf();
+    EXPECT_EQ(file_contents.str(), json);
+    std::remove(path.c_str());
+}
+
+TEST_F(TraceTest, CsvAggregateMatchesWorkCounts)
+{
+    dataset::SequenceSpec spec;
+    spec.width = 80;
+    spec.height = 60;
+    spec.numFrames = 4;
+    spec.renderRgb = false;
+    spec.seed = 42;
+    const dataset::Sequence sequence = generateSequence(spec);
+
+    kfusion::KFusionConfig config;
+    config.volumeResolution = 32;
+    config.volumeSize = 5.0f;
+    config.pyramidIterations = {3, 2, 2};
+
+    Tracer &tracer = Tracer::instance();
+    tracer.setEnabled(true);
+    kfusion::KFusion pipeline(config, sequence.intrinsics);
+    pipeline.setPose(sequence.groundTruth.pose(0));
+    for (const auto &frame : sequence.frames)
+        pipeline.processFrame(frame.depthMm);
+    tracer.setEnabled(false);
+
+    const kfusion::WorkCounts &work = pipeline.totalWork();
+
+    // Every kernel with host time has a span total within 5% (plus
+    // a small absolute floor for sub-millisecond kernels: the span
+    // brackets the timer, so it reads slightly longer).
+    const auto totals = tracer.kernelTotals();
+    double traced_total = 0.0;
+    for (size_t k = 0; k < kfusion::kNumKernels; ++k) {
+        const auto id = static_cast<kfusion::KernelId>(k);
+        const double host = work.hostSecondsFor(id);
+        if (host <= 0.0)
+            continue;
+        double traced = 0.0;
+        for (const auto &t : totals)
+            if (t.name == kfusion::kernelName(id))
+                traced = t.seconds;
+        EXPECT_GT(traced, 0.0) << kfusion::kernelName(id);
+        EXPECT_LE(std::abs(traced - host),
+                  std::max(0.05 * host, 5e-4))
+            << kfusion::kernelName(id);
+        traced_total += traced;
+    }
+    EXPECT_LE(std::abs(traced_total - work.totalHostSeconds()),
+              std::max(0.05 * work.totalHostSeconds(), 2e-3));
+
+    // The CSV aggregate covers every processed frame and sums to
+    // the same per-kernel totals.
+    const auto per_frame = tracer.frameKernelTotals();
+    uint64_t max_frame = 0;
+    double per_frame_total = 0.0;
+    for (const auto &t : per_frame) {
+        max_frame = std::max(max_frame, t.frame);
+        per_frame_total += t.seconds;
+    }
+    EXPECT_EQ(max_frame, spec.numFrames - 1);
+    EXPECT_NEAR(per_frame_total, traced_total, 1e-9);
+
+    std::ostringstream os;
+    tracer.writeFrameCsv(os);
+    const std::string csv = os.str();
+    EXPECT_EQ(csv.rfind("frame,kernel,spans,host_ms\n", 0), 0u);
+    EXPECT_GT(countOccurrences(csv, "integrate"), 0u);
+}
+
+TEST_F(TraceTest, SessionExportsAndDisarms)
+{
+    const std::string json_path =
+        ::testing::TempDir() + "trace_session.json";
+    const std::string csv_path =
+        ::testing::TempDir() + "trace_session.csv";
+    {
+        Session session(json_path, csv_path);
+        EXPECT_TRUE(session.active());
+        EXPECT_TRUE(Tracer::instance().enabled());
+        TRACE_SCOPE("session_span");
+    }
+    EXPECT_FALSE(Tracer::instance().enabled());
+
+    std::ifstream json_in(json_path);
+    ASSERT_TRUE(json_in.good());
+    std::stringstream json_contents;
+    json_contents << json_in.rdbuf();
+    EXPECT_NE(json_contents.str().find("session_span"),
+              std::string::npos);
+
+    std::ifstream csv_in(csv_path);
+    ASSERT_TRUE(csv_in.good());
+    std::remove(json_path.c_str());
+    std::remove(csv_path.c_str());
+
+    // A pathless session stays inert.
+    Session inert("", "");
+    EXPECT_FALSE(inert.active());
+    EXPECT_FALSE(Tracer::instance().enabled());
+}
+
+} // namespace
