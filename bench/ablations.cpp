@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
 #include "support/csv.hpp"
 
 namespace {
@@ -63,11 +64,14 @@ report(const std::vector<StudyRow> &rows)
 int
 main(int argc, char **argv)
 {
+    applyLogFlags(argc, argv);
     const bool quick = argFlag(argc, argv, "--quick");
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", quick ? 8 : 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    support::metrics::RunSession metrics_session =
+        metricsSessionFromArgs(argc, argv, "ablations");
 
     std::printf("ABLATIONS: single-axis sweeps on the simulated "
                 "odroid-xu3 (%zu frames)\n",
@@ -85,8 +89,13 @@ main(int argc, char **argv)
         row.variant = variant;
         row.result =
             core::evaluateConfigOnDevice(config, sequence, xu3);
+        // Every variant's frames land in the run report under its
+        // own label, so two ablation runs can be diffed per variant.
+        core::appendRunTelemetry(metrics_session, variant,
+                                 row.result.bench, &xu3);
         rows.push_back(std::move(row));
     };
+    core::addConfigParams(metrics_session, defaultConfig());
 
     // Baseline for every study: a mid-cost configuration so sweeps
     // finish quickly but the volume still matters.
@@ -165,6 +174,11 @@ main(int argc, char **argv)
             .cell(row.result.valid ? "1" : "0");
     }
     csv.endRow();
-    std::printf("\nwrote ablations.csv (%zu rows)\n", csv.rowCount());
+    support::logInfo() << "wrote ablations.csv (" << csv.rowCount()
+                       << " rows)";
+
+    metrics_session.setSummary("ablation_variants",
+                               static_cast<double>(rows.size()));
+    metrics_session.finish();
     return 0;
 }

@@ -18,6 +18,8 @@
 #include "core/experiment.hpp"
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::bench {
@@ -127,6 +129,38 @@ traceSessionFromArgs(int argc, char **argv)
     return support::trace::Session(
         argString(argc, argv, "--trace", ""),
         argString(argc, argv, "--perf-csv", ""));
+}
+
+/**
+ * Arm a machine-readable run report from the shared bench flags:
+ *
+ *   --metrics-json FILE  versioned JSON run report
+ *   --frames-csv FILE    per-frame telemetry table (CSV)
+ *
+ * Keep the returned session alive for the whole measured run; the
+ * files are written by finish() (or at destruction) and the paths are
+ * logged at INFO. With neither flag the session is inert.
+ */
+inline support::metrics::RunSession
+metricsSessionFromArgs(int argc, char **argv, const char *generator)
+{
+    return support::metrics::RunSession(
+        argString(argc, argv, "--metrics-json", ""),
+        argString(argc, argv, "--frames-csv", ""), generator);
+}
+
+/**
+ * Apply the shared logging flags: `--quiet` raises the threshold to
+ * warnings (suppressing the INFO output-path and summary lines),
+ * `--verbose` lowers it to DEBUG (per-evaluation DSE report lines).
+ */
+inline void
+applyLogFlags(int argc, char **argv)
+{
+    if (argFlag(argc, argv, "--quiet"))
+        support::setLogLevel(support::LogLevel::Warn);
+    else if (argFlag(argc, argv, "--verbose"))
+        support::setLogLevel(support::LogLevel::Debug);
 }
 
 /** Run one configuration on the workload; returns benchmark result. */

@@ -13,9 +13,11 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
 #include "kfusion/mesh.hpp"
 #include "metrics/ate.hpp"
 #include "metrics/reconstruction.hpp"
+#include "metrics/timing.hpp"
 #include "support/image.hpp"
 
 int
@@ -24,12 +26,17 @@ main(int argc, char **argv)
     using namespace slambench;
     using namespace slambench::bench;
 
+    applyLogFlags(argc, argv);
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 45));
     // --trace FILE / --perf-csv FILE: per-kernel profiling exports
     // (see docs/OBSERVABILITY.md); files written at exit.
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    // --metrics-json FILE / --frames-csv FILE: machine-readable run
+    // report with per-frame telemetry (docs/OBSERVABILITY.md).
+    support::metrics::RunSession metrics_session =
+        metricsSessionFromArgs(argc, argv, "fig1_pipeline");
 
     dataset::SequenceSpec spec = canonicalWorkload(frames);
     spec.renderRgb = true; // the GUI shows the RGB pane
@@ -38,19 +45,36 @@ main(int argc, char **argv)
     const dataset::Sequence sequence = generateSequence(spec);
 
     kfusion::KFusionConfig config = defaultConfig();
+    core::addConfigParams(metrics_session, config);
     kfusion::KFusion pipeline(config, sequence.intrinsics);
     pipeline.setPose(sequence.groundTruth.pose(0));
 
     size_t tracked = 0;
     std::vector<math::Mat4f> poses;
+    core::BenchmarkResult run;
     for (size_t i = 0; i < sequence.frames.size(); ++i) {
+        const uint64_t start_ns = slambench::metrics::now_ns();
         const kfusion::FrameResult r =
             pipeline.processFrame(sequence.frames[i].depthMm);
+        run.frameSeconds.push_back(
+            static_cast<double>(slambench::metrics::now_ns() -
+                                start_ns) *
+            1e-9);
+        run.frameTracked.push_back(r.tracking.tracked);
+        run.frameRssPeak.push_back(
+            support::metrics::peakRssBytes());
         tracked += r.tracking.tracked;
         poses.push_back(r.pose);
     }
     const metrics::AteResult ate = metrics::computeAte(
         poses, sequence.groundTruth.poses(), false);
+    run.frames = sequence.frames.size();
+    run.trackedFrames = tracked;
+    run.estimatedPoses = poses;
+    run.ate = ate;
+    run.frameWork = pipeline.frameWork();
+    run.totalWork = pipeline.totalWork();
+    run.hostTiming = metrics::summarizeTiming(run.frameSeconds);
 
     // --- The four GUI panes ---
     const size_t last = sequence.frames.size() - 1;
@@ -69,8 +93,8 @@ main(int argc, char **argv)
     pipeline.renderModel(model_pane, pipeline.pose());
     support::writePpm(model_pane, "fig1_model.ppm");
 
-    std::printf("wrote fig1_rgb.ppm fig1_depth.pgm fig1_track.ppm "
-                "fig1_model.ppm\n\n");
+    support::logInfo() << "wrote fig1_rgb.ppm fig1_depth.pgm "
+                          "fig1_track.ppm fig1_model.ppm";
 
     // --- ASCII previews (terminal stand-in for the GUI) ---
     std::printf("depth pane (near=dark, far=bright):\n%s\n",
@@ -120,5 +144,13 @@ main(int argc, char **argv)
     std::printf("  map quality: %zu triangles, surface error mean "
                 "%.4f m / RMSE %.4f m (fig1_model.obj)\n",
                 mesh.triangleCount(), recon.meanAbs, recon.rmse);
+
+    // --- Machine-readable run report ---
+    core::appendRunTelemetry(metrics_session, "fig1", run, &xu3);
+    metrics_session.setSummary("sim_frame_seconds_mean",
+                               sim.meanFrameSeconds);
+    metrics_session.setSummary("sim_watts_paced", sim.pacedWatts);
+    metrics_session.setSummary("recon_rmse_m", recon.rmse);
+    metrics_session.finish();
     return 0;
 }

@@ -23,6 +23,7 @@
 #include <limits>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
 #include "hypermapper/knowledge.hpp"
 #include "support/csv.hpp"
 
@@ -54,11 +55,14 @@ writeRows(support::CsvWriter &csv,
 int
 main(int argc, char **argv)
 {
+    applyLogFlags(argc, argv);
     const bool quick = argFlag(argc, argv, "--quick");
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", quick ? 10 : 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    support::metrics::RunSession metrics_session =
+        metricsSessionFromArgs(argc, argv, "fig2_dse");
     const size_t random_budget = static_cast<size_t>(
         argLong(argc, argv, "--random", quick ? 10 : 100));
     const size_t warmup = static_cast<size_t>(
@@ -78,9 +82,12 @@ main(int argc, char **argv)
     const dataset::Sequence sequence = generateSequence(spec);
     const auto space = core::kfusionParameterSpace();
     const auto xu3 = devices::odroidXu3();
-    auto evaluator = core::makeDseEvaluator(space, sequence, xu3);
+    std::vector<core::EvaluatedConfig> eval_log;
+    auto evaluator =
+        core::makeDseEvaluator(space, sequence, xu3, {}, &eval_log);
 
     // --- Baseline: the default configuration. ---
+    core::addConfigParams(metrics_session, defaultConfig());
     const hypermapper::Point default_point = space.defaultPoint();
     const auto default_outcome = evaluator(default_point);
     hypermapper::Evaluation default_eval;
@@ -130,8 +137,8 @@ main(int argc, char **argv)
         writeRows(csv, random_evals, space);
         writeRows(csv, al_result.evaluations, space);
         csv.endRow();
-        std::printf("wrote fig2_scatter.csv (%zu rows)\n",
-                    csv.rowCount());
+        support::logInfo() << "wrote fig2_scatter.csv ("
+                           << csv.rowCount() << " rows)";
     }
 
     // --- Best-under-accuracy-limit comparison. ---
@@ -216,5 +223,26 @@ main(int argc, char **argv)
         std::printf("no configuration met ATE<5cm AND power<1W in "
                     "this run\n");
     }
+
+    // --- Machine-readable run report: per-frame telemetry of the
+    // default configuration plus the DSE outcome scalars. The
+    // per-evaluation records are in the registry (`dse.*` counters
+    // and the `dse.eval_wall_seconds` histogram) and, at --verbose,
+    // one DEBUG report line per sampled configuration.
+    if (!eval_log.empty()) {
+        core::appendRunTelemetry(metrics_session, "default",
+                                 eval_log.front().bench, &xu3);
+    }
+    metrics_session.setSummary(
+        "dse_evaluations", static_cast<double>(eval_log.size()));
+    if (best_random < inf)
+        metrics_session.setSummary("best_random_runtime_s",
+                                   best_random);
+    if (best_active < inf)
+        metrics_session.setSummary("best_active_runtime_s",
+                                   best_active);
+    metrics_session.setSummary("hypervolume_random", hv_random);
+    metrics_session.setSummary("hypervolume_active", hv_active);
+    metrics_session.finish();
     return 0;
 }

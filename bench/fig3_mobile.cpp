@@ -16,6 +16,7 @@
 #include <fstream>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
 #include "support/csv.hpp"
 #include "support/stats.hpp"
 
@@ -25,10 +26,13 @@ main(int argc, char **argv)
     using namespace slambench;
     using namespace slambench::bench;
 
+    applyLogFlags(argc, argv);
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    support::metrics::RunSession metrics_session =
+        metricsSessionFromArgs(argc, argv, "fig3_mobile");
     const size_t device_count = static_cast<size_t>(
         argLong(argc, argv, "--devices", 83));
     const uint64_t seed = static_cast<uint64_t>(
@@ -46,6 +50,10 @@ main(int argc, char **argv)
     // the same workload everywhere).
     const kfusion::KFusionConfig default_config = defaultConfig();
     const kfusion::KFusionConfig tuned_config = tunedConfig();
+    // The report's config object records the tuned configuration
+    // (the artifact Fig. 3 ships); both runs' frames are appended
+    // below under their own labels.
+    core::addConfigParams(metrics_session, tuned_config);
     std::printf("default: %s\n", default_config.toString().c_str());
     std::printf("tuned  : %s\n", tuned_config.toString().c_str());
 
@@ -81,8 +89,8 @@ main(int argc, char **argv)
                 .cell(e.ranTuned ? "1" : "0");
         }
         csv.endRow();
-        std::printf("wrote fig3_devices.csv (%zu rows)\n",
-                    csv.rowCount());
+        support::logInfo() << "wrote fig3_devices.csv ("
+                           << csv.rowCount() << " rows)";
     }
 
     // --- Histogram (the paper's right pane, 0..14x bins) ---
@@ -113,5 +121,19 @@ main(int argc, char **argv)
     std::printf("devices reaching the real-time range (>=25 FPS) "
                 "with the tuned config: %zu/%zu\n",
                 realtime, entries.size());
+
+    // --- Machine-readable run report ---
+    const auto xu3 = devices::odroidXu3();
+    core::appendRunTelemetry(metrics_session, "default", default_run,
+                             &xu3);
+    core::appendRunTelemetry(metrics_session, "tuned", tuned_run,
+                             &xu3);
+    metrics_session.setSummary("fleet_devices",
+                               static_cast<double>(entries.size()));
+    metrics_session.setSummary("speedup_mean", speedups.mean());
+    metrics_session.setSummary("speedup_max", speedups.max());
+    metrics_session.setSummary("realtime_devices",
+                               static_cast<double>(realtime));
+    metrics_session.finish();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "core/report.hpp"
 
 int
 main(int argc, char **argv)
@@ -20,10 +21,13 @@ main(int argc, char **argv)
     using namespace slambench;
     using namespace slambench::bench;
 
+    applyLogFlags(argc, argv);
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    support::metrics::RunSession metrics_session =
+        metricsSessionFromArgs(argc, argv, "headline_odroid");
 
     std::printf("HEADLINE: default vs tuned on the simulated "
                 "odroid-xu3 (%zu frames)\n\n",
@@ -79,5 +83,17 @@ main(int argc, char **argv)
     std::printf("%-42s %-14s %.4f m (%s)\n", "accuracy preserved",
                 "ATE < 5 cm", t.ate.maxAte,
                 t.ate.maxAte < 0.05 ? "met" : "MISSED");
+
+    // --- Machine-readable run report ---
+    core::addConfigParams(metrics_session, rows[1].config);
+    core::appendRunTelemetry(metrics_session, "default", d.bench,
+                             &xu3);
+    core::appendRunTelemetry(metrics_session, "tuned", t.bench, &xu3);
+    metrics_session.setSummary("speedup", speedup);
+    metrics_session.setSummary("power_reduction", power_reduction);
+    metrics_session.setSummary("tuned_watts_paced",
+                               t.simulated.pacedWatts);
+    metrics_session.setSummary("tuned_fps", t.simulated.meanFps);
+    metrics_session.finish();
     return 0;
 }

@@ -69,6 +69,12 @@ usage()
         "(JSON)\n"
         "  --perf-csv FILE          per-frame per-kernel host-time "
         "aggregate (CSV)\n"
+        "  --metrics-json FILE      machine-readable run report "
+        "(JSON)\n"
+        "  --frames-csv FILE        per-frame telemetry table (CSV)\n"
+        "  --quiet                  warnings only (suppress INFO "
+        "output-path lines)\n"
+        "  --verbose                DEBUG logging\n"
         "  --log FILE               per-frame metric log (CSV)\n"
         "  --dump-trajectory FILE   estimated trajectory (TUM)\n"
         "  --dump-groundtruth FILE  ground truth (TUM)\n"
@@ -118,11 +124,24 @@ main(int argc, char **argv)
         return 0;
     }
 
+    if (hasFlag(argc, argv, "--quiet"))
+        support::setLogLevel(support::LogLevel::Warn);
+    else if (hasFlag(argc, argv, "--verbose"))
+        support::setLogLevel(support::LogLevel::Debug);
+
     // Per-kernel tracing (docs/OBSERVABILITY.md); exports at exit.
     const char *trace_json = flagValue(argc, argv, "--trace");
     const char *trace_csv = flagValue(argc, argv, "--perf-csv");
     const support::trace::Session trace_session(
         trace_json ? trace_json : "", trace_csv ? trace_csv : "");
+
+    // Machine-readable run report (docs/OBSERVABILITY.md).
+    const char *metrics_json =
+        flagValue(argc, argv, "--metrics-json");
+    const char *frames_csv = flagValue(argc, argv, "--frames-csv");
+    support::metrics::RunSession metrics_session(
+        metrics_json ? metrics_json : "",
+        frames_csv ? frames_csv : "", "slambench_cli");
 
     // --- Dataset ---
     dataset::SequenceSpec spec;
@@ -215,6 +234,7 @@ main(int argc, char **argv)
 
     std::printf("running %s (%s)...\n", system->name().c_str(),
                 config.toString().c_str());
+    core::addConfigParams(metrics_session, config);
     core::BenchmarkOptions options;
     options.alignedAte = hasFlag(argc, argv, "--align");
     const core::BenchmarkResult result =
@@ -243,12 +263,18 @@ main(int argc, char **argv)
                 sim.meanFrameSeconds * 1e3, sim.meanFps,
                 sim.pacedWatts, sim.meanWatts);
 
+    core::appendRunTelemetry(metrics_session, system_name, result,
+                             &xu3);
+    metrics_session.setSummary("sim_frame_seconds_mean",
+                               sim.meanFrameSeconds);
+    metrics_session.setSummary("sim_watts_paced", sim.pacedWatts);
+
     // --- Optional artifacts ---
     if (const char *path = flagValue(argc, argv, "--log")) {
         std::ofstream log(path);
         if (log) {
             core::writeFrameLog(log, result, xu3);
-            std::printf("wrote %s\n", path);
+            support::logInfo() << "wrote " << path;
         }
     }
     if (const char *path =
@@ -281,5 +307,6 @@ main(int argc, char **argv)
             }
         }
     }
+    metrics_session.finish();
     return 0;
 }

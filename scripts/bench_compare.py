@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Compare two slambench run reports and flag regressions.
+
+Usage:
+    bench_compare.py BASELINE.json CANDIDATE.json
+        [--max-frame-time-regress FRAC]   (default 0.10)
+        [--max-ate-regress FRAC]          (default 0.10)
+        [--max-rss-regress FRAC]          (default 0.20)
+
+Both inputs are `--metrics-json` reports (schema
+"slambench-run-report", see docs/OBSERVABILITY.md). The candidate is
+compared against the baseline on:
+
+  * summary.frame_wall_seconds_mean   (frame time, mean)
+  * summary.frame_wall_seconds_p99    (frame time, tail)
+  * summary.ate_max_m                 (accuracy)
+  * run.peak_rss_bytes                (memory high-water mark)
+
+A metric regresses when the candidate exceeds the baseline by more
+than the configured relative threshold. Metrics that are zero or
+missing in the baseline are reported as informational only.
+
+Exit status: 0 = no regressions, 1 = at least one regression,
+2 = usage or parse error. Stdlib only.
+"""
+
+import argparse
+import json
+import sys
+
+
+GATES = [
+    # (section, key, threshold-option, human label)
+    ("summary", "frame_wall_seconds_mean", "max_frame_time_regress",
+     "mean frame time"),
+    ("summary", "frame_wall_seconds_p99", "max_frame_time_regress",
+     "p99 frame time"),
+    ("summary", "ate_max_m", "max_ate_regress", "max ATE"),
+    ("run", "peak_rss_bytes", "max_rss_regress", "peak RSS"),
+]
+
+
+def load_report(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("bench_compare: cannot read %s: %s"
+                         % (path, exc))
+    if report.get("schema") != "slambench-run-report":
+        raise SystemExit("bench_compare: %s is not a "
+                         "slambench-run-report" % path)
+    return report
+
+
+def metric(report, section, key):
+    value = report.get(section, {}).get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare two slambench run reports")
+    parser.add_argument("baseline")
+    parser.add_argument("candidate")
+    parser.add_argument("--max-frame-time-regress", type=float,
+                        default=0.10, dest="max_frame_time_regress",
+                        help="allowed relative frame-time increase")
+    parser.add_argument("--max-ate-regress", type=float, default=0.10,
+                        dest="max_ate_regress",
+                        help="allowed relative max-ATE increase")
+    parser.add_argument("--max-rss-regress", type=float, default=0.20,
+                        dest="max_rss_regress",
+                        help="allowed relative peak-RSS increase")
+    args = parser.parse_args()
+
+    baseline = load_report(args.baseline)
+    candidate = load_report(args.candidate)
+
+    print("baseline : %s (%s, %s frames)"
+          % (args.baseline, baseline.get("git_describe", "?"),
+             baseline.get("run", {}).get("frames", "?")))
+    print("candidate: %s (%s, %s frames)"
+          % (args.candidate, candidate.get("git_describe", "?"),
+             candidate.get("run", {}).get("frames", "?")))
+    print()
+
+    regressions = 0
+    for section, key, option, label in GATES:
+        base = metric(baseline, section, key)
+        cand = metric(candidate, section, key)
+        threshold = getattr(args, option)
+        if base is None or cand is None:
+            print("  %-16s missing in %s -- skipped"
+                  % (label, "baseline" if base is None
+                     else "candidate"))
+            continue
+        if base <= 0.0:
+            print("  %-16s baseline %.6g, candidate %.6g "
+                  "(zero baseline, informational)"
+                  % (label, base, cand))
+            continue
+        delta = (cand - base) / base
+        regressed = delta > threshold
+        if regressed:
+            regressions += 1
+        print("  %-16s baseline %.6g -> candidate %.6g "
+              "(%+.1f%%, limit +%.0f%%)%s"
+              % (label, base, cand, delta * 100.0,
+                 threshold * 100.0,
+                 "  REGRESSION" if regressed else ""))
+
+    print()
+    if regressions:
+        print("%d regression(s) detected" % regressions)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,262 @@
+#!/usr/bin/env python3
+"""Validate a slambench run report against its schema invariants.
+
+Usage: check_metrics_schema.py REPORT.json [FRAMES.csv]
+
+Checks the report produced by `--metrics-json` (and optionally the
+matching `--frames-csv` table):
+
+  * required top-level keys, with the right JSON types;
+  * schema name/version match this validator;
+  * run counters are consistent (tracked <= frames, ...);
+  * summary quantiles are ordered (p50 <= p90 <= p99 <= max) and the
+    mean lies within [min, max] for every histogram;
+  * per-histogram bucket counts sum to the histogram count, buckets
+    are disjoint and ascending, and the bucket-estimated total
+    (midpoint x count) reconciles with mean x count;
+  * the frames CSV (when given) has the documented header and one row
+    per frame of the report.
+
+Exit status: 0 = valid, 1 = invalid, 2 = usage/parse error.
+Stdlib only.
+"""
+
+import csv
+import json
+import sys
+
+SCHEMA = "slambench-run-report"
+SCHEMA_VERSION = 1
+
+FRAMES_CSV_HEADER = [
+    "label", "frame", "wall_ms", "preprocess_ms", "track_ms",
+    "integrate_ms", "raycast_ms", "ate_m", "tracked", "integrated",
+    "sim_joules", "rss_peak_bytes",
+]
+
+errors = []
+
+
+def fail(message):
+    errors.append(message)
+
+
+def require(condition, message):
+    if not condition:
+        fail(message)
+    return condition
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(
+        value, bool)
+
+
+def check_top_level(report):
+    required = {
+        "schema": str,
+        "schema_version": int,
+        "generator": str,
+        "created_unix": int,
+        "git_describe": str,
+        "build": dict,
+        "config": dict,
+        "run": dict,
+        "summary": dict,
+        "counters": dict,
+        "gauges": dict,
+        "histograms": dict,
+    }
+    for key, kind in required.items():
+        if not require(key in report, "missing top-level key %r" % key):
+            continue
+        require(isinstance(report[key], kind),
+                "%r should be %s, got %s"
+                % (key, kind.__name__, type(report[key]).__name__))
+
+    require(report.get("schema") == SCHEMA,
+            "schema is %r, want %r" % (report.get("schema"), SCHEMA))
+    require(report.get("schema_version") == SCHEMA_VERSION,
+            "schema_version is %r, want %d"
+            % (report.get("schema_version"), SCHEMA_VERSION))
+
+    for key in ("build_type", "compiler", "cxx_flags"):
+        require(isinstance(report.get("build", {}).get(key), str),
+                "build.%s should be a string" % key)
+
+
+def check_run(report):
+    run = report.get("run", {})
+    for key in ("wall_seconds", "cpu_seconds", "frames",
+                "tracked_frames", "integrated_frames",
+                "peak_rss_bytes"):
+        require(is_number(run.get(key)),
+                "run.%s should be a number" % key)
+    frames = run.get("frames", 0)
+    if is_number(frames):
+        for key in ("tracked_frames", "integrated_frames"):
+            value = run.get(key, 0)
+            if is_number(value):
+                require(0 <= value <= frames,
+                        "run.%s=%s outside [0, frames=%s]"
+                        % (key, value, frames))
+    return frames if is_number(frames) else 0
+
+
+def check_summary(report):
+    summary = report.get("summary", {})
+    for key in ("frame_wall_seconds_mean", "frame_wall_seconds_p50",
+                "frame_wall_seconds_p90", "frame_wall_seconds_p99",
+                "frame_wall_seconds_max", "ate_mean_m", "ate_max_m",
+                "tracked_fraction", "sim_joules_total",
+                "peak_rss_bytes"):
+        require(is_number(summary.get(key)),
+                "summary.%s should be a number" % key)
+
+    p50 = summary.get("frame_wall_seconds_p50", 0)
+    p90 = summary.get("frame_wall_seconds_p90", 0)
+    p99 = summary.get("frame_wall_seconds_p99", 0)
+    pmax = summary.get("frame_wall_seconds_max", 0)
+    if all(is_number(v) for v in (p50, p90, p99, pmax)):
+        require(p50 <= p90 + 1e-12 and p90 <= p99 + 1e-12 and
+                p99 <= pmax + 1e-12,
+                "summary frame-time quantiles not ordered: "
+                "p50=%g p90=%g p99=%g max=%g" % (p50, p90, p99, pmax))
+    fraction = summary.get("tracked_fraction", 0)
+    if is_number(fraction):
+        require(0.0 <= fraction <= 1.0,
+                "summary.tracked_fraction=%g outside [0,1]" % fraction)
+
+
+def check_histograms(report):
+    for name, hist in report.get("histograms", {}).items():
+        where = "histograms[%r]" % name
+        if not require(isinstance(hist, dict),
+                       "%s should be an object" % where):
+            continue
+        for key in ("count", "sum", "mean", "min", "max", "p50",
+                    "p90", "p99"):
+            require(is_number(hist.get(key)),
+                    "%s.%s should be a number" % (where, key))
+        buckets = hist.get("buckets")
+        if not require(isinstance(buckets, list),
+                       "%s.buckets should be a list" % where):
+            continue
+
+        count = hist.get("count", 0)
+        total = 0
+        prev_hi = None
+        estimate = 0.0
+        all_bounded = True
+        for i, bucket in enumerate(buckets):
+            bwhere = "%s.buckets[%d]" % (where, i)
+            if not require(isinstance(bucket, list) and
+                           len(bucket) == 3,
+                           "%s should be [lo, hi, count]" % bwhere):
+                continue
+            lo, hi, n = bucket
+            require(is_number(lo), "%s lo not a number" % bwhere)
+            require(hi is None or is_number(hi),
+                    "%s hi not number/null" % bwhere)
+            require(isinstance(n, int) and n >= 0,
+                    "%s count not a non-negative int" % bwhere)
+            if hi is not None and is_number(lo):
+                require(lo < hi, "%s empty range [%s, %s)"
+                        % (bwhere, lo, hi))
+            if prev_hi is not None and is_number(lo):
+                require(lo >= prev_hi - 1e-18,
+                        "%s overlaps the previous bucket" % bwhere)
+            prev_hi = hi if hi is not None else float("inf")
+            if isinstance(n, int):
+                total += n
+                if hi is None:
+                    all_bounded = False
+                elif is_number(lo):
+                    estimate += n * (lo + hi) / 2.0
+
+        require(total == count,
+                "%s bucket counts sum to %d, count says %s"
+                % (where, total, count))
+
+        mean = hist.get("mean", 0)
+        lo_v = hist.get("min", 0)
+        hi_v = hist.get("max", 0)
+        if all(is_number(v) for v in (mean, lo_v, hi_v)) and count:
+            require(lo_v - 1e-12 <= mean <= hi_v + 1e-12,
+                    "%s mean %g outside [min=%g, max=%g]"
+                    % (where, mean, lo_v, hi_v))
+            for a, b in (("p50", "p90"), ("p90", "p99")):
+                if is_number(hist.get(a)) and is_number(hist.get(b)):
+                    require(hist[a] <= hist[b] + 1e-12,
+                            "%s %s > %s" % (where, a, b))
+            # Reconcile the bucket-estimated mass against the exact
+            # sum. Geometric buckets are ~33% wide, so midpoints are
+            # at most ~17% off per bucket; 25% covers rounding.
+            exact = mean * count
+            if all_bounded and exact > 0.0:
+                require(abs(estimate - exact) <= 0.25 * exact,
+                        "%s bucket mass %g does not reconcile with "
+                        "mean*count %g" % (where, estimate, exact))
+
+
+def check_frames_csv(path, frames):
+    try:
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            rows = list(csv.reader(fh))
+    except OSError as exc:
+        raise SystemExit("check_metrics_schema: cannot read %s: %s"
+                         % (path, exc))
+    if not require(rows, "%s is empty" % path):
+        return
+    require(rows[0] == FRAMES_CSV_HEADER,
+            "%s header mismatch: %r" % (path, rows[0]))
+    data = rows[1:]
+    require(len(data) == frames,
+            "%s has %d data rows, report says %d frames"
+            % (path, len(data), frames))
+    for i, row in enumerate(data):
+        if not require(len(row) == len(FRAMES_CSV_HEADER),
+                       "%s row %d has %d fields, want %d"
+                       % (path, i + 1, len(row),
+                          len(FRAMES_CSV_HEADER))):
+            continue
+        for col in ("tracked", "integrated"):
+            value = row[FRAMES_CSV_HEADER.index(col)]
+            require(value in ("0", "1"),
+                    "%s row %d: %s=%r not 0/1"
+                    % (path, i + 1, col, value))
+
+
+def main():
+    if len(sys.argv) not in (2, 3):
+        print(__doc__.strip().splitlines()[2].strip(),
+              file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], "r", encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, ValueError) as exc:
+        print("check_metrics_schema: cannot parse %s: %s"
+              % (sys.argv[1], exc), file=sys.stderr)
+        return 2
+
+    check_top_level(report)
+    frames = check_run(report)
+    check_summary(report)
+    check_histograms(report)
+    if len(sys.argv) == 3:
+        check_frames_csv(sys.argv[2], frames)
+
+    if errors:
+        for message in errors:
+            print("check_metrics_schema: %s" % message,
+                  file=sys.stderr)
+        print("%s: INVALID (%d problem(s))"
+              % (sys.argv[1], len(errors)))
+        return 1
+    print("%s: OK" % sys.argv[1])
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 
 namespace slambench::core {
 
@@ -16,8 +17,10 @@ runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
 
     system.initialize(sequence.intrinsics, sequence.groundTruth.pose(0));
 
-    std::vector<double> frame_seconds;
+    std::vector<double> &frame_seconds = result.frameSeconds;
     frame_seconds.reserve(sequence.frames.size());
+    result.frameTracked.reserve(sequence.frames.size());
+    result.frameRssPeak.reserve(sequence.frames.size());
 
     for (size_t i = 0; i < sequence.frames.size(); ++i) {
         const auto start = std::chrono::steady_clock::now();
@@ -26,6 +29,9 @@ runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
 
         frame_seconds.push_back(
             std::chrono::duration<double>(end - start).count());
+        result.frameTracked.push_back(tracked);
+        result.frameRssPeak.push_back(
+            support::metrics::peakRssBytes());
         result.estimatedPoses.push_back(system.currentPose());
         ++result.frames;
         if (tracked)

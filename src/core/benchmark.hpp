@@ -41,6 +41,13 @@ struct BenchmarkResult
     /** Host wall-clock timing of the pipeline. */
     metrics::TimingSummary hostTiming;
 
+    /** Host wall seconds of each frame (drives FrameTelemetry). */
+    std::vector<double> frameSeconds;
+    /** Per-frame tracking acceptance. */
+    std::vector<bool> frameTracked;
+    /** Process RSS high-water mark after each frame, bytes. */
+    std::vector<double> frameRssPeak;
+
     /** Per-frame work counts (feed these to device models). */
     std::vector<kfusion::WorkCounts> frameWork;
     /** Sum of frameWork. */

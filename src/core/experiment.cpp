@@ -42,12 +42,12 @@ evaluateConfigOnDevice(const kfusion::KFusionConfig &config,
     KFusionSystem system(config);
     BenchmarkOptions bench_options;
     bench_options.alignedAte = false;
-    const BenchmarkResult bench =
-        runBenchmark(system, sequence, bench_options);
+    record.bench = runBenchmark(system, sequence, bench_options);
 
-    record.ate = bench.ate;
-    record.trackedFraction = bench.trackedFraction();
-    record.simulated = devices::simulateRun(device, bench.frameWork);
+    record.ate = record.bench.ate;
+    record.trackedFraction = record.bench.trackedFraction();
+    record.simulated =
+        devices::simulateRun(device, record.bench.frameWork);
     record.valid =
         record.trackedFraction >= options.minTrackedFraction &&
         std::isfinite(record.ate.maxAte);

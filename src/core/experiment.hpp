@@ -34,6 +34,13 @@ struct EvaluatedConfig
     metrics::AteResult ate;
     double trackedFraction = 0.0;
     bool valid = false;
+    /**
+     * The full benchmark run behind the objectives (per-frame work,
+     * times, tracking flags). Empty (frames == 0) when the
+     * configuration was rejected before running. Feeds per-frame
+     * telemetry into run reports.
+     */
+    BenchmarkResult bench;
 };
 
 /** Options of the DSE objective. */

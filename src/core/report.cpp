@@ -2,10 +2,27 @@
 
 #include <sstream>
 
+#include "power/power_monitor.hpp"
 #include "support/csv.hpp"
+#include "support/metrics.hpp"
 #include "support/strings.hpp"
 
 namespace slambench::core {
+
+namespace {
+
+/** Sum host seconds of a kernel subset within one frame's work. */
+double
+kernelGroupSeconds(const kfusion::WorkCounts &work,
+                   std::initializer_list<kfusion::KernelId> kernels)
+{
+    double seconds = 0.0;
+    for (const kfusion::KernelId id : kernels)
+        seconds += work.hostSecondsFor(id);
+    return seconds;
+}
+
+} // namespace
 
 size_t
 writeFrameLog(std::ostream &out, const BenchmarkResult &result,
@@ -76,6 +93,112 @@ summarizeRun(const BenchmarkResult &result,
             result.totalWork.hostSecondsFor(id) * 1e3);
     }
     return out.str();
+}
+
+void
+addConfigParams(support::metrics::RunSession &session,
+                const kfusion::KFusionConfig &config)
+{
+    if (!session.active())
+        return;
+    session.setParam("csr",
+                     std::to_string(config.computeSizeRatio));
+    session.setParam("icp", support::format("%g", config.icpThreshold));
+    session.setParam("mu", support::format("%g", config.mu));
+    session.setParam("ir", std::to_string(config.integrationRate));
+    session.setParam("vr", std::to_string(config.volumeResolution));
+    session.setParam("vs", support::format("%g", config.volumeSize));
+    std::string pyramid;
+    for (const int iters : config.pyramidIterations) {
+        if (!pyramid.empty())
+            pyramid += ",";
+        pyramid += std::to_string(iters);
+    }
+    session.setParam("pyramid", pyramid);
+    session.setParam("tr", std::to_string(config.trackingRate));
+    session.setParam("rr", std::to_string(config.renderingRate));
+}
+
+support::metrics::FrameTelemetry
+frameTelemetry(const BenchmarkResult &result, size_t frame,
+               const std::string &label,
+               const devices::DeviceModel *device)
+{
+    using kfusion::KernelId;
+    support::metrics::FrameTelemetry t;
+    t.label = label;
+    t.frame = frame;
+    if (frame >= result.frameWork.size())
+        return t;
+    const kfusion::WorkCounts &work = result.frameWork[frame];
+
+    t.wallSeconds = frame < result.frameSeconds.size()
+                        ? result.frameSeconds[frame]
+                        : work.totalHostSeconds();
+    t.preprocessSeconds = kernelGroupSeconds(
+        work, {KernelId::Mm2Meters, KernelId::BilateralFilter,
+               KernelId::HalfSample, KernelId::Depth2Vertex,
+               KernelId::Vertex2Normal});
+    t.trackSeconds = kernelGroupSeconds(
+        work,
+        {KernelId::Track, KernelId::Reduce, KernelId::Solve});
+    t.integrateSeconds =
+        kernelGroupSeconds(work, {KernelId::Integrate});
+    t.raycastSeconds = kernelGroupSeconds(
+        work, {KernelId::Raycast, KernelId::RenderVolume});
+    t.ateMeters = frame < result.ate.perFrame.size()
+                      ? result.ate.perFrame[frame]
+                      : 0.0;
+    t.tracked = frame < result.frameTracked.size()
+                    ? static_cast<bool>(result.frameTracked[frame])
+                    : true;
+    t.integrated = work.itemsFor(KernelId::Integrate) > 0.0;
+    t.rssPeakBytes = frame < result.frameRssPeak.size()
+                         ? result.frameRssPeak[frame]
+                         : support::metrics::peakRssBytes();
+    if (device) {
+        // Modeled per-frame energy via the power-monitor abstraction
+        // (the simulated INA231 rail of the target device).
+        power::SimulatedPowerMonitor monitor(*device);
+        monitor.recordFrame(work);
+        t.simJoules = monitor.reading().joules;
+    }
+    return t;
+}
+
+size_t
+appendRunTelemetry(support::metrics::RunSession &session,
+                   const std::string &label,
+                   const BenchmarkResult &result,
+                   const devices::DeviceModel *device)
+{
+    if (!session.active())
+        return 0;
+    auto &registry = support::metrics::Registry::instance();
+    auto &wall_histogram = registry.histogram("frame_wall_seconds");
+    auto &ate_histogram = registry.histogram("frame_ate_m");
+    std::unique_ptr<power::PowerMonitor> monitor =
+        device ? power::makeSimulatedMonitor(*device)
+               : power::makeNullMonitor();
+    double previous_joules = 0.0;
+    for (size_t frame = 0; frame < result.frameWork.size();
+         ++frame) {
+        support::metrics::FrameTelemetry t =
+            frameTelemetry(result, frame, label, nullptr);
+        monitor->recordFrame(result.frameWork[frame]);
+        const power::EnergyReading reading = monitor->reading();
+        if (reading.available) {
+            t.simJoules = reading.joules - previous_joules;
+            previous_joules = reading.joules;
+        }
+        wall_histogram.record(t.wallSeconds);
+        ate_histogram.record(t.ateMeters);
+        session.addFrame(t);
+    }
+    registry.counter("runs_total").add(1);
+    registry.gauge("peak_rss_bytes")
+        .setMax(support::metrics::peakRssBytes());
+    return result.frameWork.size();
 }
 
 } // namespace slambench::core

@@ -3,9 +3,73 @@
 #include <algorithm>
 #include <cmath>
 
+#include "metrics/timing.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
 
 namespace slambench::hypermapper {
+
+namespace {
+
+/**
+ * Run one objective evaluation with observability: times it into the
+ * `dse.eval_wall_seconds` histogram, bumps the global and per-method
+ * evaluation counters, and logs a one-line report of the sampled
+ * configuration (point, objectives, validity, wall time) at DEBUG.
+ */
+Evaluation
+runEvaluation(const Evaluator &evaluate, Point point,
+              const char *method, size_t iteration)
+{
+    namespace sm = support::metrics;
+    auto &registry = sm::Registry::instance();
+    static sm::Counter &evaluations_counter =
+        registry.counter("dse.evaluations");
+    static sm::Counter &invalid_counter =
+        registry.counter("dse.invalid");
+    static sm::LatencyHistogram &wall_histogram =
+        registry.histogram("dse.eval_wall_seconds");
+
+    Evaluation e;
+    e.point = std::move(point);
+    const uint64_t start_ns = slambench::metrics::now_ns();
+    const EvaluationOutcome outcome = evaluate(e.point);
+    const double wall_seconds =
+        static_cast<double>(slambench::metrics::now_ns() - start_ns) *
+        1e-9;
+    e.objectives = outcome.objectives;
+    e.valid = outcome.valid;
+    e.method = method;
+    e.iteration = iteration;
+
+    evaluations_counter.add(1);
+    registry.counter(std::string("dse.evaluations.") + method).add(1);
+    if (!e.valid)
+        invalid_counter.add(1);
+    wall_histogram.record(wall_seconds);
+
+    std::string params;
+    for (const double v : e.point) {
+        if (!params.empty())
+            params += " ";
+        params += support::format("%g", v);
+    }
+    std::string objectives;
+    for (const double v : e.objectives) {
+        if (!objectives.empty())
+            objectives += " ";
+        objectives += support::format("%.6g", v);
+    }
+    support::logDebug()
+        << "dse eval " << method << " iter " << iteration
+        << " point [" << params << "] objectives [" << objectives
+        << "] " << (e.valid ? "valid" : "INVALID") << " ("
+        << wall_seconds * 1e3 << " ms)";
+    return e;
+}
+
+} // namespace
 
 std::vector<Evaluation>
 randomSearch(const ParameterSpace &space, const Evaluator &evaluate,
@@ -15,14 +79,8 @@ randomSearch(const ParameterSpace &space, const Evaluator &evaluate,
     std::vector<Evaluation> evals;
     evals.reserve(options.budget);
     for (size_t i = 0; i < options.budget; ++i) {
-        Evaluation e;
-        e.point = space.sample(rng);
-        const EvaluationOutcome outcome = evaluate(e.point);
-        e.objectives = outcome.objectives;
-        e.valid = outcome.valid;
-        e.method = "random";
-        e.iteration = 0;
-        evals.push_back(std::move(e));
+        evals.push_back(
+            runEvaluation(evaluate, space.sample(rng), "random", 0));
     }
     return evals;
 }
@@ -74,14 +132,8 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
 
     // --- Warm-up: uniform random sampling. ---
     for (size_t i = 0; i < options.warmupSamples; ++i) {
-        Evaluation e;
-        e.point = space.sample(rng);
-        const EvaluationOutcome outcome = evaluate(e.point);
-        e.objectives = outcome.objectives;
-        e.valid = outcome.valid;
-        e.method = "random";
-        e.iteration = 0;
-        result.evaluations.push_back(std::move(e));
+        result.evaluations.push_back(
+            runEvaluation(evaluate, space.sample(rng), "random", 0));
     }
 
     // --- Active-learning rounds. ---
@@ -173,14 +225,8 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
             if (seen)
                 continue;
 
-            Evaluation e;
-            e.point = candidate;
-            const EvaluationOutcome outcome = evaluate(candidate);
-            e.objectives = outcome.objectives;
-            e.valid = outcome.valid;
-            e.method = "active";
-            e.iteration = iter;
-            result.evaluations.push_back(std::move(e));
+            result.evaluations.push_back(
+                runEvaluation(evaluate, candidate, "active", iter));
             ++evaluated;
         }
 
@@ -189,14 +235,8 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
         // Degenerate pools (everything already seen): fall back to
         // random samples so the budget is spent as promised.
         while (evaluated < options.batchSize) {
-            Evaluation e;
-            e.point = space.sample(rng);
-            const EvaluationOutcome outcome = evaluate(e.point);
-            e.objectives = outcome.objectives;
-            e.valid = outcome.valid;
-            e.method = "active";
-            e.iteration = iter;
-            result.evaluations.push_back(std::move(e));
+            result.evaluations.push_back(runEvaluation(
+                evaluate, space.sample(rng), "active", iter));
             ++evaluated;
         }
     }
@@ -248,13 +288,8 @@ gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
         Point point(axes);
         for (size_t i = 0; i < axes; ++i)
             point[i] = values[i][index[i]];
-        Evaluation e;
-        e.point = space.canonicalize(point);
-        const EvaluationOutcome outcome = evaluate(e.point);
-        e.objectives = outcome.objectives;
-        e.valid = outcome.valid;
-        e.method = "grid";
-        evals.push_back(std::move(e));
+        evals.push_back(runEvaluation(
+            evaluate, space.canonicalize(point), "grid", 0));
 
         // Odometer increment.
         size_t axis = 0;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 
+#include "metrics/timing.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::kfusion {
@@ -158,6 +160,24 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
 
     TRACE_FRAME(frame_);
     TRACE_SCOPE("process_frame");
+    // Registry handles are stable for the process lifetime, so the
+    // lookups happen once; per frame this is a few relaxed atomics.
+    namespace sm = support::metrics;
+    static sm::Counter &frames_counter =
+        sm::Registry::instance().counter("pipeline.frames");
+    static sm::Counter &integrations_counter =
+        sm::Registry::instance().counter("pipeline.integrations");
+    static sm::Counter &integration_skips_counter =
+        sm::Registry::instance().counter(
+            "pipeline.integration_skips");
+    static sm::Counter &lost_counter =
+        sm::Registry::instance().counter(
+            "pipeline.tracking_failures");
+    static sm::LatencyHistogram &frame_histogram =
+        sm::Registry::instance().histogram(
+            "pipeline.frame_seconds");
+    const uint64_t start_ns = slambench::metrics::now_ns();
+
     FrameResult result;
     result.frameIndex = frame_;
     WorkCounts &work = result.work;
@@ -209,6 +229,16 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
     totalWork_.merge(work);
     frameWork_.push_back(work);
     ++frame_;
+
+    frames_counter.add(1);
+    (result.integrated ? integrations_counter
+                       : integration_skips_counter)
+        .add(1);
+    if (!result.tracking.tracked)
+        lost_counter.add(1);
+    frame_histogram.record(
+        static_cast<double>(slambench::metrics::now_ns() - start_ns) *
+        1e-9);
     return result;
 }
 

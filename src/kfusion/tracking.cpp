@@ -7,6 +7,7 @@
 #include "math/se3.hpp"
 #include "math/solve.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::kfusion {
@@ -301,6 +302,11 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
         }
     }
     TRACE_COUNTER("icp_iterations", stats.iterations);
+    static support::metrics::Counter &iterations_counter =
+        support::metrics::Registry::instance().counter(
+            "tracking.icp_iterations");
+    iterations_counter.add(
+        static_cast<uint64_t>(std::max(stats.iterations, 0)));
 
     if (final_track_data)
         *final_track_data = track_data;
@@ -328,6 +334,10 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
         stats.inlierFraction < config.trackInlierFraction) {
         pose = old_pose;
         stats.tracked = false;
+        static support::metrics::Counter &rejections_counter =
+            support::metrics::Registry::instance().counter(
+                "tracking.pose_rejections");
+        rejections_counter.add(1);
     } else {
         stats.tracked = true;
     }

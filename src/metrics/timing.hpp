@@ -5,14 +5,37 @@
  * @file
  * Frame-timing aggregation: the "speed" axis of the SLAMBench
  * performance/accuracy/power triad.
+ *
+ * All timing in this repository uses the monotonic steady clock —
+ * never `system_clock`, which steps under NTP and would corrupt
+ * frame times. `now_ns()` below is the single canonical helper; the
+ * metrics registry (`support/metrics.hpp`), the benchmark loop, and
+ * new instrumentation should use it instead of spelling out chrono
+ * casts (audited: benchmark.cpp, work_counters.hpp, and trace.cpp
+ * already time with `steady_clock`).
  */
 
+#include <chrono>
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "support/stats.hpp"
 
 namespace slambench::metrics {
+
+/**
+ * @return nanoseconds on the monotonic steady clock. Differences are
+ * meaningful; the absolute value is not (arbitrary epoch).
+ */
+inline uint64_t
+now_ns()
+{
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 /** Aggregated per-frame timing of a run. */
 struct TimingSummary

@@ -1,5 +1,7 @@
 #include "power/power_monitor.hpp"
 
+#include "support/metrics.hpp"
+
 namespace slambench::power {
 
 SimulatedPowerMonitor::SimulatedPowerMonitor(devices::DeviceModel device)
@@ -11,6 +13,17 @@ SimulatedPowerMonitor::recordFrame(const kfusion::WorkCounts &work)
 {
     joules_ += device_.frameJoules(work);
     seconds_ += device_.frameSeconds(work);
+
+    // Mirror the rail into the process registry so run reports can
+    // include modeled energy even when no session owns this monitor.
+    namespace sm = support::metrics;
+    static sm::Gauge &joules_gauge =
+        sm::Registry::instance().gauge("power.sim_joules");
+    static sm::Gauge &watts_gauge =
+        sm::Registry::instance().gauge("power.sim_watts");
+    joules_gauge.set(joules_);
+    if (seconds_ > 0.0)
+        watts_gauge.set(joules_ / seconds_);
 }
 
 EnergyReading

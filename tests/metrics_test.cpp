@@ -265,3 +265,431 @@ TEST(Timing, DescribeMentionsFps)
 }
 
 } // namespace
+
+// --- support::metrics registry, histogram, and run report ---
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace sm = slambench::support::metrics;
+
+TEST(MetricsRegistry, CounterGaugeBasics)
+{
+    sm::Counter &counter =
+        sm::Registry::instance().counter("test.basics.counter");
+    counter.reset();
+    counter.add();
+    counter.add(41);
+    EXPECT_EQ(counter.value(), 42u);
+
+    sm::Gauge &gauge =
+        sm::Registry::instance().gauge("test.basics.gauge");
+    gauge.reset();
+    gauge.set(1.5);
+    gauge.setMax(0.5); // lower: ignored
+    EXPECT_DOUBLE_EQ(gauge.value(), 1.5);
+    gauge.setMax(2.5);
+    EXPECT_DOUBLE_EQ(gauge.value(), 2.5);
+}
+
+TEST(MetricsRegistry, HandlesAreStableAcrossReset)
+{
+    sm::Counter &before =
+        sm::Registry::instance().counter("test.stable.counter");
+    before.add(7);
+    sm::Registry::instance().resetValues();
+    EXPECT_EQ(before.value(), 0u);
+    sm::Counter &after =
+        sm::Registry::instance().counter("test.stable.counter");
+    EXPECT_EQ(&before, &after);
+}
+
+TEST(MetricsRegistry, ConcurrentCounterIncrementsAreExact)
+{
+    slambench::support::ThreadPool pool(4);
+    sm::Counter &counter =
+        sm::Registry::instance().counter("test.concurrent.counter");
+    counter.reset();
+    constexpr size_t kIncrements = 100000;
+    pool.parallelFor(0, kIncrements,
+                     [&](size_t) { counter.add(1); });
+    EXPECT_EQ(counter.value(), kIncrements);
+}
+
+TEST(MetricsRegistry, ConcurrentHistogramRecordsAreExact)
+{
+    slambench::support::ThreadPool pool(4);
+    sm::LatencyHistogram &histogram =
+        sm::Registry::instance().histogram("test.concurrent.hist");
+    histogram.reset();
+    constexpr size_t kSamples = 20000;
+    pool.parallelFor(0, kSamples, [&](size_t i) {
+        histogram.record(1e-3 * (1.0 + static_cast<double>(i % 7)));
+    });
+    EXPECT_EQ(histogram.count(), kSamples);
+    uint64_t bucket_total = 0;
+    for (size_t i = 0; i < histogram.numBuckets(); ++i)
+        bucket_total += histogram.bucketCount(i);
+    EXPECT_EQ(bucket_total, kSamples);
+    EXPECT_NEAR(histogram.sum(), histogram.mean() * kSamples, 1e-6);
+}
+
+TEST(LatencyHistogram, BucketsAreContiguous)
+{
+    sm::LatencyHistogram histogram;
+    EXPECT_DOUBLE_EQ(histogram.bucketLo(0), 0.0);
+    for (size_t i = 0; i + 1 < histogram.numBuckets(); ++i) {
+        EXPECT_DOUBLE_EQ(histogram.bucketHi(i),
+                         histogram.bucketLo(i + 1))
+            << "gap between buckets " << i << " and " << i + 1;
+        EXPECT_LT(histogram.bucketLo(i), histogram.bucketHi(i));
+    }
+    EXPECT_TRUE(std::isinf(
+        histogram.bucketHi(histogram.numBuckets() - 1)));
+    EXPECT_NEAR(histogram.bucketLo(1), 1e-7, 1e-18);
+}
+
+TEST(LatencyHistogram, BoundaryValuesLandInTheRightBuckets)
+{
+    sm::LatencyHistogram histogram;
+    histogram.record(0.0);    // underflow
+    histogram.record(-1.0);   // negative: underflow, not a crash
+    histogram.record(1e-9);   // below the first bounded bucket
+    histogram.record(1e9);    // beyond the last bounded bucket
+    EXPECT_EQ(histogram.bucketCount(0), 3u);
+    EXPECT_EQ(histogram.bucketCount(histogram.numBuckets() - 1), 1u);
+    EXPECT_EQ(histogram.count(), 4u);
+
+    // A value safely inside a middle bucket is counted exactly once,
+    // in a bucket whose range contains it.
+    sm::LatencyHistogram mid;
+    const double sample = 1.5e-3;
+    mid.record(sample);
+    size_t hits = 0;
+    for (size_t i = 0; i < mid.numBuckets(); ++i) {
+        if (mid.bucketCount(i) == 0)
+            continue;
+        ++hits;
+        EXPECT_LE(mid.bucketLo(i), sample);
+        EXPECT_GT(mid.bucketHi(i), sample);
+    }
+    EXPECT_EQ(hits, 1u);
+}
+
+TEST(LatencyHistogram, StatsAndQuantilesBehave)
+{
+    sm::LatencyHistogram histogram;
+    EXPECT_DOUBLE_EQ(histogram.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(histogram.quantile(0.5), 0.0);
+
+    for (int i = 1; i <= 100; ++i)
+        histogram.record(1e-3 * i); // 1ms .. 100ms
+    EXPECT_EQ(histogram.count(), 100u);
+    EXPECT_DOUBLE_EQ(histogram.min(), 1e-3);
+    EXPECT_DOUBLE_EQ(histogram.max(), 0.1);
+    EXPECT_NEAR(histogram.mean(), 0.0505, 1e-12);
+
+    const double p50 = histogram.quantile(0.50);
+    const double p90 = histogram.quantile(0.90);
+    const double p99 = histogram.quantile(0.99);
+    EXPECT_LE(p50, p90);
+    EXPECT_LE(p90, p99);
+    EXPECT_LE(p99, histogram.max());
+    EXPECT_GE(p50, histogram.min());
+    // Bucketed quantiles are coarse; half-a-bucket (~17%) accuracy.
+    EXPECT_NEAR(p50, 0.050, 0.017);
+    EXPECT_NEAR(p90, 0.090, 0.030);
+}
+
+// Minimal recursive-descent JSON reader for the round-trip test.
+struct JsonValue
+{
+    enum class Type { Null, Bool, Number, String, Array, Object };
+    Type type = Type::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string text;
+    std::vector<JsonValue> array;
+    std::map<std::string, JsonValue> object;
+
+    const JsonValue &
+    at(const std::string &key) const
+    {
+        static const JsonValue missing;
+        const auto it = object.find(key);
+        return it == object.end() ? missing : it->second;
+    }
+};
+
+class JsonReader
+{
+  public:
+    explicit JsonReader(std::string text) : text_(std::move(text)) {}
+
+    bool
+    parse(JsonValue &out)
+    {
+        pos_ = 0;
+        const bool ok = parseValue(out);
+        skipSpace();
+        return ok && pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipSpace()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const size_t n = std::strlen(word);
+        if (text_.compare(pos_, n, word) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        out.clear();
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char c = text_[pos_++];
+            if (c == '\\' && pos_ < text_.size()) {
+                const char esc = text_[pos_++];
+                switch (esc) {
+                case 'n': c = '\n'; break;
+                case 't': c = '\t'; break;
+                case 'r': c = '\r'; break;
+                case 'u':
+                    pos_ += 4; // tests only emit ASCII escapes
+                    c = '?';
+                    break;
+                default: c = esc;
+                }
+            }
+            out += c;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &out)
+    {
+        skipSpace();
+        if (pos_ >= text_.size())
+            return false;
+        const char c = text_[pos_];
+        if (c == '{') {
+            out.type = JsonValue::Type::Object;
+            ++pos_;
+            skipSpace();
+            if (text_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                skipSpace();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipSpace();
+                if (text_[pos_] != ':')
+                    return false;
+                ++pos_;
+                JsonValue child;
+                if (!parseValue(child))
+                    return false;
+                out.object.emplace(std::move(key), std::move(child));
+                skipSpace();
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == '}') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '[') {
+            out.type = JsonValue::Type::Array;
+            ++pos_;
+            skipSpace();
+            if (text_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            for (;;) {
+                JsonValue child;
+                if (!parseValue(child))
+                    return false;
+                out.array.push_back(std::move(child));
+                skipSpace();
+                if (text_[pos_] == ',') {
+                    ++pos_;
+                    continue;
+                }
+                if (text_[pos_] == ']') {
+                    ++pos_;
+                    return true;
+                }
+                return false;
+            }
+        }
+        if (c == '"') {
+            out.type = JsonValue::Type::String;
+            return parseString(out.text);
+        }
+        if (literal("true")) {
+            out.type = JsonValue::Type::Bool;
+            out.boolean = true;
+            return true;
+        }
+        if (literal("false")) {
+            out.type = JsonValue::Type::Bool;
+            return true;
+        }
+        if (literal("null"))
+            return true;
+        out.type = JsonValue::Type::Number;
+        char *end = nullptr;
+        out.number = std::strtod(text_.c_str() + pos_, &end);
+        if (end == text_.c_str() + pos_)
+            return false;
+        pos_ = static_cast<size_t>(end - text_.c_str());
+        return true;
+    }
+
+    std::string text_;
+    size_t pos_ = 0;
+};
+
+TEST(RunReport, JsonRoundTripParses)
+{
+    const std::string json_path =
+        ::testing::TempDir() + "metrics_roundtrip.json";
+    const std::string csv_path =
+        ::testing::TempDir() + "metrics_roundtrip.csv";
+    sm::RunSession session(json_path, csv_path, "metrics_test");
+    ASSERT_TRUE(session.active());
+    session.setParam("vr", "256");
+    session.setParam("csr", "1");
+    session.setSummary("speedup", 2.5);
+    for (int i = 0; i < 5; ++i) {
+        sm::FrameTelemetry t;
+        t.label = "unit \"quoted\" label";
+        t.frame = static_cast<uint64_t>(i);
+        t.wallSeconds = 0.010 + 0.001 * i;
+        t.ateMeters = 0.001 * i;
+        t.tracked = true;
+        t.integrated = (i % 2) == 0;
+        session.addFrame(t);
+    }
+    EXPECT_EQ(session.frameCount(), 5u);
+
+    std::ostringstream os;
+    session.writeJson(os);
+
+    JsonValue root;
+    ASSERT_TRUE(JsonReader(os.str()).parse(root))
+        << "unparseable report:\n"
+        << os.str();
+    ASSERT_EQ(root.type, JsonValue::Type::Object);
+
+    EXPECT_EQ(root.at("schema").text, "slambench-run-report");
+    EXPECT_EQ(root.at("schema_version").number,
+              sm::RunSession::kSchemaVersion);
+    EXPECT_EQ(root.at("generator").text, "metrics_test");
+    EXPECT_FALSE(root.at("git_describe").text.empty());
+    EXPECT_EQ(root.at("config").at("vr").text, "256");
+
+    const JsonValue &run = root.at("run");
+    EXPECT_EQ(run.at("frames").number, 5.0);
+    EXPECT_EQ(run.at("tracked_frames").number, 5.0);
+    EXPECT_EQ(run.at("integrated_frames").number, 3.0);
+    EXPECT_GT(run.at("peak_rss_bytes").number, 0.0);
+
+    const JsonValue &summary = root.at("summary");
+    EXPECT_NEAR(summary.at("frame_wall_seconds_mean").number, 0.012,
+                1e-9);
+    EXPECT_NEAR(summary.at("ate_max_m").number, 0.004, 1e-9);
+    EXPECT_DOUBLE_EQ(summary.at("tracked_fraction").number, 1.0);
+    EXPECT_DOUBLE_EQ(summary.at("speedup").number, 2.5);
+
+    // Every histogram's bucket counts must sum to its count and its
+    // sum must reconcile with mean * count.
+    for (const auto &[name, histogram] :
+         root.at("histograms").object) {
+        const double count = histogram.at("count").number;
+        double bucket_total = 0.0;
+        for (const JsonValue &bucket :
+             histogram.at("buckets").array) {
+            ASSERT_EQ(bucket.array.size(), 3u) << name;
+            bucket_total += bucket.array[2].number;
+        }
+        EXPECT_DOUBLE_EQ(bucket_total, count) << name;
+        EXPECT_NEAR(histogram.at("sum").number,
+                    histogram.at("mean").number * count,
+                    1e-9 * (1.0 + std::abs(
+                                      histogram.at("sum").number)))
+            << name;
+    }
+
+    // CSV export: header plus one row per frame, quoting preserved.
+    std::ostringstream cs;
+    session.writeFramesCsv(cs);
+    std::vector<std::string> lines;
+    std::istringstream ls(cs.str());
+    for (std::string line; std::getline(ls, line);)
+        lines.push_back(line);
+    ASSERT_EQ(lines.size(), 6u);
+    EXPECT_EQ(lines[0],
+              "label,frame,wall_ms,preprocess_ms,track_ms,"
+              "integrate_ms,raycast_ms,ate_m,tracked,integrated,"
+              "sim_joules,rss_peak_bytes");
+    EXPECT_NE(lines[1].find("\"unit \"\"quoted\"\" label\""),
+              std::string::npos);
+
+    session.finish(); // writes the temp files; also idempotent
+    session.finish();
+}
+
+TEST(RunReport, InactiveSessionRecordsNothing)
+{
+    sm::RunSession session;
+    EXPECT_FALSE(session.active());
+    sm::FrameTelemetry t;
+    session.addFrame(t);
+    session.setParam("vr", "64");
+    session.setSummary("x", 1.0);
+    EXPECT_EQ(session.frameCount(), 0u);
+    session.finish(); // no-op, no crash
+}
+
+TEST(RunReport, ProcessStatsAreSane)
+{
+    EXPECT_GT(sm::peakRssBytes(), 0.0);
+    EXPECT_GE(sm::processCpuSeconds(), 0.0);
+    const uint64_t a = slambench::metrics::now_ns();
+    const uint64_t b = slambench::metrics::now_ns();
+    EXPECT_GE(b, a);
+}

@@ -191,6 +191,33 @@ TEST(Percentile, EmptyReturnsZero)
     EXPECT_DOUBLE_EQ(percentile({}, 50), 0.0);
 }
 
+TEST(Percentile, SingleElementIsEveryPercentile)
+{
+    const std::vector<double> v{7.5};
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 99), 7.5);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 7.5);
+}
+
+TEST(Percentile, DuplicateHeavyInput)
+{
+    // 9 copies of 1.0 and a single outlier: low/median percentiles
+    // sit on the plateau, only the very top interpolates toward it.
+    std::vector<double> v(9, 1.0);
+    v.push_back(100.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 88), 1.0);
+    EXPECT_GT(percentile(v, 95), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100), 100.0);
+
+    // All-identical input: every percentile is that value.
+    const std::vector<double> flat(17, 3.25);
+    EXPECT_DOUBLE_EQ(percentile(flat, 10), 3.25);
+    EXPECT_DOUBLE_EQ(percentile(flat, 90), 3.25);
+}
+
 // --- Histogram ---
 
 TEST(Histogram, BinningAndClamping)
