@@ -14,7 +14,7 @@
  *
  * Output: ablations.csv plus readable tables on stdout.
  *
- * Options: --frames N, --quick.
+ * Options: --frames N, --quick, --dse-threads N.
  */
 
 #include <cstdio>
@@ -25,6 +25,7 @@
 #include "bench_common.hpp"
 #include "core/report.hpp"
 #include "support/csv.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -68,6 +69,7 @@ main(int argc, char **argv)
     const bool quick = argFlag(argc, argv, "--quick");
     const size_t frames = static_cast<size_t>(
         argLong(argc, argv, "--frames", quick ? 8 : 30));
+    const size_t dse_threads = dseThreadsFromArgs(argc, argv);
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
@@ -80,20 +82,19 @@ main(int argc, char **argv)
         generateSequence(canonicalWorkload(frames));
     const auto xu3 = devices::odroidXu3();
 
+    // Collect every (study, variant, config) first, evaluate the
+    // whole batch (in parallel unless --dse-threads 1), then report
+    // serially so the tables, telemetry, and CSV keep a stable order.
     std::vector<StudyRow> rows;
+    std::vector<kfusion::KFusionConfig> configs;
     auto run = [&](const std::string &study,
                    const std::string &variant,
                    const kfusion::KFusionConfig &config) {
         StudyRow row;
         row.study = study;
         row.variant = variant;
-        row.result =
-            core::evaluateConfigOnDevice(config, sequence, xu3);
-        // Every variant's frames land in the run report under its
-        // own label, so two ablation runs can be diffed per variant.
-        core::appendRunTelemetry(metrics_session, variant,
-                                 row.result.bench, &xu3);
         rows.push_back(std::move(row));
+        configs.push_back(config);
     };
     core::addConfigParams(metrics_session, defaultConfig());
 
@@ -156,6 +157,23 @@ main(int argc, char **argv)
         c.integrationRate = rate;
         run("integration rate", "ir=" + std::to_string(rate), c);
     }
+
+    const auto evaluate_one = [&](size_t i) {
+        rows[i].result = core::evaluateConfigOnDevice(configs[i],
+                                                      sequence, xu3);
+    };
+    if (dse_threads == 1) {
+        for (size_t i = 0; i < rows.size(); ++i)
+            evaluate_one(i);
+    } else {
+        support::ThreadPool pool(dse_threads);
+        pool.parallelFor(0, rows.size(), evaluate_one);
+    }
+    // Every variant's frames land in the run report under its own
+    // label, so two ablation runs can be diffed per variant.
+    for (const StudyRow &row : rows)
+        core::appendRunTelemetry(metrics_session, row.variant,
+                                 row.result.bench, &xu3);
 
     report(rows);
 

@@ -114,6 +114,21 @@ argString(int argc, char **argv, const char *name,
 }
 
 /**
+ * Parse the shared `--dse-threads N` flag: worker threads for the
+ * parallel DSE drivers (and, where a bench evaluates fixed
+ * configurations itself, its own evaluation pool). 0 (the default)
+ * means hardware concurrency; 1 selects the legacy serial path. Any
+ * value produces byte-identical evaluation sequences — only the wall
+ * clock changes.
+ */
+inline size_t
+dseThreadsFromArgs(int argc, char **argv)
+{
+    const long value = argLong(argc, argv, "--dse-threads", 0);
+    return value < 0 ? 0 : static_cast<size_t>(value);
+}
+
+/**
  * Arm per-kernel tracing from the shared bench flags:
  *
  *   --trace FILE      chrome://tracing span timeline (JSON)

@@ -73,10 +73,13 @@ main(int argc, char **argv)
         argLong(argc, argv, "--batch", quick ? 4 : 10));
     const uint64_t seed = static_cast<uint64_t>(
         argLong(argc, argv, "--seed", 1));
+    const size_t dse_threads = dseThreadsFromArgs(argc, argv);
 
     std::printf("FIG2: DSE on the simulated odroid-xu3 "
-                "(%zu frames, random=%zu, active=%zu+%zux%zu)\n",
-                frames, random_budget, warmup, iterations, batch);
+                "(%zu frames, random=%zu, active=%zu+%zux%zu, "
+                "dse-threads=%zu)\n",
+                frames, random_budget, warmup, iterations, batch,
+                dse_threads);
 
     dataset::SequenceSpec spec = canonicalWorkload(frames);
     const dataset::Sequence sequence = generateSequence(spec);
@@ -106,6 +109,7 @@ main(int argc, char **argv)
     hypermapper::RandomSearchOptions rs_options;
     rs_options.budget = random_budget;
     rs_options.seed = seed;
+    rs_options.threads = dse_threads;
     std::printf("running random sampling (%zu evaluations)...\n",
                 rs_options.budget);
     const auto random_evals =
@@ -119,6 +123,7 @@ main(int argc, char **argv)
     al_options.candidatePool = 2000;
     al_options.forest.numTrees = 30;
     al_options.seed = seed + 1000;
+    al_options.threads = dse_threads;
     std::printf("running active learning (%zu evaluations)...\n",
                 warmup + iterations * batch);
     const auto al_result = hypermapper::activeLearning(

@@ -8,7 +8,11 @@
  * This is a scaled-down version of what bench_fig2_dse runs in full;
  * it finishes in about a minute.
  *
- * Usage: dse_exploration [budget] [frames]
+ * Usage: dse_exploration [budget] [frames] [threads]
+ *
+ * The third argument sets the evaluation worker count (0 = hardware
+ * concurrency, 1 = serial); the explored configurations are identical
+ * either way.
  */
 
 #include <cstdio>
@@ -28,10 +32,13 @@ main(int argc, char **argv)
 
     size_t budget = 24;
     size_t frames = 12;
+    size_t threads = 0;
     if (argc > 1)
         budget = static_cast<size_t>(std::atol(argv[1]));
     if (argc > 2)
         frames = static_cast<size_t>(std::atol(argv[2]));
+    if (argc > 3)
+        threads = static_cast<size_t>(std::atol(argv[3]));
 
     // 1. Workload: a short synthetic living-room sequence.
     dataset::SequenceSpec spec;
@@ -54,6 +61,7 @@ main(int argc, char **argv)
     options.candidatePool = 500;
     options.forest.numTrees = 15;
     options.seed = 7;
+    options.threads = threads;
 
     std::printf("exploring %zu configurations over %zu frames...\n",
                 options.warmupSamples +

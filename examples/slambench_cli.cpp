@@ -52,7 +52,11 @@ usage()
         "  --seed S                       sensor noise seed\n\n"
         "system:\n"
         "  --system kfusion|odometry      (default kfusion)\n"
-        "  --impl sequential|threaded     (default sequential)\n\n"
+        "  --impl sequential|threaded     (default sequential)\n"
+        "  --dse-threads N                worker threads for the "
+        "threaded impl\n"
+        "                                 (0 = hardware concurrency, "
+        "1 = serial)\n\n"
         "kfusion configuration (SLAMBench flags):\n"
         "  --csr {1,2,4,8}   compute-size ratio\n"
         "  --icp T           ICP convergence threshold\n"
@@ -211,6 +215,12 @@ main(int argc, char **argv)
         else if (std::string(impl_flag) != "sequential")
             support::fatal("unknown --impl (sequential|threaded)");
     }
+    // Shared with the DSE benches: worker-thread count (0 = hardware
+    // concurrency). Here it sizes the Threaded kernels' pool.
+    const long threads_flag =
+        longFlag(argc, argv, "--dse-threads", 0);
+    const size_t num_threads =
+        threads_flag < 0 ? 0 : static_cast<size_t>(threads_flag);
 
     // --- System ---
     std::unique_ptr<core::SlamSystem> system;
@@ -219,7 +229,8 @@ main(int argc, char **argv)
     const std::string system_name =
         system_flag ? system_flag : "kfusion";
     if (system_name == "kfusion") {
-        auto kf = std::make_unique<core::KFusionSystem>(config, impl);
+        auto kf = std::make_unique<core::KFusionSystem>(config, impl,
+                                                        num_threads);
         kfusion_system = kf.get();
         system = std::move(kf);
     } else if (system_name == "odometry") {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
+#include <mutex>
 
 #include "support/logging.hpp"
 
@@ -62,16 +64,21 @@ makeDseEvaluator(const hypermapper::ParameterSpace &space,
                  std::vector<EvaluatedConfig> *log)
 {
     // The lambda copies the space and device; the sequence is large,
-    // so callers must keep it alive (noted in the header docs).
-    return [&sequence, space, device, options,
-            log](const hypermapper::Point &point)
+    // so callers must keep it alive (noted in the header docs). The
+    // parallel DSE drivers invoke the evaluator concurrently, so the
+    // shared log is guarded (records land in completion order).
+    auto log_mutex = std::make_shared<std::mutex>();
+    return [&sequence, space, device, options, log,
+            log_mutex](const hypermapper::Point &point)
                -> hypermapper::EvaluationOutcome {
         const kfusion::KFusionConfig config =
             pointToConfig(space, point);
         const EvaluatedConfig record = evaluateConfigOnDevice(
             config, sequence, device, options);
-        if (log)
+        if (log) {
+            std::lock_guard<std::mutex> lock(*log_mutex);
             log->push_back(record);
+        }
 
         hypermapper::EvaluationOutcome outcome;
         outcome.valid = record.valid;

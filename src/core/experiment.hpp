@@ -61,8 +61,11 @@ struct DseObjectiveOptions
  * @p device.
  *
  * The returned callable owns copies of everything it needs and is
- * safe to call repeatedly; every call runs the complete SLAM
- * pipeline (no caching, evaluations are deterministic anyway).
+ * safe to call repeatedly and concurrently (the parallel DSE drivers
+ * evaluate batches on a thread pool; the shared @p log is guarded
+ * internally and fills in completion order); every call runs the
+ * complete SLAM pipeline (no caching, evaluations are deterministic
+ * anyway).
  *
  * @param space Design space (kfusionParameterSpace()).
  * @param sequence Workload.

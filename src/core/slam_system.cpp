@@ -5,8 +5,9 @@
 namespace slambench::core {
 
 KFusionSystem::KFusionSystem(const kfusion::KFusionConfig &config,
-                             kfusion::Implementation impl)
-    : config_(config), impl_(impl)
+                             kfusion::Implementation impl,
+                             size_t num_threads)
+    : config_(config), impl_(impl), numThreads_(num_threads)
 {}
 
 std::string
@@ -20,8 +21,8 @@ void
 KFusionSystem::initialize(const math::CameraIntrinsics &intrinsics,
                           const math::Mat4f &initial_pose)
 {
-    kfusion_ = std::make_unique<kfusion::KFusion>(config_, intrinsics,
-                                                  impl_);
+    kfusion_ = std::make_unique<kfusion::KFusion>(
+        config_, intrinsics, impl_, numThreads_);
     kfusion_->setPose(initial_pose);
     framesSeen_ = 0;
     framesTracked_ = 0;

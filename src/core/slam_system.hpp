@@ -67,11 +67,15 @@ class KFusionSystem : public SlamSystem
     /**
      * @param config Algorithmic configuration.
      * @param impl Kernel implementation flavor.
+     * @param num_threads Worker threads for the Threaded
+     *        implementation (0 = hardware concurrency); ignored by
+     *        Sequential.
      */
     explicit KFusionSystem(
         const kfusion::KFusionConfig &config,
         kfusion::Implementation impl =
-            kfusion::Implementation::Sequential);
+            kfusion::Implementation::Sequential,
+        size_t num_threads = 0);
 
     std::string name() const override;
     void initialize(const math::CameraIntrinsics &intrinsics,
@@ -91,6 +95,7 @@ class KFusionSystem : public SlamSystem
   private:
     kfusion::KFusionConfig config_;
     kfusion::Implementation impl_;
+    size_t numThreads_ = 0;
     std::unique_ptr<kfusion::KFusion> kfusion_;
     size_t framesSeen_ = 0;
     size_t framesTracked_ = 0;

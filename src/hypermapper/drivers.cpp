@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
 #include "metrics/timing.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 
 namespace slambench::hypermapper {
 
@@ -17,6 +19,11 @@ namespace {
  * `dse.eval_wall_seconds` histogram, bumps the global and per-method
  * evaluation counters, and logs a one-line report of the sampled
  * configuration (point, objectives, validity, wall time) at DEBUG.
+ *
+ * Thread-safe: the registry hands out thread-safe metric handles and
+ * all lookups go through it per call (no cached static references —
+ * those would be an ordering hazard across concurrent evaluations
+ * and would dangle if the registry were ever rebuilt between runs).
  */
 Evaluation
 runEvaluation(const Evaluator &evaluate, Point point,
@@ -24,12 +31,6 @@ runEvaluation(const Evaluator &evaluate, Point point,
 {
     namespace sm = support::metrics;
     auto &registry = sm::Registry::instance();
-    static sm::Counter &evaluations_counter =
-        registry.counter("dse.evaluations");
-    static sm::Counter &invalid_counter =
-        registry.counter("dse.invalid");
-    static sm::LatencyHistogram &wall_histogram =
-        registry.histogram("dse.eval_wall_seconds");
 
     Evaluation e;
     e.point = std::move(point);
@@ -43,11 +44,11 @@ runEvaluation(const Evaluator &evaluate, Point point,
     e.method = method;
     e.iteration = iteration;
 
-    evaluations_counter.add(1);
+    registry.counter("dse.evaluations").add(1);
     registry.counter(std::string("dse.evaluations.") + method).add(1);
     if (!e.valid)
-        invalid_counter.add(1);
-    wall_histogram.record(wall_seconds);
+        registry.counter("dse.invalid").add(1);
+    registry.histogram("dse.eval_wall_seconds").record(wall_seconds);
 
     std::string params;
     for (const double v : e.point) {
@@ -69,6 +70,106 @@ runEvaluation(const Evaluator &evaluate, Point point,
     return e;
 }
 
+/**
+ * Shared execution engine of the DSE drivers: evaluates batches of
+ * pre-derived configurations, either serially (1 thread, the legacy
+ * path) or concurrently on a task-queue ThreadPool.
+ *
+ * Determinism contract: the caller derives every point (and any Rng
+ * stream it needs) BEFORE dispatch, evaluations never touch shared
+ * random state, and results are committed in submission order — so
+ * the output is byte-identical for any thread count.
+ */
+class EvalDispatcher
+{
+  public:
+    /** @param threads 0 = hardware concurrency, 1 = serial. */
+    explicit EvalDispatcher(size_t threads)
+    {
+        size_t n = threads;
+        if (n == 0) {
+            n = std::thread::hardware_concurrency();
+            if (n == 0)
+                n = 1;
+        }
+        threads_ = n;
+        if (threads_ > 1)
+            pool_ = std::make_unique<support::ThreadPool>(threads_);
+        support::metrics::Registry::instance()
+            .gauge("dse.pool.threads")
+            .set(static_cast<double>(threads_));
+    }
+
+    /** @return the pool, or nullptr on the serial path. */
+    support::ThreadPool *pool() const { return pool_.get(); }
+
+    /** @return resolved worker count (>= 1). */
+    size_t threads() const { return threads_; }
+
+    /**
+     * Evaluate @p points (all tagged @p method / @p iteration) and
+     * append the results to @p out in submission order.
+     */
+    void
+    run(const Evaluator &evaluate, std::vector<Point> points,
+        const char *method, size_t iteration,
+        std::vector<Evaluation> &out)
+    {
+        if (points.empty())
+            return;
+        if (!pool_) {
+            for (Point &p : points)
+                out.push_back(runEvaluation(evaluate, std::move(p),
+                                            method, iteration));
+            return;
+        }
+
+        namespace sm = support::metrics;
+        auto &registry = sm::Registry::instance();
+        const uint64_t batch_start_ns = slambench::metrics::now_ns();
+
+        // Slots are committed by submission index, so the append
+        // below reproduces serial order regardless of completion
+        // order; per-evaluation wall times are tracked to derive the
+        // pool occupancy of the batch.
+        std::vector<Evaluation> results(points.size());
+        std::vector<double> walls(points.size(), 0.0);
+        pool_->parallelFor(0, points.size(), [&](size_t i) {
+            const uint64_t t0 = slambench::metrics::now_ns();
+            results[i] = runEvaluation(evaluate, std::move(points[i]),
+                                       method, iteration);
+            walls[i] = static_cast<double>(
+                           slambench::metrics::now_ns() - t0) *
+                       1e-9;
+        });
+
+        const double batch_wall =
+            static_cast<double>(slambench::metrics::now_ns() -
+                                batch_start_ns) *
+            1e-9;
+        double busy = 0.0;
+        for (const double w : walls)
+            busy += w;
+        registry.counter("dse.parallel.batches").add(1);
+        registry.histogram("dse.batch_wall_seconds")
+            .record(batch_wall);
+        if (batch_wall > 0.0) {
+            registry.gauge("dse.pool.occupancy")
+                .set(busy /
+                     (batch_wall * static_cast<double>(threads_)));
+        }
+        registry.gauge("dse.pool.peak_concurrent_evals")
+            .setMax(static_cast<double>(pool_->peakActiveTasks()));
+
+        for (Evaluation &e : results)
+            out.push_back(std::move(e));
+    }
+
+  private:
+    size_t threads_ = 1;
+    std::unique_ptr<support::ThreadPool> pool_;
+};
+
 } // namespace
 
 std::vector<Evaluation>
@@ -76,12 +177,18 @@ randomSearch(const ParameterSpace &space, const Evaluator &evaluate,
              const RandomSearchOptions &options)
 {
     support::Rng rng(options.seed);
+    EvalDispatcher dispatcher(options.threads);
+
+    // All points are sampled before dispatch: the Rng stream (and
+    // with it the evaluated sequence) is independent of thread count.
+    std::vector<Point> points;
+    points.reserve(options.budget);
+    for (size_t i = 0; i < options.budget; ++i)
+        points.push_back(space.sample(rng));
+
     std::vector<Evaluation> evals;
     evals.reserve(options.budget);
-    for (size_t i = 0; i < options.budget; ++i) {
-        evals.push_back(
-            runEvaluation(evaluate, space.sample(rng), "random", 0));
-    }
+    dispatcher.run(evaluate, std::move(points), "random", 0, evals);
     return evals;
 }
 
@@ -92,7 +199,7 @@ std::vector<ml::RandomForest>
 fitModels(const ParameterSpace &space,
           const std::vector<Evaluation> &evals, size_t num_objectives,
           const ml::ForestOptions &forest_options, support::Rng &rng,
-          std::vector<double> &mse_out)
+          std::vector<double> &mse_out, support::ThreadPool *pool)
 {
     std::vector<ml::RandomForest> models(num_objectives);
     mse_out.assign(num_objectives, 0.0);
@@ -107,18 +214,11 @@ fitModels(const ParameterSpace &space,
         if (data.empty())
             support::fatal("activeLearning: no valid warm-up "
                            "evaluations to train on");
-        models[k].fit(data, forest_options, rng);
+        models[k].fit(data, forest_options, rng, pool);
         mse_out[k] = models[k].mseOn(data);
     }
     return models;
 }
-
-/** A candidate with model-predicted (LCB) objectives. */
-struct Candidate
-{
-    Point point;
-    Evaluation predicted; ///< objectives = LCB predictions.
-};
 
 } // namespace
 
@@ -129,11 +229,20 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
 {
     support::Rng rng(options.seed);
     ActiveLearningResult result;
+    EvalDispatcher dispatcher(options.threads);
+    support::ThreadPool *pool = dispatcher.pool();
 
     // --- Warm-up: uniform random sampling. ---
-    for (size_t i = 0; i < options.warmupSamples; ++i) {
-        result.evaluations.push_back(
-            runEvaluation(evaluate, space.sample(rng), "random", 0));
+    {
+        std::vector<Point> warmup;
+        warmup.reserve(options.warmupSamples);
+        for (size_t i = 0; i < options.warmupSamples; ++i)
+            warmup.push_back(space.sample(rng));
+        result.evaluations.reserve(options.warmupSamples +
+                                   options.iterations *
+                                       options.batchSize);
+        dispatcher.run(evaluate, std::move(warmup), "random", 0,
+                       result.evaluations);
     }
 
     // --- Active-learning rounds. ---
@@ -141,7 +250,7 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
         std::vector<double> mse;
         std::vector<ml::RandomForest> models =
             fitModels(space, result.evaluations, num_objectives,
-                      options.forest, rng, mse);
+                      options.forest, rng, mse, pool);
         result.modelMse.push_back(mse);
 
         // Feasibility model (HyperMapper's valid-region classifier):
@@ -156,20 +265,21 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
                 ml::Dataset labels(space.size());
                 for (const Evaluation &e : result.evaluations)
                     labels.addRow(e.point, e.valid ? 1.0 : 0.0);
-                feasibility.fit(labels, options.forest, rng);
+                feasibility.fit(labels, options.forest, rng, pool);
                 have_feasibility = true;
             }
         }
-        size_t rejected = 0;
 
         // Incumbent Pareto points seed the exploit candidates.
         const std::vector<size_t> front =
             paretoFront(result.evaluations);
 
-        std::vector<Candidate> pool;
-        pool.reserve(options.candidatePool);
+        // Candidate points are derived serially — sampling and
+        // mutation consume the driver Rng, and the stream must not
+        // depend on thread count.
+        std::vector<Point> cand_points;
+        cand_points.reserve(options.candidatePool);
         for (size_t c = 0; c < options.candidatePool; ++c) {
-            Candidate cand;
             const bool exploit =
                 !front.empty() &&
                 rng.bernoulli(options.exploitFraction);
@@ -177,44 +287,74 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
                 const size_t pick =
                     front[rng.uniformInt(
                         static_cast<uint64_t>(front.size()))];
-                cand.point = space.mutate(
+                cand_points.push_back(space.mutate(
                     result.evaluations[pick].point,
-                    options.mutationRate, rng);
+                    options.mutationRate, rng));
             } else {
-                cand.point = space.sample(rng);
+                cand_points.push_back(space.sample(rng));
             }
+        }
+
+        // Score the pool: feasibility filter plus per-objective LCB
+        // (mean - kappa * stddev). Predictions are Rng-free, so this
+        // hot loop parallelizes without affecting determinism; each
+        // slot is written by exactly one task.
+        std::vector<uint8_t> rejected(cand_points.size(), 0);
+        std::vector<Evaluation> scored(cand_points.size());
+        const auto score = [&](size_t c) {
+            const Point &point = cand_points[c];
             if (have_feasibility &&
-                feasibility.predict(cand.point) <
+                feasibility.predict(point) <
                     options.minPredictedValidity) {
-                ++rejected;
-                continue;
+                rejected[c] = 1;
+                return;
             }
-            cand.predicted.point = cand.point;
-            cand.predicted.valid = true;
-            cand.predicted.objectives.resize(num_objectives);
+            Evaluation predicted;
+            predicted.point = point;
+            predicted.valid = true;
+            predicted.objectives.resize(num_objectives);
             for (size_t k = 0; k < num_objectives; ++k) {
                 const ml::ForestPrediction p =
-                    models[k].predictWithUncertainty(cand.point);
-                cand.predicted.objectives[k] =
+                    models[k].predictWithUncertainty(point);
+                predicted.objectives[k] =
                     p.mean - options.kappa * std::sqrt(p.variance);
             }
-            pool.push_back(std::move(cand));
+            scored[c] = std::move(predicted);
+        };
+        if (pool != nullptr) {
+            pool->parallelFor(0, cand_points.size(), score);
+        } else {
+            for (size_t c = 0; c < cand_points.size(); ++c)
+                score(c);
+        }
+
+        size_t rejected_count = 0;
+        std::vector<Point> pool_points;
+        std::vector<Evaluation> predicted;
+        pool_points.reserve(cand_points.size());
+        predicted.reserve(cand_points.size());
+        for (size_t c = 0; c < cand_points.size(); ++c) {
+            if (rejected[c]) {
+                ++rejected_count;
+                continue;
+            }
+            pool_points.push_back(std::move(cand_points[c]));
+            predicted.push_back(std::move(scored[c]));
         }
 
         // Keep the model-predicted Pareto front of the pool.
-        std::vector<Evaluation> predicted;
-        predicted.reserve(pool.size());
-        for (const Candidate &c : pool)
-            predicted.push_back(c.predicted);
         std::vector<size_t> predicted_front = paretoFront(predicted);
         rng.shuffle(predicted_front);
 
-        // Evaluate up to batchSize new, distinct configurations.
-        size_t evaluated = 0;
+        // Select up to batchSize new, distinct configurations. The
+        // selection depends only on points (never on objective
+        // values), so the whole batch is known before any evaluation
+        // runs and can be dispatched concurrently.
+        std::vector<Point> selected;
         for (size_t idx : predicted_front) {
-            if (evaluated >= options.batchSize)
+            if (selected.size() >= options.batchSize)
                 break;
-            const Point &candidate = pool[idx].point;
+            const Point &candidate = pool_points[idx];
             bool seen = false;
             for (const Evaluation &e : result.evaluations) {
                 if (space.samePoint(e.point, candidate)) {
@@ -222,22 +362,28 @@ activeLearning(const ParameterSpace &space, const Evaluator &evaluate,
                     break;
                 }
             }
-            if (seen)
-                continue;
-
-            result.evaluations.push_back(
-                runEvaluation(evaluate, candidate, "active", iter));
-            ++evaluated;
+            for (size_t s = 0; !seen && s < selected.size(); ++s)
+                seen = space.samePoint(selected[s], candidate);
+            if (!seen)
+                selected.push_back(candidate);
         }
+        size_t evaluated = selected.size();
+        dispatcher.run(evaluate, std::move(selected), "active", iter,
+                       result.evaluations);
 
-        result.feasibilityRejections.push_back(rejected);
+        result.feasibilityRejections.push_back(rejected_count);
 
         // Degenerate pools (everything already seen): fall back to
         // random samples so the budget is spent as promised.
-        while (evaluated < options.batchSize) {
-            result.evaluations.push_back(runEvaluation(
-                evaluate, space.sample(rng), "active", iter));
-            ++evaluated;
+        if (evaluated < options.batchSize) {
+            std::vector<Point> extra;
+            extra.reserve(options.batchSize - evaluated);
+            while (evaluated < options.batchSize) {
+                extra.push_back(space.sample(rng));
+                ++evaluated;
+            }
+            dispatcher.run(evaluate, std::move(extra), "active", iter,
+                           result.evaluations);
         }
     }
     return result;
@@ -258,9 +404,23 @@ gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
             if (p.values.size() <= n) {
                 values[i] = p.values;
             } else {
-                for (size_t k = 0; k < n; ++k)
-                    values[i].push_back(
-                        p.values[k * (p.values.size() - 1) / (n - 1)]);
+                // Deduplicate the subsampled index list: integer
+                // division can collapse neighbouring indices (and
+                // value lists may repeat entries), and duplicate grid
+                // points would waste evaluation budget.
+                std::vector<size_t> picks;
+                picks.reserve(n);
+                for (size_t k = 0; k < n; ++k) {
+                    const size_t idx =
+                        k * (p.values.size() - 1) / (n - 1);
+                    if (picks.empty() || picks.back() != idx)
+                        picks.push_back(idx);
+                }
+                for (const size_t idx : picks) {
+                    if (values[i].empty() ||
+                        values[i].back() != p.values[idx])
+                        values[i].push_back(p.values[idx]);
+                }
             }
             continue;
         }
@@ -280,16 +440,18 @@ gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
         }
     }
 
-    std::vector<Evaluation> evals;
+    // Enumerate the grid (odometer order) up to the evaluation cap;
+    // the points are Rng-free, so the whole sweep dispatches as one
+    // deterministic batch.
+    std::vector<Point> points;
     std::vector<size_t> index(axes, 0);
     for (;;) {
-        if (evals.size() >= options.maxEvaluations)
+        if (points.size() >= options.maxEvaluations)
             break;
         Point point(axes);
         for (size_t i = 0; i < axes; ++i)
             point[i] = values[i][index[i]];
-        evals.push_back(runEvaluation(
-            evaluate, space.canonicalize(point), "grid", 0));
+        points.push_back(space.canonicalize(point));
 
         // Odometer increment.
         size_t axis = 0;
@@ -302,6 +464,11 @@ gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
         if (axis == axes)
             break;
     }
+
+    EvalDispatcher dispatcher(options.threads);
+    std::vector<Evaluation> evals;
+    evals.reserve(points.size());
+    dispatcher.run(evaluate, std::move(points), "grid", 0, evals);
     return evals;
 }
 

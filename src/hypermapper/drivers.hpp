@@ -38,6 +38,13 @@ struct RandomSearchOptions
 {
     size_t budget = 100; ///< Number of evaluations.
     uint64_t seed = 1;
+    /**
+     * Concurrent evaluations: 0 = hardware concurrency, 1 = serial
+     * (the legacy path). Results are byte-identical for any value —
+     * points are derived before dispatch and committed in submission
+     * order.
+     */
+    size_t threads = 1;
 };
 
 /**
@@ -78,6 +85,14 @@ struct ActiveLearningOptions
     double minPredictedValidity = 0.3;
     ml::ForestOptions forest;
     uint64_t seed = 1;
+    /**
+     * Concurrent evaluations, per-tree forest fits, and LCB scoring:
+     * 0 = hardware concurrency, 1 = serial (the legacy path).
+     * Results are byte-identical for any value — candidate points and
+     * per-tree Rng streams are derived before dispatch and results
+     * committed in submission order.
+     */
+    size_t threads = 1;
 };
 
 /** Full trace of an active-learning run. */
@@ -113,6 +128,12 @@ struct GridSearchOptions
     size_t pointsPerAxis = 3;
     /** Hard cap on evaluations (the full grid is exponential). */
     size_t maxEvaluations = 1000;
+    /**
+     * Concurrent evaluations: 0 = hardware concurrency, 1 = serial.
+     * The grid is enumerated before dispatch, so results are
+     * byte-identical for any value.
+     */
+    size_t threads = 1;
 };
 
 /**

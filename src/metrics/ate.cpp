@@ -80,7 +80,12 @@ computeAtePositions(const std::vector<Vec3d> &estimated,
 
     std::vector<double> sorted = result.perFrame;
     std::sort(sorted.begin(), sorted.end());
-    result.medianAte = sorted[sorted.size() / 2];
+    // Even-length trajectories: average the two middle elements
+    // (the TUM evaluate_ate convention), not the upper-middle one.
+    const size_t mid = sorted.size() / 2;
+    result.medianAte = (sorted.size() % 2 == 0)
+                           ? 0.5 * (sorted[mid - 1] + sorted[mid])
+                           : sorted[mid];
     return result;
 }
 

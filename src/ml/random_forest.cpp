@@ -4,12 +4,13 @@
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/thread_pool.hpp"
 
 namespace slambench::ml {
 
 void
 RandomForest::fit(const Dataset &data, const ForestOptions &options,
-                  support::Rng &rng)
+                  support::Rng &rng, support::ThreadPool *pool)
 {
     if (data.empty())
         support::panic("RandomForest::fit: empty dataset");
@@ -26,11 +27,28 @@ RandomForest::fit(const Dataset &data, const ForestOptions &options,
                                static_cast<double>(data.size())));
 
     trees_.assign(opts.numTrees, DecisionTree{});
-    std::vector<size_t> rows(sample_size);
-    for (DecisionTree &tree : trees_) {
+
+    // Split one independent stream per tree up front so the fitted
+    // forest does not depend on execution order (or thread count).
+    std::vector<support::Rng> tree_rngs;
+    tree_rngs.reserve(trees_.size());
+    for (size_t i = 0; i < trees_.size(); ++i)
+        tree_rngs.push_back(rng.split());
+
+    const auto fit_tree = [&](size_t i) {
+        support::Rng &tree_rng = tree_rngs[i];
+        std::vector<size_t> rows(sample_size);
         for (size_t &row : rows)
-            row = rng.uniformInt(static_cast<uint64_t>(data.size()));
-        tree.fitRegression(data, rows, opts.tree, rng);
+            row = tree_rng.uniformInt(
+                static_cast<uint64_t>(data.size()));
+        trees_[i].fitRegression(data, rows, opts.tree, tree_rng);
+    };
+
+    if (pool != nullptr && trees_.size() > 1) {
+        pool->parallelFor(0, trees_.size(), fit_tree);
+    } else {
+        for (size_t i = 0; i < trees_.size(); ++i)
+            fit_tree(i);
     }
 }
 

@@ -13,6 +13,10 @@
 
 #include "ml/decision_tree.hpp"
 
+namespace slambench::support {
+class ThreadPool;
+}
+
 namespace slambench::ml {
 
 /** Forest hyper-parameters. */
@@ -43,13 +47,20 @@ class RandomForest
     /**
      * Fit on all rows of @p data.
      *
+     * One independent Rng stream is split off @p rng per tree before
+     * any tree is fitted, so the result is bit-identical whether the
+     * trees are fitted serially or in parallel on @p pool.
+     *
      * @param data Training rows.
      * @param options Forest hyper-parameters. A featureSubset of 0
      *                defaults to ceil(sqrt(num_features)).
-     * @param rng Randomness for bootstrapping and splits.
+     * @param rng Randomness for bootstrapping and splits; always
+     *            advanced by exactly numTrees split() calls.
+     * @param pool Optional pool for concurrent per-tree fitting;
+     *             nullptr fits serially.
      */
     void fit(const Dataset &data, const ForestOptions &options,
-             support::Rng &rng);
+             support::Rng &rng, support::ThreadPool *pool = nullptr);
 
     /** @return mean prediction for @p features. */
     double predict(const std::vector<double> &features) const;

@@ -1,8 +1,8 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <utility>
 
-#include "support/logging.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::support {
@@ -32,6 +32,100 @@ ThreadPool::~ThreadPool()
 }
 
 void
+ThreadPool::enqueue(TaskGroup &group, std::function<void()> task,
+                    const char *trace_name)
+{
+    Task entry;
+    entry.fn = std::move(task);
+    entry.group = &group;
+    entry.traceName = trace_name;
+    group.pending_.fetch_add(1, std::memory_order_acq_rel);
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(entry));
+    }
+    wake_.notify_one();
+    // A waiter blocked on done_ may steal this task cooperatively.
+    done_.notify_one();
+}
+
+void
+ThreadPool::submit(TaskGroup &group, std::function<void()> task)
+{
+    const char *trace_name = nullptr;
+#if SLAMBENCH_TRACE_ENABLED
+    // Attribute worker-side execution to the span open at submission
+    // (e.g. the DSE driver's scope on the submitting thread).
+    if (trace::Tracer::instance().enabled())
+        trace_name = trace::currentSpanName();
+#endif
+    enqueue(group, std::move(task), trace_name);
+}
+
+void
+ThreadPool::execute(Task task)
+{
+    const size_t active =
+        activeTasks_.fetch_add(1, std::memory_order_relaxed) + 1;
+    size_t peak = peakActive_.load(std::memory_order_relaxed);
+    while (active > peak &&
+           !peakActive_.compare_exchange_weak(
+               peak, active, std::memory_order_relaxed)) {
+    }
+
+#if SLAMBENCH_TRACE_ENABLED
+    if (task.traceName) {
+        trace::ScopedSpan span(task.traceName,
+                               trace::Category::Worker);
+        task.fn();
+    } else
+#endif
+    {
+        task.fn();
+    }
+
+    activeTasks_.fetch_sub(1, std::memory_order_relaxed);
+    tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
+    if (task.group->pending_.fetch_sub(
+            1, std::memory_order_acq_rel) == 1) {
+        done_.notify_all();
+    }
+}
+
+bool
+ThreadPool::tryRunOneTask()
+{
+    Task task;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (queue_.empty())
+            return false;
+        task = std::move(queue_.front());
+        queue_.pop_front();
+    }
+    execute(std::move(task));
+    return true;
+}
+
+void
+ThreadPool::wait(TaskGroup &group)
+{
+    for (;;) {
+        if (group.pending() == 0)
+            return;
+        // Cooperative draining: run queued tasks (of any group) so a
+        // nested region on a saturated pool cannot deadlock and a
+        // 1-thread pool makes progress on the caller's thread.
+        if (tryRunOneTask())
+            continue;
+        std::unique_lock<std::mutex> lock(mutex_);
+        done_.wait(lock, [this, &group] {
+            return group.pending() == 0 || !queue_.empty();
+        });
+    }
+}
+
+void
 ThreadPool::parallelFor(size_t begin, size_t end,
                         const std::function<void(size_t)> &body)
 {
@@ -56,89 +150,75 @@ ThreadPool::parallelForChunked(
     // excessive dispatch overhead.
     const size_t target_chunks = std::max<size_t>(threads_.size() * 4, 1);
     const size_t chunk = std::max<size_t>(1, count / target_chunks);
+    const size_t num_chunks = (count + chunk - 1) / chunk;
 
+    // Chunks are claimed from a shared cursor by up to
+    // numThreads() runner tasks plus the caller, which participates
+    // directly: a 1-thread pool (or a pool busy with other work)
+    // still makes forward progress on the calling thread.
+    struct LoopState
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        if (jobActive_)
-            panic("ThreadPool::parallelFor: nested parallel regions "
-                  "are not supported");
-        job_.begin = begin;
-        job_.end = end;
-        job_.chunk = chunk;
-        job_.body = &body;
-        job_.next = begin;
-        job_.remainingChunks = (count + chunk - 1) / chunk;
+        std::atomic<size_t> next;
+        size_t end;
+        size_t chunk;
+        const std::function<void(size_t, size_t)> *body;
+        const char *traceName;
+    };
+    LoopState state{{begin}, end, chunk, &body, nullptr};
 #if SLAMBENCH_TRACE_ENABLED
-        // Attribute worker-side chunks to the span that dispatched
-        // them (e.g. a KernelTimer's kernel span on the caller).
-        job_.traceName = trace::Tracer::instance().enabled()
-                             ? trace::currentSpanName()
-                             : nullptr;
-#else
-        job_.traceName = nullptr;
+    // Attribute every chunk (caller- or worker-run) to the span that
+    // dispatched the loop (e.g. a KernelTimer's kernel span).
+    if (trace::Tracer::instance().enabled())
+        state.traceName = trace::currentSpanName();
 #endif
-        jobActive_ = true;
-        ++generation_;
-    }
-    wake_.notify_all();
 
-    // The caller participates too, so a 1-thread pool still makes
-    // forward progress even if the worker is descheduled.
-    runChunks(job_);
-
-    std::unique_lock<std::mutex> lock(mutex_);
-    done_.wait(lock, [this] { return job_.remainingChunks == 0; });
-    jobActive_ = false;
-}
-
-void
-ThreadPool::runChunks(Job &job)
-{
-    for (;;) {
-        size_t lo, hi;
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            if (job.next >= job.end)
+    const auto run_chunks = [&state] {
+        for (;;) {
+            const size_t lo = state.next.fetch_add(
+                state.chunk, std::memory_order_relaxed);
+            if (lo >= state.end)
                 return;
-            lo = job.next;
-            hi = std::min(job.end, lo + job.chunk);
-            job.next = hi;
-        }
+            const size_t hi = std::min(state.end, lo + state.chunk);
 #if SLAMBENCH_TRACE_ENABLED
-        if (job.traceName) {
-            trace::ScopedSpan chunk_span(job.traceName,
-                                         trace::Category::Worker);
-            (*job.body)(lo, hi);
-        } else
-#endif
-        {
-            (*job.body)(lo, hi);
-        }
-        {
-            std::unique_lock<std::mutex> lock(mutex_);
-            if (--job.remainingChunks == 0) {
-                done_.notify_all();
-                return;
+            if (state.traceName) {
+                trace::ScopedSpan chunk_span(state.traceName,
+                                             trace::Category::Worker);
+                (*state.body)(lo, hi);
+                continue;
             }
+#endif
+            (*state.body)(lo, hi);
         }
-    }
+    };
+
+    // state outlives the runners: wait() below returns only once
+    // every submitted runner has finished.
+    TaskGroup group;
+    const size_t helpers = std::min(threads_.size(), num_chunks - 1);
+    for (size_t i = 0; i < helpers; ++i)
+        enqueue(group, run_chunks, nullptr);
+    run_chunks();
+    wait(group);
 }
 
 void
 ThreadPool::workerLoop()
 {
-    uint64_t seen = 0;
     for (;;) {
+        Task task;
         {
             std::unique_lock<std::mutex> lock(mutex_);
-            wake_.wait(lock, [this, seen] {
-                return stopping_ || (jobActive_ && generation_ != seen);
+            wake_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
             });
-            if (stopping_)
+            if (queue_.empty()) {
+                // stopping_ and nothing left to drain.
                 return;
-            seen = generation_;
+            }
+            task = std::move(queue_.front());
+            queue_.pop_front();
         }
-        runChunks(job_);
+        execute(std::move(task));
     }
 }
 

@@ -3,15 +3,24 @@
 
 /**
  * @file
- * Fixed-size worker pool with a blocking parallelFor.
+ * Task-queue worker pool with blocking parallelFor on top.
  *
- * This is the substrate behind the `Threaded` kernel implementations,
- * mirroring SLAMBench's OpenMP builds without an OpenMP dependency.
+ * This is the substrate behind the `Threaded` kernel implementations
+ * (mirroring SLAMBench's OpenMP builds without an OpenMP dependency)
+ * and the parallel DSE drivers, which submit whole pipeline runs as
+ * tasks. Unlike the original single-job broadcast design, the pool is
+ * a task-queue executor: any number of threads may submit work
+ * concurrently, and a task running on a worker may itself open a
+ * nested parallel region — waiters execute queued tasks cooperatively
+ * instead of blocking the thread (or panicking, as the old
+ * implementation did).
  */
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -20,14 +29,49 @@
 namespace slambench::support {
 
 /**
- * A fixed set of worker threads executing parallelFor range chunks.
+ * A fixed set of worker threads draining a shared FIFO task queue.
  *
- * The pool is created idle; parallelFor blocks the caller until every
- * chunk has completed. Nested parallelFor calls are not supported.
+ * Three usage layers, all safe to mix from any thread (including from
+ * inside a task running on the pool itself):
+ *
+ *  - parallelFor / parallelForChunked: blocking data-parallel loops.
+ *    The caller cooperatively executes queued chunks while waiting,
+ *    so a 1-thread pool still makes forward progress and nested
+ *    regions cannot deadlock.
+ *  - submit + wait(TaskGroup): explicit fork/join. Each submitted
+ *    task is tracked by a TaskGroup; wait() drains queue work until
+ *    the group's tasks have all finished.
+ *  - Concurrent submissions: independent threads may run their own
+ *    parallelFor or task groups on the same pool simultaneously;
+ *    tasks interleave in the single queue.
  */
 class ThreadPool
 {
   public:
+    /**
+     * Completion tracker for a set of submitted tasks. A group may be
+     * reused for several submit/wait rounds; it must outlive every
+     * task submitted against it.
+     */
+    class TaskGroup
+    {
+      public:
+        TaskGroup() = default;
+        TaskGroup(const TaskGroup &) = delete;
+        TaskGroup &operator=(const TaskGroup &) = delete;
+
+        /** @return number of submitted-but-unfinished tasks. */
+        size_t
+        pending() const
+        {
+            return pending_.load(std::memory_order_acquire);
+        }
+
+      private:
+        friend class ThreadPool;
+        std::atomic<size_t> pending_{0};
+    };
+
     /**
      * @param num_threads Worker count; 0 selects hardware_concurrency().
      */
@@ -36,14 +80,31 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
+    /** Drains the queue, then joins the workers. */
     ~ThreadPool();
 
     /** @return number of worker threads (always >= 1). */
     size_t numThreads() const { return threads_.size(); }
 
     /**
+     * Enqueue @p task for execution by the workers, tracked by
+     * @p group. Thread-safe; callable from inside a running task.
+     */
+    void submit(TaskGroup &group, std::function<void()> task);
+
+    /**
+     * Block until every task submitted against @p group has finished.
+     * While waiting, the calling thread cooperatively executes queued
+     * tasks (of any group), so nested waits make forward progress on
+     * a saturated pool instead of deadlocking.
+     */
+    void wait(TaskGroup &group);
+
+    /**
      * Run @p body(i) for every i in [begin, end), split into chunks
      * executed by the workers. Blocks until all iterations complete.
+     * May be called concurrently from several threads and from inside
+     * another parallelFor's body (nested regions run cooperatively).
      *
      * @param begin First index.
      * @param end One past the last index.
@@ -60,34 +121,55 @@ class ThreadPool
         size_t begin, size_t end,
         const std::function<void(size_t, size_t)> &body);
 
+    /** @return total tasks executed since construction (occupancy /
+     *  test introspection; relaxed). */
+    uint64_t
+    tasksExecuted() const
+    {
+        return tasksExecuted_.load(std::memory_order_relaxed);
+    }
+
+    /** @return high-water mark of simultaneously running tasks. */
+    size_t
+    peakActiveTasks() const
+    {
+        return peakActive_.load(std::memory_order_relaxed);
+    }
+
     /** @return a process-wide shared pool sized to the host. */
     static ThreadPool &global();
 
   private:
-    struct Job
+    struct Task
     {
-        size_t begin = 0;
-        size_t end = 0;
-        size_t chunk = 1;
-        const std::function<void(size_t, size_t)> *body = nullptr;
-        size_t next = 0;
-        size_t remainingChunks = 0;
+        std::function<void()> fn;
+        TaskGroup *group = nullptr;
         /** Span name of the dispatching scope; chunks executed by
          *  workers are traced under it (null = no tracing). */
         const char *traceName = nullptr;
     };
 
     void workerLoop();
-    void runChunks(Job &job);
+    /** Push one task; @p trace_name labels worker-side spans. */
+    void enqueue(TaskGroup &group, std::function<void()> task,
+                 const char *trace_name);
+    /** Run one task (queue lock NOT held) and settle its group. */
+    void execute(Task task);
+    /** Pop-and-run one queued task; @return false if queue empty. */
+    bool tryRunOneTask();
 
     std::vector<std::thread> threads_;
     std::mutex mutex_;
+    /** Signals workers: queue non-empty or stopping. */
     std::condition_variable wake_;
+    /** Signals waiters: some group finished or new work to steal. */
     std::condition_variable done_;
-    Job job_;
-    uint64_t generation_ = 0;
-    bool jobActive_ = false;
+    std::deque<Task> queue_;
     bool stopping_ = false;
+
+    std::atomic<uint64_t> tasksExecuted_{0};
+    std::atomic<size_t> activeTasks_{0};
+    std::atomic<size_t> peakActive_{0};
 };
 
 } // namespace slambench::support

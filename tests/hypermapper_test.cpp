@@ -364,6 +364,23 @@ TEST(GridSearchDriver, MaxEvaluationsCap)
     EXPECT_EQ(evals.size(), 50u);
 }
 
+TEST(GridSearchDriver, OrdinalSubsampleDeduplicates)
+{
+    // Subsampling an ordinal axis whose value list contains repeats
+    // must not evaluate the same grid value twice.
+    ParameterSpace space;
+    space.addOrdinal("o", {1, 2, 2, 2, 4}, 2);
+    GridSearchOptions options;
+    options.pointsPerAxis = 4;
+    const auto evals = gridSearch(space, toyObjective2, options);
+    // Index subsample {0,1,2,4} maps to values {1,2,2,4}; the
+    // duplicate 2 collapses, leaving {1,2,4}.
+    ASSERT_EQ(evals.size(), 3u);
+    EXPECT_DOUBLE_EQ(evals[0].point[0], 1.0);
+    EXPECT_DOUBLE_EQ(evals[1].point[0], 2.0);
+    EXPECT_DOUBLE_EQ(evals[2].point[0], 4.0);
+}
+
 TEST(GridSearchDriver, LogAxisUsesDecades)
 {
     ParameterSpace space;
@@ -410,6 +427,84 @@ TEST(ActiveLearningDriver, FeasibilityModelRejectsKnownBadRegion)
     EXPECT_GT(static_cast<double>(active_valid) /
                   static_cast<double>(active_total),
               0.55);
+}
+
+// --- Parallel drivers: byte-identical to serial ---
+
+void
+expectSameEvaluations(const std::vector<Evaluation> &a,
+                      const std::vector<Evaluation> &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].point, b[i].point) << "evaluation " << i;
+        EXPECT_EQ(a[i].objectives, b[i].objectives)
+            << "evaluation " << i;
+        EXPECT_EQ(a[i].valid, b[i].valid) << "evaluation " << i;
+        EXPECT_EQ(a[i].method, b[i].method) << "evaluation " << i;
+        EXPECT_EQ(a[i].iteration, b[i].iteration)
+            << "evaluation " << i;
+    }
+}
+
+TEST(RandomSearchDriver, ParallelMatchesSerial)
+{
+    const ParameterSpace space = toySpace();
+    RandomSearchOptions options;
+    options.budget = 23;
+    options.seed = 17;
+    options.threads = 1;
+    const auto serial = randomSearch(space, toyObjective, options);
+    options.threads = 4;
+    const auto parallel = randomSearch(space, toyObjective, options);
+    expectSameEvaluations(serial, parallel);
+}
+
+TEST(ActiveLearningDriver, ParallelMatchesSerial)
+{
+    const ParameterSpace space = toySpace();
+    // Include infeasible evaluations so the feasibility classifier
+    // and its rejection path are covered too.
+    auto objective = [](const Point &p) {
+        EvaluationOutcome out = toyObjective(p);
+        out.valid = p[0] < 0.8;
+        return out;
+    };
+    ActiveLearningOptions options;
+    options.warmupSamples = 12;
+    options.iterations = 3;
+    options.batchSize = 5;
+    options.candidatePool = 300;
+    options.forest.numTrees = 12;
+    options.seed = 29;
+
+    options.threads = 1;
+    const ActiveLearningResult serial =
+        activeLearning(space, objective, 2, options);
+    options.threads = 4;
+    const ActiveLearningResult parallel =
+        activeLearning(space, objective, 2, options);
+
+    expectSameEvaluations(serial.evaluations, parallel.evaluations);
+    ASSERT_EQ(serial.modelMse.size(), parallel.modelMse.size());
+    for (size_t i = 0; i < serial.modelMse.size(); ++i)
+        EXPECT_EQ(serial.modelMse[i], parallel.modelMse[i]);
+    EXPECT_EQ(serial.feasibilityRejections,
+              parallel.feasibilityRejections);
+}
+
+TEST(GridSearchDriver, ParallelMatchesSerial)
+{
+    ParameterSpace space;
+    space.addInteger("a", 0, 9, 0);
+    space.addOrdinal("b", {1, 2, 4, 8}, 2);
+    GridSearchOptions options;
+    options.pointsPerAxis = 6;
+    options.threads = 1;
+    const auto serial = gridSearch(space, toyObjective2, options);
+    options.threads = 3;
+    const auto parallel = gridSearch(space, toyObjective2, options);
+    expectSameEvaluations(serial, parallel);
 }
 
 // --- Knowledge extraction ---

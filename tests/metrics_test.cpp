@@ -152,6 +152,38 @@ TEST(Ate, MedianIsRobustToOneOutlier)
     EXPECT_NEAR(ate.maxAte, 5.0, 1e-5);
 }
 
+TEST(Ate, MedianAveragesMiddlePairForEvenLength)
+{
+    // Per-frame errors 1,2,3,10 -> median is (2+3)/2 = 2.5 (the TUM
+    // evaluate_ate convention), not the upper-middle element 3.
+    std::vector<Vec3d> gt(4, Vec3d{}), est(4, Vec3d{});
+    est[0] = {1.0, 0.0, 0.0};
+    est[1] = {2.0, 0.0, 0.0};
+    est[2] = {3.0, 0.0, 0.0};
+    est[3] = {10.0, 0.0, 0.0};
+    const AteResult ate = computeAtePositions(est, gt, false);
+    EXPECT_DOUBLE_EQ(ate.medianAte, 2.5);
+}
+
+TEST(Ate, MedianIsMiddleElementForOddLength)
+{
+    std::vector<Vec3d> gt(3, Vec3d{}), est(3, Vec3d{});
+    est[0] = {1.0, 0.0, 0.0};
+    est[1] = {7.0, 0.0, 0.0};
+    est[2] = {2.0, 0.0, 0.0};
+    const AteResult ate = computeAtePositions(est, gt, false);
+    EXPECT_DOUBLE_EQ(ate.medianAte, 2.0);
+}
+
+TEST(Ate, MedianOfTwoFramesIsTheirMean)
+{
+    std::vector<Vec3d> gt(2, Vec3d{}), est(2, Vec3d{});
+    est[0] = {1.0, 0.0, 0.0};
+    est[1] = {3.0, 0.0, 0.0};
+    const AteResult ate = computeAtePositions(est, gt, false);
+    EXPECT_DOUBLE_EQ(ate.medianAte, 2.0);
+}
+
 TEST(Ate, EmptyTrajectoriesAreHandled)
 {
     const AteResult ate = computeAte({}, {}, false);

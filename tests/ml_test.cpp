@@ -13,6 +13,7 @@
 #include "ml/decision_tree.hpp"
 #include "ml/random_forest.hpp"
 #include "support/rng.hpp"
+#include "support/thread_pool.hpp"
 
 namespace {
 
@@ -275,6 +276,36 @@ TEST(Forest, PredictMeanEqualsUncertaintyMean)
     const std::vector<double> q{0.3};
     EXPECT_DOUBLE_EQ(forest.predict(q),
                      forest.predictWithUncertainty(q).mean);
+}
+
+TEST(Forest, ParallelFitMatchesSerial)
+{
+    // fit() pre-splits one Rng per tree, so fitting on a pool is
+    // bit-identical to the serial path and leaves the caller's Rng in
+    // the same state either way.
+    Dataset train(2);
+    Rng data_rng(14);
+    for (int i = 0; i < 150; ++i)
+        train.addRow({data_rng.uniform(), data_rng.uniform()},
+                     data_rng.uniform());
+    ForestOptions options;
+    options.numTrees = 16;
+
+    RandomForest serial, parallel;
+    Rng rng1(6), rng2(6);
+    serial.fit(train, options, rng1);
+    slambench::support::ThreadPool pool(4);
+    parallel.fit(train, options, rng2, &pool);
+
+    for (double x = 0.05; x < 1.0; x += 0.1) {
+        const std::vector<double> q{x, 1.0 - x};
+        EXPECT_DOUBLE_EQ(serial.predict(q), parallel.predict(q));
+        EXPECT_DOUBLE_EQ(
+            serial.predictWithUncertainty(q).variance,
+            parallel.predictWithUncertainty(q).variance);
+    }
+    // Both fits must consume the caller's stream identically.
+    EXPECT_EQ(rng1.nextU64(), rng2.nextU64());
 }
 
 TEST(Forest, SizeMatchesOptions)

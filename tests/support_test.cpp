@@ -12,6 +12,8 @@
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "support/csv.hpp"
 #include "support/image.hpp"
@@ -448,6 +450,101 @@ TEST(ThreadPool, NumThreadsAtLeastOne)
 {
     ThreadPool pool(0);
     EXPECT_GE(pool.numThreads(), 1u);
+}
+
+TEST(ThreadPool, NestedParallelFor)
+{
+    // A parallelFor body opening another region on the same pool must
+    // complete (the waiter executes queued tasks cooperatively).
+    ThreadPool pool(3);
+    std::vector<std::atomic<int>> hits(8 * 64);
+    pool.parallelFor(0, 8, [&](size_t outer) {
+        pool.parallelFor(0, 64, [&](size_t inner) {
+            hits[outer * 64 + inner].fetch_add(1);
+        });
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedOnSingleThreadPool)
+{
+    // With one worker the nested region runs entirely on the waiting
+    // threads; the old broadcast design would have deadlocked or
+    // panicked here.
+    ThreadPool pool(1);
+    std::atomic<int> sum{0};
+    pool.parallelFor(0, 4, [&](size_t) {
+        pool.parallelFor(0, 16, [&](size_t) { sum.fetch_add(1); });
+    });
+    EXPECT_EQ(sum.load(), 4 * 16);
+}
+
+TEST(ThreadPool, ConcurrentSubmissions)
+{
+    // Several external threads drive independent loops on one shared
+    // pool; each must see its own complete result.
+    ThreadPool pool(4);
+    constexpr size_t kClients = 6;
+    std::vector<std::atomic<int>> sums(kClients);
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            for (int round = 0; round < 10; ++round)
+                pool.parallelFor(0, 100, [&](size_t) {
+                    sums[c].fetch_add(1);
+                });
+        });
+    }
+    for (std::thread &t : clients)
+        t.join();
+    for (const auto &s : sums)
+        EXPECT_EQ(s.load(), 10 * 100);
+}
+
+TEST(ThreadPool, TaskGroupSubmitWait)
+{
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit(group, [&] { done.fetch_add(1); });
+    pool.wait(group);
+    EXPECT_EQ(done.load(), 32);
+    EXPECT_EQ(group.pending(), 0u);
+
+    // A group is reusable for another round.
+    for (int i = 0; i < 8; ++i)
+        pool.submit(group, [&] { done.fetch_add(1); });
+    pool.wait(group);
+    EXPECT_EQ(done.load(), 40);
+}
+
+TEST(ThreadPool, SubmitFromInsideTask)
+{
+    // Tasks may fork more work into their own group; wait() observes
+    // the late submissions.
+    ThreadPool pool(2);
+    ThreadPool::TaskGroup group;
+    std::atomic<int> done{0};
+    for (int i = 0; i < 4; ++i) {
+        pool.submit(group, [&] {
+            done.fetch_add(1);
+            for (int j = 0; j < 3; ++j)
+                pool.submit(group, [&] { done.fetch_add(1); });
+        });
+    }
+    pool.wait(group);
+    EXPECT_EQ(done.load(), 4 * 4);
+}
+
+TEST(ThreadPool, CountsExecutedTasks)
+{
+    ThreadPool pool(2);
+    const uint64_t before = pool.tasksExecuted();
+    pool.parallelFor(0, 1000, [](size_t) {});
+    EXPECT_GT(pool.tasksExecuted(), before);
+    EXPECT_GE(pool.peakActiveTasks(), 1u);
 }
 
 } // namespace
