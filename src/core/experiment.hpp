@@ -72,7 +72,10 @@ struct DseObjectiveOptions
  * @param device Target device model.
  * @param options Validity rules.
  * @param[out] log When non-null, every evaluation's detail record is
- *                 appended (same order as evaluator calls).
+ *                 appended in completion order. With the parallel DSE
+ *                 drivers (threads > 1) that order is nondeterministic
+ *                 and thread-count dependent — do not rely on index
+ *                 alignment with the evaluation sequence.
  */
 hypermapper::Evaluator
 makeDseEvaluator(const hypermapper::ParameterSpace &space,

@@ -401,26 +401,24 @@ gridSearch(const ParameterSpace &space, const Evaluator &evaluate,
     for (size_t i = 0; i < axes; ++i) {
         const Parameter &p = space.param(i);
         if (p.kind == ParamKind::Ordinal) {
+            // Deduplicate against every previously picked value, on
+            // both paths: integer division can collapse neighbouring
+            // subsample indices, and value lists may repeat entries
+            // anywhere (not just adjacently); duplicate grid points
+            // would waste evaluation budget.
+            const auto push_unique = [&axis_values =
+                                          values[i]](double v) {
+                if (std::find(axis_values.begin(), axis_values.end(),
+                              v) == axis_values.end())
+                    axis_values.push_back(v);
+            };
             if (p.values.size() <= n) {
-                values[i] = p.values;
+                for (const double v : p.values)
+                    push_unique(v);
             } else {
-                // Deduplicate the subsampled index list: integer
-                // division can collapse neighbouring indices (and
-                // value lists may repeat entries), and duplicate grid
-                // points would waste evaluation budget.
-                std::vector<size_t> picks;
-                picks.reserve(n);
-                for (size_t k = 0; k < n; ++k) {
-                    const size_t idx =
-                        k * (p.values.size() - 1) / (n - 1);
-                    if (picks.empty() || picks.back() != idx)
-                        picks.push_back(idx);
-                }
-                for (const size_t idx : picks) {
-                    if (values[i].empty() ||
-                        values[i].back() != p.values[idx])
-                        values[i].push_back(p.values[idx]);
-                }
+                for (size_t k = 0; k < n; ++k)
+                    push_unique(
+                        p.values[k * (p.values.size() - 1) / (n - 1)]);
             }
             continue;
         }

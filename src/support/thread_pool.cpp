@@ -88,20 +88,39 @@ ThreadPool::execute(Task task)
     tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
     if (task.group->pending_.fetch_sub(
             1, std::memory_order_acq_rel) == 1) {
+        // The (empty) critical section orders this notify after any
+        // waiter's predicate check in wait(): the predicate runs under
+        // mutex_, and done_.wait() releases the lock atomically with
+        // blocking, so once we have acquired mutex_ a waiter that saw
+        // pending != 0 is already blocked and receives the notify.
+        // Without the lock, the decrement + notify could land between
+        // a waiter's predicate check and its block, losing the wakeup.
+        { std::lock_guard<std::mutex> lock(mutex_); }
         done_.notify_all();
     }
 }
 
 bool
-ThreadPool::tryRunOneTask()
+ThreadPool::tryRunOneTask(TaskGroup *prefer)
 {
     Task task;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         if (queue_.empty())
             return false;
-        task = std::move(queue_.front());
-        queue_.pop_front();
+        auto it = queue_.begin();
+        if (prefer) {
+            // Serve the waited-on group's own tasks first so a
+            // latency-sensitive waiter is not detained by a long
+            // unrelated task when its own work is still queued.
+            const auto own = std::find_if(
+                queue_.begin(), queue_.end(),
+                [prefer](const Task &t) { return t.group == prefer; });
+            if (own != queue_.end())
+                it = own;
+        }
+        task = std::move(*it);
+        queue_.erase(it);
     }
     execute(std::move(task));
     return true;
@@ -113,10 +132,14 @@ ThreadPool::wait(TaskGroup &group)
     for (;;) {
         if (group.pending() == 0)
             return;
-        // Cooperative draining: run queued tasks (of any group) so a
-        // nested region on a saturated pool cannot deadlock and a
-        // 1-thread pool makes progress on the caller's thread.
-        if (tryRunOneTask())
+        // Cooperative draining: run queued tasks — the waited group's
+        // own first, then any other group's — so a nested region on a
+        // saturated pool cannot deadlock and a 1-thread pool makes
+        // progress on the caller's thread. Draining foreign tasks
+        // means a waiter can execute an unrelated long task (e.g. a
+        // whole DSE pipeline evaluation) before returning; that
+        // latency cost is the price of deadlock freedom.
+        if (tryRunOneTask(&group))
             continue;
         std::unique_lock<std::mutex> lock(mutex_);
         done_.wait(lock, [this, &group] {

@@ -95,8 +95,13 @@ class ThreadPool
     /**
      * Block until every task submitted against @p group has finished.
      * While waiting, the calling thread cooperatively executes queued
-     * tasks (of any group), so nested waits make forward progress on
-     * a saturated pool instead of deadlocking.
+     * tasks — @p group's own tasks first, then tasks of any other
+     * group — so nested waits make forward progress on a saturated
+     * pool instead of deadlocking. Note the latency implication: once
+     * the group's own tasks are all taken, a waiter may still pick up
+     * an unrelated long-running task (e.g. a whole DSE evaluation
+     * submitted by another client of the shared pool) and only return
+     * after it completes.
      */
     void wait(TaskGroup &group);
 
@@ -105,6 +110,9 @@ class ThreadPool
      * executed by the workers. Blocks until all iterations complete.
      * May be called concurrently from several threads and from inside
      * another parallelFor's body (nested regions run cooperatively).
+     * On a shared pool the implied wait() can drain one unrelated
+     * queued task after the loop's own chunks are exhausted (see
+     * wait()), so wall time is not bounded by the loop body alone.
      *
      * @param begin First index.
      * @param end One past the last index.
@@ -155,8 +163,9 @@ class ThreadPool
                  const char *trace_name);
     /** Run one task (queue lock NOT held) and settle its group. */
     void execute(Task task);
-    /** Pop-and-run one queued task; @return false if queue empty. */
-    bool tryRunOneTask();
+    /** Pop-and-run one queued task, preferring tasks of @p prefer
+     *  when non-null; @return false if queue empty. */
+    bool tryRunOneTask(TaskGroup *prefer = nullptr);
 
     std::vector<std::thread> threads_;
     std::mutex mutex_;

@@ -381,6 +381,22 @@ TEST(GridSearchDriver, OrdinalSubsampleDeduplicates)
     EXPECT_DOUBLE_EQ(evals[2].point[0], 4.0);
 }
 
+TEST(GridSearchDriver, SmallOrdinalListDeduplicates)
+{
+    // When the whole value list fits within pointsPerAxis it is taken
+    // verbatim — repeats in the list must still collapse instead of
+    // consuming evaluation budget.
+    ParameterSpace space;
+    space.addOrdinal("o", {1, 2, 2, 4}, 2);
+    GridSearchOptions options;
+    options.pointsPerAxis = 6;
+    const auto evals = gridSearch(space, toyObjective2, options);
+    ASSERT_EQ(evals.size(), 3u);
+    EXPECT_DOUBLE_EQ(evals[0].point[0], 1.0);
+    EXPECT_DOUBLE_EQ(evals[1].point[0], 2.0);
+    EXPECT_DOUBLE_EQ(evals[2].point[0], 4.0);
+}
+
 TEST(GridSearchDriver, LogAxisUsesDecades)
 {
     ParameterSpace space;
