@@ -3,15 +3,33 @@
  * KERNELS — google-benchmark microbenchmarks of every pipeline
  * stage, the per-kernel timing breakdown SLAMBench's GUI side panel
  * reports (and the basis of the device-model calibration).
+ *
+ * Beyond the console table, `--metrics-json FILE` writes a versioned
+ * "slambench-kernel-bench" report with per-kernel ns/item (ns per
+ * voxel visit, per ray, per gradient evaluation...) and effective
+ * GB/s, which scripts/bench_compare.py gates against a checked-in
+ * baseline (BENCH_kernels.json). The optimized integrate/raycast
+ * kernels are benchmarked side by side with their dense/reference
+ * twins (integrateDense, gradReference) so the culling and fusion
+ * wins stay measured, not assumed.
  */
 
 #include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "dataset/generator.hpp"
 #include "kfusion/kernels.hpp"
 #include "kfusion/raycast.hpp"
 #include "kfusion/tracking.hpp"
 #include "kfusion/volume.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
 
 namespace {
 
@@ -65,6 +83,13 @@ workload(size_t w, size_t h)
     if (w == 160 && h == 120)
         return w160;
     return w80;
+}
+
+/** The integrate benches' ICL-NUIM-style volume placement. */
+TsdfVolume
+benchVolume(int res)
+{
+    return TsdfVolume(res, 4.8f, {-2.4f, -0.4f, -2.4f});
 }
 
 void
@@ -177,12 +202,18 @@ BM_ReduceKernel(benchmark::State &state)
         static_cast<int64_t>(track.size()));
 }
 
+/**
+ * Frustum-culled integration. Items are voxels actually visited
+ * (taken from WorkCounts), so ns/item is ns per visited voxel;
+ * compare the whole-kernel time per iteration against
+ * BM_IntegrateDense for the culling speedup.
+ */
 void
 BM_Integrate(benchmark::State &state)
 {
     Workload &wl = workload(160, 120);
-    const int res = static_cast<int>(state.range(0));
-    TsdfVolume volume(res, 4.8f, {-2.4f, -0.4f, -2.4f});
+    TsdfVolume volume =
+        benchVolume(static_cast<int>(state.range(0)));
     WorkCounts counts;
     for (auto _ : state) {
         volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f,
@@ -190,16 +221,37 @@ BM_Integrate(benchmark::State &state)
         benchmark::DoNotOptimize(volume.at(0, 0, 0).tsdf);
     }
     state.SetItemsProcessed(
-        static_cast<int64_t>(state.iterations()) *
-        static_cast<int64_t>(res) * res * res);
+        static_cast<int64_t>(counts.itemsFor(KernelId::Integrate)));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(counts.bytesFor(KernelId::Integrate)));
 }
 
+/** Dense reference integration: every voxel visited, same math. */
+void
+BM_IntegrateDense(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    TsdfVolume volume =
+        benchVolume(static_cast<int>(state.range(0)));
+    WorkCounts counts;
+    for (auto _ : state) {
+        volume.integrateDense(wl.depth, wl.k, wl.pose, 0.1f, 100.0f,
+                              counts, nullptr);
+        benchmark::DoNotOptimize(volume.at(0, 0, 0).tsdf);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(counts.itemsFor(KernelId::Integrate)));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(counts.bytesFor(KernelId::Integrate)));
+}
+
+/** Items are rays cast (one per pixel): ns/item is ns per ray. */
 void
 BM_Raycast(benchmark::State &state)
 {
     Workload &wl = workload(160, 120);
-    const int res = static_cast<int>(state.range(0));
-    TsdfVolume volume(res, 4.8f, {-2.4f, -0.4f, -2.4f});
+    TsdfVolume volume =
+        benchVolume(static_cast<int>(state.range(0)));
     WorkCounts counts;
     volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f, counts,
                      nullptr);
@@ -207,6 +259,7 @@ BM_Raycast(benchmark::State &state)
     params.step = volume.voxelSize();
     params.largeStep = 0.075f;
     Image<math::Vec3f> vertex, normal;
+    counts = WorkCounts{};
     for (auto _ : state) {
         raycastKernel(vertex, normal, volume, wl.k, wl.pose, params,
                       counts, nullptr);
@@ -215,6 +268,215 @@ BM_Raycast(benchmark::State &state)
     state.SetItemsProcessed(
         static_cast<int64_t>(state.iterations()) *
         static_cast<int64_t>(vertex.size()));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(counts.bytesFor(KernelId::Raycast)));
+}
+
+/**
+ * Surface hit points for the gradient benches: raycast the fused
+ * volume once and keep every pixel that found a surface.
+ */
+std::vector<math::Vec3f>
+gradientPoints(const TsdfVolume &volume, const Workload &wl)
+{
+    RaycastParams params;
+    params.step = volume.voxelSize();
+    params.largeStep = 0.075f;
+    Image<math::Vec3f> vertex, normal;
+    WorkCounts counts;
+    raycastKernel(vertex, normal, volume, wl.k, wl.pose, params,
+                  counts, nullptr);
+    std::vector<math::Vec3f> points;
+    points.reserve(vertex.size());
+    for (size_t i = 0; i < vertex.size(); ++i)
+        if (vertex[i].squaredNorm() > 0.0f)
+            points.push_back(vertex[i]);
+    return points;
+}
+
+/** Fused single-pass gradient; items are gradient evaluations. */
+void
+BM_Grad(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    TsdfVolume volume =
+        benchVolume(static_cast<int>(state.range(0)));
+    WorkCounts counts;
+    volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f, counts,
+                     nullptr);
+    const std::vector<math::Vec3f> points =
+        gradientPoints(volume, wl);
+    math::Vec3f acc{};
+    for (auto _ : state) {
+        for (const math::Vec3f &p : points)
+            acc += volume.grad(p);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(points.size()));
+}
+
+/** Reference 6-call gradient over the same hit points. */
+void
+BM_GradReference(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    TsdfVolume volume =
+        benchVolume(static_cast<int>(state.range(0)));
+    WorkCounts counts;
+    volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f, counts,
+                     nullptr);
+    const std::vector<math::Vec3f> points =
+        gradientPoints(volume, wl);
+    math::Vec3f acc{};
+    for (auto _ : state) {
+        for (const math::Vec3f &p : points)
+            acc += volume.gradReference(p);
+        benchmark::DoNotOptimize(acc);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(points.size()));
+}
+
+// --- kernel-bench report ------------------------------------------
+
+/** One measured (non-aggregate) benchmark run. */
+struct KernelResult
+{
+    std::string name;
+    int64_t iterations = 0;
+    double realNsPerIter = 0.0;
+    double cpuNsPerIter = 0.0;
+    bool hasItems = false;
+    double itemsPerSecond = 0.0;
+    bool hasBytes = false;
+    double bytesPerSecond = 0.0;
+};
+
+/**
+ * Console reporter that additionally captures every iteration run
+ * for the --metrics-json report (benchmark 1.x offers no hook to
+ * read results back from RunSpecifiedBenchmarks).
+ */
+class CapturingReporter : public benchmark::ConsoleReporter
+{
+  public:
+    std::vector<KernelResult> results;
+
+    void
+    ReportRuns(const std::vector<Run> &reports) override
+    {
+        for (const Run &run : reports) {
+            if (run.run_type != Run::RT_Iteration ||
+                run.error_occurred)
+                continue;
+            KernelResult r;
+            r.name = run.benchmark_name();
+            r.iterations = run.iterations;
+            const double iters =
+                run.iterations > 0
+                    ? static_cast<double>(run.iterations)
+                    : 1.0;
+            r.realNsPerIter = run.real_accumulated_time * 1e9 / iters;
+            r.cpuNsPerIter = run.cpu_accumulated_time * 1e9 / iters;
+            const auto items = run.counters.find("items_per_second");
+            if (items != run.counters.end()) {
+                r.hasItems = true;
+                r.itemsPerSecond =
+                    static_cast<double>(items->second);
+            }
+            const auto bytes = run.counters.find("bytes_per_second");
+            if (bytes != run.counters.end()) {
+                r.hasBytes = true;
+                r.bytesPerSecond =
+                    static_cast<double>(bytes->second);
+            }
+            results.push_back(std::move(r));
+        }
+        ConsoleReporter::ReportRuns(reports);
+    }
+};
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string
+jsonNumber(double value)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.9g", value);
+    return buf;
+}
+
+/**
+ * Write the versioned kernel-bench report consumed by
+ * scripts/bench_compare.py and validated by
+ * scripts/check_kernel_bench_schema.py.
+ */
+bool
+writeKernelReport(const std::string &path,
+                  const std::vector<KernelResult> &results)
+{
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr,
+                     "bench_kernels: cannot write %s\n",
+                     path.c_str());
+        return false;
+    }
+    os << "{\n";
+    os << "  \"schema\": \"slambench-kernel-bench\",\n";
+    os << "  \"schema_version\": 1,\n";
+    os << "  \"generator\": \"bench_kernels\",\n";
+    os << "  \"git_describe\": \""
+       << jsonEscape(support::metrics::gitDescribe()) << "\",\n";
+    os << "  \"build_type\": \""
+       << jsonEscape(support::metrics::buildType()) << "\",\n";
+    os << "  \"kernels\": [";
+    for (size_t i = 0; i < results.size(); ++i) {
+        const KernelResult &r = results[i];
+        os << (i ? ",\n    {" : "\n    {");
+        os << "\"name\": \"" << jsonEscape(r.name) << "\", ";
+        os << "\"iterations\": " << r.iterations << ", ";
+        os << "\"real_ns_per_iter\": " << jsonNumber(r.realNsPerIter)
+           << ", ";
+        os << "\"cpu_ns_per_iter\": " << jsonNumber(r.cpuNsPerIter);
+        if (r.hasItems && r.itemsPerSecond > 0.0) {
+            os << ", \"items_per_second\": "
+               << jsonNumber(r.itemsPerSecond);
+            os << ", \"ns_per_item\": "
+               << jsonNumber(1e9 / r.itemsPerSecond);
+        }
+        if (r.hasBytes && r.bytesPerSecond > 0.0) {
+            os << ", \"bytes_per_second\": "
+               << jsonNumber(r.bytesPerSecond);
+            os << ", \"gb_per_s\": "
+               << jsonNumber(r.bytesPerSecond / 1e9);
+        }
+        os << "}";
+    }
+    os << (results.empty() ? "],\n" : "\n  ],\n");
+    os << "  \"kernel_count\": " << results.size() << "\n";
+    os << "}\n";
+    return os.good();
 }
 
 } // namespace
@@ -233,6 +495,45 @@ BENCHMARK(BM_TrackKernel)
     ->Args({80, 60});
 BENCHMARK(BM_ReduceKernel)->Args({320, 240})->Args({160, 120});
 BENCHMARK(BM_Integrate)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_IntegrateDense)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_Raycast)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Grad)->Arg(128)->Arg(256);
+BENCHMARK(BM_GradReference)->Arg(128)->Arg(256);
 
-BENCHMARK_MAIN();
+/**
+ * Custom main: google-benchmark 1.x aborts on flags it does not
+ * know, so the shared `--metrics-json FILE` flag is stripped before
+ * benchmark::Initialize sees the argument vector.
+ */
+int
+main(int argc, char **argv)
+{
+    std::vector<char *> bench_argv(argv, argv + argc);
+    std::string metrics_path;
+    for (auto it = bench_argv.begin() + 1; it != bench_argv.end();) {
+        if (std::strcmp(*it, "--metrics-json") == 0 &&
+            it + 1 != bench_argv.end()) {
+            metrics_path = *(it + 1);
+            it = bench_argv.erase(it, it + 2);
+        } else {
+            ++it;
+        }
+    }
+    int bench_argc = static_cast<int>(bench_argv.size());
+    benchmark::Initialize(&bench_argc, bench_argv.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               bench_argv.data()))
+        return 1;
+
+    CapturingReporter reporter;
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+    benchmark::Shutdown();
+
+    if (!metrics_path.empty()) {
+        if (!writeKernelReport(metrics_path, reporter.results))
+            return 1;
+        slambench::support::logInfo()
+            << "kernel bench report -> " << metrics_path;
+    }
+    return 0;
+}

@@ -1,20 +1,29 @@
 #!/usr/bin/env python3
-"""Compare two slambench run reports and flag regressions.
+"""Compare two slambench metrics reports and flag regressions.
 
 Usage:
     bench_compare.py BASELINE.json CANDIDATE.json
         [--max-frame-time-regress FRAC]   (default 0.10)
         [--max-ate-regress FRAC]          (default 0.10)
         [--max-rss-regress FRAC]          (default 0.20)
+        [--max-kernel-regress FRAC]       (default 0.25)
 
-Both inputs are `--metrics-json` reports (schema
-"slambench-run-report", see docs/OBSERVABILITY.md). The candidate is
-compared against the baseline on:
+Both inputs are `--metrics-json` reports of the SAME schema (see
+docs/OBSERVABILITY.md). Two schemas are understood:
+
+"slambench-run-report" (pipeline benches) gates on:
 
   * summary.frame_wall_seconds_mean   (frame time, mean)
   * summary.frame_wall_seconds_p99    (frame time, tail)
   * summary.ate_max_m                 (accuracy)
   * run.peak_rss_bytes                (memory high-water mark)
+
+"slambench-kernel-bench" (bench_kernels) gates every kernel present
+in both reports on ns_per_item when both sides report it (work-
+normalized, robust to iteration-count changes), falling back to
+real_ns_per_iter, against --max-kernel-regress. Microbenchmark noise
+is larger than whole-run noise, hence the wider default threshold.
+Kernels present on only one side are reported as informational.
 
 A metric regresses when the candidate exceeds the baseline by more
 than the configured relative threshold. Metrics that are zero or
@@ -40,6 +49,9 @@ GATES = [
 ]
 
 
+KNOWN_SCHEMAS = ("slambench-run-report", "slambench-kernel-bench")
+
+
 def load_report(path):
     try:
         with open(path, "r", encoding="utf-8") as fh:
@@ -47,9 +59,11 @@ def load_report(path):
     except (OSError, ValueError) as exc:
         raise SystemExit("bench_compare: cannot read %s: %s"
                          % (path, exc))
-    if report.get("schema") != "slambench-run-report":
-        raise SystemExit("bench_compare: %s is not a "
-                         "slambench-run-report" % path)
+    if report.get("schema") not in KNOWN_SCHEMAS:
+        raise SystemExit("bench_compare: %s has unknown schema %r "
+                         "(want one of %s)"
+                         % (path, report.get("schema"),
+                            ", ".join(KNOWN_SCHEMAS)))
     return report
 
 
@@ -58,6 +72,77 @@ def metric(report, section, key):
     if isinstance(value, (int, float)) and not isinstance(value, bool):
         return float(value)
     return None
+
+
+def kernel_metric(entry, key):
+    value = entry.get(key)
+    if isinstance(value, (int, float)) and not isinstance(value, bool):
+        return float(value)
+    return None
+
+
+def kernels_by_name(report, path):
+    kernels = report.get("kernels")
+    if not isinstance(kernels, list):
+        raise SystemExit("bench_compare: %s has no kernels list"
+                         % path)
+    by_name = {}
+    for entry in kernels:
+        if isinstance(entry, dict) and isinstance(
+                entry.get("name"), str):
+            by_name[entry["name"]] = entry
+    return by_name
+
+
+def compare_kernels(args, baseline, candidate):
+    """Per-kernel gate for slambench-kernel-bench reports."""
+    base_kernels = kernels_by_name(baseline, args.baseline)
+    cand_kernels = kernels_by_name(candidate, args.candidate)
+    threshold = args.max_kernel_regress
+
+    regressions = 0
+    for name in sorted(base_kernels):
+        if name not in cand_kernels:
+            print("  %-24s missing in candidate -- skipped" % name)
+            continue
+        base_entry = base_kernels[name]
+        cand_entry = cand_kernels[name]
+        # ns/item (per voxel visit, per ray, ...) is work-normalized,
+        # so it survives iteration-count and culling-rate changes;
+        # plain per-iteration time is the fallback.
+        base = kernel_metric(base_entry, "ns_per_item")
+        cand = kernel_metric(cand_entry, "ns_per_item")
+        label = "ns/item"
+        if base is None or cand is None:
+            base = kernel_metric(base_entry, "real_ns_per_iter")
+            cand = kernel_metric(cand_entry, "real_ns_per_iter")
+            label = "ns/iter"
+        if base is None or cand is None:
+            print("  %-24s no comparable timing -- skipped" % name)
+            continue
+        if base <= 0.0:
+            print("  %-24s %s baseline %.6g, candidate %.6g "
+                  "(zero baseline, informational)"
+                  % (name, label, base, cand))
+            continue
+        delta = (cand - base) / base
+        regressed = delta > threshold
+        if regressed:
+            regressions += 1
+        print("  %-24s %s baseline %.6g -> candidate %.6g "
+              "(%+.1f%%, limit +%.0f%%)%s"
+              % (name, label, base, cand, delta * 100.0,
+                 threshold * 100.0,
+                 "  REGRESSION" if regressed else ""))
+    for name in sorted(set(cand_kernels) - set(base_kernels)):
+        print("  %-24s new in candidate -- informational" % name)
+
+    print()
+    if regressions:
+        print("%d regression(s) detected" % regressions)
+        return 1
+    print("no regressions")
+    return 0
 
 
 def main():
@@ -74,10 +159,29 @@ def main():
     parser.add_argument("--max-rss-regress", type=float, default=0.20,
                         dest="max_rss_regress",
                         help="allowed relative peak-RSS increase")
+    parser.add_argument("--max-kernel-regress", type=float,
+                        default=0.25, dest="max_kernel_regress",
+                        help="allowed relative per-kernel time "
+                        "increase (kernel-bench reports)")
     args = parser.parse_args()
 
     baseline = load_report(args.baseline)
     candidate = load_report(args.candidate)
+    if baseline.get("schema") != candidate.get("schema"):
+        raise SystemExit("bench_compare: schema mismatch: %s is %r, "
+                         "%s is %r"
+                         % (args.baseline, baseline.get("schema"),
+                            args.candidate, candidate.get("schema")))
+
+    if baseline.get("schema") == "slambench-kernel-bench":
+        print("baseline : %s (%s, %s kernels)"
+              % (args.baseline, baseline.get("git_describe", "?"),
+                 len(baseline.get("kernels", []))))
+        print("candidate: %s (%s, %s kernels)"
+              % (args.candidate, candidate.get("git_describe", "?"),
+                 len(candidate.get("kernels", []))))
+        print()
+        return compare_kernels(args, baseline, candidate)
 
     print("baseline : %s (%s, %s frames)"
           % (args.baseline, baseline.get("git_describe", "?"),

@@ -1,20 +1,23 @@
 #!/usr/bin/env bash
 # Race gate for the concurrency layer: re-run the thread-pool, metrics
-# -registry, and parallel-DSE test groups under ThreadSanitizer. Only
-# registered by CMake when the tree was configured with
-# SLAMBENCH_SANITIZE=thread, so the binaries passed in are already
-# TSan-instrumented; any reported race aborts the test.
+# -registry, parallel-DSE, and pooled-kernel-parity test groups under
+# ThreadSanitizer. Only registered by CMake when the tree was
+# configured with SLAMBENCH_SANITIZE=thread, so the binaries passed in
+# are already TSan-instrumented; any reported race aborts the test.
 #
-# Usage: tsan_smoke.sh <support_test> <metrics_test> <hypermapper_test>
+# Usage: tsan_smoke.sh <support_test> <metrics_test> \
+#            <hypermapper_test> <kfusion_parity_test>
 set -eu
 
-if [ $# -ne 3 ]; then
-    echo "usage: $0 <support_test> <metrics_test> <hypermapper_test>" >&2
+if [ $# -ne 4 ]; then
+    echo "usage: $0 <support_test> <metrics_test>" \
+         "<hypermapper_test> <kfusion_parity_test>" >&2
     exit 2
 fi
 support_test=$(readlink -f "$1")
 metrics_test=$(readlink -f "$2")
 hypermapper_test=$(readlink -f "$3")
+parity_test=$(readlink -f "$4")
 
 # halt_on_error: the first race fails the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -31,5 +34,6 @@ run() {
 run "$support_test" 'ThreadPool.*'
 run "$metrics_test" 'MetricsRegistry.*'
 run "$hypermapper_test" '*ParallelMatchesSerial*'
+run "$parity_test" '*Pooled*'
 
 echo "tsan_smoke: ok"

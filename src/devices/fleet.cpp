@@ -52,7 +52,9 @@ referenceRates()
     rates[static_cast<size_t>(KernelId::Track)] = 8.0e7;
     rates[static_cast<size_t>(KernelId::Reduce)] = 2.0e8;
     rates[static_cast<size_t>(KernelId::Solve)] = 2.0e4;
-    rates[static_cast<size_t>(KernelId::Integrate)] = 1.2e8;
+    // Calibrated against visited-voxel items (frustum-culled
+    // integration): fewer, heavier items than the old res^3 count.
+    rates[static_cast<size_t>(KernelId::Integrate)] = 1.5e7;
     rates[static_cast<size_t>(KernelId::Raycast)] = 6.0e7;
     rates[static_cast<size_t>(KernelId::RenderVolume)] = 6.0e7;
     return rates;
@@ -71,7 +73,7 @@ referenceEnergy()
     e[static_cast<size_t>(KernelId::Track)] = 8.0e-9;
     e[static_cast<size_t>(KernelId::Reduce)] = 2.0e-9;
     e[static_cast<size_t>(KernelId::Solve)] = 2.0e-6;
-    e[static_cast<size_t>(KernelId::Integrate)] = 3.0e-8;
+    e[static_cast<size_t>(KernelId::Integrate)] = 2.4e-7;
     e[static_cast<size_t>(KernelId::Raycast)] = 1.4e-8;
     e[static_cast<size_t>(KernelId::RenderVolume)] = 1.4e-8;
     return e;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <vector>
 
+#include "math/aabb.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::kfusion {
@@ -13,7 +15,8 @@ using math::Vec3f;
 namespace {
 
 /**
- * Intersect a ray with the volume's AABB.
+ * Intersect a ray with the volume's AABB (slab test, shared with
+ * math::intersectRayAabb).
  *
  * @return false when the ray misses entirely.
  */
@@ -21,28 +24,76 @@ bool
 clipToVolume(const TsdfVolume &volume, const Vec3f &origin,
              const Vec3f &dir, float &t_near, float &t_far)
 {
-    const Vec3f lo = volume.origin();
-    const Vec3f hi = volume.origin() + Vec3f::all(volume.size());
-    t_near = -1e30f;
-    t_far = 1e30f;
-    for (int axis = 0; axis < 3; ++axis) {
-        const float o = origin[static_cast<size_t>(axis)];
-        const float d = dir[static_cast<size_t>(axis)];
-        const float l = lo[static_cast<size_t>(axis)];
-        const float h = hi[static_cast<size_t>(axis)];
-        if (std::abs(d) < 1e-9f) {
-            if (o < l || o > h)
-                return false;
-            continue;
+    const math::Aabb box{volume.origin(),
+                         volume.origin() + Vec3f::all(volume.size())};
+    return math::intersectRayAabb(box, origin, dir, t_near, t_far);
+}
+
+/**
+ * Per-row marching-step accumulator, padded to a cache line so
+ * adjacent rows written by different workers never share a line
+ * (parallelFor hands out consecutive row indices).
+ */
+struct alignas(64) RowSteps
+{
+    double value = 0.0;
+};
+
+/**
+ * Shared ray-march core of raycastKernel and renderVolumeKernel.
+ *
+ * Casts one ray per pixel (volume-clipped, see castRay), evaluates
+ * the fused TSDF gradient at each hit, and invokes
+ * shade(x, y, hit_found, hit, grad) for every pixel — grad is the
+ * raw (unnormalized) gradient, zero when the ray missed, so each
+ * caller applies its own degenerate-normal policy unchanged.
+ *
+ * @return total marching steps taken across the image.
+ */
+template <typename ShadeFn>
+double
+marchImage(const TsdfVolume &volume,
+           const math::CameraIntrinsics &intrinsics,
+           const math::Mat4f &camera_to_world,
+           const RaycastParams &params, support::ThreadPool *pool,
+           const ShadeFn &shade)
+{
+    const size_t w = intrinsics.width;
+    const size_t h = intrinsics.height;
+    const Vec3f origin = camera_to_world.translationPart();
+    std::vector<RowSteps> row_steps(h);
+
+    auto process_row = [&](size_t y) {
+        double steps_in_row = 0.0;
+        for (size_t x = 0; x < w; ++x) {
+            const Vec3f dir_cam = intrinsics.rayDir(
+                static_cast<float>(x) + 0.5f,
+                static_cast<float>(y) + 0.5f);
+            const Vec3f dir =
+                camera_to_world.transformDir(dir_cam).normalized();
+
+            Vec3f hit;
+            int steps = 0;
+            const bool found =
+                castRay(volume, origin, dir, params, hit, steps);
+            steps_in_row += steps;
+            const Vec3f g = found ? volume.grad(hit) : Vec3f{};
+            shade(x, y, found, hit, g);
         }
-        float t0 = (l - o) / d;
-        float t1 = (h - o) / d;
-        if (t0 > t1)
-            std::swap(t0, t1);
-        t_near = std::max(t_near, t0);
-        t_far = std::min(t_far, t1);
+        row_steps[y].value = steps_in_row;
+    };
+
+    if (pool) {
+        pool->parallelFor(0, h, process_row);
+    } else {
+        for (size_t y = 0; y < h; ++y)
+            process_row(y);
     }
-    return t_near <= t_far && t_far > 0.0f;
+
+    double total_steps = 0.0;
+    for (const RowSteps &s : row_steps)
+        total_steps += s.value;
+    return total_steps;
 }
 
 } // namespace
@@ -55,6 +106,7 @@ castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
     float t_near, t_far;
     if (!clipToVolume(volume, origin, dir, t_near, t_far))
         return false;
+    // Start marching at the volume entry point, not the near plane.
     float t = std::max(t_near, params.nearPlane);
     const float t_end = std::min(t_far, params.farPlane);
     if (t >= t_end)
@@ -108,53 +160,32 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
     vertex_out.resize(w, h);
     normal_out.resize(w, h);
 
-    const Vec3f origin = camera_to_world.translationPart();
-    std::vector<double> row_steps(h, 0.0);
-
-    auto process_row = [&](size_t y) {
-        double steps_in_row = 0.0;
-        for (size_t x = 0; x < w; ++x) {
-            const Vec3f dir_cam = intrinsics.rayDir(
-                static_cast<float>(x) + 0.5f,
-                static_cast<float>(y) + 0.5f);
-            const Vec3f dir =
-                camera_to_world.transformDir(dir_cam).normalized();
-
-            Vec3f hit;
-            int steps = 0;
-            if (castRay(volume, origin, dir, params, hit, steps)) {
-                const Vec3f g = volume.grad(hit);
-                if (g.squaredNorm() > 1e-18f) {
-                    vertex_out(x, y) = hit;
-                    // TSDF increases away from the surface toward the
-                    // camera side, so the gradient already points
-                    // outward.
-                    normal_out(x, y) = g.normalized();
-                } else {
-                    vertex_out(x, y) = Vec3f{};
-                    normal_out(x, y) = Vec3f{};
-                }
+    const double total_steps = marchImage(
+        volume, intrinsics, camera_to_world, params, pool,
+        [&](size_t x, size_t y, bool found, const Vec3f &hit,
+            const Vec3f &g) {
+            if (found && g.squaredNorm() > 1e-18f) {
+                vertex_out(x, y) = hit;
+                // TSDF increases away from the surface toward the
+                // camera side, so the gradient already points
+                // outward.
+                normal_out(x, y) = g.normalized();
             } else {
                 vertex_out(x, y) = Vec3f{};
                 normal_out(x, y) = Vec3f{};
             }
-            steps_in_row += steps;
-        }
-        row_steps[y] = steps_in_row;
-    };
+        });
 
-    if (pool) {
-        pool->parallelFor(0, h, process_row);
-    } else {
-        for (size_t y = 0; y < h; ++y)
-            process_row(y);
-    }
-
-    double total_steps = 0.0;
-    for (double s : row_steps)
-        total_steps += s;
     counts.addItems(KernelId::Raycast, total_steps);
     counts.addBytes(KernelId::Raycast, total_steps * 32.0);
+
+    namespace sm = support::metrics;
+    static sm::Counter &rays_counter =
+        sm::Registry::instance().counter("raycast.rays");
+    static sm::Counter &steps_counter =
+        sm::Registry::instance().counter("raycast.steps");
+    rays_counter.add(static_cast<uint64_t>(w * h));
+    steps_counter.add(static_cast<uint64_t>(total_steps));
     TRACE_COUNTER("raycast.steps", total_steps);
 }
 
@@ -171,31 +202,15 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
     const size_t h = intrinsics.height;
     out.resize(w, h);
 
-    const Vec3f origin = camera_to_world.translationPart();
     const Vec3f light = Vec3f{0.3f, 0.8f, -0.5f}.normalized();
-    std::vector<double> row_steps(h, 0.0);
 
-    auto process_row = [&](size_t y) {
-        double steps_in_row = 0.0;
-        for (size_t x = 0; x < w; ++x) {
-            const Vec3f dir_cam = intrinsics.rayDir(
-                static_cast<float>(x) + 0.5f,
-                static_cast<float>(y) + 0.5f);
-            const Vec3f dir =
-                camera_to_world.transformDir(dir_cam).normalized();
-
-            Vec3f hit;
-            int steps = 0;
-            if (!castRay(volume, origin, dir, params, hit, steps)) {
+    const double total_steps = marchImage(
+        volume, intrinsics, camera_to_world, params, pool,
+        [&](size_t x, size_t y, bool found, const Vec3f &,
+            const Vec3f &g) {
+            if (!found || g.squaredNorm() < 1e-18f) {
                 out(x, y) = {20, 20, 28};
-                steps_in_row += steps;
-                continue;
-            }
-            steps_in_row += steps;
-            const Vec3f g = volume.grad(hit);
-            if (g.squaredNorm() < 1e-18f) {
-                out(x, y) = {20, 20, 28};
-                continue;
+                return;
             }
             const Vec3f n = g.normalized();
             const float diffuse =
@@ -206,20 +221,8 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
             };
             out(x, y) = {channel(200.0f), channel(205.0f),
                          channel(215.0f)};
-        }
-        row_steps[y] = steps_in_row;
-    };
+        });
 
-    if (pool) {
-        pool->parallelFor(0, h, process_row);
-    } else {
-        for (size_t y = 0; y < h; ++y)
-            process_row(y);
-    }
-
-    double total_steps = 0.0;
-    for (double s : row_steps)
-        total_steps += s;
     counts.addItems(KernelId::RenderVolume, total_steps);
     counts.addBytes(KernelId::RenderVolume, total_steps * 32.0);
     TRACE_COUNTER("render_volume.steps", total_steps);

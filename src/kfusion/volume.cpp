@@ -1,12 +1,140 @@
 #include "kfusion/volume.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::kfusion {
+
+namespace {
+
+/** Inclusive-begin / exclusive-end z index range of a voxel column. */
+struct ZInterval
+{
+    int begin = 0;
+    int end = 0;
+};
+
+/**
+ * Intersect the real interval [lo, hi] with the half-space
+ * {z : a + b*z > 0}; an empty result is signalled by lo > hi.
+ */
+void
+restrictInterval(double a, double b, double &lo, double &hi)
+{
+    if (std::abs(b) < 1e-300) {
+        if (a <= 0.0) {
+            lo = 1.0;
+            hi = 0.0;
+        }
+        return;
+    }
+    const double boundary = -a / b;
+    if (b > 0.0)
+        lo = std::max(lo, boundary);
+    else
+        hi = std::min(hi, boundary);
+}
+
+/**
+ * Conservative z-range of the voxels in one column that the dense
+ * integration sweep could possibly fuse.
+ *
+ * The camera-frame position along a column is affine in the z index,
+ * pos(z) = p0 + z*step, so each keep-condition of the visit loop
+ * (pos.z > 0, projected pixel inside the image) becomes a linear
+ * half-space in z once multiplied through by pos.z > 0. The
+ * inequalities are solved in double with a whole pixel of margin and
+ * an absolute slack on every linear form sized to the worst-case
+ * float drift of the incremental `pos += step` sweep (@p slack, an
+ * upper bound on |accumulated - affine| per component), so culling
+ * can only ever drop voxels the dense sweep provably skips.
+ *
+ * @param p0 Camera-frame position of the column's z = 0 voxel center.
+ * @param step Camera-frame z step between voxel centers.
+ * @param k Depth image intrinsics.
+ * @param width Depth image width, pixels.
+ * @param height Depth image height, pixels.
+ * @param res Voxels per column.
+ * @param slack Per-component accumulation drift bound, meters.
+ */
+ZInterval
+cullColumn(const Vec3f &p0, const Vec3f &step,
+           const CameraIntrinsics &k, size_t width, size_t height,
+           int res, double slack)
+{
+    double lo = 0.0;
+    double hi = static_cast<double>(res - 1);
+    const double x0 = p0.x, y0 = p0.y, z0 = p0.z;
+    const double sx = step.x, sy = step.y, sz = step.z;
+    const double fx = k.fx, fy = k.fy, cx = k.cx, cy = k.cy;
+    const double fw = static_cast<double>(width);
+    const double fh = static_cast<double>(height);
+
+    const auto keep = [&](double a, double b, double coeff_mag) {
+        restrictInterval(a + coeff_mag * slack, b, lo, hi);
+    };
+
+    // pos.z > 0 (the loop's own bound is the stricter 0.001).
+    keep(z0, sz, 1.0);
+    // pix.x > -1 (int truncation keeps (-1, 0)); one pixel of margin:
+    // fx*pos.x + (cx + 2)*pos.z > 0.
+    keep(fx * x0 + (cx + 2.0) * z0, fx * sx + (cx + 2.0) * sz,
+         std::abs(fx) + std::abs(cx + 2.0));
+    // pix.x < width + 1:  (width + 1 - cx)*pos.z - fx*pos.x > 0.
+    keep((fw + 1.0 - cx) * z0 - fx * x0,
+         (fw + 1.0 - cx) * sz - fx * sx,
+         std::abs(fw + 1.0 - cx) + std::abs(fx));
+    // pix.y > -2 and pix.y < height + 1, as above.
+    keep(fy * y0 + (cy + 2.0) * z0, fy * sy + (cy + 2.0) * sz,
+         std::abs(fy) + std::abs(cy + 2.0));
+    keep((fh + 1.0 - cy) * z0 - fy * y0,
+         (fh + 1.0 - cy) * sz - fy * sy,
+         std::abs(fh + 1.0 - cy) + std::abs(fy));
+
+    if (lo > hi)
+        return {};
+    int z_begin = static_cast<int>(std::floor(lo)) - 2;
+    int z_end = static_cast<int>(std::ceil(hi)) + 3;
+    z_begin = std::max(z_begin, 0);
+    z_end = std::min(z_end, res);
+    if (z_begin >= z_end)
+        return {};
+    return {z_begin, z_end};
+}
+
+/**
+ * Upper bound on the float drift |accumulated - affine| of the
+ * incremental `pos += step` column sweep, per component.
+ *
+ * Every intermediate position lies in the camera-frame convex hull of
+ * the volume's corners, so res additions each round at most an ulp of
+ * the largest corner coordinate; an 8x safety factor covers the
+ * voxel-center offset and the double-vs-real solve error.
+ */
+double
+accumulationSlack(const Mat4f &world_to_camera, const Vec3f &origin,
+                  float size, int res)
+{
+    double mag = 1.0;
+    for (int corner = 0; corner < 8; ++corner) {
+        const Vec3f c =
+            origin + Vec3f{(corner & 1) ? size : 0.0f,
+                           (corner & 2) ? size : 0.0f,
+                           (corner & 4) ? size : 0.0f};
+        const Vec3f pc = world_to_camera.transformPoint(c);
+        mag = std::max({mag, std::abs(static_cast<double>(pc.x)),
+                        std::abs(static_cast<double>(pc.y)),
+                        std::abs(static_cast<double>(pc.z))});
+    }
+    return static_cast<double>(res) * mag * 1.2e-7 * 8.0;
+}
+
+} // namespace
 
 TsdfVolume::TsdfVolume(int resolution, float size_m, const Vec3f &origin)
     : resolution_(resolution), size_(size_m), origin_(origin)
@@ -35,11 +163,12 @@ TsdfVolume::contains(const Vec3f &p) const
 }
 
 float
-TsdfVolume::interp(const Vec3f &p, bool &valid) const
+TsdfVolume::sampleTrilinear(float px, float py, float pz,
+                            bool &valid) const
 {
     const float vs = voxelSize();
     // Shift by half a voxel so samples are taken at voxel centers.
-    const Vec3f local = (p - origin_) * (1.0f / vs) -
+    const Vec3f local = (Vec3f{px, py, pz} - origin_) * (1.0f / vs) -
                         Vec3f{0.5f, 0.5f, 0.5f};
     const int x0 = static_cast<int>(std::floor(local.x));
     const int y0 = static_cast<int>(std::floor(local.y));
@@ -52,27 +181,51 @@ TsdfVolume::interp(const Vec3f &p, bool &valid) const
     const float fx = local.x - x0;
     const float fy = local.y - y0;
     const float fz = local.z - z0;
+    const float wx0 = 1.0f - fx, wx1 = fx;
+    const float wy0 = 1.0f - fy, wy1 = fy;
+    const float wz0 = 1.0f - fz, wz1 = fz;
+
+    // One base index; the stencil's seven neighbors are fixed offsets
+    // in the z-major layout (+1 in z, +res in y, +res^2 in x).
+    const size_t stride_y = static_cast<size_t>(resolution_);
+    const size_t stride_x = stride_y * stride_y;
+    const Voxel *base = voxels_.data() + index(x0, y0, z0);
+    const Voxel &v000 = base[0];
+    const Voxel &v100 = base[stride_x];
+    const Voxel &v010 = base[stride_y];
+    const Voxel &v110 = base[stride_x + stride_y];
+    const Voxel &v001 = base[1];
+    const Voxel &v101 = base[stride_x + 1];
+    const Voxel &v011 = base[stride_y + 1];
+    const Voxel &v111 = base[stride_x + stride_y + 1];
 
     // Unobserved voxels contribute their initial value (+1, free
     // space), exactly as the original KinectFusion interpolation
     // does; the sample is only invalid when *nothing* under the
-    // stencil has ever been observed.
+    // stencil has ever been observed. The accumulation below keeps
+    // the reference dz/dy/dx loop order so the result is bit-exact.
+    const bool any_observed =
+        v000.weight > 0.0f || v100.weight > 0.0f ||
+        v010.weight > 0.0f || v110.weight > 0.0f ||
+        v001.weight > 0.0f || v101.weight > 0.0f ||
+        v011.weight > 0.0f || v111.weight > 0.0f;
     float value = 0.0f;
-    bool any_observed = false;
-    for (int dz = 0; dz < 2; ++dz) {
-        for (int dy = 0; dy < 2; ++dy) {
-            for (int dx = 0; dx < 2; ++dx) {
-                const Voxel &v = at(x0 + dx, y0 + dy, z0 + dz);
-                any_observed |= v.weight > 0.0f;
-                const float wx = dx ? fx : 1.0f - fx;
-                const float wy = dy ? fy : 1.0f - fy;
-                const float wz = dz ? fz : 1.0f - fz;
-                value += v.tsdf * wx * wy * wz;
-            }
-        }
-    }
+    value += v000.tsdf * wx0 * wy0 * wz0;
+    value += v100.tsdf * wx1 * wy0 * wz0;
+    value += v010.tsdf * wx0 * wy1 * wz0;
+    value += v110.tsdf * wx1 * wy1 * wz0;
+    value += v001.tsdf * wx0 * wy0 * wz1;
+    value += v101.tsdf * wx1 * wy0 * wz1;
+    value += v011.tsdf * wx0 * wy1 * wz1;
+    value += v111.tsdf * wx1 * wy1 * wz1;
     valid = any_observed;
     return any_observed ? value : 1.0f;
+}
+
+float
+TsdfVolume::interp(const Vec3f &p, bool &valid) const
+{
+    return sampleTrilinear(p.x, p.y, p.z, valid);
 }
 
 Vec3f
@@ -81,7 +234,30 @@ TsdfVolume::grad(const Vec3f &p) const
     const float step = voxelSize();
     // Each central difference needs at least one of its two samples
     // observed; unobserved samples read as +1 (free space), matching
-    // the interpolation convention above.
+    // the interpolation convention above. The floor boundaries of the
+    // six sample points can differ, so each sample recomputes its own
+    // base index — fusing means one pass, one call frame and six
+    // base-index computations instead of 48 full index calculations.
+    bool ok_p, ok_m;
+    const float xp = sampleTrilinear(p.x + step, p.y, p.z, ok_p);
+    const float xm = sampleTrilinear(p.x - step, p.y, p.z, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float yp = sampleTrilinear(p.x, p.y + step, p.z, ok_p);
+    const float ym = sampleTrilinear(p.x, p.y - step, p.z, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float zp = sampleTrilinear(p.x, p.y, p.z + step, ok_p);
+    const float zm = sampleTrilinear(p.x, p.y, p.z - step, ok_m);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    return {xp - xm, yp - ym, zp - zm};
+}
+
+Vec3f
+TsdfVolume::gradReference(const Vec3f &p) const
+{
+    const float step = voxelSize();
     bool ok_p, ok_m;
     const float xp = interp({p.x + step, p.y, p.z}, ok_p);
     const float xm = interp({p.x - step, p.y, p.z}, ok_m);
@@ -98,6 +274,42 @@ TsdfVolume::grad(const Vec3f &p) const
     return {xp - xm, yp - ym, zp - zm};
 }
 
+const float *
+TsdfVolume::lambdaTableFor(const CameraIntrinsics &intrinsics,
+                           size_t width, size_t height)
+{
+    if (lambdaWidth_ == width && lambdaHeight_ == height &&
+        lambdaFx_ == intrinsics.fx && lambdaFy_ == intrinsics.fy &&
+        lambdaCx_ == intrinsics.cx && lambdaCy_ == intrinsics.cy)
+        return lambdaTable_.data();
+
+    // Lambda scales the depth difference to distance along the pixel
+    // ray (KinectFusion's lambda correction). It is sampled once at
+    // each pixel's center — the same pixel the depth measurement is
+    // fetched from — instead of at the voxel's continuous projection,
+    // removing a sqrt and two divisions per voxel visit.
+    lambdaTable_.resize(width * height);
+    for (size_t py = 0; py < height; ++py) {
+        for (size_t px = 0; px < width; ++px) {
+            const float ux = (static_cast<float>(px) + 0.5f -
+                              intrinsics.cx) /
+                             intrinsics.fx;
+            const float uy = (static_cast<float>(py) + 0.5f -
+                              intrinsics.cy) /
+                             intrinsics.fy;
+            lambdaTable_[py * width + px] =
+                std::sqrt(1.0f + ux * ux + uy * uy);
+        }
+    }
+    lambdaFx_ = intrinsics.fx;
+    lambdaFy_ = intrinsics.fy;
+    lambdaCx_ = intrinsics.cx;
+    lambdaCy_ = intrinsics.cy;
+    lambdaWidth_ = width;
+    lambdaHeight_ = height;
+    return lambdaTable_.data();
+}
+
 void
 TsdfVolume::integrate(const support::Image<float> &depth,
                       const CameraIntrinsics &intrinsics,
@@ -105,57 +317,111 @@ TsdfVolume::integrate(const support::Image<float> &depth,
                       float max_weight, WorkCounts &counts,
                       support::ThreadPool *pool)
 {
+    integrateImpl(depth, intrinsics, camera_to_world, mu, max_weight,
+                  counts, pool, /*cull=*/true);
+}
+
+void
+TsdfVolume::integrateDense(const support::Image<float> &depth,
+                           const CameraIntrinsics &intrinsics,
+                           const Mat4f &camera_to_world, float mu,
+                           float max_weight, WorkCounts &counts,
+                           support::ThreadPool *pool)
+{
+    integrateImpl(depth, intrinsics, camera_to_world, mu, max_weight,
+                  counts, pool, /*cull=*/false);
+}
+
+void
+TsdfVolume::integrateImpl(const support::Image<float> &depth,
+                          const CameraIntrinsics &intrinsics,
+                          const Mat4f &camera_to_world, float mu,
+                          float max_weight, WorkCounts &counts,
+                          support::ThreadPool *pool, bool cull)
+{
     KernelTimer timer(counts, KernelId::Integrate);
     const Mat4f world_to_camera = camera_to_world.rigidInverse();
     const float vs = voxelSize();
     const int res = resolution_;
     const float inv_mu = 1.0f / mu;
+    const size_t width = depth.width();
+    const size_t height = depth.height();
+    const float *lambda_table =
+        lambdaTableFor(intrinsics, width, height);
+
+    // The camera-frame z-step is identical for every column: hoisted
+    // out of the per-column loop.
+    const Vec3f step = world_to_camera.transformDir({0.0f, 0.0f, vs});
+    const double slack =
+        cull ? accumulationSlack(world_to_camera, origin_, size_, res)
+             : 0.0;
+
+    // Visited/culled voxels, accumulated per chunk then folded in
+    // with integer atomics so the totals are deterministic under any
+    // parallel schedule.
+    std::atomic<long long> visited_total{0};
+    std::atomic<long long> culled_total{0};
 
     // March along voxel columns: for fixed (x, y) the camera-frame
     // position is affine in z, so compute it incrementally (this is
-    // the same strategy the CUDA kernel uses per thread).
+    // the same strategy the CUDA kernel uses per thread). In the
+    // z-major layout the column is contiguous in memory.
     auto process_column_range = [&](size_t begin, size_t end) {
+        long long visited = 0;
+        long long culled = 0;
         for (size_t xy = begin; xy < end; ++xy) {
             const int x = static_cast<int>(xy) % res;
             const int y = static_cast<int>(xy) / res;
             Vec3f pos = world_to_camera.transformPoint(
                 voxelCenter(x, y, 0));
-            const Vec3f step =
-                world_to_camera.transformDir({0.0f, 0.0f, vs});
-            for (int z = 0; z < res; ++z, pos += step) {
+            int z_begin = 0;
+            int z_end = res;
+            if (cull) {
+                const ZInterval zi = cullColumn(
+                    pos, step, intrinsics, width, height, res, slack);
+                z_begin = zi.begin;
+                z_end = zi.end;
+            }
+            culled += res - (z_end - z_begin);
+            if (z_begin >= z_end)
+                continue;
+            visited += z_end - z_begin;
+            // Fast-forward to z_begin by replaying the accumulation
+            // the dense sweep performs, so every visited voxel sees a
+            // bit-identical position.
+            for (int z = 0; z < z_begin; ++z)
+                pos += step;
+            Voxel *column = voxels_.data() + index(x, y, 0);
+            for (int z = z_begin; z < z_end; ++z, pos += step) {
                 if (pos.z <= 0.001f)
                     continue;
                 const math::Vec2f pix = intrinsics.project(pos);
                 const int px = static_cast<int>(pix.x);
                 const int py = static_cast<int>(pix.y);
                 if (px < 0 || py < 0 ||
-                    px >= static_cast<int>(depth.width()) ||
-                    py >= static_cast<int>(depth.height()))
+                    px >= static_cast<int>(width) ||
+                    py >= static_cast<int>(height))
                     continue;
                 const float measured =
                     depth(static_cast<size_t>(px),
                           static_cast<size_t>(py));
                 if (measured <= 0.0f)
                     continue;
-                // Scale the depth difference to distance along the
-                // ray (KinectFusion's lambda correction).
-                const float lambda = std::sqrt(
-                    1.0f +
-                    ((pix.x - intrinsics.cx) / intrinsics.fx) *
-                        ((pix.x - intrinsics.cx) / intrinsics.fx) +
-                    ((pix.y - intrinsics.cy) / intrinsics.fy) *
-                        ((pix.y - intrinsics.cy) / intrinsics.fy));
+                const float lambda =
+                    lambda_table[static_cast<size_t>(py) * width +
+                                 static_cast<size_t>(px)];
                 const float sdf = (measured - pos.z) * lambda;
                 if (sdf < -mu)
                     continue; // occluded: behind the surface band
-                const float tsdf =
-                    std::min(1.0f, sdf * inv_mu);
-                Voxel &v = at(x, y, z);
-                const float w = v.weight;
-                v.tsdf = (v.tsdf * w + tsdf) / (w + 1.0f);
-                v.weight = std::min(w + 1.0f, max_weight);
+                const float tsdf = std::min(1.0f, sdf * inv_mu);
+                Voxel &v = column[z];
+                const float weight = v.weight;
+                v.tsdf = (v.tsdf * weight + tsdf) / (weight + 1.0f);
+                v.weight = std::min(weight + 1.0f, max_weight);
             }
         }
+        visited_total.fetch_add(visited, std::memory_order_relaxed);
+        culled_total.fetch_add(culled, std::memory_order_relaxed);
     };
 
     const size_t columns = static_cast<size_t>(res) * res;
@@ -165,13 +431,26 @@ TsdfVolume::integrate(const support::Image<float> &depth,
         process_column_range(0, columns);
     }
 
-    // Work unit: voxel-column steps (res^3 voxel visits).
-    counts.addItems(KernelId::Integrate,
-                    static_cast<double>(columns) * res);
-    counts.addBytes(KernelId::Integrate,
-                    static_cast<double>(columns) * res * 16.0);
-    TRACE_COUNTER("integrate.voxels",
-                  static_cast<double>(columns) * res);
+    const double visited =
+        static_cast<double>(visited_total.load());
+    const double culled = static_cast<double>(culled_total.load());
+
+    // Work unit: voxel visits actually performed; culled voxels are
+    // reported as skipped work so the naive workload (res^3) stays
+    // reconstructible as items + skipped.
+    counts.addItems(KernelId::Integrate, visited);
+    counts.addSkipped(KernelId::Integrate, culled);
+    counts.addBytes(KernelId::Integrate, visited * 16.0);
+
+    namespace sm = support::metrics;
+    static sm::Counter &visited_counter =
+        sm::Registry::instance().counter("volume.integrate.visited");
+    static sm::Counter &culled_counter =
+        sm::Registry::instance().counter("volume.integrate.culled");
+    visited_counter.add(static_cast<uint64_t>(visited_total.load()));
+    culled_counter.add(static_cast<uint64_t>(culled_total.load()));
+    TRACE_COUNTER("integrate.voxels", visited);
+    TRACE_COUNTER("integrate.culled", culled);
 }
 
 } // namespace slambench::kfusion

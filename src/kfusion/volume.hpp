@@ -36,6 +36,10 @@ struct Voxel
  *
  * Values are normalized: tsdf = clamp(signed_distance / mu, -1, 1).
  * A weight of 0 marks never-observed voxels.
+ *
+ * Storage is z-major (z contiguous, then y, then x), so the
+ * integration sweep along a (x, y) voxel column and the 2x2x2
+ * interpolation stencil both touch adjacent memory.
  */
 class TsdfVolume
 {
@@ -96,8 +100,12 @@ class TsdfVolume
     float interp(const Vec3f &p, bool &valid) const;
 
     /**
-     * TSDF gradient (surface normal direction) at world point @p p
-     * via central differences of interp().
+     * TSDF gradient (surface normal direction) at world point @p p.
+     *
+     * Fused single-pass implementation: the six central-difference
+     * samples are gathered in one function body, each with a single
+     * base-index computation instead of eight full index
+     * calculations. Bit-identical to gradReference().
      *
      * @param p World-space point near the surface.
      * @return unnormalized gradient; zero when samples are invalid.
@@ -105,8 +113,24 @@ class TsdfVolume
     Vec3f grad(const Vec3f &p) const;
 
     /**
+     * Reference gradient: six independent interp() calls (the
+     * textbook formulation). Kept for the bit-exactness parity tests
+     * and the kernel benchmarks; grad() must match it exactly.
+     */
+    Vec3f gradReference(const Vec3f &p) const;
+
+    /**
      * Fuse one metric depth map into the volume (KinectFusion
      * integration step).
+     *
+     * Voxel columns whose conservative camera-frame z-range projects
+     * entirely outside the depth image (or behind the camera) are
+     * culled before the per-voxel loop; visited voxels are counted as
+     * Integrate items and culled voxels as skipped work. The fused
+     * result is bit-identical to integrateDense().
+     *
+     * Not thread-safe against concurrent calls on the same volume
+     * (the per-intrinsics lambda table is cached in the object).
      *
      * @param depth Metric depth image; 0 marks invalid pixels.
      * @param intrinsics Intrinsics of @p depth.
@@ -122,6 +146,18 @@ class TsdfVolume
                    float max_weight, WorkCounts &counts,
                    support::ThreadPool *pool);
 
+    /**
+     * Reference integration: identical per-voxel math but every voxel
+     * of every column is visited (no frustum culling). Kept for the
+     * bit-exactness parity tests and the kernel benchmarks;
+     * integrate() must produce exactly the same volume.
+     */
+    void integrateDense(const support::Image<float> &depth,
+                        const CameraIntrinsics &intrinsics,
+                        const Mat4f &camera_to_world, float mu,
+                        float max_weight, WorkCounts &counts,
+                        support::ThreadPool *pool);
+
     /** @return total voxel count (resolution^3). */
     size_t voxelCount() const { return voxels_.size(); }
 
@@ -129,16 +165,44 @@ class TsdfVolume
     size_t
     index(int x, int y, int z) const
     {
-        return (static_cast<size_t>(z) * resolution_ +
+        return (static_cast<size_t>(x) * resolution_ +
                 static_cast<size_t>(y)) *
                    resolution_ +
-               static_cast<size_t>(x);
+               static_cast<size_t>(z);
     }
+
+    /**
+     * Trilinear sample with interp()'s exact arithmetic but a single
+     * base-index computation; the building block of grad().
+     */
+    float sampleTrilinear(float px, float py, float pz,
+                          bool &valid) const;
+
+    /** Shared culled/dense integration sweep (see integrate()). */
+    void integrateImpl(const support::Image<float> &depth,
+                       const CameraIntrinsics &intrinsics,
+                       const Mat4f &camera_to_world, float mu,
+                       float max_weight, WorkCounts &counts,
+                       support::ThreadPool *pool, bool cull);
+
+    /**
+     * Per-pixel lambda (depth-to-ray-distance) table for @p
+     * intrinsics, rebuilt only when the intrinsics or image size
+     * change.
+     */
+    const float *lambdaTableFor(const CameraIntrinsics &intrinsics,
+                                size_t width, size_t height);
 
     int resolution_;
     float size_;
     Vec3f origin_;
     std::vector<Voxel> voxels_;
+
+    // Lambda-table cache key + storage (see lambdaTableFor()).
+    std::vector<float> lambdaTable_;
+    float lambdaFx_ = 0.0f, lambdaFy_ = 0.0f;
+    float lambdaCx_ = 0.0f, lambdaCy_ = 0.0f;
+    size_t lambdaWidth_ = 0, lambdaHeight_ = 0;
 };
 
 } // namespace slambench::kfusion

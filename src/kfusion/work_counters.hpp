@@ -55,6 +55,14 @@ struct WorkCounts
     std::array<double, kNumKernels> bytes{};
     /** Host wall-clock seconds per kernel. */
     std::array<double, kNumKernels> hostSeconds{};
+    /**
+     * Work items *avoided* per kernel (same unit as items): voxels a
+     * culled integration never visited, rays clipped before marching,
+     * and so on. items + skipped equals the naive kernel's workload,
+     * so optimization wins stay visible in reports without inflating
+     * the device models' simulated time.
+     */
+    std::array<double, kNumKernels> skipped{};
 
     /** Add @p n work items to kernel @p id. */
     void
@@ -98,6 +106,20 @@ struct WorkCounts
         return hostSeconds[static_cast<size_t>(id)];
     }
 
+    /** Add @p n avoided work items to kernel @p id. */
+    void
+    addSkipped(KernelId id, double n)
+    {
+        skipped[static_cast<size_t>(id)] += n;
+    }
+
+    /** @return avoided work items for kernel @p id. */
+    double
+    skippedFor(KernelId id) const
+    {
+        return skipped[static_cast<size_t>(id)];
+    }
+
     /** Component-wise accumulate. */
     void
     merge(const WorkCounts &other)
@@ -106,6 +128,7 @@ struct WorkCounts
             items[i] += other.items[i];
             bytes[i] += other.bytes[i];
             hostSeconds[i] += other.hostSeconds[i];
+            skipped[i] += other.skipped[i];
         }
     }
 

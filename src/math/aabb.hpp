@@ -1,0 +1,68 @@
+#ifndef SLAMBENCH_MATH_AABB_HPP
+#define SLAMBENCH_MATH_AABB_HPP
+
+/**
+ * @file
+ * Axis-aligned bounding box and ray/box intersection (the classic
+ * slab test). Shared by the raycast kernels, which clip every ray to
+ * the TSDF volume before marching.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+#include "math/vec.hpp"
+
+namespace slambench::math {
+
+/** Axis-aligned box spanning [lo, hi] in each dimension. */
+struct Aabb
+{
+    Vec3f lo;
+    Vec3f hi;
+};
+
+/**
+ * Intersect the ray origin + t * dir with @p box (slab test).
+ *
+ * Directions with a near-zero component fall back to a containment
+ * check on that axis, so axis-aligned rays are handled exactly.
+ *
+ * @param box Box to test against.
+ * @param origin Ray origin.
+ * @param dir Ray direction (need not be unit length).
+ * @param[out] t_near Entry parameter (may be negative: origin inside).
+ * @param[out] t_far Exit parameter.
+ * @return false when the ray misses the box or the box is entirely
+ *         behind the origin (t_far <= 0).
+ */
+inline bool
+intersectRayAabb(const Aabb &box, const Vec3f &origin, const Vec3f &dir,
+                 float &t_near, float &t_far)
+{
+    t_near = -1e30f;
+    t_far = 1e30f;
+    for (int axis = 0; axis < 3; ++axis) {
+        const float o = origin[static_cast<size_t>(axis)];
+        const float d = dir[static_cast<size_t>(axis)];
+        const float l = box.lo[static_cast<size_t>(axis)];
+        const float h = box.hi[static_cast<size_t>(axis)];
+        if (std::abs(d) < 1e-9f) {
+            if (o < l || o > h)
+                return false;
+            continue;
+        }
+        float t0 = (l - o) / d;
+        float t1 = (h - o) / d;
+        if (t0 > t1)
+            std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+    }
+    return t_near <= t_far && t_far > 0.0f;
+}
+
+} // namespace slambench::math
+
+#endif // SLAMBENCH_MATH_AABB_HPP

@@ -312,6 +312,18 @@ Registry::resetValues()
         histogram->reset();
 }
 
+const char *
+gitDescribe()
+{
+    return SLAMBENCH_GIT_DESCRIBE;
+}
+
+const char *
+buildType()
+{
+    return SLAMBENCH_BUILD_TYPE;
+}
+
 double
 peakRssBytes()
 {

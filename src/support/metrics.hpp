@@ -256,6 +256,12 @@ double peakRssBytes();
 /** @return process CPU time (user + system), seconds. */
 double processCpuSeconds();
 
+/** @return the build's `git describe` string ("unknown" if none). */
+const char *gitDescribe();
+
+/** @return the CMake build type this binary was compiled with. */
+const char *buildType();
+
 /**
  * RAII run-report capture for a CLI run, the metrics analogue of
  * trace::Session: construct from the `--metrics-json` /

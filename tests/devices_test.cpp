@@ -156,8 +156,10 @@ TEST(Xu3, LandsInThePaperRegimeForDefaultishWork)
     w.addBytes(KernelId::Track, 7e7);
     w.addItems(KernelId::Reduce, 9e5);
     w.addBytes(KernelId::Reduce, 3e7);
-    w.addItems(KernelId::Integrate, 8.4e6); // amortized over ir=2
-    w.addBytes(KernelId::Integrate, 1.3e8);
+    // Amortized over ir=2; items are visited voxels, roughly 10% of
+    // the res^3 sweep once frustum culling is accounted for.
+    w.addItems(KernelId::Integrate, 8.4e5);
+    w.addBytes(KernelId::Integrate, 1.3e7);
     w.addItems(KernelId::Raycast, 2.5e6);
     w.addBytes(KernelId::Raycast, 8e7);
     const double seconds = xu3.frameSeconds(w);

@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Bit-exactness parity suite for the frame-loop fast paths: the
+ * frustum-culled integration sweep against the dense reference, the
+ * fused single-pass gradient against the six-interp reference, and
+ * the volume-clipped raycast, each serial and under a thread pool.
+ *
+ * These tests assert exact float equality (operator==, not
+ * EXPECT_FLOAT_EQ): the optimized paths are designed to execute the
+ * same arithmetic as their references, so any drift is a bug, not
+ * noise. The *Pooled* tests double as the TSan race gate's kernel
+ * workload (scripts/tsan_smoke.sh).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "kfusion/raycast.hpp"
+#include "kfusion/volume.hpp"
+#include "math/se3.hpp"
+#include "support/rng.hpp"
+#include "support/thread_pool.hpp"
+
+namespace {
+
+using namespace slambench::kfusion;
+using slambench::math::CameraIntrinsics;
+using slambench::math::Mat4f;
+using slambench::math::Vec3f;
+using slambench::support::Image;
+using slambench::support::Rng;
+using slambench::support::ThreadPool;
+
+/** Random metric depth with a sprinkling of invalid (0) pixels. */
+Image<float>
+makeDepth(const CameraIntrinsics &k, uint64_t seed)
+{
+    Image<float> depth(k.width, k.height);
+    Rng rng(seed);
+    for (size_t i = 0; i < depth.size(); ++i) {
+        depth[i] = rng.uniform(0.0, 1.0) < 0.08
+                       ? 0.0f
+                       : static_cast<float>(rng.uniform(0.5, 2.5));
+    }
+    return depth;
+}
+
+/** Assert two equally sized volumes match voxel-for-voxel, exactly. */
+void
+expectBitIdentical(const TsdfVolume &a, const TsdfVolume &b)
+{
+    ASSERT_EQ(a.resolution(), b.resolution());
+    for (int x = 0; x < a.resolution(); ++x) {
+        for (int y = 0; y < a.resolution(); ++y) {
+            for (int z = 0; z < a.resolution(); ++z) {
+                ASSERT_EQ(a.at(x, y, z).tsdf, b.at(x, y, z).tsdf)
+                    << "tsdf mismatch at (" << x << ", " << y << ", "
+                    << z << ")";
+                ASSERT_EQ(a.at(x, y, z).weight, b.at(x, y, z).weight)
+                    << "weight mismatch at (" << x << ", " << y
+                    << ", " << z << ")";
+            }
+        }
+    }
+}
+
+/**
+ * Integrate the same frame into a culled and a dense volume (serial)
+ * and require identical results; returns the culled work counts.
+ */
+WorkCounts
+checkCulledMatchesDense(const Mat4f &pose, uint64_t seed)
+{
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    const Image<float> depth = makeDepth(k, seed);
+
+    TsdfVolume culled(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    TsdfVolume dense(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    WorkCounts culled_counts, dense_counts;
+    culled.integrate(depth, k, pose, 0.1f, 100.0f, culled_counts,
+                     nullptr);
+    dense.integrateDense(depth, k, pose, 0.1f, 100.0f, dense_counts,
+                         nullptr);
+    expectBitIdentical(culled, dense);
+
+    // Culling never inspects more than the dense sweep, and the two
+    // accounts partition the same res^3 workload.
+    EXPECT_DOUBLE_EQ(
+        culled_counts.itemsFor(KernelId::Integrate) +
+            culled_counts.skippedFor(KernelId::Integrate),
+        dense_counts.itemsFor(KernelId::Integrate));
+    return culled_counts;
+}
+
+TEST(IntegrateParity, CulledMatchesDenseIdentityPose)
+{
+    const WorkCounts counts = checkCulledMatchesDense(Mat4f{}, 11);
+    EXPECT_GT(counts.itemsFor(KernelId::Integrate), 0.0);
+}
+
+TEST(IntegrateParity, CulledMatchesDensePartialFrustum)
+{
+    // Oblique view from outside a corner: a good part of the volume
+    // projects off-image, so whole columns get culled mid-range.
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.8f, 0.4f, -0.6f}, Vec3f{-0.2f, 0.0f, 1.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    const WorkCounts counts = checkCulledMatchesDense(pose, 12);
+    EXPECT_GT(counts.itemsFor(KernelId::Integrate), 0.0);
+    EXPECT_GT(counts.skippedFor(KernelId::Integrate), 0.0);
+}
+
+TEST(IntegrateParity, CulledMatchesDenseCameraInsideVolume)
+{
+    // Camera in the middle of the volume: every column straddles the
+    // camera plane, exercising the behind-camera half-space clip.
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.0f, 0.0f, 1.0f}, Vec3f{0.0f, 0.0f, 2.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    const WorkCounts counts = checkCulledMatchesDense(pose, 13);
+    EXPECT_GT(counts.itemsFor(KernelId::Integrate), 0.0);
+    EXPECT_GT(counts.skippedFor(KernelId::Integrate), 0.0);
+}
+
+TEST(IntegrateParity, CulledMatchesDenseVolumeBehindCamera)
+{
+    // Looking directly away from the volume: everything is culled
+    // and the volume must stay untouched, exactly like the dense
+    // sweep (which visits every voxel and updates none).
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.0f, 0.0f, -0.5f}, Vec3f{0.0f, 0.0f, -2.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    const WorkCounts counts = checkCulledMatchesDense(pose, 14);
+    EXPECT_DOUBLE_EQ(counts.itemsFor(KernelId::Integrate), 0.0);
+    EXPECT_DOUBLE_EQ(counts.skippedFor(KernelId::Integrate),
+                     32.0 * 32.0 * 32.0);
+}
+
+TEST(IntegrateParity, CulledMatchesDensePooled)
+{
+    // All four combinations of {culled, dense} x {serial, pooled}
+    // must agree bit-for-bit across several fused frames.
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    const Mat4f poses[] = {
+        Mat4f{},
+        slambench::math::lookAt(Vec3f{0.5f, 0.2f, -0.4f},
+                                Vec3f{0.0f, 0.0f, 1.0f},
+                                Vec3f{0.0f, 1.0f, 0.0f}),
+    };
+
+    TsdfVolume culled_serial(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    TsdfVolume culled_pooled(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    TsdfVolume dense_pooled(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    ThreadPool pool(3);
+    WorkCounts counts;
+    uint64_t seed = 21;
+    for (const Mat4f &pose : poses) {
+        const Image<float> depth = makeDepth(k, seed++);
+        culled_serial.integrate(depth, k, pose, 0.1f, 100.0f, counts,
+                                nullptr);
+        culled_pooled.integrate(depth, k, pose, 0.1f, 100.0f, counts,
+                                &pool);
+        dense_pooled.integrateDense(depth, k, pose, 0.1f, 100.0f,
+                                    counts, &pool);
+    }
+    expectBitIdentical(culled_serial, culled_pooled);
+    expectBitIdentical(culled_serial, dense_pooled);
+}
+
+// --- gradient parity ---
+
+class FusedVolume : public ::testing::Test
+{
+  protected:
+    FusedVolume()
+        : volume_(48, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f}),
+          k_(CameraIntrinsics::fromFov(48, 48, 1.0f))
+    {
+        WorkCounts counts;
+        Image<float> wall(k_.width, k_.height, 1.0f);
+        volume_.integrate(wall, k_, Mat4f{}, 0.1f, 100.0f, counts,
+                          nullptr);
+        const Image<float> depth = makeDepth(k_, 31);
+        volume_.integrate(depth, k_, Mat4f{}, 0.1f, 100.0f, counts,
+                          nullptr);
+    }
+
+    TsdfVolume volume_;
+    CameraIntrinsics k_;
+};
+
+TEST_F(FusedVolume, FusedGradMatchesReferenceEverywhere)
+{
+    // Random points over the whole volume (inside, near faces, and
+    // in unobserved space where the per-axis early-outs trigger).
+    Rng rng(7);
+    for (int i = 0; i < 20000; ++i) {
+        const Vec3f p{
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-0.1, 2.1))};
+        const Vec3f fused = volume_.grad(p);
+        const Vec3f reference = volume_.gradReference(p);
+        ASSERT_EQ(fused.x, reference.x) << "at " << p.x << ", "
+                                        << p.y << ", " << p.z;
+        ASSERT_EQ(fused.y, reference.y);
+        ASSERT_EQ(fused.z, reference.z);
+    }
+}
+
+TEST_F(FusedVolume, FusedGradMatchesReferenceNearSurface)
+{
+    // Dense sampling in the truncation band around the fused wall,
+    // where raycast actually evaluates gradients.
+    Rng rng(8);
+    for (int i = 0; i < 20000; ++i) {
+        const Vec3f p{
+            static_cast<float>(rng.uniform(-0.9, 0.9)),
+            static_cast<float>(rng.uniform(-0.9, 0.9)),
+            static_cast<float>(rng.uniform(0.85, 1.15))};
+        const Vec3f fused = volume_.grad(p);
+        const Vec3f reference = volume_.gradReference(p);
+        ASSERT_EQ(fused.x, reference.x);
+        ASSERT_EQ(fused.y, reference.y);
+        ASSERT_EQ(fused.z, reference.z);
+    }
+}
+
+// --- raycast parity ---
+
+RaycastParams
+testParams(const TsdfVolume &volume)
+{
+    RaycastParams params;
+    params.nearPlane = 0.1f;
+    params.farPlane = 4.0f;
+    params.step = volume.voxelSize();
+    params.largeStep = 0.075f;
+    return params;
+}
+
+TEST_F(FusedVolume, RaycastPooledMatchesSerial)
+{
+    const RaycastParams params = testParams(volume_);
+    Image<Vec3f> vertex_s, normal_s, vertex_p, normal_p;
+    WorkCounts counts;
+    ThreadPool pool(3);
+    raycastKernel(vertex_s, normal_s, volume_, k_, Mat4f{}, params,
+                  counts, nullptr);
+    raycastKernel(vertex_p, normal_p, volume_, k_, Mat4f{}, params,
+                  counts, &pool);
+    ASSERT_EQ(vertex_s.size(), vertex_p.size());
+    for (size_t i = 0; i < vertex_s.size(); ++i) {
+        ASSERT_EQ(vertex_s[i].x, vertex_p[i].x) << "pixel " << i;
+        ASSERT_EQ(vertex_s[i].y, vertex_p[i].y);
+        ASSERT_EQ(vertex_s[i].z, vertex_p[i].z);
+        ASSERT_EQ(normal_s[i].x, normal_p[i].x);
+        ASSERT_EQ(normal_s[i].y, normal_p[i].y);
+        ASSERT_EQ(normal_s[i].z, normal_p[i].z);
+    }
+}
+
+TEST_F(FusedVolume, RenderVolumePooledMatchesSerial)
+{
+    const RaycastParams params = testParams(volume_);
+    Image<slambench::support::Rgb8> serial, pooled;
+    WorkCounts counts;
+    ThreadPool pool(3);
+    renderVolumeKernel(serial, volume_, k_, Mat4f{}, params, counts,
+                       nullptr);
+    renderVolumeKernel(pooled, volume_, k_, Mat4f{}, params, counts,
+                       &pool);
+    ASSERT_EQ(serial.size(), pooled.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        ASSERT_EQ(serial[i].r, pooled[i].r) << "pixel " << i;
+        ASSERT_EQ(serial[i].g, pooled[i].g);
+        ASSERT_EQ(serial[i].b, pooled[i].b);
+    }
+}
+
+TEST_F(FusedVolume, ClippedRayFromFarOriginHitsSameSurface)
+{
+    // The AABB clip fast-forwards the march to the volume entry, so
+    // pushing the origin back along the ray must find the same
+    // surface (up to the fine step's refinement tolerance).
+    const RaycastParams params = testParams(volume_);
+    Vec3f near_hit, far_hit;
+    int near_steps = 0, far_steps = 0;
+    ASSERT_TRUE(castRay(volume_, Vec3f{0.0f, 0.0f, 0.2f},
+                        Vec3f{0.0f, 0.0f, 1.0f}, params, near_hit,
+                        near_steps));
+    ASSERT_TRUE(castRay(volume_, Vec3f{0.0f, 0.0f, -2.0f},
+                        Vec3f{0.0f, 0.0f, 1.0f}, params, far_hit,
+                        far_steps));
+    EXPECT_NEAR(near_hit.z, far_hit.z, volume_.voxelSize());
+    // The far ray marches the clipped interval, not the extra two
+    // meters of empty space in front of the volume.
+    EXPECT_LT(far_steps, near_steps + 30);
+}
+
+TEST_F(FusedVolume, RaysMissingTheVolumeTakeNoSteps)
+{
+    const RaycastParams params = testParams(volume_);
+    Vec3f hit;
+    int steps = 0;
+    EXPECT_FALSE(castRay(volume_, Vec3f{0.0f, 0.0f, -0.5f},
+                         Vec3f{0.0f, 0.0f, -1.0f}, params, hit,
+                         steps));
+    EXPECT_EQ(steps, 0);
+    EXPECT_FALSE(castRay(volume_, Vec3f{5.0f, 0.0f, 1.0f},
+                         Vec3f{0.0f, 1.0f, 0.0f}, params, hit,
+                         steps));
+    EXPECT_EQ(steps, 0);
+}
+
+} // namespace

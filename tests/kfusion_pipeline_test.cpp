@@ -147,9 +147,17 @@ TEST(Pipeline, VolumeResolutionDrivesIntegrateWork)
         kf1.processFrame(frame.depthMm);
         kf2.processFrame(frame.depthMm);
     }
-    EXPECT_NEAR(kf2.totalWork().itemsFor(KernelId::Integrate) /
-                    kf1.totalWork().itemsFor(KernelId::Integrate),
-                8.0, 0.01);
+    // Visited + skipped reconstructs the naive res^3 sweep, which
+    // scales exactly 8x between the two resolutions; the visited
+    // share alone depends on how much of each volume the frustum
+    // covers.
+    const auto naive = [](const KFusion &kf) {
+        return kf.totalWork().itemsFor(KernelId::Integrate) +
+               kf.totalWork().skippedFor(KernelId::Integrate);
+    };
+    EXPECT_NEAR(naive(kf2) / naive(kf1), 8.0, 0.01);
+    EXPECT_GT(kf2.totalWork().itemsFor(KernelId::Integrate),
+              kf1.totalWork().itemsFor(KernelId::Integrate));
 }
 
 TEST(Pipeline, SequentialAndThreadedProduceSamePoses)

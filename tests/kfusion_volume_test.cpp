@@ -225,9 +225,28 @@ TEST(Volume, IntegrationCountsWork)
     Image<float> depth(16, 16, 0.5f);
     volume.integrate(depth, k, Mat4f{}, 0.1f, 100.0f, counts,
                      nullptr);
-    EXPECT_DOUBLE_EQ(counts.itemsFor(KernelId::Integrate),
+    // Items are voxels actually visited; culled voxels show up as
+    // skipped work, and together they cover the whole volume.
+    EXPECT_GT(counts.itemsFor(KernelId::Integrate), 0.0);
+    EXPECT_LE(counts.itemsFor(KernelId::Integrate),
+              16.0 * 16.0 * 16.0);
+    EXPECT_DOUBLE_EQ(counts.itemsFor(KernelId::Integrate) +
+                         counts.skippedFor(KernelId::Integrate),
                      16.0 * 16.0 * 16.0);
     EXPECT_GT(counts.bytesFor(KernelId::Integrate), 0.0);
+}
+
+TEST(Volume, DenseIntegrationVisitsEveryVoxel)
+{
+    TsdfVolume volume(16, 1.0f, Vec3f{0, 0, 0});
+    const auto k = CameraIntrinsics::fromFov(16, 16, 1.0f);
+    WorkCounts counts;
+    Image<float> depth(16, 16, 0.5f);
+    volume.integrateDense(depth, k, Mat4f{}, 0.1f, 100.0f, counts,
+                          nullptr);
+    EXPECT_DOUBLE_EQ(counts.itemsFor(KernelId::Integrate),
+                     16.0 * 16.0 * 16.0);
+    EXPECT_DOUBLE_EQ(counts.skippedFor(KernelId::Integrate), 0.0);
 }
 
 TEST(Volume, SequentialAndThreadedIntegrationMatch)
