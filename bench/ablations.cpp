@@ -74,6 +74,10 @@ main(int argc, char **argv)
         traceSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "ablations");
+    // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,
+    // /healthz, /runz server and crash-surviving flight recorder.
+    const support::telemetry::TelemetryEndpoint telemetry =
+        telemetryFromArgs(argc, argv, "ablations");
 
     std::printf("ABLATIONS: single-axis sweeps on the simulated "
                 "odroid-xu3 (%zu frames)\n",

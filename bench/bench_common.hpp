@@ -20,6 +20,7 @@
 #include "devices/fleet.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
+#include "support/telemetry_server.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::bench {
@@ -113,6 +114,16 @@ argString(int argc, char **argv, const char *name,
     return fallback;
 }
 
+/** Parse "--name value" floating-point options. */
+inline double
+argDouble(int argc, char **argv, const char *name, double fallback)
+{
+    for (int i = 1; i + 1 < argc; ++i)
+        if (std::strcmp(argv[i], name) == 0)
+            return std::atof(argv[i + 1]);
+    return fallback;
+}
+
 /**
  * Parse the shared `--dse-threads N` flag: worker threads for the
  * parallel DSE drivers (and, where a bench evaluates fixed
@@ -162,6 +173,46 @@ metricsSessionFromArgs(int argc, char **argv, const char *generator)
     return support::metrics::RunSession(
         argString(argc, argv, "--metrics-json", ""),
         argString(argc, argv, "--frames-csv", ""), generator);
+}
+
+/**
+ * Arm live telemetry from the shared bench flags
+ * (docs/OBSERVABILITY.md "Live telemetry"):
+ *
+ *   --telemetry-port N    serve /metrics, /healthz, /runz on
+ *                         127.0.0.1:N (0 = pick an ephemeral port,
+ *                         logged at INFO)
+ *   --crash-dump FILE     fatal-signal flight-recorder dump path
+ *                         (default <generator>_crash.json once any
+ *                         telemetry flag is set)
+ *   --slo-frame-p99-ms X  healthz SLO: live frame-time p99 <= X ms
+ *   --slo-max-ate X       healthz SLO: per-frame ATE <= X meters
+ *   --slo-max-lost N      healthz SLO: <= N consecutive tracking
+ *                         failures
+ *   --slo-queue-stall-ms X healthz SLO: no pool queue stalled > X ms
+ *
+ * Keep the returned endpoint alive for the whole run; with none of
+ * the flags it is inert and the frame loop pays a single relaxed
+ * atomic load per frame.
+ */
+inline support::telemetry::TelemetryEndpoint
+telemetryFromArgs(int argc, char **argv, const char *generator)
+{
+    support::telemetry::TelemetryOptions options;
+    options.port = static_cast<int>(
+        argLong(argc, argv, "--telemetry-port", -1));
+    options.crashDumpPath =
+        argString(argc, argv, "--crash-dump", "");
+    options.generator = generator;
+    options.slo.frameP99Seconds =
+        argDouble(argc, argv, "--slo-frame-p99-ms", 0.0) * 1e-3;
+    options.slo.maxAteMeters =
+        argDouble(argc, argv, "--slo-max-ate", 0.0);
+    options.slo.maxConsecutiveTrackingFailures =
+        argLong(argc, argv, "--slo-max-lost", 0);
+    options.slo.poolQueueStallSeconds =
+        argDouble(argc, argv, "--slo-queue-stall-ms", 0.0) * 1e-3;
+    return support::telemetry::TelemetryEndpoint(options);
 }
 
 /**

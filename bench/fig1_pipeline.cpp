@@ -37,6 +37,10 @@ main(int argc, char **argv)
     // report with per-frame telemetry (docs/OBSERVABILITY.md).
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "fig1_pipeline");
+    // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,
+    // /healthz, /runz server and crash-surviving flight recorder.
+    const support::telemetry::TelemetryEndpoint telemetry =
+        telemetryFromArgs(argc, argv, "fig1_pipeline");
 
     dataset::SequenceSpec spec = canonicalWorkload(frames);
     spec.renderRgb = true; // the GUI shows the RGB pane
@@ -65,6 +69,19 @@ main(int argc, char **argv)
             support::metrics::peakRssBytes());
         tracked += r.tracking.tracked;
         poses.push_back(r.pose);
+        if (support::telemetry::liveTelemetry()) {
+            const double live_ate =
+                i < sequence.groundTruth.size()
+                    ? (r.pose.translationPart() -
+                       sequence.groundTruth.pose(i)
+                           .translationPart())
+                          .norm()
+                    : 0.0;
+            support::telemetry::frameTick(i,
+                                          run.frameSeconds.back(),
+                                          live_ate,
+                                          r.tracking.tracked);
+        }
     }
     const metrics::AteResult ate = metrics::computeAte(
         poses, sequence.groundTruth.poses(), false);

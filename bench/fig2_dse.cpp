@@ -63,6 +63,10 @@ main(int argc, char **argv)
         traceSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "fig2_dse");
+    // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,
+    // /healthz, /runz server and crash-surviving flight recorder.
+    const support::telemetry::TelemetryEndpoint telemetry =
+        telemetryFromArgs(argc, argv, "fig2_dse");
     const size_t random_budget = static_cast<size_t>(
         argLong(argc, argv, "--random", quick ? 10 : 100));
     const size_t warmup = static_cast<size_t>(

@@ -33,6 +33,10 @@ main(int argc, char **argv)
         traceSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "fig3_mobile");
+    // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,
+    // /healthz, /runz server and crash-surviving flight recorder.
+    const support::telemetry::TelemetryEndpoint telemetry =
+        telemetryFromArgs(argc, argv, "fig3_mobile");
     const size_t device_count = static_cast<size_t>(
         argLong(argc, argv, "--devices", 83));
     const uint64_t seed = static_cast<uint64_t>(

@@ -30,6 +30,10 @@ main(int argc, char **argv)
         traceSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "headline_odroid");
+    // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,
+    // /healthz, /runz server and crash-surviving flight recorder.
+    const support::telemetry::TelemetryEndpoint telemetry =
+        telemetryFromArgs(argc, argv, "headline_odroid");
 
     std::printf("HEADLINE: default vs tuned on the simulated "
                 "odroid-xu3 (%zu frames)\n\n",

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -30,6 +31,7 @@
 #include "kfusion/volume.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
+#include "support/telemetry_server.hpp"
 
 namespace {
 
@@ -502,7 +504,8 @@ BENCHMARK(BM_GradReference)->Arg(128)->Arg(256);
 
 /**
  * Custom main: google-benchmark 1.x aborts on flags it does not
- * know, so the shared `--metrics-json FILE` flag is stripped before
+ * know, so the shared `--metrics-json FILE`, `--telemetry-port N`,
+ * and `--crash-dump FILE` flags are stripped before
  * benchmark::Initialize sees the argument vector.
  */
 int
@@ -510,15 +513,27 @@ main(int argc, char **argv)
 {
     std::vector<char *> bench_argv(argv, argv + argc);
     std::string metrics_path;
+    slambench::support::telemetry::TelemetryOptions telemetry_opts;
+    telemetry_opts.generator = "kernels";
     for (auto it = bench_argv.begin() + 1; it != bench_argv.end();) {
         if (std::strcmp(*it, "--metrics-json") == 0 &&
             it + 1 != bench_argv.end()) {
             metrics_path = *(it + 1);
             it = bench_argv.erase(it, it + 2);
+        } else if (std::strcmp(*it, "--telemetry-port") == 0 &&
+                   it + 1 != bench_argv.end()) {
+            telemetry_opts.port = std::atoi(*(it + 1));
+            it = bench_argv.erase(it, it + 2);
+        } else if (std::strcmp(*it, "--crash-dump") == 0 &&
+                   it + 1 != bench_argv.end()) {
+            telemetry_opts.crashDumpPath = *(it + 1);
+            it = bench_argv.erase(it, it + 2);
         } else {
             ++it;
         }
     }
+    const slambench::support::telemetry::TelemetryEndpoint telemetry(
+        telemetry_opts);
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,

@@ -31,6 +31,7 @@
 #include "metrics/reconstruction.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
+#include "support/telemetry_server.hpp"
 #include "support/trace.hpp"
 
 namespace {
@@ -76,6 +77,20 @@ usage()
         "  --metrics-json FILE      machine-readable run report "
         "(JSON)\n"
         "  --frames-csv FILE        per-frame telemetry table (CSV)\n"
+        "  --telemetry-port N       serve /metrics, /healthz, /runz "
+        "on 127.0.0.1:N\n"
+        "                           (0 = ephemeral port, logged at "
+        "INFO)\n"
+        "  --crash-dump FILE        fatal-signal flight-recorder "
+        "dump (JSON)\n"
+        "  --slo-frame-p99-ms X     healthz SLO: frame-time p99 "
+        "<= X ms\n"
+        "  --slo-max-ate X          healthz SLO: per-frame ATE "
+        "<= X m\n"
+        "  --slo-max-lost N         healthz SLO: <= N consecutive "
+        "lost frames\n"
+        "  --slo-queue-stall-ms X   healthz SLO: no pool stall "
+        "> X ms\n"
         "  --quiet                  warnings only (suppress INFO "
         "output-path lines)\n"
         "  --verbose                DEBUG logging\n"
@@ -146,6 +161,24 @@ main(int argc, char **argv)
     support::metrics::RunSession metrics_session(
         metrics_json ? metrics_json : "",
         frames_csv ? frames_csv : "", "slambench_cli");
+
+    // Live telemetry (docs/OBSERVABILITY.md "Live telemetry").
+    support::telemetry::TelemetryOptions telemetry_options;
+    telemetry_options.port = static_cast<int>(
+        longFlag(argc, argv, "--telemetry-port", -1));
+    const char *crash_dump = flagValue(argc, argv, "--crash-dump");
+    telemetry_options.crashDumpPath = crash_dump ? crash_dump : "";
+    telemetry_options.generator = "slambench_cli";
+    telemetry_options.slo.frameP99Seconds =
+        doubleFlag(argc, argv, "--slo-frame-p99-ms", 0.0) * 1e-3;
+    telemetry_options.slo.maxAteMeters =
+        doubleFlag(argc, argv, "--slo-max-ate", 0.0);
+    telemetry_options.slo.maxConsecutiveTrackingFailures =
+        longFlag(argc, argv, "--slo-max-lost", 0);
+    telemetry_options.slo.poolQueueStallSeconds =
+        doubleFlag(argc, argv, "--slo-queue-stall-ms", 0.0) * 1e-3;
+    const support::telemetry::TelemetryEndpoint telemetry(
+        telemetry_options);
 
     // --- Dataset ---
     dataset::SequenceSpec spec;

@@ -7,6 +7,7 @@ Usage:
         [--max-ate-regress FRAC]          (default 0.10)
         [--max-rss-regress FRAC]          (default 0.20)
         [--max-kernel-regress FRAC]       (default 0.25)
+        [--telemetry-overhead-pct [PCT]]  (off; bare flag = 1.0)
 
 Both inputs are `--metrics-json` reports of the SAME schema (see
 docs/OBSERVABILITY.md). Two schemas are understood:
@@ -24,6 +25,13 @@ normalized, robust to iteration-count changes), falling back to
 real_ns_per_iter, against --max-kernel-regress. Microbenchmark noise
 is larger than whole-run noise, hence the wider default threshold.
 Kernels present on only one side are reported as informational.
+
+--telemetry-overhead-pct arms an extra gate for run reports: the
+candidate's summary.frame_wall_seconds_p50 must stay within PCT
+percent of the baseline's. The telemetry smoke test uses it to
+assert that running with --telemetry-port does not slow the frame
+loop down (p50 is the stable center of the distribution, so it
+isolates per-frame overhead from tail noise).
 
 A metric regresses when the candidate exceeds the baseline by more
 than the configured relative threshold. Metrics that are zero or
@@ -163,6 +171,13 @@ def main():
                         default=0.25, dest="max_kernel_regress",
                         help="allowed relative per-kernel time "
                         "increase (kernel-bench reports)")
+    parser.add_argument("--telemetry-overhead-pct", type=float,
+                        nargs="?", const=1.0, default=None,
+                        dest="telemetry_overhead_pct",
+                        metavar="PCT",
+                        help="also gate frame_wall_seconds_p50 "
+                        "within PCT percent of the baseline "
+                        "(bare flag = 1.0)")
     args = parser.parse_args()
 
     baseline = load_report(args.baseline)
@@ -215,6 +230,30 @@ def main():
               % (label, base, cand, delta * 100.0,
                  threshold * 100.0,
                  "  REGRESSION" if regressed else ""))
+
+    if args.telemetry_overhead_pct is not None:
+        label = "p50 frame time (telemetry overhead)"
+        base = metric(baseline, "summary", "frame_wall_seconds_p50")
+        cand = metric(candidate, "summary", "frame_wall_seconds_p50")
+        threshold = args.telemetry_overhead_pct / 100.0
+        if base is None or cand is None:
+            print("  %-16s missing in %s -- skipped"
+                  % (label, "baseline" if base is None
+                     else "candidate"))
+        elif base <= 0.0:
+            print("  %-16s baseline %.6g, candidate %.6g "
+                  "(zero baseline, informational)"
+                  % (label, base, cand))
+        else:
+            delta = (cand - base) / base
+            regressed = delta > threshold
+            if regressed:
+                regressions += 1
+            print("  %-16s baseline %.6g -> candidate %.6g "
+                  "(%+.2f%%, limit +%.2f%%)%s"
+                  % (label, base, cand, delta * 100.0,
+                     threshold * 100.0,
+                     "  REGRESSION" if regressed else ""))
 
     print()
     if regressions:

@@ -1,0 +1,318 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition (format 0.0.4) page.
+
+Usage:
+    check_prometheus_exposition.py METRICS.txt
+        [--require FAMILY[:TYPE]]...
+
+Validates the page a `--telemetry-port` server returns from /metrics
+(the `telemetry_smoke` CTest entry scrapes a live bench and feeds the
+body through this checker):
+
+  * every line is a `# HELP` / `# TYPE` comment, a sample, or blank;
+  * metric and label names match the Prometheus name grammar;
+  * sample values parse as floats (+Inf / -Inf / NaN allowed);
+  * at most one HELP and one TYPE per family, the TYPE line precedes
+    the family's samples, and each family's samples are contiguous;
+  * counter and gauge families expose exactly one unlabeled sample
+    (what the in-process renderer emits);
+  * histogram families expose cumulative non-decreasing `_bucket`
+    series ending in an `le="+Inf"` bucket that equals `_count`,
+    plus `_sum` and `_count`.
+
+--require FAMILY[:TYPE] (repeatable) additionally asserts the family
+exists, optionally with the given declared type.
+
+Exit status: 0 clean, 1 lint errors, 2 usage or I/O error.
+Stdlib only.
+"""
+
+import argparse
+import re
+import sys
+
+
+NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+LABEL_NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*$")
+
+VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_sample_value(text):
+    """Float per the exposition grammar, or None when malformed."""
+    if text in ("+Inf", "Inf"):
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(text, error):
+    """Parse `name="value",...` (no surrounding braces) into a dict."""
+    labels = {}
+    pos = 0
+    while pos < len(text):
+        match = re.match(r'([a-zA-Z_][a-zA-Z0-9_]*)="', text[pos:])
+        if not match:
+            error("malformed label at %r" % text[pos:])
+            return labels
+        name = match.group(1)
+        pos += match.end()
+        value = []
+        while pos < len(text):
+            c = text[pos]
+            if c == "\\":
+                if pos + 1 >= len(text) or \
+                        text[pos + 1] not in ('\\', '"', 'n'):
+                    error("invalid escape in label %s" % name)
+                    return labels
+                value.append(text[pos:pos + 2])
+                pos += 2
+                continue
+            if c == '"':
+                break
+            value.append(c)
+            pos += 1
+        if pos >= len(text) or text[pos] != '"':
+            error("unterminated label value for %s" % name)
+            return labels
+        pos += 1
+        if name in labels:
+            error("duplicate label %s" % name)
+        labels[name] = "".join(value)
+        if pos < len(text):
+            if text[pos] != ",":
+                error("expected ',' between labels, got %r"
+                      % text[pos])
+                return labels
+            pos += 1
+    return labels
+
+
+class Family:
+    """Lint state of one metric family on the page."""
+
+    def __init__(self, name):
+        self.name = name
+        self.declared_type = None
+        self.has_help = False
+        self.samples = []           # (sample_name, labels, value)
+        self.closed = False
+
+
+def sample_family(name, families):
+    """Map a sample name to its family: histogram samples attach to
+    the declared family their suffix strips down to."""
+    for suffix in HISTOGRAM_SUFFIXES:
+        if name.endswith(suffix):
+            base = name[:-len(suffix)]
+            family = families.get(base)
+            if family is not None and \
+                    family.declared_type == "histogram":
+                return base
+    return name
+
+
+def check_histogram(family, error):
+    buckets = []
+    saw_sum = saw_count = False
+    count_value = None
+    for sample_name, labels, value in family.samples:
+        if sample_name == family.name + "_bucket":
+            if "le" not in labels:
+                error("%s bucket without le label" % family.name)
+                continue
+            buckets.append((labels["le"], value))
+        elif sample_name == family.name + "_sum":
+            saw_sum = True
+        elif sample_name == family.name + "_count":
+            saw_count = True
+            count_value = value
+        else:
+            error("unexpected sample %s in histogram %s"
+                  % (sample_name, family.name))
+    if not buckets:
+        error("histogram %s has no buckets" % family.name)
+        return
+    previous = -1.0
+    for le, value in buckets:
+        if value < previous:
+            error("histogram %s buckets not cumulative at le=%s"
+                  % (family.name, le))
+        previous = value
+    if buckets[-1][0] != "+Inf":
+        error("histogram %s last bucket le=%s, want +Inf"
+              % (family.name, buckets[-1][0]))
+    if not saw_sum:
+        error("histogram %s missing _sum" % family.name)
+    if not saw_count:
+        error("histogram %s missing _count" % family.name)
+    elif buckets[-1][0] == "+Inf" and buckets[-1][1] != count_value:
+        error("histogram %s +Inf bucket %g != _count %g"
+              % (family.name, buckets[-1][1], count_value))
+
+
+def check_scalar(family, error):
+    """Counters and gauges: one unlabeled sample named exactly the
+    family (what renderPrometheus emits)."""
+    if len(family.samples) != 1:
+        error("%s %s has %d samples, want 1"
+              % (family.declared_type, family.name,
+                 len(family.samples)))
+        return
+    sample_name, labels, _value = family.samples[0]
+    if sample_name != family.name:
+        error("%s sample named %s, want %s"
+              % (family.declared_type, sample_name, family.name))
+    if labels:
+        error("%s %s has labels %s (renderer emits none)"
+              % (family.declared_type, family.name,
+                 sorted(labels)))
+
+
+def close_family(family, error):
+    if family.closed:
+        return
+    family.closed = True
+    if not family.samples:
+        error("family %s declared but has no samples" % family.name)
+        return
+    if family.declared_type == "histogram":
+        check_histogram(family, error)
+    elif family.declared_type in ("counter", "gauge"):
+        check_scalar(family, error)
+
+
+def lint(lines):
+    """@return list of 'line N: message' strings (empty = clean)."""
+    errors = []
+    families = {}
+    current = None  # family whose samples are being read
+
+    for lineno, raw in enumerate(lines, 1):
+        line = raw.rstrip("\n")
+
+        def error(message, _lineno=lineno):
+            errors.append("line %d: %s" % (_lineno, message))
+
+        if not line.strip():
+            continue
+
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                # Free-form comments are legal exposition.
+                continue
+            keyword, name = parts[1], parts[2]
+            if not NAME_RE.match(name):
+                error("invalid metric name %r" % name)
+                continue
+            family = families.get(name)
+            if family is None:
+                family = families[name] = Family(name)
+            if family.samples:
+                error("%s for %s after its samples"
+                      % (keyword, name))
+            if keyword == "HELP":
+                if family.has_help:
+                    error("duplicate HELP for %s" % name)
+                family.has_help = True
+            else:
+                if len(parts) != 4 or parts[3] not in VALID_TYPES:
+                    error("invalid TYPE line for %s" % name)
+                    continue
+                if family.declared_type is not None:
+                    error("duplicate TYPE for %s" % name)
+                family.declared_type = parts[3]
+            continue
+
+        # Sample: name[{labels}] value [timestamp]
+        match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
+                         r"(?:\{(.*)\})?"
+                         r" (\S+)(?: (-?\d+))?$", line)
+        if not match:
+            error("unparseable sample line: %r" % line)
+            continue
+        sample_name, label_text, value_text = match.group(1, 2, 3)
+        labels = parse_labels(label_text, error) if label_text \
+            else {}
+        value = parse_sample_value(value_text)
+        if value is None:
+            error("bad sample value %r" % value_text)
+            continue
+
+        base = sample_family(sample_name, families)
+        family = families.get(base)
+        if family is None or family.declared_type is None:
+            error("sample %s without preceding TYPE" % sample_name)
+            family = families.setdefault(base, Family(base))
+        if current is not None and current is not family:
+            close_family(current, error)
+            if family.closed:
+                error("samples of %s are not contiguous" % base)
+        current = family
+        family.samples.append((sample_name, labels, value))
+
+    if current is not None:
+        def error(message):
+            errors.append("end of input: %s" % message)
+        close_family(current, error)
+    for family in families.values():
+        if not family.closed and family.samples:
+            close_family(family, lambda m: errors.append(m))
+    return errors
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Lint Prometheus text exposition format 0.0.4")
+    parser.add_argument("path", help="exposition page to check")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="FAMILY[:TYPE]",
+                        help="assert the family exists (optionally "
+                        "with this declared type); repeatable")
+    args = parser.parse_args()
+
+    try:
+        with open(args.path, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+    except OSError as exc:
+        raise SystemExit("check_prometheus_exposition: %s" % exc)
+
+    errors = lint(lines)
+
+    # --require checks run against the declared TYPE lines.
+    declared = {}
+    for line in lines:
+        parts = line.split()
+        if len(parts) == 4 and parts[:2] == ["#", "TYPE"]:
+            declared[parts[2]] = parts[3]
+    for requirement in args.require:
+        family, _, wanted_type = requirement.partition(":")
+        if family not in declared:
+            errors.append("required family %s not found" % family)
+        elif wanted_type and declared[family] != wanted_type:
+            errors.append("required family %s is %s, want %s"
+                          % (family, declared[family], wanted_type))
+
+    if errors:
+        for message in errors:
+            print("check_prometheus_exposition: %s" % message,
+                  file=sys.stderr)
+        print("check_prometheus_exposition: %d error(s) in %s"
+              % (len(errors), args.path), file=sys.stderr)
+        return 1
+    print("check_prometheus_exposition: ok (%d families)"
+          % len(declared))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

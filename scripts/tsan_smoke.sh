@@ -6,18 +6,20 @@
 # are already TSan-instrumented; any reported race aborts the test.
 #
 # Usage: tsan_smoke.sh <support_test> <metrics_test> \
-#            <hypermapper_test> <kfusion_parity_test>
+#            <hypermapper_test> <kfusion_parity_test> <telemetry_test>
 set -eu
 
-if [ $# -ne 4 ]; then
+if [ $# -ne 5 ]; then
     echo "usage: $0 <support_test> <metrics_test>" \
-         "<hypermapper_test> <kfusion_parity_test>" >&2
+         "<hypermapper_test> <kfusion_parity_test>" \
+         "<telemetry_test>" >&2
     exit 2
 fi
 support_test=$(readlink -f "$1")
 metrics_test=$(readlink -f "$2")
 hypermapper_test=$(readlink -f "$3")
 parity_test=$(readlink -f "$4")
+telemetry_test=$(readlink -f "$5")
 
 # halt_on_error: the first race fails the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -35,5 +37,9 @@ run "$support_test" 'ThreadPool.*'
 run "$metrics_test" 'MetricsRegistry.*'
 run "$hypermapper_test" '*ParallelMatchesSerial*'
 run "$parity_test" '*Pooled*'
+# The seqlock ring, the exposition server against concurrent metric
+# writers, and the watchdog; the fork-based CrashDump suite is
+# excluded (fork is not meaningful under TSan's runtime).
+run "$telemetry_test" 'FlightRecorder.*:TelemetryServer.*:SloWatchdog.*:LiveTelemetry.*'
 
 echo "tsan_smoke: ok"

@@ -4,6 +4,7 @@
 
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
+#include "support/slo_watchdog.hpp"
 
 namespace slambench::core {
 
@@ -36,6 +37,20 @@ runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
         ++result.frames;
         if (tracked)
             ++result.trackedFrames;
+        if (support::telemetry::liveTelemetry()) {
+            // Cheap live ATE proxy (unaligned translation error at
+            // this frame) so the watchdog and /metrics track
+            // accuracy without waiting for the end-of-run solve.
+            const double live_ate =
+                i < sequence.groundTruth.size()
+                    ? (system.currentPose().translationPart() -
+                       sequence.groundTruth.pose(i)
+                           .translationPart())
+                          .norm()
+                    : 0.0;
+            support::telemetry::frameTick(i, frame_seconds.back(),
+                                          live_ate, tracked);
+        }
         if (options.verbose) {
             support::logDebug()
                 << "frame " << i << (tracked ? " tracked" : " LOST")

@@ -4,7 +4,10 @@
 #include <cmath>
 #include <memory>
 
+#include <atomic>
+
 #include "metrics/timing.hpp"
+#include "support/flight_recorder.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/strings.hpp"
@@ -49,6 +52,13 @@ runEvaluation(const Evaluator &evaluate, Point point,
     if (!e.valid)
         registry.counter("dse.invalid").add(1);
     registry.histogram("dse.eval_wall_seconds").record(wall_seconds);
+
+    auto &recorder = support::telemetry::FlightRecorder::instance();
+    if (recorder.enabled())
+        recorder.record(
+            support::telemetry::EventKind::DseEvaluation, iteration,
+            wall_seconds,
+            e.objectives.empty() ? 0.0 : e.objectives[0], method);
 
     std::string params;
     for (const double v : e.point) {
@@ -131,16 +141,39 @@ class EvalDispatcher
         // Slots are committed by submission index, so the append
         // below reproduces serial order regardless of completion
         // order; per-evaluation wall times are tracked to derive the
-        // pool occupancy of the batch.
+        // pool occupancy of the batch. The live gauges
+        // (dse.pool.active_evals and the incrementally-updated
+        // occupancy) make a scrape of /metrics mid-batch show pool
+        // saturation instead of the previous batch's aggregate.
         std::vector<Evaluation> results(points.size());
         std::vector<double> walls(points.size(), 0.0);
+        auto &active_gauge = registry.gauge("dse.pool.active_evals");
+        auto &occupancy_gauge = registry.gauge("dse.pool.occupancy");
+        std::atomic<size_t> active{0};
+        std::atomic<uint64_t> busy_ns{0};
         pool_->parallelFor(0, points.size(), [&](size_t i) {
+            active_gauge.set(static_cast<double>(
+                active.fetch_add(1, std::memory_order_relaxed) + 1));
             const uint64_t t0 = slambench::metrics::now_ns();
             results[i] = runEvaluation(evaluate, std::move(points[i]),
                                        method, iteration);
-            walls[i] = static_cast<double>(
-                           slambench::metrics::now_ns() - t0) *
-                       1e-9;
+            const uint64_t eval_ns =
+                slambench::metrics::now_ns() - t0;
+            walls[i] = static_cast<double>(eval_ns) * 1e-9;
+            active_gauge.set(static_cast<double>(
+                active.fetch_sub(1, std::memory_order_relaxed) - 1));
+            const uint64_t total_busy_ns =
+                busy_ns.fetch_add(eval_ns,
+                                  std::memory_order_relaxed) +
+                eval_ns;
+            const double elapsed =
+                static_cast<double>(slambench::metrics::now_ns() -
+                                    batch_start_ns) *
+                1e-9;
+            if (elapsed > 0.0)
+                occupancy_gauge.set(
+                    static_cast<double>(total_busy_ns) * 1e-9 /
+                    (elapsed * static_cast<double>(threads_)));
         });
 
         const double batch_wall =

@@ -35,6 +35,31 @@ namespace slambench::support::metrics {
 
 namespace {
 
+/** Newest node of the lock-free crash index (see crashIndexHead). */
+std::atomic<const CrashIndexNode *> g_crash_index_head{nullptr};
+
+/**
+ * Publish one crash-index node for a just-created metric. Called
+ * under the Registry mutex but uses CAS anyway so crashIndexHead()
+ * readers (signal handlers) need no lock; the node and its name copy
+ * intentionally leak — metrics live for the process lifetime.
+ */
+void
+pushCrashIndexNode(const std::string &name,
+                   CrashIndexNode::Kind kind, const void *metric)
+{
+    auto *name_copy = new char[name.size() + 1];
+    std::memcpy(name_copy, name.c_str(), name.size() + 1);
+    auto *node = new CrashIndexNode{name_copy, kind, metric, nullptr};
+    const CrashIndexNode *head =
+        g_crash_index_head.load(std::memory_order_relaxed);
+    do {
+        node->next = head;
+    } while (!g_crash_index_head.compare_exchange_weak(
+        head, node, std::memory_order_release,
+        std::memory_order_relaxed));
+}
+
 /** CAS-add for pre-C++20-hardware-support atomic doubles. */
 void
 atomicAdd(std::atomic<double> &target, double delta)
@@ -230,6 +255,12 @@ LatencyHistogram::reset()
                std::memory_order_relaxed);
 }
 
+const CrashIndexNode *
+crashIndexHead()
+{
+    return g_crash_index_head.load(std::memory_order_acquire);
+}
+
 Registry &
 Registry::instance()
 {
@@ -242,8 +273,11 @@ Registry::counter(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = counters_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Counter>();
+        pushCrashIndexNode(name, CrashIndexNode::Kind::Counter,
+                           slot.get());
+    }
     return *slot;
 }
 
@@ -252,8 +286,11 @@ Registry::gauge(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = gauges_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<Gauge>();
+        pushCrashIndexNode(name, CrashIndexNode::Kind::Gauge,
+                           slot.get());
+    }
     return *slot;
 }
 
@@ -262,8 +299,11 @@ Registry::histogram(const std::string &name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     auto &slot = histograms_[name];
-    if (!slot)
+    if (!slot) {
         slot = std::make_unique<LatencyHistogram>();
+        pushCrashIndexNode(name, CrashIndexNode::Kind::Histogram,
+                           slot.get());
+    }
     return *slot;
 }
 
@@ -360,6 +400,53 @@ processCpuSeconds()
     return seconds(usage.ru_utime) + seconds(usage.ru_stime);
 }
 
+namespace {
+
+/** Guards g_current_session; function-local for init-order safety. */
+std::mutex &
+currentSessionMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/** The process's current active session (nullptr when none). */
+RunSession *g_current_session = nullptr;
+
+/** Header of the per-frame CSV (streaming and writeFramesCsv). */
+std::vector<std::string>
+frameCsvColumns()
+{
+    return {"label",        "frame",      "wall_ms",
+            "preprocess_ms", "track_ms",   "integrate_ms",
+            "raycast_ms",    "ate_m",      "tracked",
+            "integrated",    "sim_joules", "rss_peak_bytes"};
+}
+
+/** Append one frame row to @p csv. */
+void
+writeFrameCsvRow(CsvWriter &csv, const FrameTelemetry &t)
+{
+    csv.beginRow()
+        .cell(t.label)
+        .cell(static_cast<uint64_t>(t.frame))
+        .cell(t.wallSeconds * 1e3)
+        .cell(t.preprocessSeconds * 1e3)
+        .cell(t.trackSeconds * 1e3)
+        .cell(t.integrateSeconds * 1e3)
+        .cell(t.raycastSeconds * 1e3)
+        .cell(t.ateMeters)
+        .cell(t.tracked ? "1" : "0")
+        .cell(t.integrated ? "1" : "0")
+        .cell(t.simJoules)
+        .cell(t.rssPeakBytes);
+    csv.endRow();
+}
+
+} // namespace
+
+RunSession::RunSession() = default;
+
 RunSession::RunSession(std::string json_path, std::string csv_path,
                        std::string generator)
     : jsonPath_(std::move(json_path)), csvPath_(std::move(csv_path)),
@@ -370,19 +457,41 @@ RunSession::RunSession(std::string json_path, std::string csv_path,
     active_ = true;
     startNs_ = slambench::metrics::now_ns();
     startCpuSeconds_ = processCpuSeconds();
+    if (!csvPath_.empty()) {
+        // Stream rows as frames arrive (flushed per window in
+        // addFrame) so a crash loses at most one window.
+        csvStream_ = std::make_unique<std::ofstream>(csvPath_);
+        if (*csvStream_) {
+            csvWriter_ = std::make_unique<CsvWriter>(
+                *csvStream_, frameCsvColumns());
+        } else {
+            logError() << "metrics: cannot write " << csvPath_;
+            csvStream_.reset();
+        }
+    }
+    registerCurrent();
 }
 
 RunSession::RunSession(RunSession &&other) noexcept
-    : jsonPath_(std::move(other.jsonPath_)),
-      csvPath_(std::move(other.csvPath_)),
-      generator_(std::move(other.generator_)),
-      active_(other.active_), startNs_(other.startNs_),
-      startCpuSeconds_(other.startCpuSeconds_),
-      params_(std::move(other.params_)),
-      extraSummary_(std::move(other.extraSummary_)),
-      frames_(std::move(other.frames_))
 {
+    std::lock_guard<std::mutex> lock(currentSessionMutex());
+    jsonPath_ = std::move(other.jsonPath_);
+    csvPath_ = std::move(other.csvPath_);
+    generator_ = std::move(other.generator_);
+    active_ = other.active_;
+    startNs_ = other.startNs_;
+    startCpuSeconds_ = other.startCpuSeconds_;
+    params_ = std::move(other.params_);
+    extraSummary_ = std::move(other.extraSummary_);
+    frames_ = std::move(other.frames_);
+    mutex_ = std::move(other.mutex_);
+    csvStream_ = std::move(other.csvStream_);
+    csvWriter_ = std::move(other.csvWriter_);
+    csvRowsFlushed_ = other.csvRowsFlushed_;
     other.active_ = false;
+    other.mutex_ = std::make_unique<std::mutex>();
+    if (g_current_session == &other)
+        g_current_session = this;
 }
 
 RunSession &
@@ -390,6 +499,7 @@ RunSession::operator=(RunSession &&other) noexcept
 {
     if (this != &other) {
         finish();
+        std::lock_guard<std::mutex> lock(currentSessionMutex());
         jsonPath_ = std::move(other.jsonPath_);
         csvPath_ = std::move(other.csvPath_);
         generator_ = std::move(other.generator_);
@@ -399,7 +509,14 @@ RunSession::operator=(RunSession &&other) noexcept
         params_ = std::move(other.params_);
         extraSummary_ = std::move(other.extraSummary_);
         frames_ = std::move(other.frames_);
+        mutex_ = std::move(other.mutex_);
+        csvStream_ = std::move(other.csvStream_);
+        csvWriter_ = std::move(other.csvWriter_);
+        csvRowsFlushed_ = other.csvRowsFlushed_;
         other.active_ = false;
+        other.mutex_ = std::make_unique<std::mutex>();
+        if (g_current_session == &other)
+            g_current_session = this;
     }
     return *this;
 }
@@ -407,10 +524,39 @@ RunSession::operator=(RunSession &&other) noexcept
 RunSession::~RunSession() { finish(); }
 
 void
+RunSession::registerCurrent()
+{
+    std::lock_guard<std::mutex> lock(currentSessionMutex());
+    g_current_session = this;
+}
+
+void
+RunSession::unregisterCurrent()
+{
+    std::lock_guard<std::mutex> lock(currentSessionMutex());
+    if (g_current_session == this)
+        g_current_session = nullptr;
+}
+
+bool
+RunSession::writeCurrentJson(std::ostream &os)
+{
+    // Holding the global lock across writeJson keeps the session
+    // alive for the duration (finish() and moves take it too); the
+    // instance lock inside writeJson orders us against addFrame.
+    std::lock_guard<std::mutex> lock(currentSessionMutex());
+    if (!g_current_session)
+        return false;
+    g_current_session->writeJson(os);
+    return true;
+}
+
+void
 RunSession::setParam(const std::string &key, const std::string &value)
 {
     if (!active_)
         return;
+    std::lock_guard<std::mutex> lock(*mutex_);
     for (auto &[existing, existing_value] : params_) {
         if (existing == key) {
             existing_value = value;
@@ -425,6 +571,7 @@ RunSession::setSummary(const std::string &key, double value)
 {
     if (!active_)
         return;
+    std::lock_guard<std::mutex> lock(*mutex_);
     for (auto &[existing, existing_value] : extraSummary_) {
         if (existing == key) {
             existing_value = value;
@@ -439,12 +586,35 @@ RunSession::addFrame(const FrameTelemetry &telemetry)
 {
     if (!active_)
         return;
+    std::lock_guard<std::mutex> lock(*mutex_);
     frames_.push_back(telemetry);
+    if (csvWriter_) {
+        writeFrameCsvRow(*csvWriter_, telemetry);
+        flushCsvLocked(false);
+    }
+}
+
+void
+RunSession::flushCsvLocked(bool final_flush)
+{
+    if (!csvWriter_)
+        return;
+    const size_t rows = csvWriter_->rowCount();
+    const size_t pending = rows - csvRowsFlushed_;
+    if (pending == 0 ||
+        (!final_flush && pending < kCsvFlushInterval))
+        return;
+    csvStream_->flush();
+    Registry::instance()
+        .counter("metrics.frames.flushed")
+        .add(pending);
+    csvRowsFlushed_ = rows;
 }
 
 void
 RunSession::writeJson(std::ostream &os) const
 {
+    std::lock_guard<std::mutex> lock(*mutex_);
     // Exact per-frame distributions for the summary block; the
     // quantiles reuse support::percentile (linear interpolation).
     std::vector<double> wall;
@@ -611,27 +781,10 @@ RunSession::writeJson(std::ostream &os) const
 void
 RunSession::writeFramesCsv(std::ostream &os) const
 {
-    CsvWriter csv(os,
-                  {"label", "frame", "wall_ms", "preprocess_ms",
-                   "track_ms", "integrate_ms", "raycast_ms", "ate_m",
-                   "tracked", "integrated", "sim_joules",
-                   "rss_peak_bytes"});
-    for (const FrameTelemetry &t : frames_) {
-        csv.beginRow()
-            .cell(t.label)
-            .cell(static_cast<uint64_t>(t.frame))
-            .cell(t.wallSeconds * 1e3)
-            .cell(t.preprocessSeconds * 1e3)
-            .cell(t.trackSeconds * 1e3)
-            .cell(t.integrateSeconds * 1e3)
-            .cell(t.raycastSeconds * 1e3)
-            .cell(t.ateMeters)
-            .cell(t.tracked ? "1" : "0")
-            .cell(t.integrated ? "1" : "0")
-            .cell(t.simJoules)
-            .cell(t.rssPeakBytes);
-    }
-    csv.endRow();
+    std::lock_guard<std::mutex> lock(*mutex_);
+    CsvWriter csv(os, frameCsvColumns());
+    for (const FrameTelemetry &t : frames_)
+        writeFrameCsvRow(csv, t);
 }
 
 void
@@ -639,6 +792,7 @@ RunSession::finish()
 {
     if (!active_)
         return;
+    unregisterCurrent();
     if (!jsonPath_.empty()) {
         std::ofstream os(jsonPath_);
         if (os) {
@@ -648,14 +802,14 @@ RunSession::finish()
             logError() << "metrics: cannot write " << jsonPath_;
         }
     }
-    if (!csvPath_.empty()) {
-        std::ofstream os(csvPath_);
-        if (os) {
-            writeFramesCsv(os);
-            logInfo() << "metrics: wrote " << csvPath_;
-        } else {
-            logError() << "metrics: cannot write " << csvPath_;
+    if (csvWriter_) {
+        {
+            std::lock_guard<std::mutex> lock(*mutex_);
+            flushCsvLocked(true);
+            csvWriter_.reset();
+            csvStream_.reset();
         }
+        logInfo() << "metrics: wrote " << csvPath_;
     }
     double wall_sum = 0.0;
     double ate_max = 0.0;

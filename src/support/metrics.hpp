@@ -38,6 +38,10 @@
 #include <utility>
 #include <vector>
 
+namespace slambench::support {
+class CsvWriter;
+} // namespace slambench::support
+
 namespace slambench::support::metrics {
 
 /** Monotonically increasing event counter. */
@@ -173,6 +177,39 @@ class LatencyHistogram
 };
 
 /**
+ * One entry of the async-signal-safe registry index: an immutable
+ * singly-linked node naming a registered metric and pointing at its
+ * (process-lifetime) storage. The Registry pushes one node per
+ * metric at registration via a lock-free CAS, so a fatal-signal
+ * handler can walk the list and read every metric's atomics without
+ * taking the Registry mutex or allocating (see
+ * support/flight_recorder.hpp). Nodes are newest-first and never
+ * freed.
+ */
+struct CrashIndexNode
+{
+    /** Which metric family @ref metric points into. */
+    enum class Kind
+    {
+        Counter,  ///< metric is a `const Counter *`.
+        Gauge,    ///< metric is a `const Gauge *`.
+        Histogram ///< metric is a `const LatencyHistogram *`.
+    };
+
+    /** Metric name (heap copy owned by the node, never freed). */
+    const char *name;
+    Kind kind;           ///< Type tag for @ref metric.
+    const void *metric;  ///< The metric's stable storage.
+    const CrashIndexNode *next; ///< Next (older) node or nullptr.
+};
+
+/**
+ * @return the newest node of the crash index (nullptr when no metric
+ * has been registered). Async-signal-safe: a single acquire load.
+ */
+const CrashIndexNode *crashIndexHead();
+
+/**
  * Process-wide metrics registry.
  *
  * Metrics are created on first access by name and live for the
@@ -269,6 +306,14 @@ const char *buildType();
  * telemetry, and summary scalars while the bench runs, and the
  * report files are written (and announced at INFO) on destruction.
  * With both paths empty the session is inert and records nothing.
+ *
+ * The per-frame CSV streams: rows are written as frames arrive and
+ * the file is flushed every kCsvFlushInterval frames, so a crashed
+ * run loses at most one window (the `metrics.frames.flushed` counter
+ * tracks rows durably flushed). Recording is thread-safe, and the
+ * process's most recent active session is readable while the run is
+ * still in flight via writeCurrentJson() (the telemetry server's
+ * /runz endpoint).
  */
 class RunSession
 {
@@ -276,8 +321,11 @@ class RunSession
     /** Version stamped into every report as `schema_version`. */
     static constexpr int kSchemaVersion = 1;
 
+    /** Frames per streaming-CSV flush window. */
+    static constexpr size_t kCsvFlushInterval = 32;
+
     /** Inactive session. */
-    RunSession() = default;
+    RunSession();
 
     /**
      * @param json_path Run-report JSON output path ("" = skip).
@@ -328,7 +376,24 @@ class RunSession
      */
     void finish();
 
+    /**
+     * Write the run report of the process's current active session
+     * (the most recently constructed one still alive) to @p os.
+     * Thread-safe against the owning thread recording frames.
+     *
+     * @return false when no session is active (@p os untouched).
+     */
+    static bool writeCurrentJson(std::ostream &os);
+
   private:
+    /** Publish this session as the process-current one. */
+    void registerCurrent();
+    /** Retract this session if it is the process-current one. */
+    void unregisterCurrent();
+    /** Stream queued CSV rows; flush when a window completed or
+     *  @p final_flush. Caller holds *mutex_. */
+    void flushCsvLocked(bool final_flush);
+
     std::string jsonPath_;
     std::string csvPath_;
     std::string generator_;
@@ -338,6 +403,18 @@ class RunSession
     std::vector<std::pair<std::string, std::string>> params_;
     std::vector<std::pair<std::string, double>> extraSummary_;
     std::vector<FrameTelemetry> frames_;
+
+    /** Guards the vectors and CSV stream; always allocated (and
+     *  re-allocated for a moved-from shell) so sessions stay
+     *  movable while lockable from other threads. */
+    std::unique_ptr<std::mutex> mutex_ =
+        std::make_unique<std::mutex>();
+    /** Streaming CSV sink (open for the whole run); unique_ptrs so
+     *  the CsvWriter's stream reference survives moves. */
+    std::unique_ptr<std::ofstream> csvStream_;
+    std::unique_ptr<CsvWriter> csvWriter_;
+    /** Frames whose CSV rows reached the OS (flush window base). */
+    size_t csvRowsFlushed_ = 0;
 };
 
 } // namespace slambench::support::metrics

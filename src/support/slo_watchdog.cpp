@@ -1,0 +1,247 @@
+#include "support/slo_watchdog.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "metrics/timing.hpp"
+#include "support/flight_recorder.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slambench::support::telemetry {
+
+namespace detail {
+std::atomic<bool> g_live_telemetry{false};
+} // namespace detail
+
+namespace {
+
+/** Current run of consecutive tracking failures (frameTick state). */
+std::atomic<int64_t> g_consecutive_failures{0};
+
+} // namespace
+
+SloWatchdog &
+SloWatchdog::instance()
+{
+    static SloWatchdog watchdog;
+    return watchdog;
+}
+
+void
+SloWatchdog::configure(const SloThresholds &thresholds)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        thresholds_ = thresholds;
+        breaches_.clear();
+        poolStates_.clear();
+    }
+    healthy_.store(true, std::memory_order_relaxed);
+    enabled_.store(thresholds.anyEnabled(),
+                   std::memory_order_relaxed);
+    metrics::Registry::instance().gauge("slo.healthy").set(1.0);
+}
+
+void
+SloWatchdog::reset()
+{
+    configure(SloThresholds{});
+}
+
+void
+SloWatchdog::recordBreach(const char *slo, double value,
+                          double limit, uint64_t frame)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const bool latched = std::any_of(
+            breaches_.begin(), breaches_.end(),
+            [slo](const SloBreach &b) { return b.slo == slo; });
+        if (latched)
+            return;
+        SloBreach breach;
+        breach.slo = slo;
+        breach.value = value;
+        breach.limit = limit;
+        breach.frame = frame;
+        breach.ns = slambench::metrics::now_ns();
+        breaches_.push_back(std::move(breach));
+    }
+    healthy_.store(false, std::memory_order_relaxed);
+    auto &registry = metrics::Registry::instance();
+    registry.counter("slo.breaches").add(1);
+    registry.gauge("slo.healthy").set(0.0);
+    FlightRecorder::instance().record(EventKind::SloBreach, frame,
+                                      value, limit, slo);
+    logWarn() << "slo: breach slo=" << slo << " value=" << value
+              << " limit=" << limit << " frame=" << frame;
+}
+
+void
+SloWatchdog::onFrame(uint64_t frame, double ateMeters,
+                     int64_t consecutiveFailures)
+{
+    if (!enabled())
+        return;
+    SloThresholds t;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        t = thresholds_;
+    }
+    if (t.frameP99Seconds > 0.0) {
+        const auto &hist = metrics::Registry::instance().histogram(
+            "live.frame_wall_seconds");
+        if (hist.count() > 0) {
+            const double p99 = hist.quantile(0.99);
+            if (p99 > t.frameP99Seconds)
+                recordBreach("frame_p99_seconds", p99,
+                             t.frameP99Seconds, frame);
+        }
+    }
+    if (t.maxAteMeters > 0.0 && ateMeters > t.maxAteMeters)
+        recordBreach("ate_meters", ateMeters, t.maxAteMeters,
+                     frame);
+    if (t.maxConsecutiveTrackingFailures > 0 &&
+        consecutiveFailures > t.maxConsecutiveTrackingFailures)
+        recordBreach(
+            "consecutive_tracking_failures",
+            static_cast<double>(consecutiveFailures),
+            static_cast<double>(t.maxConsecutiveTrackingFailures),
+            frame);
+}
+
+void
+SloWatchdog::checkPools(uint64_t frame)
+{
+    if (!enabled())
+        return;
+    double stall_seconds = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stall_seconds = thresholds_.poolQueueStallSeconds;
+    }
+    if (stall_seconds <= 0.0)
+        return;
+
+    const uint64_t now = slambench::metrics::now_ns();
+    double worst_stall = 0.0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ThreadPool::forEachPool([&](const ThreadPool &pool) {
+            const uint64_t executed = pool.tasksExecuted();
+            const size_t depth = pool.queueDepth();
+            auto it = std::find_if(
+                poolStates_.begin(), poolStates_.end(),
+                [&pool](const PoolState &s) {
+                    return s.pool == &pool;
+                });
+            if (it == poolStates_.end()) {
+                PoolState state;
+                state.pool = &pool;
+                state.tasksExecuted = executed;
+                state.sinceNs = now;
+                poolStates_.push_back(state);
+                return;
+            }
+            if (executed != it->tasksExecuted || depth == 0) {
+                // Progress (or nothing queued): restart the window.
+                it->tasksExecuted = executed;
+                it->sinceNs = now;
+                return;
+            }
+            const double stalled =
+                static_cast<double>(now - it->sinceNs) * 1e-9;
+            worst_stall = std::max(worst_stall, stalled);
+        });
+    }
+    if (worst_stall > stall_seconds)
+        recordBreach("pool_queue_stall", worst_stall, stall_seconds,
+                     frame);
+}
+
+std::vector<SloBreach>
+SloWatchdog::breaches() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return breaches_;
+}
+
+std::string
+SloWatchdog::healthzText() const
+{
+    if (healthy())
+        return "ok\n";
+    std::ostringstream out;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const SloBreach &b : breaches_)
+        out << "breach: " << b.slo << " value=" << b.value
+            << " limit=" << b.limit << " frame=" << b.frame << "\n";
+    return out.str();
+}
+
+void
+setLiveTelemetry(bool enabled)
+{
+    detail::g_live_telemetry.store(enabled,
+                                   std::memory_order_relaxed);
+    if (enabled)
+        g_consecutive_failures.store(0, std::memory_order_relaxed);
+}
+
+void
+frameTick(uint64_t frame, double wallSeconds, double ateMeters,
+          bool tracked)
+{
+    // Cached handles: registration takes the Registry mutex; lookups
+    // after the first frame are pointer reads.
+    auto &registry = metrics::Registry::instance();
+    static auto &frame_hist =
+        registry.histogram("live.frame_wall_seconds");
+    static auto &ate_hist = registry.histogram("live.frame_ate_m");
+    static auto &frames = registry.counter("live.frames");
+    static auto &failures =
+        registry.counter("live.tracking_failures");
+    static auto &last_frame_gauge =
+        registry.gauge("live.last_frame_seconds");
+    static auto &last_ate_gauge = registry.gauge("live.last_ate_m");
+    static auto &consecutive_gauge =
+        registry.gauge("live.consecutive_tracking_failures");
+
+    frame_hist.record(wallSeconds);
+    ate_hist.record(ateMeters);
+    frames.add(1);
+    last_frame_gauge.set(wallSeconds);
+    last_ate_gauge.set(ateMeters);
+
+    int64_t consecutive;
+    if (tracked) {
+        consecutive = 0;
+        g_consecutive_failures.store(0, std::memory_order_relaxed);
+    } else {
+        consecutive = g_consecutive_failures.fetch_add(
+                          1, std::memory_order_relaxed) +
+                      1;
+        failures.add(1);
+    }
+    consecutive_gauge.set(static_cast<double>(consecutive));
+
+    auto &recorder = FlightRecorder::instance();
+    if (recorder.enabled()) {
+        recorder.record(EventKind::Frame, frame, wallSeconds,
+                        ateMeters, tracked ? "tracked" : "lost");
+        if (!tracked)
+            recorder.record(EventKind::TrackingFailure, frame,
+                            static_cast<double>(consecutive),
+                            ateMeters, "");
+    }
+
+    auto &watchdog = SloWatchdog::instance();
+    if (watchdog.enabled()) {
+        watchdog.onFrame(frame, ateMeters, consecutive);
+        watchdog.checkPools(frame);
+    }
+}
+
+} // namespace slambench::support::telemetry

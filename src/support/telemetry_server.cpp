@@ -1,0 +1,331 @@
+#include "support/telemetry_server.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "support/flight_recorder.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/strings.hpp"
+
+namespace slambench::support::telemetry {
+
+namespace {
+
+/** Format a double the way the exposition samples need (%.10g). */
+std::string
+sampleValue(double v)
+{
+    if (!(v > -std::numeric_limits<double>::infinity() &&
+          v < std::numeric_limits<double>::infinity()))
+        v = 0.0; // non-finite gauges render as 0, like the reports
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.10g", v);
+    return buf;
+}
+
+/** Emit the HELP/TYPE preamble for one metric family. */
+void
+writeFamilyHeader(std::ostream &os, const std::string &family,
+                  const char *type, const std::string &registry_name)
+{
+    // HELP text escaping: backslash and newline (registry names
+    // contain neither, but stay correct for any name).
+    std::string help;
+    for (const char c : registry_name) {
+        if (c == '\\')
+            help += "\\\\";
+        else if (c == '\n')
+            help += "\\n";
+        else
+            help += c;
+    }
+    os << "# HELP " << family << " slambench registry metric "
+       << help << "\n";
+    os << "# TYPE " << family << " " << type << "\n";
+}
+
+} // namespace
+
+std::string
+sanitizeMetricName(const std::string &name)
+{
+    std::string out;
+    out.reserve(name.size() + 1);
+    for (const char c : name) {
+        const bool valid = std::isalnum(static_cast<unsigned char>(c)) ||
+                           c == '_' || c == ':';
+        out += valid ? c : '_';
+    }
+    if (out.empty() ||
+        std::isdigit(static_cast<unsigned char>(out[0])))
+        out.insert(out.begin(), '_');
+    return out;
+}
+
+std::string
+escapeLabelValue(const std::string &value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\')
+            out += "\\\\";
+        else if (c == '"')
+            out += "\\\"";
+        else if (c == '\n')
+            out += "\\n";
+        else
+            out += c;
+    }
+    return out;
+}
+
+void
+renderPrometheus(std::ostream &os)
+{
+    auto &registry = metrics::Registry::instance();
+    // Scrape-time process gauge so a dashboard sees memory growth
+    // without waiting for the end-of-run report.
+    registry.gauge("process.peak_rss_bytes")
+        .set(metrics::peakRssBytes());
+
+    for (const auto &[name, value] : registry.counters()) {
+        std::string family = sanitizeMetricName(name);
+        // Prometheus counter convention; registry names that already
+        // end in _total keep it un-doubled.
+        const std::string suffix = "_total";
+        if (family.size() < suffix.size() ||
+            family.compare(family.size() - suffix.size(),
+                           suffix.size(), suffix) != 0)
+            family += suffix;
+        writeFamilyHeader(os, family, "counter", name);
+        os << family << " " << value << "\n";
+    }
+
+    for (const auto &[name, value] : registry.gauges()) {
+        const std::string family = sanitizeMetricName(name);
+        writeFamilyHeader(os, family, "gauge", name);
+        os << family << " " << sampleValue(value) << "\n";
+    }
+
+    for (const auto &[name, histogram] : registry.histograms()) {
+        const std::string family = sanitizeMetricName(name);
+        writeFamilyHeader(os, family, "histogram", name);
+        // Cumulative buckets at the histogram's populated edges
+        // (empty buckets elided — any subset of edges is valid
+        // exposition as long as counts are cumulative and +Inf
+        // equals _count).
+        uint64_t cumulative = 0;
+        const size_t buckets = histogram->numBuckets();
+        for (size_t i = 0; i + 1 < buckets; ++i) {
+            const uint64_t in_bucket = histogram->bucketCount(i);
+            if (in_bucket == 0)
+                continue;
+            cumulative += in_bucket;
+            os << family << "_bucket{le=\""
+               << sampleValue(histogram->bucketHi(i)) << "\"} "
+               << cumulative << "\n";
+        }
+        os << family << "_bucket{le=\"+Inf\"} "
+           << histogram->count() << "\n";
+        os << family << "_sum " << sampleValue(histogram->sum())
+           << "\n";
+        os << family << "_count " << histogram->count() << "\n";
+    }
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+bool
+TelemetryServer::start(int port)
+{
+    if (running())
+        return false;
+
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return false;
+    const int enable = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                 sizeof(enable));
+
+    sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        ::close(fd);
+        return false;
+    }
+
+    socklen_t addr_len = sizeof(addr);
+    if (::getsockname(fd, reinterpret_cast<sockaddr *>(&addr),
+                      &addr_len) != 0) {
+        ::close(fd);
+        return false;
+    }
+    listenFd_ = fd;
+    port_ = static_cast<int>(ntohs(addr.sin_port));
+    stopRequested_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { serveLoop(); });
+    return true;
+}
+
+void
+TelemetryServer::stop()
+{
+    if (!thread_.joinable())
+        return;
+    stopRequested_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    ::close(listenFd_);
+    listenFd_ = -1;
+    port_ = -1;
+}
+
+void
+TelemetryServer::serveLoop()
+{
+    while (!stopRequested_.load(std::memory_order_relaxed)) {
+        // Bounded poll instead of a blocking accept so stop() is
+        // honored within one timeout even with no clients.
+        pollfd pfd;
+        pfd.fd = listenFd_;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ready = ::poll(&pfd, 1, 200);
+        if (ready <= 0)
+            continue;
+        const int client = ::accept(listenFd_, nullptr, nullptr);
+        if (client < 0)
+            continue;
+        handleConnection(client);
+        ::close(client);
+    }
+}
+
+void
+TelemetryServer::handleConnection(int client_fd)
+{
+    char request[4096];
+    const ssize_t got =
+        ::read(client_fd, request, sizeof(request) - 1);
+    if (got <= 0)
+        return;
+    request[got] = '\0';
+
+    // "<METHOD> <path> ..." — the only request-line parts we need.
+    std::string method;
+    std::string path;
+    {
+        const char *p = request;
+        while (*p && *p != ' ')
+            method += *p++;
+        while (*p == ' ')
+            ++p;
+        while (*p && *p != ' ' && *p != '\r' && *p != '\n')
+            path += *p++;
+    }
+
+    int status = 200;
+    const char *status_text = "OK";
+    const char *content_type = "text/plain; charset=utf-8";
+    std::string body;
+
+    if (method != "GET") {
+        status = 405;
+        status_text = "Method Not Allowed";
+        body = "only GET is supported\n";
+    } else if (path == "/metrics") {
+        std::ostringstream out;
+        renderPrometheus(out);
+        body = out.str();
+        content_type = "text/plain; version=0.0.4; charset=utf-8";
+    } else if (path == "/healthz") {
+        const auto &watchdog = SloWatchdog::instance();
+        body = watchdog.healthzText();
+        if (!watchdog.healthy()) {
+            status = 503;
+            status_text = "Service Unavailable";
+        }
+    } else if (path == "/runz") {
+        std::ostringstream out;
+        if (metrics::RunSession::writeCurrentJson(out)) {
+            body = out.str();
+            content_type = "application/json";
+        } else {
+            status = 404;
+            status_text = "Not Found";
+            body = "no active run session\n";
+        }
+    } else {
+        status = 404;
+        status_text = "Not Found";
+        body = "unknown path; try /metrics, /healthz, /runz\n";
+    }
+
+    std::ostringstream response;
+    response << "HTTP/1.0 " << status << " " << status_text
+             << "\r\nContent-Type: " << content_type
+             << "\r\nContent-Length: " << body.size()
+             << "\r\nConnection: close\r\n\r\n"
+             << body;
+    const std::string out = response.str();
+    size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n =
+            ::write(client_fd, out.data() + off, out.size() - off);
+        if (n <= 0)
+            break;
+        off += static_cast<size_t>(n);
+    }
+}
+
+TelemetryEndpoint::TelemetryEndpoint(const TelemetryOptions &options)
+{
+    if (!options.any())
+        return;
+    active_ = true;
+
+    SloWatchdog::instance().configure(options.slo);
+    const std::string dump_path =
+        options.crashDumpPath.empty()
+            ? options.generator + "_crash.json"
+            : options.crashDumpPath;
+    installCrashDump(dump_path, options.generator);
+    setLiveTelemetry(true);
+
+    if (options.port >= 0) {
+        if (!server_.start(options.port))
+            fatal(format("telemetry: cannot bind 127.0.0.1:%d",
+                         options.port));
+        logInfo() << "telemetry: listening on http://127.0.0.1:"
+                  << server_.port();
+        logInfo() << "telemetry: crash dump armed at " << dump_path;
+    }
+}
+
+TelemetryEndpoint::~TelemetryEndpoint()
+{
+    if (!active_)
+        return;
+    server_.stop();
+    setLiveTelemetry(false);
+    SloWatchdog::instance().reset();
+}
+
+} // namespace slambench::support::telemetry

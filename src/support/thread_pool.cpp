@@ -7,6 +7,27 @@
 
 namespace slambench::support {
 
+namespace {
+
+// Registry of live pools for ThreadPool::forEachPool. Function-local
+// statics avoid init-order issues with pools constructed during
+// static initialization.
+std::mutex &
+poolRegistryMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+std::vector<ThreadPool *> &
+poolRegistry()
+{
+    static std::vector<ThreadPool *> pools;
+    return pools;
+}
+
+} // namespace
+
 ThreadPool::ThreadPool(size_t num_threads)
 {
     size_t n = num_threads;
@@ -18,10 +39,20 @@ ThreadPool::ThreadPool(size_t num_threads)
     threads_.reserve(n);
     for (size_t i = 0; i < n; ++i)
         threads_.emplace_back([this] { workerLoop(); });
+    {
+        std::lock_guard<std::mutex> lock(poolRegistryMutex());
+        poolRegistry().push_back(this);
+    }
 }
 
 ThreadPool::~ThreadPool()
 {
+    {
+        std::lock_guard<std::mutex> lock(poolRegistryMutex());
+        auto &pools = poolRegistry();
+        pools.erase(std::remove(pools.begin(), pools.end(), this),
+                    pools.end());
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         stopping_ = true;
@@ -40,6 +71,7 @@ ThreadPool::enqueue(TaskGroup &group, std::function<void()> task,
     entry.group = &group;
     entry.traceName = trace_name;
     group.pending_.fetch_add(1, std::memory_order_acq_rel);
+    queueDepth_.fetch_add(1, std::memory_order_relaxed);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         queue_.push_back(std::move(entry));
@@ -121,6 +153,7 @@ ThreadPool::tryRunOneTask(TaskGroup *prefer)
         }
         task = std::move(*it);
         queue_.erase(it);
+        queueDepth_.fetch_sub(1, std::memory_order_relaxed);
     }
     execute(std::move(task));
     return true;
@@ -240,6 +273,7 @@ ThreadPool::workerLoop()
             }
             task = std::move(queue_.front());
             queue_.pop_front();
+            queueDepth_.fetch_sub(1, std::memory_order_relaxed);
         }
         execute(std::move(task));
     }
@@ -250,6 +284,15 @@ ThreadPool::global()
 {
     static ThreadPool pool;
     return pool;
+}
+
+void
+ThreadPool::forEachPool(
+    const std::function<void(const ThreadPool &)> &fn)
+{
+    std::lock_guard<std::mutex> lock(poolRegistryMutex());
+    for (const ThreadPool *pool : poolRegistry())
+        fn(*pool);
 }
 
 } // namespace slambench::support

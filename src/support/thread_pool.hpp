@@ -144,8 +144,26 @@ class ThreadPool
         return peakActive_.load(std::memory_order_relaxed);
     }
 
+    /** @return tasks currently queued and not yet claimed by any
+     *  runner (live saturation signal; relaxed). */
+    size_t
+    queueDepth() const
+    {
+        return queueDepth_.load(std::memory_order_relaxed);
+    }
+
     /** @return a process-wide shared pool sized to the host. */
     static ThreadPool &global();
+
+    /**
+     * Invoke @p fn once for every live pool (the global pool plus any
+     * explicitly constructed ones). The internal registry lock is
+     * held across the calls, so @p fn must be quick and must not
+     * construct or destroy pools. Used by the SLO watchdog to sample
+     * queueDepth()/tasksExecuted() for stall detection.
+     */
+    static void
+    forEachPool(const std::function<void(const ThreadPool &)> &fn);
 
   private:
     struct Task
@@ -179,6 +197,7 @@ class ThreadPool
     std::atomic<uint64_t> tasksExecuted_{0};
     std::atomic<size_t> activeTasks_{0};
     std::atomic<size_t> peakActive_{0};
+    std::atomic<size_t> queueDepth_{0};
 };
 
 } // namespace slambench::support
