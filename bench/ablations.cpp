@@ -103,9 +103,12 @@ main(int argc, char **argv)
     core::addConfigParams(metrics_session, defaultConfig());
 
     // Baseline for every study: a mid-cost configuration so sweeps
-    // finish quickly but the volume still matters.
+    // finish quickly but the volume still matters. --backend sets
+    // the kernel backend for every variant (bit-exact, so it never
+    // changes a study's accuracy column).
     kfusion::KFusionConfig base = defaultConfig();
     base.volumeResolution = quick ? 64 : 128;
+    base.kernelBackend = backendFromArgs(argc, argv);
 
     // 1. Bilateral filter.
     for (int radius : {0, 1, 2, 4}) {

@@ -18,6 +18,7 @@
 #include "core/experiment.hpp"
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
+#include "kfusion/backend.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/telemetry_server.hpp"
@@ -122,6 +123,23 @@ argDouble(int argc, char **argv, const char *name, double fallback)
         if (std::strcmp(argv[i], name) == 0)
             return std::atof(argv[i + 1]);
     return fallback;
+}
+
+/**
+ * Parse the shared `--backend NAME` flag: the kernel backend the
+ * four hot kernels run on ("scalar", "simd", or "auto" for
+ * CPUID-based dispatch; see docs/KERNEL_BACKENDS.md). Exits with a
+ * usage error on names missing from the registry. All backends are
+ * bit-exact, so the flag moves only the performance axis.
+ */
+inline std::string
+backendFromArgs(int argc, char **argv)
+{
+    const char *name = argString(argc, argv, "--backend", "scalar");
+    std::string error;
+    if (!kfusion::resolveKernelBackend(name, &error))
+        support::fatal(std::string(argv[0]) + ": --backend: " + error);
+    return name;
 }
 
 /**

@@ -49,6 +49,9 @@ main(int argc, char **argv)
     const dataset::Sequence sequence = generateSequence(spec);
 
     kfusion::KFusionConfig config = defaultConfig();
+    // --backend {scalar,simd,auto}: kernel backend for the hot
+    // kernels (bit-exact; performance only).
+    config.kernelBackend = backendFromArgs(argc, argv);
     core::addConfigParams(metrics_session, config);
     kfusion::KFusion pipeline(config, sequence.intrinsics);
     pipeline.setPose(sequence.groundTruth.pose(0));

@@ -94,8 +94,14 @@ main(int argc, char **argv)
         core::makeDseEvaluator(space, sequence, xu3, {}, &eval_log);
 
     // --- Baseline: the default configuration. ---
-    core::addConfigParams(metrics_session, defaultConfig());
-    const hypermapper::Point default_point = space.defaultPoint();
+    // --backend selects the baseline's kernel backend; the DSE
+    // itself always explores the "implementation" dimension (0 =
+    // scalar, 1 = simd) regardless of this flag.
+    kfusion::KFusionConfig default_config = defaultConfig();
+    default_config.kernelBackend = backendFromArgs(argc, argv);
+    core::addConfigParams(metrics_session, default_config);
+    const hypermapper::Point default_point =
+        core::configToPoint(space, default_config);
     const auto default_outcome = evaluator(default_point);
     hypermapper::Evaluation default_eval;
     default_eval.point = default_point;

@@ -52,8 +52,13 @@ main(int argc, char **argv)
     // One pipeline run per configuration; device models replay the
     // recorded per-frame work (this mirrors how the Android app ran
     // the same workload everywhere).
-    const kfusion::KFusionConfig default_config = defaultConfig();
-    const kfusion::KFusionConfig tuned_config = tunedConfig();
+    // --backend applies to both runs: the implementation axis is
+    // orthogonal to the tuned-vs-default algorithmic comparison.
+    const std::string backend = backendFromArgs(argc, argv);
+    kfusion::KFusionConfig default_config = defaultConfig();
+    kfusion::KFusionConfig tuned_config = tunedConfig();
+    default_config.kernelBackend = backend;
+    tuned_config.kernelBackend = backend;
     // The report's config object records the tuned configuration
     // (the artifact Fig. 3 ships); both runs' frames are appended
     // below under their own labels.

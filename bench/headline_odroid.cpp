@@ -50,6 +50,10 @@ main(int argc, char **argv)
     };
     Row rows[2] = {{"default (state of the art)", defaultConfig(), {}},
                    {"tuned (HyperMapper)", tunedConfig(), {}}};
+    // --backend applies to both rows (bit-exact, performance only).
+    const std::string backend = backendFromArgs(argc, argv);
+    for (Row &row : rows)
+        row.config.kernelBackend = backend;
 
     // Both evaluations are independent full pipeline runs; run them
     // concurrently (unless --dse-threads 1) and report serially so

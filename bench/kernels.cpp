@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "dataset/generator.hpp"
+#include "kfusion/backend.hpp"
 #include "kfusion/kernels.hpp"
 #include "kfusion/raycast.hpp"
 #include "kfusion/tracking.hpp"
@@ -188,7 +189,7 @@ BM_TrackKernel(benchmark::State &state)
 }
 
 void
-BM_ReduceKernel(benchmark::State &state)
+BM_ReduceKernel(benchmark::State &state, const KernelBackend *backend)
 {
     Workload &wl = workload(static_cast<size_t>(state.range(0)),
                             static_cast<size_t>(state.range(1)));
@@ -196,7 +197,8 @@ BM_ReduceKernel(benchmark::State &state)
     trackKernel(track, wl.vertex, wl.normal, wl.pose, wl.refVertex,
                 wl.refNormal, wl.k, wl.pose, 0.1f, 0.8f, nullptr);
     for (auto _ : state) {
-        const ReductionResult r = reduceKernel(track, nullptr);
+        const ReductionResult r =
+            reduceKernel(track, nullptr, backend);
         benchmark::DoNotOptimize(r.errorSq);
     }
     state.SetItemsProcessed(
@@ -211,11 +213,12 @@ BM_ReduceKernel(benchmark::State &state)
  * BM_IntegrateDense for the culling speedup.
  */
 void
-BM_Integrate(benchmark::State &state)
+BM_Integrate(benchmark::State &state, const KernelBackend *backend)
 {
     Workload &wl = workload(160, 120);
     TsdfVolume volume =
         benchVolume(static_cast<int>(state.range(0)));
+    volume.setBackend(backend);
     WorkCounts counts;
     for (auto _ : state) {
         volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f,
@@ -249,7 +252,7 @@ BM_IntegrateDense(benchmark::State &state)
 
 /** Items are rays cast (one per pixel): ns/item is ns per ray. */
 void
-BM_Raycast(benchmark::State &state)
+BM_Raycast(benchmark::State &state, const KernelBackend *backend)
 {
     Workload &wl = workload(160, 120);
     TsdfVolume volume =
@@ -264,7 +267,7 @@ BM_Raycast(benchmark::State &state)
     counts = WorkCounts{};
     for (auto _ : state) {
         raycastKernel(vertex, normal, volume, wl.k, wl.pose, params,
-                      counts, nullptr);
+                      counts, nullptr, backend);
         benchmark::DoNotOptimize(vertex.data());
     }
     state.SetItemsProcessed(
@@ -298,7 +301,7 @@ gradientPoints(const TsdfVolume &volume, const Workload &wl)
 
 /** Fused single-pass gradient; items are gradient evaluations. */
 void
-BM_Grad(benchmark::State &state)
+BM_Grad(benchmark::State &state, const KernelBackend *backend)
 {
     Workload &wl = workload(160, 120);
     TsdfVolume volume =
@@ -311,7 +314,7 @@ BM_Grad(benchmark::State &state)
     math::Vec3f acc{};
     for (auto _ : state) {
         for (const math::Vec3f &p : points)
-            acc += volume.grad(p);
+            acc += backend->grad(volume, p);
         benchmark::DoNotOptimize(acc);
     }
     state.SetItemsProcessed(
@@ -348,6 +351,8 @@ BM_GradReference(benchmark::State &state)
 struct KernelResult
 {
     std::string name;
+    /** Kernel backend of a "BM_Foo@backend" row; empty otherwise. */
+    std::string backend;
     int64_t iterations = 0;
     double realNsPerIter = 0.0;
     double cpuNsPerIter = 0.0;
@@ -376,6 +381,21 @@ class CapturingReporter : public benchmark::ConsoleReporter
                 continue;
             KernelResult r;
             r.name = run.benchmark_name();
+            // Per-backend benches are registered as
+            // "BM_Foo@backend/arg": split the backend out so the
+            // report keys rows by (name, backend), keeping the name
+            // comparable across backends.
+            const size_t at = r.name.find('@');
+            if (at != std::string::npos) {
+                const size_t slash = r.name.find('/', at);
+                const size_t backend_end = slash == std::string::npos
+                                               ? r.name.size()
+                                               : slash;
+                r.backend =
+                    r.name.substr(at + 1, backend_end - at - 1);
+                r.name = r.name.substr(0, at) +
+                         r.name.substr(backend_end);
+            }
             r.iterations = run.iterations;
             const double iters =
                 run.iterations > 0
@@ -457,6 +477,9 @@ writeKernelReport(const std::string &path,
         const KernelResult &r = results[i];
         os << (i ? ",\n    {" : "\n    {");
         os << "\"name\": \"" << jsonEscape(r.name) << "\", ";
+        if (!r.backend.empty())
+            os << "\"backend\": \"" << jsonEscape(r.backend)
+               << "\", ";
         os << "\"iterations\": " << r.iterations << ", ";
         os << "\"real_ns_per_iter\": " << jsonNumber(r.realNsPerIter)
            << ", ";
@@ -481,6 +504,40 @@ writeKernelReport(const std::string &path,
     return os.good();
 }
 
+/**
+ * Register the backend-parameterized hot-kernel benches as
+ * "BM_<name>@<backend>" rows, one set per requested backend (the
+ * report writer splits the "@backend" suffix into a "backend"
+ * field). The preprocessing benches have no backend axis and stay
+ * statically registered.
+ */
+void
+registerBackendBenches(const std::vector<std::string> &backends)
+{
+    for (const std::string &name : backends) {
+        const KernelBackend *backend = findKernelBackend(name);
+        benchmark::RegisterBenchmark(
+            ("BM_ReduceKernel@" + name).c_str(), BM_ReduceKernel,
+            backend)
+            ->Args({320, 240})
+            ->Args({160, 120});
+        benchmark::RegisterBenchmark(
+            ("BM_Integrate@" + name).c_str(), BM_Integrate, backend)
+            ->Arg(64)
+            ->Arg(128)
+            ->Arg(256);
+        benchmark::RegisterBenchmark(
+            ("BM_Raycast@" + name).c_str(), BM_Raycast, backend)
+            ->Arg(64)
+            ->Arg(128)
+            ->Arg(256);
+        benchmark::RegisterBenchmark(
+            ("BM_Grad@" + name).c_str(), BM_Grad, backend)
+            ->Arg(128)
+            ->Arg(256);
+    }
+}
+
 } // namespace
 
 BENCHMARK(BM_Mm2Meters)->Args({320, 240})->Args({160, 120});
@@ -495,30 +552,31 @@ BENCHMARK(BM_TrackKernel)
     ->Args({320, 240})
     ->Args({160, 120})
     ->Args({80, 60});
-BENCHMARK(BM_ReduceKernel)->Args({320, 240})->Args({160, 120});
-BENCHMARK(BM_Integrate)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_IntegrateDense)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK(BM_Raycast)->Arg(64)->Arg(128)->Arg(256);
-BENCHMARK(BM_Grad)->Arg(128)->Arg(256);
 BENCHMARK(BM_GradReference)->Arg(128)->Arg(256);
 
 /**
  * Custom main: google-benchmark 1.x aborts on flags it does not
  * know, so the shared `--metrics-json FILE`, `--telemetry-port N`,
- * and `--crash-dump FILE` flags are stripped before
- * benchmark::Initialize sees the argument vector.
+ * `--crash-dump FILE`, and `--backend NAME` flags are stripped
+ * before benchmark::Initialize sees the argument vector.
  */
 int
 main(int argc, char **argv)
 {
     std::vector<char *> bench_argv(argv, argv + argc);
     std::string metrics_path;
+    std::string backend_flag;
     slambench::support::telemetry::TelemetryOptions telemetry_opts;
     telemetry_opts.generator = "kernels";
     for (auto it = bench_argv.begin() + 1; it != bench_argv.end();) {
         if (std::strcmp(*it, "--metrics-json") == 0 &&
             it + 1 != bench_argv.end()) {
             metrics_path = *(it + 1);
+            it = bench_argv.erase(it, it + 2);
+        } else if (std::strcmp(*it, "--backend") == 0 &&
+                   it + 1 != bench_argv.end()) {
+            backend_flag = *(it + 1);
             it = bench_argv.erase(it, it + 2);
         } else if (std::strcmp(*it, "--telemetry-port") == 0 &&
                    it + 1 != bench_argv.end()) {
@@ -534,6 +592,26 @@ main(int argc, char **argv)
     }
     const slambench::support::telemetry::TelemetryEndpoint telemetry(
         telemetry_opts);
+
+    // --backend NAME restricts the hot-kernel benches to one backend
+    // ("auto" resolves via CPUID); by default every registered
+    // backend gets its own rows so BENCH_kernels.json gates each.
+    std::vector<std::string> bench_backends;
+    if (backend_flag.empty()) {
+        bench_backends = slambench::kfusion::kernelBackendNames();
+    } else {
+        std::string backend_error;
+        const slambench::kfusion::KernelBackend *resolved =
+            slambench::kfusion::resolveKernelBackend(backend_flag,
+                                                     &backend_error);
+        if (!resolved) {
+            std::fprintf(stderr, "bench_kernels: --backend: %s\n",
+                         backend_error.c_str());
+            return 1;
+        }
+        bench_backends = {resolved->name()};
+    }
+    registerBackendBenches(bench_backends);
     int bench_argc = static_cast<int>(bench_argv.size());
     benchmark::Initialize(&bench_argc, bench_argv.data());
     if (benchmark::ReportUnrecognizedArguments(bench_argc,

@@ -27,6 +27,7 @@
 #include "core/slam_system.hpp"
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
+#include "kfusion/backend.hpp"
 #include "kfusion/mesh.hpp"
 #include "metrics/reconstruction.hpp"
 #include "support/logging.hpp"
@@ -67,7 +68,11 @@ usage()
         "  --vs S            volume size, meters\n"
         "  --pyramid a,b,c   ICP iterations per level\n"
         "  --tr N            tracking rate\n"
-        "  --rr N            rendering rate\n\n"
+        "  --rr N            rendering rate\n"
+        "  --backend NAME    kernel backend: scalar|simd|auto "
+        "(default scalar;\n"
+        "                    bit-exact, see docs/KERNEL_BACKENDS.md)"
+        "\n\n"
         "outputs:\n"
         "  --align                  also report rigidly aligned ATE\n"
         "  --trace FILE             chrome://tracing span timeline "
@@ -229,6 +234,12 @@ main(int argc, char **argv)
         static_cast<int>(longFlag(argc, argv, "--tr", 1));
     config.renderingRate =
         static_cast<int>(longFlag(argc, argv, "--rr", 4));
+    if (const char *backend = flagValue(argc, argv, "--backend")) {
+        std::string backend_error;
+        if (!kfusion::resolveKernelBackend(backend, &backend_error))
+            support::fatal("--backend: " + backend_error);
+        config.kernelBackend = backend;
+    }
     if (const char *pyramid = flagValue(argc, argv, "--pyramid")) {
         config.pyramidIterations.clear();
         for (const std::string &field :

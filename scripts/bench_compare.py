@@ -98,8 +98,20 @@ def kernels_by_name(report, path):
     for entry in kernels:
         if isinstance(entry, dict) and isinstance(
                 entry.get("name"), str):
-            by_name[entry["name"]] = entry
+            # Per-backend rows share a name ("BM_Integrate/64" exists
+            # once per kernel backend); key by (name, backend) so
+            # each backend's timing is gated independently instead of
+            # the last row silently shadowing the others.
+            backend = entry.get("backend")
+            if not isinstance(backend, str):
+                backend = ""
+            by_name[(entry["name"], backend)] = entry
     return by_name
+
+
+def kernel_label(key):
+    name, backend = key
+    return "%s@%s" % (name, backend) if backend else name
 
 
 def compare_kernels(args, baseline, candidate):
@@ -109,12 +121,13 @@ def compare_kernels(args, baseline, candidate):
     threshold = args.max_kernel_regress
 
     regressions = 0
-    for name in sorted(base_kernels):
-        if name not in cand_kernels:
+    for key in sorted(base_kernels):
+        name = kernel_label(key)
+        if key not in cand_kernels:
             print("  %-24s missing in candidate -- skipped" % name)
             continue
-        base_entry = base_kernels[name]
-        cand_entry = cand_kernels[name]
+        base_entry = base_kernels[key]
+        cand_entry = cand_kernels[key]
         # ns/item (per voxel visit, per ray, ...) is work-normalized,
         # so it survives iteration-count and culling-rate changes;
         # plain per-iteration time is the fallback.
@@ -142,8 +155,9 @@ def compare_kernels(args, baseline, candidate):
               % (name, label, base, cand, delta * 100.0,
                  threshold * 100.0,
                  "  REGRESSION" if regressed else ""))
-    for name in sorted(set(cand_kernels) - set(base_kernels)):
-        print("  %-24s new in candidate -- informational" % name)
+    for key in sorted(set(cand_kernels) - set(base_kernels)):
+        print("  %-24s new in candidate -- informational"
+              % kernel_label(key))
 
     print()
     if regressions:

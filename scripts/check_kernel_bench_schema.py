@@ -9,7 +9,8 @@ Checks the report produced by `bench_kernels --metrics-json` (schema
   * required top-level keys, with the right JSON types;
   * schema name/version match this validator;
   * kernel_count equals the length of the kernels list, names are
-    unique and non-empty;
+    non-empty and (name, backend) pairs are unique (per-backend rows
+    share a name and carry an optional "backend" string);
   * every kernel has positive iterations and positive per-iteration
     times;
   * derived fields reconcile: ns_per_item == 1e9 / items_per_second
@@ -85,12 +86,22 @@ def check_kernels(report):
                        "%s should be an object" % where):
             continue
         name = entry.get("name")
+        backend = entry.get("backend", "")
+        require(isinstance(backend, str),
+                "%s.backend should be a string" % where)
+        if "backend" in entry:
+            require(isinstance(backend, str) and backend,
+                    "%s.backend should be non-empty when present"
+                    % where)
         if require(isinstance(name, str) and name,
                    "%s.name should be a non-empty string" % where):
-            require(name not in names,
-                    "%s duplicate kernel name %r" % (where, name))
-            names.add(name)
-            where = "kernels[%r]" % name
+            key = (name, backend if isinstance(backend, str) else "")
+            require(key not in names,
+                    "%s duplicate kernel (name, backend) %r"
+                    % (where, key))
+            names.add(key)
+            where = ("kernels[%r@%s]" % (name, backend)
+                     if backend else "kernels[%r]" % name)
 
         iterations = entry.get("iterations")
         require(isinstance(iterations, int) and iterations > 0,

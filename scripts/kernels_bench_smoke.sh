@@ -19,9 +19,12 @@ workdir=$(mktemp -d)
 trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
 
-# Small volume, short min time: exercises the culled and dense
-# integrate benches plus one image kernel in a couple of seconds.
-"$bin" --benchmark_filter='BM_Integrate(Dense)?/64|BM_Mm2Meters/160/120' \
+# Small volume, short min time: exercises the culled integrate bench
+# on every kernel backend, the dense reference, and one image kernel
+# in a couple of seconds. The per-backend rows ("BM_Integrate@scalar"
+# and friends) exercise the report's backend field and
+# bench_compare's (name, backend) keying.
+"$bin" --benchmark_filter='BM_Integrate(Dense)?/64|BM_Integrate@[^/]+/64|BM_Mm2Meters/160/120' \
     --benchmark_min_time=0.01 --metrics-json out.json \
     > run.log 2>&1 || {
     echo "kernels_bench_smoke: bench failed:" >&2
@@ -49,12 +52,17 @@ if command -v python3 >/dev/null 2>&1; then
 import json
 
 report = json.load(open("out.json"))
-kernels = {k["name"]: k for k in report["kernels"]}
-for name in ("BM_Integrate/64", "BM_IntegrateDense/64",
-             "BM_Mm2Meters/160/120"):
-    assert name in kernels, f"{name} missing from report"
-culled = kernels["BM_Integrate/64"]
-dense = kernels["BM_IntegrateDense/64"]
+kernels = {(k["name"], k.get("backend", "")): k
+           for k in report["kernels"]}
+assert len(kernels) == len(report["kernels"]), \
+    "duplicate (name, backend) rows in report"
+for key in (("BM_Integrate/64", "scalar"),
+            ("BM_Integrate/64", "simd"),
+            ("BM_IntegrateDense/64", ""),
+            ("BM_Mm2Meters/160/120", "")):
+    assert key in kernels, f"{key} missing from report"
+culled = kernels[("BM_Integrate/64", "scalar")]
+dense = kernels[("BM_IntegrateDense/64", "")]
 # Culling must do strictly less work per pass than the dense sweep
 # (items_per_second is per visited voxel, so compare whole-kernel
 # time instead).
@@ -63,8 +71,8 @@ assert culled["real_ns_per_iter"] < dense["real_ns_per_iter"], \
 print("kernels_bench_smoke: ok (%d kernels)" % len(kernels))
 EOF
 else
-    # Fallback check without python3: schema marker and the three
-    # expected kernel entries are present.
+    # Fallback check without python3: schema marker, the expected
+    # kernel entries, and at least one per-backend row are present.
     grep -q '"schema": "slambench-kernel-bench"' out.json || {
         echo "kernels_bench_smoke: missing schema marker" >&2
         exit 1
@@ -73,6 +81,12 @@ else
         'BM_Mm2Meters/160/120'; do
         grep -q "\"name\": \"$name\"" out.json || {
             echo "kernels_bench_smoke: $name missing from out.json" >&2
+            exit 1
+        }
+    done
+    for backend in scalar simd; do
+        grep -q "\"backend\": \"$backend\"" out.json || {
+            echo "kernels_bench_smoke: no $backend rows in out.json" >&2
             exit 1
         }
     done

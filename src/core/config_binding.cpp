@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kfusion/backend.hpp"
+
 namespace slambench::core {
 
 using hypermapper::ParameterSpace;
@@ -24,6 +26,12 @@ kfusionParameterSpace()
     space.addInteger("pyramid_level2", 0, 6, 4);
     space.addInteger("tracking_rate", 1, 4, 1);
     space.addInteger("rendering_rate", 1, 8, 4);
+    // Kernel implementation axis (paper sec. II: the same algorithmic
+    // configuration can run on differently optimized kernels). The
+    // ordinal maps onto the kernel-backend registry: 0 = scalar,
+    // 1 = simd. All backends are bit-exact, so this dimension only
+    // moves the performance/energy axes, never accuracy.
+    space.addOrdinal("implementation", {0, 1}, 0);
     return space;
 }
 
@@ -50,6 +58,8 @@ pointToConfig(const ParameterSpace &space, const Point &point)
         static_cast<int>(p[space.indexOf("tracking_rate")]);
     config.renderingRate =
         static_cast<int>(p[space.indexOf("rendering_rate")]);
+    config.kernelBackend = kfusion::kernelBackendFromOrdinal(
+        p[space.indexOf("implementation")]);
     return config;
 }
 
@@ -76,6 +86,8 @@ configToPoint(const ParameterSpace &space, const KFusionConfig &config)
             : 0;
     p[space.indexOf("tracking_rate")] = config.trackingRate;
     p[space.indexOf("rendering_rate")] = config.renderingRate;
+    p[space.indexOf("implementation")] =
+        kfusion::kernelBackendOrdinal(config.kernelBackend);
     return space.canonicalize(p);
 }
 

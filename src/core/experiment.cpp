@@ -5,9 +5,37 @@
 #include <memory>
 #include <mutex>
 
+#include "kfusion/backend.hpp"
 #include "support/logging.hpp"
 
 namespace slambench::core {
+
+namespace {
+
+/**
+ * Device model with its compute rates scaled by the configured
+ * kernel backend's modeled speedup. Only the compute term of the
+ * roofline moves: vectorization does not raise memory bandwidth, so
+ * memory-bound kernels see little simulated gain, exactly like on
+ * hardware. joulesPerItem is left unchanged (a conservative
+ * simplification: the same work items are switched either way).
+ */
+devices::DeviceModel
+deviceForBackend(const devices::DeviceModel &device,
+                 const kfusion::KFusionConfig &config)
+{
+    const kfusion::KernelBackend *backend =
+        kfusion::resolveKernelBackend(config.kernelBackend);
+    if (!backend)
+        return device;
+    devices::DeviceModel scaled = device;
+    for (size_t k = 0; k < kfusion::kNumKernels; ++k)
+        scaled.itemsPerSecond[k] *=
+            backend->modelSpeedup(static_cast<kfusion::KernelId>(k));
+    return scaled;
+}
+
+} // namespace
 
 double
 volumeBytes(const kfusion::KFusionConfig &config)
@@ -48,8 +76,8 @@ evaluateConfigOnDevice(const kfusion::KFusionConfig &config,
 
     record.ate = record.bench.ate;
     record.trackedFraction = record.bench.trackedFraction();
-    record.simulated =
-        devices::simulateRun(device, record.bench.frameWork);
+    record.simulated = devices::simulateRun(
+        deviceForBackend(device, config), record.bench.frameWork);
     record.valid =
         record.trackedFraction >= options.minTrackedFraction &&
         std::isfinite(record.ate.maxAte);

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "kfusion/backend.hpp"
 #include "power/power_monitor.hpp"
 #include "support/csv.hpp"
 #include "support/metrics.hpp"
@@ -117,6 +118,12 @@ addConfigParams(support::metrics::RunSession &session,
     session.setParam("pyramid", pyramid);
     session.setParam("tr", std::to_string(config.trackingRate));
     session.setParam("rr", std::to_string(config.renderingRate));
+    // Record the *resolved* backend ("auto" dispatched to a concrete
+    // name), so run reports from different hosts are comparable.
+    const kfusion::KernelBackend *backend =
+        kfusion::resolveKernelBackend(config.kernelBackend);
+    session.setParam("kernel.backend",
+                     backend ? backend->name() : config.kernelBackend);
 }
 
 support::metrics::FrameTelemetry

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "kfusion/backend.hpp"
 #include "support/strings.hpp"
 
 namespace slambench::kfusion {
@@ -35,6 +36,9 @@ KFusionConfig::validate() const
         return "filterRadius must be in [0, 8]";
     if (!(nearPlane >= 0.0f) || !(farPlane > nearPlane))
         return "need 0 <= nearPlane < farPlane";
+    std::string backend_error;
+    if (!resolveKernelBackend(kernelBackend, &backend_error))
+        return backend_error;
     return "";
 }
 
@@ -51,7 +55,8 @@ KFusionConfig::toString() const
             out << ',';
         out << pyramidIterations[i];
     }
-    out << " tr=" << trackingRate << " rr=" << renderingRate;
+    out << " tr=" << trackingRate << " rr=" << renderingRate
+        << " kb=" << kernelBackend;
     return out.str();
 }
 

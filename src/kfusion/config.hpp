@@ -69,6 +69,17 @@ struct KFusionConfig
     /** Render the visualization output every Nth frame. */
     int renderingRate = 4;
 
+    /**
+     * Kernel backend for the four hot kernels (TSDF integrate, fused
+     * gradient, ray-march core, ICP reduction): a name registered in
+     * the kernel-backend registry ("scalar", "simd", ...) or "auto"
+     * for CPUID-based dispatch. See docs/KERNEL_BACKENDS.md. All
+     * backends are bit-exact against "scalar", so this is a pure
+     * performance axis — the DSE explores it as the ordinal
+     * "implementation" dimension.
+     */
+    std::string kernelBackend = "scalar";
+
     // --- Fixed algorithm constants (SLAMBench values). ---
 
     /** Bilateral filter half window (radius 2 = 5x5 kernel). */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "kfusion/backend.hpp"
 #include "metrics/timing.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
@@ -45,6 +46,14 @@ KFusion::KFusion(const KFusionConfig &config,
     if (!problem.empty())
         support::fatal("KFusion: invalid configuration: " + problem);
 
+    // Resolve "auto" (CPUID dispatch) to a concrete backend once;
+    // validate() already guaranteed the name resolves.
+    std::string backend_error;
+    backend_ = resolveKernelBackend(config_.kernelBackend,
+                                    &backend_error);
+    if (!backend_)
+        support::fatal("KFusion: " + backend_error);
+
     if (impl_ == Implementation::Threaded)
         pool_ = std::make_unique<support::ThreadPool>(num_threads);
 
@@ -54,6 +63,7 @@ KFusion::KFusion(const KFusionConfig &config,
     volume_ = std::make_unique<TsdfVolume>(
         config_.volumeResolution, config_.volumeSize,
         config_.volumeOrigin);
+    volume_->setBackend(backend_);
 
     pyramid_.resize(config_.levels());
     math::CameraIntrinsics level_k = scaledIntrinsics_;
@@ -197,7 +207,7 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
         result.tracking = icpTrack(
             pose_, pyramid_, raycastVertex_, raycastNormal_,
             scaledIntrinsics_, raycastPose_, config_, work,
-            pool_.get(), &lastTrackData_);
+            pool_.get(), &lastTrackData_, backend_);
     } else {
         // Tracking skipped this frame: reuse the previous pose.
         result.tracking.tracked = true;
@@ -219,7 +229,7 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
     if (frame_ > 2 || do_integrate) {
         raycastKernel(raycastVertex_, raycastNormal_, *volume_,
                       scaledIntrinsics_, pose_, raycastParams(), work,
-                      pool_.get());
+                      pool_.get(), backend_);
         raycastPose_ = pose_;
         haveReference_ = true;
         result.raycast = true;
@@ -251,7 +261,8 @@ KFusion::renderModel(support::Image<support::Rgb8> &out,
     WorkCounts work;
     renderVolumeKernel(out, *volume_,
                        intrinsics ? *intrinsics : inputIntrinsics_,
-                       view_pose, raycastParams(), work, pool_.get());
+                       view_pose, raycastParams(), work, pool_.get(),
+                       backend_);
     totalWork_.merge(work);
     if (!frameWork_.empty())
         frameWork_.back().merge(work);

@@ -143,6 +143,12 @@ class KFusion
         return scaledIntrinsics_;
     }
 
+    /**
+     * @return the resolved kernel backend the hot kernels run on
+     * (config.kernelBackend with "auto" already dispatched).
+     */
+    const KernelBackend &kernelBackend() const { return *backend_; }
+
   private:
     void preprocess(const support::Image<uint16_t> &depth_mm,
                     WorkCounts &work);
@@ -153,6 +159,7 @@ class KFusion
     math::CameraIntrinsics inputIntrinsics_;
     math::CameraIntrinsics scaledIntrinsics_;
     Implementation impl_;
+    const KernelBackend *backend_ = nullptr;
     std::unique_ptr<support::ThreadPool> pool_;
 
     std::unique_ptr<TsdfVolume> volume_;

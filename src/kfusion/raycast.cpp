@@ -4,6 +4,7 @@
 #include <cmath>
 #include <vector>
 
+#include "kfusion/backend.hpp"
 #include "math/aabb.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -42,10 +43,11 @@ struct alignas(64) RowSteps
 /**
  * Shared ray-march core of raycastKernel and renderVolumeKernel.
  *
- * Casts one ray per pixel (volume-clipped, see castRay), evaluates
- * the fused TSDF gradient at each hit, and invokes
- * shade(x, y, hit_found, hit, grad) for every pixel — grad is the
- * raw (unnormalized) gradient, zero when the ray missed, so each
+ * Rays are cast in packets of up to kRayPacketWidth per row through
+ * the kernel backend (the scalar backend casts one castRay per
+ * lane), the fused TSDF gradient is evaluated at each hit, and
+ * shade(x, y, hit_found, hit, grad) runs for every pixel — grad is
+ * the raw (unnormalized) gradient, zero when the ray missed, so each
  * caller applies its own degenerate-normal policy unchanged.
  *
  * @return total marching steps taken across the image.
@@ -56,7 +58,7 @@ marchImage(const TsdfVolume &volume,
            const math::CameraIntrinsics &intrinsics,
            const math::Mat4f &camera_to_world,
            const RaycastParams &params, support::ThreadPool *pool,
-           const ShadeFn &shade)
+           const KernelBackend &backend, const ShadeFn &shade)
 {
     const size_t w = intrinsics.width;
     const size_t h = intrinsics.height;
@@ -65,20 +67,26 @@ marchImage(const TsdfVolume &volume,
 
     auto process_row = [&](size_t y) {
         double steps_in_row = 0.0;
-        for (size_t x = 0; x < w; ++x) {
-            const Vec3f dir_cam = intrinsics.rayDir(
-                static_cast<float>(x) + 0.5f,
-                static_cast<float>(y) + 0.5f);
-            const Vec3f dir =
-                camera_to_world.transformDir(dir_cam).normalized();
-
-            Vec3f hit;
-            int steps = 0;
-            const bool found =
-                castRay(volume, origin, dir, params, hit, steps);
-            steps_in_row += steps;
-            const Vec3f g = found ? volume.grad(hit) : Vec3f{};
-            shade(x, y, found, hit, g);
+        Vec3f dirs[kRayPacketWidth];
+        RayHit hits[kRayPacketWidth];
+        for (size_t x0 = 0; x0 < w; x0 += kRayPacketWidth) {
+            const size_t n = std::min(kRayPacketWidth, w - x0);
+            for (size_t l = 0; l < n; ++l) {
+                const Vec3f dir_cam = intrinsics.rayDir(
+                    static_cast<float>(x0 + l) + 0.5f,
+                    static_cast<float>(y) + 0.5f);
+                dirs[l] = camera_to_world.transformDir(dir_cam)
+                              .normalized();
+            }
+            backend.castRays(volume, origin, dirs, n, params, hits);
+            for (size_t l = 0; l < n; ++l) {
+                steps_in_row += hits[l].steps;
+                const Vec3f g = hits[l].found
+                                    ? backend.grad(volume,
+                                                   hits[l].hit)
+                                    : Vec3f{};
+                shade(x0 + l, y, hits[l].found, hits[l].hit, g);
+            }
         }
         row_steps[y].value = steps_in_row;
     };
@@ -152,7 +160,7 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
               const math::CameraIntrinsics &intrinsics,
               const math::Mat4f &camera_to_world,
               const RaycastParams &params, WorkCounts &counts,
-              support::ThreadPool *pool)
+              support::ThreadPool *pool, const KernelBackend *backend)
 {
     KernelTimer timer(counts, KernelId::Raycast);
     const size_t w = intrinsics.width;
@@ -162,6 +170,7 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
 
     const double total_steps = marchImage(
         volume, intrinsics, camera_to_world, params, pool,
+        backend ? *backend : scalarKernelBackend(),
         [&](size_t x, size_t y, bool found, const Vec3f &hit,
             const Vec3f &g) {
             if (found && g.squaredNorm() > 1e-18f) {
@@ -195,7 +204,8 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
                    const math::CameraIntrinsics &intrinsics,
                    const math::Mat4f &camera_to_world,
                    const RaycastParams &params, WorkCounts &counts,
-                   support::ThreadPool *pool)
+                   support::ThreadPool *pool,
+                   const KernelBackend *backend)
 {
     KernelTimer timer(counts, KernelId::RenderVolume);
     const size_t w = intrinsics.width;
@@ -206,6 +216,7 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
 
     const double total_steps = marchImage(
         volume, intrinsics, camera_to_world, params, pool,
+        backend ? *backend : scalarKernelBackend(),
         [&](size_t x, size_t y, bool found, const Vec3f &,
             const Vec3f &g) {
             if (!found || g.squaredNorm() < 1e-18f) {

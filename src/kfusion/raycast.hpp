@@ -15,6 +15,8 @@
 
 namespace slambench::kfusion {
 
+class KernelBackend;
+
 /** Raycast tuning (derived from the configuration). */
 struct RaycastParams
 {
@@ -39,6 +41,8 @@ struct RaycastParams
  * @param[in,out] counts Work accounting (Raycast kernel; the item
  *                       unit is marching steps taken).
  * @param pool Optional worker pool.
+ * @param backend Kernel backend casting the rays and evaluating the
+ *                gradients (nullptr = scalar reference).
  */
 void raycastKernel(support::Image<math::Vec3f> &vertex_out,
                    support::Image<math::Vec3f> &normal_out,
@@ -46,7 +50,8 @@ void raycastKernel(support::Image<math::Vec3f> &vertex_out,
                    const math::CameraIntrinsics &intrinsics,
                    const math::Mat4f &camera_to_world,
                    const RaycastParams &params, WorkCounts &counts,
-                   support::ThreadPool *pool);
+                   support::ThreadPool *pool,
+                   const KernelBackend *backend = nullptr);
 
 /**
  * Shaded rendering of the current model (the GUI's right pane).
@@ -58,13 +63,16 @@ void raycastKernel(support::Image<math::Vec3f> &vertex_out,
  * @param params Stepping parameters.
  * @param[in,out] counts Work accounting (RenderVolume kernel).
  * @param pool Optional worker pool.
+ * @param backend Kernel backend casting the rays and evaluating the
+ *                gradients (nullptr = scalar reference).
  */
 void renderVolumeKernel(support::Image<support::Rgb8> &out,
                         const TsdfVolume &volume,
                         const math::CameraIntrinsics &intrinsics,
                         const math::Mat4f &camera_to_world,
                         const RaycastParams &params, WorkCounts &counts,
-                        support::ThreadPool *pool);
+                        support::ThreadPool *pool,
+                        const KernelBackend *backend = nullptr);
 
 /**
  * Cast a single ray against the volume.

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "kfusion/backend.hpp"
 #include "math/se3.hpp"
 #include "math/solve.hpp"
 #include "support/logging.hpp"
@@ -126,31 +127,17 @@ trackKernel(support::Image<TrackData> &track_data,
 
 ReductionResult
 reduceKernel(const support::Image<TrackData> &track_data,
-             support::ThreadPool *pool)
+             support::ThreadPool *pool, const KernelBackend *backend)
 {
     // The reduction is associative; compute per-chunk partials and
-    // merge. The sequential path is a single chunk.
-    auto reduce_range = [&track_data](size_t begin,
-                                      size_t end) -> ReductionResult {
-        ReductionResult partial;
-        for (size_t i = begin; i < end; ++i) {
-            const TrackData &row = track_data[i];
-            if (row.result != TrackResult::Ok)
-                continue;
-            ++partial.validCount;
-            partial.errorSq += static_cast<double>(row.error) * row.error;
-            size_t t = 0;
-            for (int r = 0; r < 6; ++r) {
-                partial.jte[static_cast<size_t>(r)] +=
-                    static_cast<double>(row.jacobian[r]) * row.error;
-                for (int c = r; c < 6; ++c, ++t) {
-                    partial.jtj[t] +=
-                        static_cast<double>(row.jacobian[r]) *
-                        row.jacobian[c];
-                }
-            }
-        }
-        return partial;
+    // merge. The sequential path is a single chunk. The per-chunk
+    // body lives in the kernel backend (the scalar backend carries
+    // the original reduce_range loop).
+    const KernelBackend &be =
+        backend ? *backend : scalarKernelBackend();
+    auto reduce_range = [&](size_t begin,
+                            size_t end) -> ReductionResult {
+        return be.reduceRange(track_data, begin, end);
     };
 
     ReductionResult total;
@@ -238,7 +225,8 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
          const math::CameraIntrinsics &ref_intrinsics,
          const Mat4f &ref_pose, const KFusionConfig &config,
          WorkCounts &counts, support::ThreadPool *pool,
-         support::Image<TrackData> *final_track_data)
+         support::Image<TrackData> *final_track_data,
+         const KernelBackend *backend)
 {
     TRACE_SCOPE("icp_track");
     TrackingStats stats;
@@ -275,7 +263,7 @@ icpTrack(Mat4f &pose, const std::vector<PyramidLevel> &live,
             ReductionResult reduction;
             {
                 KernelTimer timer(counts, KernelId::Reduce);
-                reduction = reduceKernel(track_data, pool);
+                reduction = reduceKernel(track_data, pool, backend);
                 counts.addItems(
                     KernelId::Reduce,
                     static_cast<double>(track_data.size()));

@@ -26,6 +26,8 @@
 
 namespace slambench::kfusion {
 
+class KernelBackend;
+
 /** Per-pixel correspondence outcome (mirrors KFusion's TrackData). */
 enum class TrackResult : int8_t {
     Ok = 1,               ///< Valid correspondence found.
@@ -78,6 +80,8 @@ struct PyramidLevel
  * @param pool Optional worker pool.
  * @param[out] final_track_data When non-null, receives the per-pixel
  *             records of the last executed iteration (GUI pane).
+ * @param backend Kernel backend running the reduction (nullptr =
+ *                scalar reference).
  * @return residual statistics and whether the pose was accepted.
  */
 TrackingStats icpTrack(math::Mat4f &pose,
@@ -89,7 +93,8 @@ TrackingStats icpTrack(math::Mat4f &pose,
                        const KFusionConfig &config, WorkCounts &counts,
                        support::ThreadPool *pool,
                        support::Image<TrackData> *final_track_data =
-                           nullptr);
+                           nullptr,
+                       const KernelBackend *backend = nullptr);
 
 /**
  * One correspondence+residual evaluation over a full image (exposed
@@ -134,9 +139,15 @@ struct ReductionResult
 
 /**
  * Sum the normal equations over all valid pixels of @p track_data.
+ *
+ * @param track_data Per-pixel records from trackKernel.
+ * @param pool Optional worker pool (chunked partial sums).
+ * @param backend Kernel backend running each chunk's reduction
+ *                (nullptr = scalar reference).
  */
 ReductionResult reduceKernel(const support::Image<TrackData> &track_data,
-                             support::ThreadPool *pool);
+                             support::ThreadPool *pool,
+                             const KernelBackend *backend = nullptr);
 
 /**
  * Solve the reduced system and left-multiply the pose by exp(twist).

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "kfusion/backend.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
@@ -318,7 +319,8 @@ TsdfVolume::integrate(const support::Image<float> &depth,
                       support::ThreadPool *pool)
 {
     integrateImpl(depth, intrinsics, camera_to_world, mu, max_weight,
-                  counts, pool, /*cull=*/true);
+                  counts, pool, /*cull=*/true,
+                  backend_ ? *backend_ : scalarKernelBackend());
 }
 
 void
@@ -328,8 +330,10 @@ TsdfVolume::integrateDense(const support::Image<float> &depth,
                            float max_weight, WorkCounts &counts,
                            support::ThreadPool *pool)
 {
+    // Always the scalar backend: the dense sweep is the numerical
+    // reference the parity tests compare every backend against.
     integrateImpl(depth, intrinsics, camera_to_world, mu, max_weight,
-                  counts, pool, /*cull=*/false);
+                  counts, pool, /*cull=*/false, scalarKernelBackend());
 }
 
 void
@@ -337,13 +341,13 @@ TsdfVolume::integrateImpl(const support::Image<float> &depth,
                           const CameraIntrinsics &intrinsics,
                           const Mat4f &camera_to_world, float mu,
                           float max_weight, WorkCounts &counts,
-                          support::ThreadPool *pool, bool cull)
+                          support::ThreadPool *pool, bool cull,
+                          const KernelBackend &backend)
 {
     KernelTimer timer(counts, KernelId::Integrate);
     const Mat4f world_to_camera = camera_to_world.rigidInverse();
     const float vs = voxelSize();
     const int res = resolution_;
-    const float inv_mu = 1.0f / mu;
     const size_t width = depth.width();
     const size_t height = depth.height();
     const float *lambda_table =
@@ -352,6 +356,19 @@ TsdfVolume::integrateImpl(const support::Image<float> &depth,
     // The camera-frame z-step is identical for every column: hoisted
     // out of the per-column loop.
     const Vec3f step = world_to_camera.transformDir({0.0f, 0.0f, vs});
+
+    // Loop invariants of the per-voxel fusion body, shared by every
+    // column this call visits (the backend hook's context).
+    IntegrateContext ctx;
+    ctx.depth = depth.data();
+    ctx.width = width;
+    ctx.height = height;
+    ctx.lambda = lambda_table;
+    ctx.intrinsics = intrinsics;
+    ctx.mu = mu;
+    ctx.invMu = 1.0f / mu;
+    ctx.maxWeight = max_weight;
+    ctx.step = step;
     const double slack =
         cull ? accumulationSlack(world_to_camera, origin_, size_, res)
              : 0.0;
@@ -392,33 +409,7 @@ TsdfVolume::integrateImpl(const support::Image<float> &depth,
             for (int z = 0; z < z_begin; ++z)
                 pos += step;
             Voxel *column = voxels_.data() + index(x, y, 0);
-            for (int z = z_begin; z < z_end; ++z, pos += step) {
-                if (pos.z <= 0.001f)
-                    continue;
-                const math::Vec2f pix = intrinsics.project(pos);
-                const int px = static_cast<int>(pix.x);
-                const int py = static_cast<int>(pix.y);
-                if (px < 0 || py < 0 ||
-                    px >= static_cast<int>(width) ||
-                    py >= static_cast<int>(height))
-                    continue;
-                const float measured =
-                    depth(static_cast<size_t>(px),
-                          static_cast<size_t>(py));
-                if (measured <= 0.0f)
-                    continue;
-                const float lambda =
-                    lambda_table[static_cast<size_t>(py) * width +
-                                 static_cast<size_t>(px)];
-                const float sdf = (measured - pos.z) * lambda;
-                if (sdf < -mu)
-                    continue; // occluded: behind the surface band
-                const float tsdf = std::min(1.0f, sdf * inv_mu);
-                Voxel &v = column[z];
-                const float weight = v.weight;
-                v.tsdf = (v.tsdf * weight + tsdf) / (weight + 1.0f);
-                v.weight = std::min(weight + 1.0f, max_weight);
-            }
+            backend.integrateColumn(ctx, column, z_begin, z_end, pos);
         }
         visited_total.fetch_add(visited, std::memory_order_relaxed);
         culled_total.fetch_add(culled, std::memory_order_relaxed);

@@ -24,6 +24,8 @@ using math::Mat4f;
 using math::Vec3f;
 using math::Vec3i;
 
+class KernelBackend;
+
 /** One voxel: truncated SDF value in [-1, 1] and fusion weight. */
 struct Voxel
 {
@@ -161,6 +163,20 @@ class TsdfVolume
     /** @return total voxel count (resolution^3). */
     size_t voxelCount() const { return voxels_.size(); }
 
+    /**
+     * Select the kernel backend integrate() fuses with (nullptr for
+     * the scalar reference). integrateDense() always runs the scalar
+     * backend — it is the parity baseline every backend is tested
+     * against (see docs/ARCHITECTURE.md).
+     */
+    void setBackend(const KernelBackend *backend)
+    {
+        backend_ = backend;
+    }
+
+    /** @return the active kernel backend (nullptr = scalar). */
+    const KernelBackend *backend() const { return backend_; }
+
   private:
     size_t
     index(int x, int y, int z) const
@@ -183,7 +199,8 @@ class TsdfVolume
                        const CameraIntrinsics &intrinsics,
                        const Mat4f &camera_to_world, float mu,
                        float max_weight, WorkCounts &counts,
-                       support::ThreadPool *pool, bool cull);
+                       support::ThreadPool *pool, bool cull,
+                       const KernelBackend &backend);
 
     /**
      * Per-pixel lambda (depth-to-ray-distance) table for @p
@@ -197,6 +214,7 @@ class TsdfVolume
     float size_;
     Vec3f origin_;
     std::vector<Voxel> voxels_;
+    const KernelBackend *backend_ = nullptr;
 
     // Lambda-table cache key + storage (see lambdaTableFor()).
     std::vector<float> lambdaTable_;

@@ -96,10 +96,10 @@ TEST(Benchmark, RenderingRateChargesRenderVolume)
 
 // --- config binding ---
 
-TEST(ConfigBinding, SpaceHasTenParameters)
+TEST(ConfigBinding, SpaceHasElevenParameters)
 {
     const ParameterSpace space = kfusionParameterSpace();
-    EXPECT_EQ(space.size(), 10u);
+    EXPECT_EQ(space.size(), 11u);
     // Defaults decode to the default KFusionConfig.
     const KFusionConfig config =
         pointToConfig(space, space.defaultPoint());
@@ -109,6 +109,7 @@ TEST(ConfigBinding, SpaceHasTenParameters)
     EXPECT_EQ(config.integrationRate, reference.integrationRate);
     EXPECT_EQ(config.pyramidIterations, reference.pyramidIterations);
     EXPECT_FLOAT_EQ(config.mu, reference.mu);
+    EXPECT_EQ(config.kernelBackend, reference.kernelBackend);
 }
 
 TEST(ConfigBinding, RoundTripThroughPoint)
@@ -122,6 +123,7 @@ TEST(ConfigBinding, RoundTripThroughPoint)
     config.pyramidIterations = {8, 4, 2};
     config.trackingRate = 2;
     config.renderingRate = 6;
+    config.kernelBackend = "simd";
     const Point p = configToPoint(space, config);
     const KFusionConfig decoded = pointToConfig(space, p);
     EXPECT_EQ(decoded.computeSizeRatio, 4);
@@ -132,6 +134,7 @@ TEST(ConfigBinding, RoundTripThroughPoint)
               (std::vector<int>{8, 4, 2}));
     EXPECT_EQ(decoded.trackingRate, 2);
     EXPECT_EQ(decoded.renderingRate, 6);
+    EXPECT_EQ(decoded.kernelBackend, "simd");
 }
 
 TEST(ConfigBinding, RandomPointsAlwaysValidate)

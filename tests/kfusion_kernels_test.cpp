@@ -6,8 +6,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <string>
+#include <vector>
 
+#include "kfusion/backend.hpp"
 #include "kfusion/kernels.hpp"
 #include "support/rng.hpp"
 
@@ -264,6 +268,138 @@ TEST(WorkHelpers, BilateralItemsPerPixel)
 {
     EXPECT_DOUBLE_EQ(bilateralItemsPerPixel(2), 25.0);
     EXPECT_DOUBLE_EQ(bilateralItemsPerPixel(0), 1.0);
+}
+
+// A registerable backend that forwards everything to the scalar
+// reference; only its name differs. Registered instances must
+// outlive the process (the registry stores raw pointers), hence the
+// static storage in the tests below.
+class ForwardingBackend : public KernelBackend
+{
+  public:
+    explicit ForwardingBackend(const char *name) : name_(name) {}
+
+    const char *name() const override { return name_; }
+    const char *description() const override
+    {
+        return "scalar forwarder (test)";
+    }
+    void integrateColumn(const IntegrateContext &ctx, Voxel *column,
+                         int z_begin, int z_end,
+                         Vec3f pos) const override
+    {
+        scalarKernelBackend().integrateColumn(ctx, column, z_begin,
+                                              z_end, pos);
+    }
+    Vec3f grad(const TsdfVolume &volume,
+                     const Vec3f &p) const override
+    {
+        return scalarKernelBackend().grad(volume, p);
+    }
+    void castRays(const TsdfVolume &volume, const Vec3f &origin,
+                  const Vec3f *dirs, size_t count,
+                  const RaycastParams &params,
+                  RayHit *hits) const override
+    {
+        scalarKernelBackend().castRays(volume, origin, dirs, count,
+                                       params, hits);
+    }
+    ReductionResult
+    reduceRange(const Image<TrackData> &track_data,
+                size_t begin, size_t end) const override
+    {
+        return scalarKernelBackend().reduceRange(track_data, begin,
+                                                 end);
+    }
+
+  private:
+    const char *name_;
+};
+
+TEST(BackendRegistry, BuiltinsAreRegistered)
+{
+    const std::vector<std::string> names = kernelBackendNames();
+    ASSERT_GE(names.size(), 2u);
+    EXPECT_EQ(names[0], "scalar");
+    EXPECT_EQ(names[1], "simd");
+    EXPECT_EQ(findKernelBackend("scalar"), &scalarKernelBackend());
+    EXPECT_NE(findKernelBackend("simd"), nullptr);
+}
+
+TEST(BackendRegistry, RejectsInvalidRegistrations)
+{
+    EXPECT_FALSE(registerKernelBackend(nullptr));
+
+    static const ForwardingBackend empty_name("");
+    EXPECT_FALSE(registerKernelBackend(&empty_name));
+
+    // "auto" is a resolver keyword, never a registered name.
+    static const ForwardingBackend reserved("auto");
+    EXPECT_FALSE(registerKernelBackend(&reserved));
+    EXPECT_EQ(findKernelBackend("auto"), nullptr);
+
+    // Duplicates of a built-in are rejected, not replaced.
+    static const ForwardingBackend shadow("scalar");
+    EXPECT_FALSE(registerKernelBackend(&shadow));
+    EXPECT_EQ(findKernelBackend("scalar"), &scalarKernelBackend());
+}
+
+TEST(BackendRegistry, RegistersAndRejectsDuplicateOfNewBackend)
+{
+    static const ForwardingBackend first("test-forwarder");
+    static const ForwardingBackend second("test-forwarder");
+    ASSERT_TRUE(registerKernelBackend(&first));
+    EXPECT_FALSE(registerKernelBackend(&second));
+    EXPECT_EQ(findKernelBackend("test-forwarder"), &first);
+
+    // Registered names become valid --backend values immediately.
+    std::string error;
+    EXPECT_EQ(resolveKernelBackend("test-forwarder", &error), &first);
+    const std::vector<std::string> names = kernelBackendNames();
+    EXPECT_NE(std::find(names.begin(), names.end(),
+                        std::string("test-forwarder")),
+              names.end());
+}
+
+TEST(BackendRegistry, UnknownBackendErrorsCleanly)
+{
+    std::string error;
+    EXPECT_EQ(resolveKernelBackend("no-such-backend", &error),
+              nullptr);
+    EXPECT_NE(error.find("no-such-backend"), std::string::npos);
+    // The message lists every valid choice.
+    EXPECT_NE(error.find("auto"), std::string::npos);
+    EXPECT_NE(error.find("scalar"), std::string::npos);
+    EXPECT_NE(error.find("simd"), std::string::npos);
+}
+
+TEST(BackendRegistry, AutoResolvesDeterministically)
+{
+    const KernelBackend *first = resolveKernelBackend("auto");
+    const KernelBackend *second = resolveKernelBackend("auto");
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first, second);
+
+    // "auto" dispatches by CPUID: simd iff the AVX2 flavor actually
+    // runs on this host, scalar otherwise.
+    const char *expected =
+        simdBackendIsAccelerated() ? "simd" : "scalar";
+    EXPECT_STREQ(first->name(), expected);
+    EXPECT_EQ(first, findKernelBackend(expected));
+}
+
+TEST(BackendRegistry, OrdinalRoundTrip)
+{
+    EXPECT_EQ(kernelBackendOrdinal("scalar"), 0.0);
+    EXPECT_EQ(kernelBackendOrdinal("simd"), 1.0);
+    EXPECT_STREQ(kernelBackendFromOrdinal(0.0), "scalar");
+    EXPECT_STREQ(kernelBackendFromOrdinal(1.0), "simd");
+    // Unknown ordinals decode to the scalar reference so a stray DSE
+    // point can never crash a run.
+    EXPECT_STREQ(kernelBackendFromOrdinal(7.0), "scalar");
+    for (const std::string name : {"scalar", "simd"})
+        EXPECT_EQ(kernelBackendFromOrdinal(kernelBackendOrdinal(name)),
+                  name);
 }
 
 } // namespace

@@ -16,7 +16,11 @@
 
 #include <cmath>
 
+#include "dataset/generator.hpp"
+#include "kfusion/backend.hpp"
+#include "kfusion/pipeline.hpp"
 #include "kfusion/raycast.hpp"
+#include "kfusion/tracking.hpp"
 #include "kfusion/volume.hpp"
 #include "math/se3.hpp"
 #include "support/rng.hpp"
@@ -312,6 +316,273 @@ TEST_F(FusedVolume, RaysMissingTheVolumeTakeNoSteps)
                          Vec3f{0.0f, 1.0f, 0.0f}, params, hit,
                          steps));
     EXPECT_EQ(steps, 0);
+}
+
+// --- kernel-backend parity ---
+//
+// Every backend in the registry must reproduce the scalar reference
+// bit-for-bit on all four hot kernels (the parity contract in
+// docs/KERNEL_BACKENDS.md): the vectorized paths are engineered to
+// replay the scalar operation sequence per lane, so exact equality
+// is the specification, not an aspiration.
+
+/** All registered backends except the scalar reference itself. */
+std::vector<const KernelBackend *>
+nonScalarBackends()
+{
+    std::vector<const KernelBackend *> backends;
+    for (const std::string &name : kernelBackendNames()) {
+        const KernelBackend *backend = findKernelBackend(name);
+        if (backend != &scalarKernelBackend())
+            backends.push_back(backend);
+    }
+    return backends;
+}
+
+TEST(BackendParity, IntegrateMatchesScalarDense)
+{
+    // integrateDense() always runs the scalar backend, so fusing the
+    // same frames through each backend and comparing against the
+    // dense sweep checks both the culling and the backend at once.
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    const Mat4f poses[] = {
+        Mat4f{},
+        slambench::math::lookAt(Vec3f{0.8f, 0.4f, -0.6f},
+                                Vec3f{-0.2f, 0.0f, 1.0f},
+                                Vec3f{0.0f, 1.0f, 0.0f}),
+        slambench::math::lookAt(Vec3f{0.0f, 0.0f, 1.0f},
+                                Vec3f{0.0f, 0.0f, 2.0f},
+                                Vec3f{0.0f, 1.0f, 0.0f}),
+    };
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        TsdfVolume tested(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+        TsdfVolume dense(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+        tested.setBackend(backend);
+        WorkCounts counts;
+        uint64_t seed = 101;
+        for (const Mat4f &pose : poses) {
+            const Image<float> depth = makeDepth(k, seed++);
+            tested.integrate(depth, k, pose, 0.1f, 100.0f, counts,
+                             nullptr);
+            dense.integrateDense(depth, k, pose, 0.1f, 100.0f,
+                                 counts, nullptr);
+        }
+        expectBitIdentical(tested, dense);
+    }
+}
+
+TEST(BackendParity, IntegrateMatchesScalarWithInvalidDepth)
+{
+    // All-invalid and all-behind depth exercise the skip branches
+    // (measured <= 0, sdf < -mu) on every lane.
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    Image<float> depth(k.width, k.height, 0.0f);
+    for (size_t i = 0; i < depth.size(); i += 3)
+        depth[i] = 0.45f; // in front of most of the volume
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        TsdfVolume tested(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+        TsdfVolume dense(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+        tested.setBackend(backend);
+        WorkCounts counts;
+        tested.integrate(depth, k, Mat4f{}, 0.1f, 100.0f, counts,
+                         nullptr);
+        dense.integrateDense(depth, k, Mat4f{}, 0.1f, 100.0f, counts,
+                             nullptr);
+        expectBitIdentical(tested, dense);
+    }
+}
+
+TEST_F(FusedVolume, BackendGradMatchesScalarEverywhere)
+{
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        Rng rng(7);
+        for (int i = 0; i < 20000; ++i) {
+            const Vec3f p{
+                static_cast<float>(rng.uniform(-1.1, 1.1)),
+                static_cast<float>(rng.uniform(-1.1, 1.1)),
+                static_cast<float>(rng.uniform(-0.1, 2.1))};
+            const Vec3f tested = backend->grad(volume_, p);
+            const Vec3f reference = volume_.grad(p);
+            ASSERT_EQ(tested.x, reference.x)
+                << "at " << p.x << ", " << p.y << ", " << p.z;
+            ASSERT_EQ(tested.y, reference.y);
+            ASSERT_EQ(tested.z, reference.z);
+        }
+    }
+}
+
+TEST_F(FusedVolume, BackendRaycastMatchesScalar)
+{
+    const RaycastParams params = testParams(volume_);
+    Image<Vec3f> vertex_ref, normal_ref;
+    WorkCounts counts;
+    raycastKernel(vertex_ref, normal_ref, volume_, k_, Mat4f{},
+                  params, counts, nullptr);
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        Image<Vec3f> vertex, normal;
+        raycastKernel(vertex, normal, volume_, k_, Mat4f{}, params,
+                      counts, nullptr, backend);
+        ASSERT_EQ(vertex.size(), vertex_ref.size());
+        for (size_t i = 0; i < vertex.size(); ++i) {
+            ASSERT_EQ(vertex[i].x, vertex_ref[i].x) << "pixel " << i;
+            ASSERT_EQ(vertex[i].y, vertex_ref[i].y);
+            ASSERT_EQ(vertex[i].z, vertex_ref[i].z);
+            ASSERT_EQ(normal[i].x, normal_ref[i].x) << "pixel " << i;
+            ASSERT_EQ(normal[i].y, normal_ref[i].y);
+            ASSERT_EQ(normal[i].z, normal_ref[i].z);
+        }
+    }
+}
+
+TEST_F(FusedVolume, BackendRaycastMatchesScalarObliqueView)
+{
+    // Oblique pose: rays enter the volume at an angle, so packet
+    // lanes clip to different [t, t_end] intervals and finish their
+    // marches at different times.
+    const RaycastParams params = testParams(volume_);
+    const Mat4f view = slambench::math::lookAt(
+        Vec3f{1.2f, 0.8f, -0.4f}, Vec3f{-0.2f, -0.1f, 1.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    Image<Vec3f> vertex_ref, normal_ref;
+    WorkCounts counts;
+    raycastKernel(vertex_ref, normal_ref, volume_, k_, view, params,
+                  counts, nullptr);
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        Image<Vec3f> vertex, normal;
+        raycastKernel(vertex, normal, volume_, k_, view, params,
+                      counts, nullptr, backend);
+        ASSERT_EQ(vertex.size(), vertex_ref.size());
+        for (size_t i = 0; i < vertex.size(); ++i) {
+            ASSERT_EQ(vertex[i].x, vertex_ref[i].x) << "pixel " << i;
+            ASSERT_EQ(vertex[i].y, vertex_ref[i].y);
+            ASSERT_EQ(vertex[i].z, vertex_ref[i].z);
+            ASSERT_EQ(normal[i].x, normal_ref[i].x) << "pixel " << i;
+            ASSERT_EQ(normal[i].y, normal_ref[i].y);
+            ASSERT_EQ(normal[i].z, normal_ref[i].z);
+        }
+    }
+}
+
+TEST_F(FusedVolume, BackendRenderVolumeMatchesScalar)
+{
+    const RaycastParams params = testParams(volume_);
+    Image<slambench::support::Rgb8> reference;
+    WorkCounts counts;
+    renderVolumeKernel(reference, volume_, k_, Mat4f{}, params,
+                       counts, nullptr);
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        Image<slambench::support::Rgb8> tested;
+        renderVolumeKernel(tested, volume_, k_, Mat4f{}, params,
+                           counts, nullptr, backend);
+        ASSERT_EQ(tested.size(), reference.size());
+        for (size_t i = 0; i < tested.size(); ++i) {
+            ASSERT_EQ(tested[i].r, reference[i].r) << "pixel " << i;
+            ASSERT_EQ(tested[i].g, reference[i].g);
+            ASSERT_EQ(tested[i].b, reference[i].b);
+        }
+    }
+}
+
+/** Synthetic track data covering every TrackResult branch. */
+Image<TrackData>
+makeTrackData(size_t w, size_t h, uint64_t seed)
+{
+    Image<TrackData> track(w, h);
+    Rng rng(seed);
+    for (size_t i = 0; i < track.size(); ++i) {
+        TrackData &d = track[i];
+        const double kind = rng.uniform(0.0, 1.0);
+        if (kind < 0.55) {
+            d.result = TrackResult::Ok;
+        } else if (kind < 0.7) {
+            d.result = TrackResult::NoInputVertex;
+        } else if (kind < 0.85) {
+            d.result = TrackResult::TooFar;
+        } else {
+            d.result = TrackResult::NormalMismatch;
+        }
+        d.error = static_cast<float>(rng.uniform(-0.05, 0.05));
+        for (float &j : d.jacobian)
+            j = static_cast<float>(rng.uniform(-1.0, 1.0));
+    }
+    return track;
+}
+
+TEST(BackendParity, ReduceMatchesScalar)
+{
+    const Image<TrackData> track = makeTrackData(80, 60, 303);
+    const KernelBackend &scalar = scalarKernelBackend();
+    // Full image plus awkward sub-ranges (unaligned begin/end, short
+    // tails smaller than one vector width).
+    const std::pair<size_t, size_t> ranges[] = {
+        {0, track.size()}, {1, track.size() - 3}, {17, 29},
+        {track.size() - 5, track.size()}, {7, 7},
+    };
+    for (const KernelBackend *backend : nonScalarBackends()) {
+        SCOPED_TRACE(backend->name());
+        for (const auto &[begin, end] : ranges) {
+            const ReductionResult expect =
+                scalar.reduceRange(track, begin, end);
+            const ReductionResult got =
+                backend->reduceRange(track, begin, end);
+            ASSERT_EQ(got.validCount, expect.validCount);
+            ASSERT_EQ(got.errorSq, expect.errorSq);
+            for (size_t i = 0; i < expect.jtj.size(); ++i)
+                ASSERT_EQ(got.jtj[i], expect.jtj[i]) << "jtj " << i;
+            for (size_t i = 0; i < expect.jte.size(); ++i)
+                ASSERT_EQ(got.jte[i], expect.jte[i]) << "jte " << i;
+        }
+    }
+}
+
+TEST(BackendParity, PipelinePosesMatchScalarExactly)
+{
+    // End-to-end: the full pipeline must produce bit-identical poses
+    // under every backend, because each kernel is bit-exact and the
+    // pose is a pure function of the kernel outputs.
+    slambench::dataset::SequenceSpec spec;
+    spec.width = 80;
+    spec.height = 60;
+    spec.numFrames = 6;
+    spec.renderRgb = false;
+    spec.seed = 42;
+    const auto seq = slambench::dataset::generateSequence(spec);
+
+    KFusionConfig config;
+    config.volumeResolution = 96;
+    config.pyramidIterations = {6, 4, 3};
+
+    std::vector<Mat4f> reference_poses;
+    {
+        KFusion kf(config, seq.intrinsics);
+        kf.setPose(seq.groundTruth.pose(0));
+        for (const auto &frame : seq.frames)
+            reference_poses.push_back(
+                kf.processFrame(frame.depthMm).pose);
+    }
+
+    for (const std::string &name : kernelBackendNames()) {
+        SCOPED_TRACE(name);
+        KFusionConfig cfg = config;
+        cfg.kernelBackend = name;
+        KFusion kf(cfg, seq.intrinsics);
+        kf.setPose(seq.groundTruth.pose(0));
+        for (size_t f = 0; f < seq.frames.size(); ++f) {
+            const Mat4f pose =
+                kf.processFrame(seq.frames[f].depthMm).pose;
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    ASSERT_EQ(pose(r, c), reference_poses[f](r, c))
+                        << "frame " << f << " element (" << r << ", "
+                        << c << ")";
+        }
+    }
 }
 
 } // namespace
