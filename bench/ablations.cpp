@@ -72,6 +72,9 @@ main(int argc, char **argv)
     const size_t dse_threads = dseThreadsFromArgs(argc, argv);
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    // --pmu: hardware-counter profiling (docs/OBSERVABILITY.md).
+    const support::pmu::Session pmu_session =
+        pmuSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "ablations");
     // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,

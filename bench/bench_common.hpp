@@ -194,6 +194,23 @@ metricsSessionFromArgs(int argc, char **argv, const char *generator)
 }
 
 /**
+ * Arm hardware-counter profiling from the shared `--pmu` flag
+ * (docs/OBSERVABILITY.md "Hardware counters"): per-kernel cycles,
+ * IPC, LLC/branch miss rates, and measured bytes/s, attributed over
+ * the same spans as `--trace` and folded into the run report's `pmu`
+ * block plus `pmu.*` registry gauges. Probes `perf_event_open` once,
+ * logs at most one WARN when counters are missing, and degrades to a
+ * schema-stable null backend. Keep the returned session alive for
+ * the whole measured run; without the flag it is inert and every
+ * span costs a single relaxed load.
+ */
+inline support::pmu::Session
+pmuSessionFromArgs(int argc, char **argv)
+{
+    return support::pmu::Session(argFlag(argc, argv, "--pmu"));
+}
+
+/**
  * Arm live telemetry from the shared bench flags
  * (docs/OBSERVABILITY.md "Live telemetry"):
  *

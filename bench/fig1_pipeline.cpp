@@ -33,6 +33,10 @@ main(int argc, char **argv)
     // (see docs/OBSERVABILITY.md); files written at exit.
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    // --pmu: hardware-counter profiling (per-kernel IPC, cache-miss
+    // rates, measured bytes/s; docs/OBSERVABILITY.md).
+    const support::pmu::Session pmu_session =
+        pmuSessionFromArgs(argc, argv);
     // --metrics-json FILE / --frames-csv FILE: machine-readable run
     // report with per-frame telemetry (docs/OBSERVABILITY.md).
     support::metrics::RunSession metrics_session =

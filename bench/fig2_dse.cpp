@@ -61,6 +61,9 @@ main(int argc, char **argv)
         argLong(argc, argv, "--frames", quick ? 10 : 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    // --pmu: hardware-counter profiling (docs/OBSERVABILITY.md).
+    const support::pmu::Session pmu_session =
+        pmuSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "fig2_dse");
     // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,

@@ -31,6 +31,9 @@ main(int argc, char **argv)
         argLong(argc, argv, "--frames", 30));
     const support::trace::Session trace_session =
         traceSessionFromArgs(argc, argv);
+    // --pmu: hardware-counter profiling (docs/OBSERVABILITY.md).
+    const support::pmu::Session pmu_session =
+        pmuSessionFromArgs(argc, argv);
     support::metrics::RunSession metrics_session =
         metricsSessionFromArgs(argc, argv, "fig3_mobile");
     // --telemetry-port N (+ --crash-dump / --slo-*): live /metrics,

@@ -79,6 +79,12 @@ usage()
         "(JSON)\n"
         "  --perf-csv FILE          per-frame per-kernel host-time "
         "aggregate (CSV)\n"
+        "  --pmu                    hardware-counter profiling: "
+        "per-kernel IPC,\n"
+        "                           cache/branch miss rates, bytes/s "
+        "(perf_event_open;\n"
+        "                           degrades to a null backend with "
+        "one WARN)\n"
         "  --metrics-json FILE      machine-readable run report "
         "(JSON)\n"
         "  --frames-csv FILE        per-frame telemetry table (CSV)\n"
@@ -158,6 +164,11 @@ main(int argc, char **argv)
     const char *trace_csv = flagValue(argc, argv, "--perf-csv");
     const support::trace::Session trace_session(
         trace_json ? trace_json : "", trace_csv ? trace_csv : "");
+
+    // Hardware-counter profiling (docs/OBSERVABILITY.md "Hardware
+    // counters"); summary logged and gauges published at exit.
+    const support::pmu::Session pmu_session(
+        hasFlag(argc, argv, "--pmu"));
 
     // Machine-readable run report (docs/OBSERVABILITY.md).
     const char *metrics_json =

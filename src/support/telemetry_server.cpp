@@ -16,6 +16,7 @@
 #include "support/flight_recorder.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
+#include "support/pmu.hpp"
 #include "support/strings.hpp"
 
 namespace slambench::support::telemetry {
@@ -53,6 +54,62 @@ writeFamilyHeader(std::ostream &os, const std::string &family,
     os << "# HELP " << family << " slambench registry metric "
        << help << "\n";
     os << "# TYPE " << family << " " << type << "\n";
+}
+
+/** JSON-escape @p s into @p out (flight-recorder detail labels). */
+void
+appendJsonEscaped(std::string &out, const char *s)
+{
+    for (; *s; ++s) {
+        const char c = *s;
+        if (c == '"')
+            out += "\\\"";
+        else if (c == '\\')
+            out += "\\\\";
+        else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+}
+
+/**
+ * Render the flight recorder's retained events as the /tracez JSON
+ * document: the same seqlock snapshot path the crash dump uses, but
+ * on demand and over HTTP while the run is still in flight.
+ */
+std::string
+renderTracez()
+{
+    const auto &recorder = FlightRecorder::instance();
+    const std::vector<Event> events = recorder.snapshot();
+    std::string body = "{\n  \"schema\": \"slambench-tracez\",\n";
+    body += "  \"enabled\": ";
+    body += recorder.enabled() ? "true" : "false";
+    body += ",\n  \"total_recorded\": ";
+    body += std::to_string(recorder.totalRecorded());
+    body += ",\n  \"events\": [";
+    char buf[64];
+    for (size_t i = 0; i < events.size(); ++i) {
+        const Event &event = events[i];
+        body += i ? ",\n    {" : "\n    {";
+        body += "\"ns\": " + std::to_string(event.ns);
+        body += ", \"kind\": \"";
+        body += eventKindName(event.kind);
+        body += "\", \"frame\": " + std::to_string(event.frame);
+        std::snprintf(buf, sizeof(buf), ", \"a\": %.10g", event.a);
+        body += buf;
+        std::snprintf(buf, sizeof(buf), ", \"b\": %.10g", event.b);
+        body += buf;
+        body += ", \"detail\": \"";
+        appendJsonEscaped(body, event.detail);
+        body += "\"}";
+    }
+    body += events.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return body;
 }
 
 } // namespace
@@ -99,6 +156,10 @@ renderPrometheus(std::ostream &os)
     // without waiting for the end-of-run report.
     registry.gauge("process.peak_rss_bytes")
         .set(metrics::peakRssBytes());
+    // Same idea for the hardware-counter gauges: fold the profiler's
+    // current per-span totals in so a mid-run scrape sees live IPC /
+    // miss rates (no-op when --pmu never armed profiling).
+    pmu::publishGauges();
 
     for (const auto &[name, value] : registry.counters()) {
         std::string family = sanitizeMetricName(name);
@@ -272,10 +333,14 @@ TelemetryServer::handleConnection(int client_fd)
             status_text = "Not Found";
             body = "no active run session\n";
         }
+    } else if (path == "/tracez") {
+        body = renderTracez();
+        content_type = "application/json";
     } else {
         status = 404;
         status_text = "Not Found";
-        body = "unknown path; try /metrics, /healthz, /runz\n";
+        body = "unknown path; try /metrics, /healthz, /runz, "
+               "/tracez\n";
     }
 
     std::ostringstream response;

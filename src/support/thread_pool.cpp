@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::support {
@@ -70,6 +71,7 @@ ThreadPool::enqueue(TaskGroup &group, std::function<void()> task,
     entry.fn = std::move(task);
     entry.group = &group;
     entry.traceName = trace_name;
+    entry.enqueuedAt = std::chrono::steady_clock::now();
     group.pending_.fetch_add(1, std::memory_order_acq_rel);
     queueDepth_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -87,8 +89,9 @@ ThreadPool::submit(TaskGroup &group, std::function<void()> task)
     const char *trace_name = nullptr;
 #if SLAMBENCH_TRACE_ENABLED
     // Attribute worker-side execution to the span open at submission
-    // (e.g. the DSE driver's scope on the submitting thread).
-    if (trace::Tracer::instance().enabled())
+    // (e.g. the DSE driver's scope on the submitting thread). PMU
+    // profiling needs the same attribution for its counter spans.
+    if (trace::Tracer::instance().enabled() || pmu::enabled())
         trace_name = trace::currentSpanName();
 #endif
     enqueue(group, std::move(task), trace_name);
@@ -105,6 +108,21 @@ ThreadPool::execute(Task task)
                peak, active, std::memory_order_relaxed)) {
     }
 
+    // Queue stall vs. execute time, so saturation shows up directly
+    // instead of only through the SLO watchdog's depth sampling.
+    // Recorded in milliseconds (the _ms suffix; the histogram's
+    // buckets are unit-agnostic). Registry handles are
+    // process-stable, so cache them.
+    static metrics::LatencyHistogram &queue_wait_hist =
+        metrics::Registry::instance().histogram(
+            "pool.task.queue_wait_ms");
+    static metrics::LatencyHistogram &run_hist =
+        metrics::Registry::instance().histogram("pool.task.run_ms");
+    const auto start = std::chrono::steady_clock::now();
+    queue_wait_hist.record(
+        std::chrono::duration<double>(start - task.enqueuedAt)
+            .count() * 1e3);
+
 #if SLAMBENCH_TRACE_ENABLED
     if (task.traceName) {
         trace::ScopedSpan span(task.traceName,
@@ -115,6 +133,10 @@ ThreadPool::execute(Task task)
     {
         task.fn();
     }
+
+    run_hist.record(std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count() * 1e3);
 
     activeTasks_.fetch_sub(1, std::memory_order_relaxed);
     tasksExecuted_.fetch_add(1, std::memory_order_relaxed);
@@ -223,8 +245,9 @@ ThreadPool::parallelForChunked(
     LoopState state{{begin}, end, chunk, &body, nullptr};
 #if SLAMBENCH_TRACE_ENABLED
     // Attribute every chunk (caller- or worker-run) to the span that
-    // dispatched the loop (e.g. a KernelTimer's kernel span).
-    if (trace::Tracer::instance().enabled())
+    // dispatched the loop (e.g. a KernelTimer's kernel span). PMU
+    // profiling rides the same Worker spans for counter attribution.
+    if (trace::Tracer::instance().enabled() || pmu::enabled())
         state.traceName = trace::currentSpanName();
 #endif
 

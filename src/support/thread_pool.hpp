@@ -17,6 +17,7 @@
  */
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -173,6 +174,9 @@ class ThreadPool
         /** Span name of the dispatching scope; chunks executed by
          *  workers are traced under it (null = no tracing). */
         const char *traceName = nullptr;
+        /** Enqueue time, for the pool.task.queue_wait_ms histogram
+         *  (queue stall vs. execute time; see docs/OBSERVABILITY.md). */
+        std::chrono::steady_clock::time_point enqueuedAt;
     };
 
     void workerLoop();

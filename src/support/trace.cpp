@@ -92,14 +92,11 @@ void
 Tracer::beginSpan(const char *name, Category cat)
 {
     record(name, cat, 'B', 0.0);
-    t_span_stack.push_back(name);
 }
 
 void
 Tracer::endSpan(const char *name, Category cat)
 {
-    if (!t_span_stack.empty())
-        t_span_stack.pop_back();
     record(name, cat, 'E', 0.0);
 }
 
@@ -309,6 +306,23 @@ currentSpanName()
 {
     return t_span_stack.empty() ? nullptr : t_span_stack.back();
 }
+
+namespace detail {
+
+void
+pushCurrentSpan(const char *name)
+{
+    t_span_stack.push_back(name);
+}
+
+void
+popCurrentSpan()
+{
+    if (!t_span_stack.empty())
+        t_span_stack.pop_back();
+}
+
+} // namespace detail
 
 Session::Session(std::string json_path, std::string csv_path)
     : jsonPath_(std::move(json_path)), csvPath_(std::move(csv_path))

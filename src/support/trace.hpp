@@ -38,6 +38,8 @@
 #include <string>
 #include <vector>
 
+#include "support/pmu.hpp"
+
 namespace slambench::support::trace {
 
 /** What a trace event describes; exported as the Chrome `cat` field. */
@@ -196,13 +198,26 @@ class Tracer
 /**
  * @return the name of the innermost open span on this thread, or
  * nullptr outside any span. The thread pool uses this to attribute
- * worker-side chunks to the kernel that dispatched them.
+ * worker-side chunks to the kernel that dispatched them. Maintained
+ * by ScopedSpan whenever tracing *or* PMU profiling is armed, so a
+ * PMU-only run still attributes worker chunks to their kernel.
  */
 const char *currentSpanName();
 
+namespace detail {
+/** Push onto this thread's current-span stack (ScopedSpan only). */
+void pushCurrentSpan(const char *name);
+/** Pop this thread's current-span stack (ScopedSpan only). */
+void popCurrentSpan();
+} // namespace detail
+
 /**
  * RAII span: records a begin event on construction and the matching
- * end on destruction. Free when the tracer is disabled.
+ * end on destruction. Kernel and Worker spans also delimit a PMU
+ * counter interval when `--pmu` profiling is armed (support/pmu.hpp),
+ * so hardware-counter attribution rides the same span names as the
+ * wall-clock timeline. Two relaxed loads when both subsystems are
+ * disabled.
  */
 class ScopedSpan
 {
@@ -216,11 +231,24 @@ class ScopedSpan
                         Category cat = Category::Phase)
     {
         Tracer &tracer = Tracer::instance();
-        if (tracer.enabled()) {
-            name_ = name;
-            cat_ = cat;
+        const bool traced = tracer.enabled();
+        // PMU attribution covers compute spans only: kernels and
+        // the worker chunks they dispatch. Phase spans would
+        // double-count their kernels' exclusive totals.
+        const bool pmu_active =
+            pmu::enabled() && (cat == Category::Kernel ||
+                               cat == Category::Worker);
+        if (!traced && !pmu_active)
+            return;
+        name_ = name;
+        cat_ = cat;
+        traced_ = traced;
+        pmuActive_ = pmu_active;
+        detail::pushCurrentSpan(name);
+        if (traced)
             tracer.beginSpan(name, cat);
-        }
+        if (pmu_active)
+            pmu::Profiler::instance().beginSpan(name);
     }
 
     ScopedSpan(const ScopedSpan &) = delete;
@@ -228,13 +256,20 @@ class ScopedSpan
 
     ~ScopedSpan()
     {
-        if (name_)
+        if (!name_)
+            return;
+        if (pmuActive_)
+            pmu::Profiler::instance().endSpan();
+        if (traced_)
             Tracer::instance().endSpan(name_, cat_);
+        detail::popCurrentSpan();
     }
 
   private:
     const char *name_ = nullptr;
     Category cat_ = Category::Phase;
+    bool traced_ = false;
+    bool pmuActive_ = false;
 };
 
 /** Record a counter sample if tracing is enabled. */

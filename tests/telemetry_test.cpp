@@ -499,6 +499,50 @@ TEST(TelemetryServer, MetricsHealthzRunzAndErrors)
     EXPECT_EQ(server.port(), -1);
 }
 
+TEST(TelemetryServer, TracezServesFlightRecorderEventsAsJson)
+{
+    auto &recorder = FlightRecorder::instance();
+    recorder.reset();
+    recorder.setEnabled(true);
+    recorder.record(EventKind::Frame, 5, 0.033, 0.002, "tracked");
+    recorder.record(EventKind::SloBreach, 6, 1.5, 1.0,
+                    "say \"hi\"");
+
+    TelemetryServer server;
+    ASSERT_TRUE(server.start(0));
+    const std::string response =
+        httpGet(server.port(), "/tracez");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    EXPECT_NE(response.find("application/json"),
+              std::string::npos);
+
+    const size_t body_start = response.find("\r\n\r\n");
+    ASSERT_NE(body_start, std::string::npos);
+    const std::string body = response.substr(body_start + 4);
+    EXPECT_TRUE(isValidJson(body)) << body.substr(0, 400);
+    EXPECT_NE(body.find("\"schema\": \"slambench-tracez\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"enabled\": true"), std::string::npos);
+    EXPECT_NE(body.find("\"total_recorded\": 2"),
+              std::string::npos);
+    EXPECT_EQ(countOccurrences(body, "{\"ns\": "), 2u);
+    EXPECT_NE(body.find("\"kind\": \"frame\""), std::string::npos);
+    EXPECT_NE(body.find("\"frame\": 5"), std::string::npos);
+    EXPECT_NE(body.find("\"detail\": \"tracked\""),
+              std::string::npos);
+    // Detail strings are JSON-escaped on the way out.
+    EXPECT_NE(body.find("\"detail\": \"say \\\"hi\\\"\""),
+              std::string::npos);
+
+    // The 404 hint advertises the endpoint.
+    EXPECT_NE(httpGet(server.port(), "/nope").find("/tracez"),
+              std::string::npos);
+
+    server.stop();
+    recorder.setEnabled(false);
+    recorder.reset();
+}
+
 TEST(TelemetryServer, HealthzFlipsOn503AfterInjectedBreach)
 {
     TelemetryServer server;
