@@ -10,6 +10,7 @@ Usage:
         [--telemetry-overhead-pct [PCT]]  (off; bare flag = 1.0)
         [--max-ipc-regress FRAC]          (off)
         [--max-miss-rate-regress FRAC]    (off)
+        [--max-serve-p99-regress FRAC]    (off)
 
 Both inputs are `--metrics-json` reports of the SAME schema (see
 docs/OBSERVABILITY.md). Two schemas are understood:
@@ -42,6 +43,13 @@ relative to the baseline (lower IPC = worse), and the LLC/branch miss
 rates regress when they RISE by more than FRAC. Rows where either
 side lacks the counters (null backend, degraded probe) are skipped —
 the gates never fail on hosts without hardware counters.
+
+--max-serve-p99-regress arms a serve-mode gate for run reports: the
+candidate's summary.serve_frame_p99_seconds (the aggregate
+frame-latency tail of a slambench_serve run, see docs/SERVING.md)
+must not exceed the baseline's by more than FRAC. Skipped when
+either side lacks the key, so mixed serve/bench comparisons still
+work.
 
 A metric regresses when the candidate exceeds the baseline by more
 than the configured relative threshold. Metrics that are zero or
@@ -262,6 +270,13 @@ def main():
                         help="allowed relative LLC/branch miss-rate "
                         "increase (kernel-bench reports with pmu "
                         "blocks)")
+    parser.add_argument("--max-serve-p99-regress", type=float,
+                        default=None, dest="max_serve_p99_regress",
+                        metavar="FRAC",
+                        help="allowed relative increase of "
+                        "summary.serve_frame_p99_seconds "
+                        "(slambench_serve reports; skipped when "
+                        "either side lacks the key)")
     args = parser.parse_args()
 
     baseline = load_report(args.baseline)
@@ -335,6 +350,32 @@ def main():
                 regressions += 1
             print("  %-16s baseline %.6g -> candidate %.6g "
                   "(%+.2f%%, limit +%.2f%%)%s"
+                  % (label, base, cand, delta * 100.0,
+                     threshold * 100.0,
+                     "  REGRESSION" if regressed else ""))
+
+    if args.max_serve_p99_regress is not None:
+        label = "serve frame p99"
+        base = metric(baseline, "summary", "serve_frame_p99_seconds")
+        cand = metric(candidate, "summary", "serve_frame_p99_seconds")
+        threshold = args.max_serve_p99_regress
+        if base is None or cand is None:
+            # Non-serve report on either side: the gate does not
+            # apply (lets one smoke harness compare both kinds).
+            print("  %-16s missing in %s -- skipped"
+                  % (label, "baseline" if base is None
+                     else "candidate"))
+        elif base <= 0.0:
+            print("  %-16s baseline %.6g, candidate %.6g "
+                  "(zero baseline, informational)"
+                  % (label, base, cand))
+        else:
+            delta = (cand - base) / base
+            regressed = delta > threshold
+            if regressed:
+                regressions += 1
+            print("  %-16s baseline %.6g -> candidate %.6g "
+                  "(%+.1f%%, limit +%.0f%%)%s"
                   % (label, base, cand, delta * 100.0,
                      threshold * 100.0,
                      "  REGRESSION" if regressed else ""))

@@ -22,11 +22,12 @@ cd "$(dirname "$0")/.."
 # --- 1. CLI-flag inventory -------------------------------------------
 
 # Flags are parsed as string literals ("--frames", ...) in the bench
-# sources and the CLI example; single-dash aliases (-h) and
-# pass-through google-benchmark flags (--benchmark_*) are not ours to
-# document.
+# sources, the CLI example, and the serve binary; single-dash aliases
+# (-h) and pass-through google-benchmark flags (--benchmark_*) are
+# not ours to document.
 flags=$(grep -hoE '"--[a-z][a-z0-9-]*"' \
             bench/*.cpp bench/*.hpp examples/slambench_cli.cpp \
+            examples/slambench_serve.cpp \
         | tr -d '"' | grep -v '^--benchmark' | sort -u)
 
 if [ -z "$flags" ]; then

@@ -2,6 +2,7 @@
 """Validate a slambench run report against its schema invariants.
 
 Usage: check_metrics_schema.py REPORT.json [FRAMES.csv]
+           [--serve [--tenants N]]
 
 Checks the report produced by `--metrics-json` (and optionally the
 matching `--frames-csv` table):
@@ -21,12 +22,20 @@ matching `--frames-csv` table):
   * the frames CSV (when given) has the documented header and one row
     per frame of the report.
 
+--serve additionally validates a slambench_serve run report
+(docs/SERVING.md): the serve_* summary block, the per-tenant
+`tenant.<id>.device` config params, the `serve.tenant.*{tenant=...}`
+labeled registry series, and cross-checks between the serve counters
+and the frame table. --tenants N pins the expected tenant count.
+
 Exit status: 0 = valid, 1 = invalid, 2 = usage/parse error.
 Stdlib only.
 """
 
+import argparse
 import csv
 import json
+import re
 import sys
 
 SCHEMA = "slambench-run-report"
@@ -290,6 +299,99 @@ def check_pmu(report):
                     % (where, entry["bytes_per_second"], expect))
 
 
+SERVE_SUMMARY_KEYS = (
+    "serve_ticks", "serve_tenants", "serve_frames_processed",
+    "serve_frames_shed", "serve_shed_engaged", "serve_shed_cleared",
+    "serve_frame_p99_seconds",
+)
+
+
+def check_serve(report, tenants):
+    """slambench_serve reports: multi-tenant summary block, one
+    `tenant.<id>.device` config param and one labeled
+    `serve.tenant.*` series per tenant, and serve counters that
+    reconcile with the run's frame table."""
+    require(report.get("generator") == "slambench_serve",
+            "generator is %r, want 'slambench_serve'"
+            % report.get("generator"))
+
+    summary = report.get("summary", {})
+    for key in SERVE_SUMMARY_KEYS:
+        if require(is_number(summary.get(key)),
+                   "summary.%s should be a number" % key):
+            require(summary[key] >= 0,
+                    "summary.%s=%g negative" % (key, summary[key]))
+
+    declared = summary.get("serve_tenants", 0)
+    if tenants is not None:
+        require(declared == tenants,
+                "summary.serve_tenants=%s, want %d"
+                % (declared, tenants))
+
+    # One device assignment per tenant in the config params, and the
+    # ids they imply must each carry labeled per-tenant series.
+    config = report.get("config", {})
+    ids = sorted(
+        m.group(1) for m in
+        (re.match(r"tenant\.([^.]+)\.device$", key)
+         for key in config) if m)
+    if is_number(declared):
+        require(len(ids) == int(declared),
+                "config lists %d tenant devices, "
+                "summary.serve_tenants says %s"
+                % (len(ids), declared))
+
+    counters = report.get("counters", {})
+    gauges = report.get("gauges", {})
+    for tenant_id in ids:
+        series = 'serve.tenant.frames{tenant="%s"}' % tenant_id
+        require(series in counters,
+                "missing labeled counter %s" % series)
+    require(is_number(gauges.get("serve.tenants")) and
+            gauges.get("serve.tenants") == declared,
+            "gauges['serve.tenants']=%r disagrees with "
+            "summary.serve_tenants=%s"
+            % (gauges.get("serve.tenants"), declared))
+
+    # The per-tenant labeled counters must sum to the aggregate; the
+    # aggregate must match both the summary and the frame table.
+    processed = summary.get("serve_frames_processed", 0)
+    frames = report.get("run", {}).get("frames", 0)
+    require(counters.get("serve.frames") == processed,
+            "counters['serve.frames']=%r, summary says %s"
+            % (counters.get("serve.frames"), processed))
+    require(frames == processed,
+            "run.frames=%s, summary.serve_frames_processed=%s"
+            % (frames, processed))
+    require(counters.get("serve.frames_shed", 0) ==
+            summary.get("serve_frames_shed", 0),
+            "counters['serve.frames_shed']=%r disagrees with "
+            "summary.serve_frames_shed=%r"
+            % (counters.get("serve.frames_shed", 0),
+               summary.get("serve_frames_shed", 0)))
+    if ids:
+        per_tenant = sum(
+            counters.get('serve.tenant.frames{tenant="%s"}'
+                         % tenant_id, 0) for tenant_id in ids)
+        require(per_tenant == processed,
+                "per-tenant frame counters sum to %s, aggregate "
+                "is %s" % (per_tenant, processed))
+
+    # Shedding bookkeeping: clears never outnumber engagements, and
+    # shed frames imply at least one engagement.
+    engaged = summary.get("serve_shed_engaged", 0)
+    cleared = summary.get("serve_shed_cleared", 0)
+    shed = summary.get("serve_frames_shed", 0)
+    if all(is_number(v) for v in (engaged, cleared, shed)):
+        require(cleared <= engaged,
+                "serve_shed_cleared=%g > serve_shed_engaged=%g"
+                % (cleared, engaged))
+        if shed > 0:
+            require(engaged >= 1,
+                    "%g frames shed but no engagement recorded"
+                    % shed)
+
+
 def check_frames_csv(path, frames):
     try:
         with open(path, "r", encoding="utf-8", newline="") as fh:
@@ -319,16 +421,25 @@ def check_frames_csv(path, frames):
 
 
 def main():
-    if len(sys.argv) not in (2, 3):
-        print(__doc__.strip().splitlines()[2].strip(),
-              file=sys.stderr)
-        return 2
+    parser = argparse.ArgumentParser(
+        description="Validate a slambench run report")
+    parser.add_argument("report", help="--metrics-json output")
+    parser.add_argument("frames_csv", nargs="?", default=None,
+                        help="matching --frames-csv table")
+    parser.add_argument("--serve", action="store_true",
+                        help="validate a slambench_serve report "
+                        "(per-tenant params, labeled series, serve "
+                        "summary block)")
+    parser.add_argument("--tenants", type=int, default=None,
+                        metavar="N",
+                        help="with --serve: expected tenant count")
+    args = parser.parse_args()
     try:
-        with open(sys.argv[1], "r", encoding="utf-8") as fh:
+        with open(args.report, "r", encoding="utf-8") as fh:
             report = json.load(fh)
     except (OSError, ValueError) as exc:
         print("check_metrics_schema: cannot parse %s: %s"
-              % (sys.argv[1], exc), file=sys.stderr)
+              % (args.report, exc), file=sys.stderr)
         return 2
 
     check_top_level(report)
@@ -336,17 +447,19 @@ def main():
     check_summary(report)
     check_histograms(report)
     check_pmu(report)
-    if len(sys.argv) == 3:
-        check_frames_csv(sys.argv[2], frames)
+    if args.serve:
+        check_serve(report, args.tenants)
+    if args.frames_csv is not None:
+        check_frames_csv(args.frames_csv, frames)
 
     if errors:
         for message in errors:
             print("check_metrics_schema: %s" % message,
                   file=sys.stderr)
         print("%s: INVALID (%d problem(s))"
-              % (sys.argv[1], len(errors)))
+              % (args.report, len(errors)))
         return 1
-    print("%s: OK" % sys.argv[1])
+    print("%s: OK" % args.report)
     return 0
 
 

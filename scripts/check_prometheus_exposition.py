@@ -14,11 +14,14 @@ body through this checker):
   * sample values parse as floats (+Inf / -Inf / NaN allowed);
   * at most one HELP and one TYPE per family, the TYPE line precedes
     the family's samples, and each family's samples are contiguous;
-  * counter and gauge families expose exactly one unlabeled sample
-    (what the in-process renderer emits);
-  * histogram families expose cumulative non-decreasing `_bucket`
-    series ending in an `le="+Inf"` bucket that equals `_count`,
-    plus `_sum` and `_count`.
+  * counter and gauge families expose at most one sample per label
+    set (one unlabeled sample, or one per label set for labeled
+    families like `serve_tenant_frames_total{tenant="t03"}`);
+  * histogram families expose, per label set, cumulative
+    non-decreasing `_bucket` series ending in an `le="+Inf"` bucket
+    that equals that label set's `_count`, plus `_sum` and `_count`
+    (so both plain histograms and per-tenant labeled histograms
+    validate).
 
 --require FAMILY[:TYPE] (repeatable) additionally asserts the family
 exists, optionally with the given declared type.
@@ -120,61 +123,95 @@ def sample_family(name, families):
     return name
 
 
+def series_key(labels, drop=()):
+    """Canonical hashable key for a sample's label set."""
+    return tuple(sorted((k, v) for k, v in labels.items()
+                        if k not in drop))
+
+
 def check_histogram(family, error):
-    buckets = []
-    saw_sum = saw_count = False
-    count_value = None
+    """Validate every labeled series of the histogram independently:
+    buckets group by their label set minus `le`, and each group needs
+    its own cumulative buckets, +Inf terminator, _sum, and _count."""
+    groups = {}  # series_key -> {"buckets": [], "sum": n, "count": v}
+
+    def group(labels, drop=()):
+        return groups.setdefault(
+            series_key(labels, drop),
+            {"buckets": [], "sum": 0, "count": None})
+
     for sample_name, labels, value in family.samples:
         if sample_name == family.name + "_bucket":
             if "le" not in labels:
                 error("%s bucket without le label" % family.name)
                 continue
-            buckets.append((labels["le"], value))
+            group(labels, drop=("le",))["buckets"].append(
+                (labels["le"], value))
         elif sample_name == family.name + "_sum":
-            saw_sum = True
+            group(labels)["sum"] += 1
         elif sample_name == family.name + "_count":
-            saw_count = True
-            count_value = value
+            entry = group(labels)
+            if entry["count"] is not None:
+                error("histogram %s{%s} has duplicate _count"
+                      % (family.name, format_series(labels)))
+            entry["count"] = value
         else:
             error("unexpected sample %s in histogram %s"
                   % (sample_name, family.name))
-    if not buckets:
-        error("histogram %s has no buckets" % family.name)
+
+    if not groups:
+        error("histogram %s has no samples" % family.name)
         return
-    previous = -1.0
-    for le, value in buckets:
-        if value < previous:
-            error("histogram %s buckets not cumulative at le=%s"
-                  % (family.name, le))
-        previous = value
-    if buckets[-1][0] != "+Inf":
-        error("histogram %s last bucket le=%s, want +Inf"
-              % (family.name, buckets[-1][0]))
-    if not saw_sum:
-        error("histogram %s missing _sum" % family.name)
-    if not saw_count:
-        error("histogram %s missing _count" % family.name)
-    elif buckets[-1][0] == "+Inf" and buckets[-1][1] != count_value:
-        error("histogram %s +Inf bucket %g != _count %g"
-              % (family.name, buckets[-1][1], count_value))
+    for key, entry in groups.items():
+        series = family.name
+        if key:
+            series += "{%s}" % ",".join(
+                '%s="%s"' % pair for pair in key)
+        buckets = entry["buckets"]
+        if not buckets:
+            error("histogram series %s has no buckets" % series)
+            continue
+        previous = -1.0
+        for le, value in buckets:
+            if value < previous:
+                error("histogram %s buckets not cumulative at le=%s"
+                      % (series, le))
+            previous = value
+        if buckets[-1][0] != "+Inf":
+            error("histogram %s last bucket le=%s, want +Inf"
+                  % (series, buckets[-1][0]))
+        if entry["sum"] != 1:
+            error("histogram %s has %d _sum samples, want 1"
+                  % (series, entry["sum"]))
+        if entry["count"] is None:
+            error("histogram %s missing _count" % series)
+        elif buckets[-1][0] == "+Inf" and \
+                buckets[-1][1] != entry["count"]:
+            error("histogram %s +Inf bucket %g != _count %g"
+                  % (series, buckets[-1][1], entry["count"]))
+
+
+def format_series(labels):
+    return ",".join('%s="%s"' % pair
+                    for pair in sorted(labels.items()))
 
 
 def check_scalar(family, error):
-    """Counters and gauges: one unlabeled sample named exactly the
-    family (what renderPrometheus emits)."""
-    if len(family.samples) != 1:
-        error("%s %s has %d samples, want 1"
-              % (family.declared_type, family.name,
-                 len(family.samples)))
-        return
-    sample_name, labels, _value = family.samples[0]
-    if sample_name != family.name:
-        error("%s sample named %s, want %s"
-              % (family.declared_type, sample_name, family.name))
-    if labels:
-        error("%s %s has labels %s (renderer emits none)"
-              % (family.declared_type, family.name,
-                 sorted(labels)))
+    """Counters and gauges: every sample named exactly the family,
+    at most one sample per label set (the renderer emits one
+    unlabeled aggregate and/or one series per label set, e.g.
+    `serve_tenant_frames_total{tenant="t03"}`)."""
+    seen = set()
+    for sample_name, labels, _value in family.samples:
+        if sample_name != family.name:
+            error("%s sample named %s, want %s"
+                  % (family.declared_type, sample_name, family.name))
+        key = series_key(labels)
+        if key in seen:
+            error("%s %s has duplicate series {%s}"
+                  % (family.declared_type, family.name,
+                     format_series(labels)))
+        seen.add(key)
 
 
 def close_family(family, error):

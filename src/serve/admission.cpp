@@ -1,0 +1,97 @@
+#include "serve/admission.hpp"
+
+#include "support/logging.hpp"
+
+namespace slambench::serve {
+
+AdmissionController::AdmissionController(
+    const AdmissionOptions &options)
+    : options_(options)
+{
+    if (options_.queueLoWatermark >= options_.queueHiWatermark &&
+        options_.queueHiWatermark > 0) {
+        support::logWarn()
+            << "admission: queue low watermark ("
+            << options_.queueLoWatermark
+            << ") >= high watermark (" << options_.queueHiWatermark
+            << "); clamping low to high - 1";
+        options_.queueLoWatermark = options_.queueHiWatermark - 1;
+    }
+    if (options_.p99Smoothing <= 0.0 || options_.p99Smoothing > 1.0)
+        options_.p99Smoothing = 0.5;
+    if (options_.clearAfterHealthyTicks < 1)
+        options_.clearAfterHealthyTicks = 1;
+}
+
+bool
+AdmissionController::onTick(const LoadSignals &signals)
+{
+    // Smooth the p99 only over ticks that actually completed frames;
+    // a fully shed tick has no samples and should not drag the EWMA
+    // toward zero (that would clear shedding by starvation, not by
+    // recovery).
+    if (signals.tickP99Seconds > 0.0) {
+        p99Ewma_ = p99Ewma_ == 0.0
+                       ? signals.tickP99Seconds
+                       : options_.p99Smoothing *
+                                 signals.tickP99Seconds +
+                             (1.0 - options_.p99Smoothing) *
+                                 p99Ewma_;
+    }
+
+    const bool new_breach =
+        sawBreaches_ && signals.sloBreaches > lastBreaches_;
+    // First sample establishes the baseline: breaches latched before
+    // the controller existed are history, not a live overload signal.
+    if (!sawBreaches_) {
+        sawBreaches_ = true;
+    }
+    lastBreaches_ = signals.sloBreaches;
+
+    const bool queue_hot =
+        options_.queueHiWatermark > 0 &&
+        signals.peakQueueDepth >= options_.queueHiWatermark;
+    const bool p99_hot =
+        options_.frameP99TargetSeconds > 0.0 &&
+        p99Ewma_ > options_.frameP99TargetSeconds;
+
+    if (!shedding_) {
+        if (queue_hot || new_breach || p99_hot) {
+            shedding_ = true;
+            ++engages_;
+            healthyTicks_ = 0;
+            reason_ = queue_hot  ? "queue_depth"
+                      : new_breach ? "slo_breach"
+                                   : "frame_p99";
+            support::logWarn()
+                << "admission: shedding ENGAGED (" << reason_
+                << "): peak_queue=" << signals.peakQueueDepth
+                << " p99_ewma_s=" << p99Ewma_
+                << " slo_breaches=" << signals.sloBreaches;
+        }
+        return shedding_;
+    }
+
+    const bool queue_ok =
+        signals.peakQueueDepth <= options_.queueLoWatermark;
+    const bool p99_ok = options_.frameP99TargetSeconds <= 0.0 ||
+                        p99Ewma_ <= options_.frameP99TargetSeconds;
+    if (queue_ok && p99_ok && !new_breach) {
+        if (++healthyTicks_ >= options_.clearAfterHealthyTicks) {
+            shedding_ = false;
+            ++clears_;
+            healthyTicks_ = 0;
+            support::logInfo()
+                << "admission: shedding cleared after "
+                << options_.clearAfterHealthyTicks
+                << " healthy ticks (peak_queue="
+                << signals.peakQueueDepth
+                << " p99_ewma_s=" << p99Ewma_ << ")";
+        }
+    } else {
+        healthyTicks_ = 0;
+    }
+    return shedding_;
+}
+
+} // namespace slambench::serve

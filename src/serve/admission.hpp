@@ -1,0 +1,129 @@
+#ifndef SLAMBENCH_SERVE_ADMISSION_HPP
+#define SLAMBENCH_SERVE_ADMISSION_HPP
+
+/**
+ * @file
+ * Admission control for the multi-tenant serve loop: decides, once
+ * per scheduler tick, whether the service should shed load.
+ *
+ * The controller is pure decision logic over sampled load signals —
+ * no threads, no clocks, no registry access — so its hysteresis
+ * behavior is unit-testable tick by tick (tests/serve_test.cpp). The
+ * StreamScheduler feeds it one LoadSignals sample per tick and acts
+ * on the verdict (dropping tenant frames while shedding is engaged);
+ * the scheduler also mirrors the controller state into `serve.*`
+ * registry metrics so shedding episodes are observable on /metrics.
+ *
+ * Relationship to the SLO watchdog: SloWatchdog latches breaches
+ * forever (a post-incident scrape must still see them), so it can
+ * signal *engage* but never *clear*. The controller therefore engages
+ * on the breach-counter delta (plus its own live signals) and clears
+ * from live signals alone — queue depth back under the low watermark
+ * and smoothed frame p99 back under target for a configurable number
+ * of consecutive ticks.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace slambench::serve {
+
+/** Tuning of the admission controller (all hysteresis knobs). */
+struct AdmissionOptions
+{
+    /** Engage shedding when the tick's peak pool queue depth reaches
+     *  this many queued tasks. */
+    size_t queueHiWatermark = 64;
+
+    /** Clearing requires the peak queue depth back at or under this
+     *  (must be < queueHiWatermark for hysteresis). */
+    size_t queueLoWatermark = 4;
+
+    /**
+     * Target for the smoothed per-tick frame p99, seconds; the
+     * controller engages when the EWMA exceeds it and requires it
+     * back under target before clearing. 0 disables the p99 signal.
+     */
+    double frameP99TargetSeconds = 0.0;
+
+    /** EWMA smoothing factor for the tick p99 (weight of the new
+     *  sample; 1 = no smoothing). */
+    double p99Smoothing = 0.5;
+
+    /** Consecutive healthy ticks required before shedding clears. */
+    int clearAfterHealthyTicks = 3;
+};
+
+/** One tick's load sample, gathered by the scheduler. */
+struct LoadSignals
+{
+    /** Peak ThreadPool queue depth observed during the tick. */
+    size_t peakQueueDepth = 0;
+
+    /** p99 of the frame wall times completed this tick, seconds
+     *  (0 when the tick processed no frames). */
+    double tickP99Seconds = 0.0;
+
+    /** Current value of the `slo.breaches` counter; the controller
+     *  reacts to its delta since the previous tick. */
+    uint64_t sloBreaches = 0;
+};
+
+/**
+ * Hysteresis load-shedding controller. Feed one LoadSignals per tick
+ * via onTick(); shedding() is the current verdict.
+ */
+class AdmissionController
+{
+  public:
+    explicit AdmissionController(const AdmissionOptions &options);
+
+    /**
+     * Ingest one tick's load sample and update the shedding state.
+     *
+     * Engages when any of: peak queue depth >= queueHiWatermark, the
+     * SLO breach counter advanced since the last tick, or the
+     * smoothed p99 exceeds frameP99TargetSeconds (when enabled).
+     * Clears after clearAfterHealthyTicks consecutive ticks with the
+     * queue at or under queueLoWatermark, the smoothed p99 at or
+     * under target, and no new breaches.
+     *
+     * @return the post-update shedding verdict.
+     */
+    bool onTick(const LoadSignals &signals);
+
+    /** @return whether load shedding is currently engaged. */
+    bool shedding() const { return shedding_; }
+
+    /** @return why shedding last engaged ("queue_depth",
+     *  "slo_breach", "frame_p99"; "" before any engagement). */
+    const std::string &lastEngageReason() const { return reason_; }
+
+    /** @return times shedding transitioned off -> on. */
+    uint64_t engageCount() const { return engages_; }
+
+    /** @return times shedding transitioned on -> off. */
+    uint64_t clearCount() const { return clears_; }
+
+    /** @return the smoothed frame-p99 estimate, seconds. */
+    double smoothedP99Seconds() const { return p99Ewma_; }
+
+    /** @return the active options. */
+    const AdmissionOptions &options() const { return options_; }
+
+  private:
+    AdmissionOptions options_;
+    bool shedding_ = false;
+    bool sawBreaches_ = false;
+    uint64_t lastBreaches_ = 0;
+    double p99Ewma_ = 0.0;
+    int healthyTicks_ = 0;
+    uint64_t engages_ = 0;
+    uint64_t clears_ = 0;
+    std::string reason_;
+};
+
+} // namespace slambench::serve
+
+#endif // SLAMBENCH_SERVE_ADMISSION_HPP

@@ -1,0 +1,185 @@
+#ifndef SLAMBENCH_SERVE_SCHEDULER_HPP
+#define SLAMBENCH_SERVE_SCHEDULER_HPP
+
+/**
+ * @file
+ * Frame-batch scheduling of many tenant sessions over one shared
+ * ThreadPool, with admission control and graceful drain — the engine
+ * behind `examples/slambench_serve`.
+ *
+ * Execution model: time advances in *ticks*. Each tick submits at
+ * most one frame task per admitted tenant to the pool (so a session
+ * is never processed concurrently with itself), waits for the batch,
+ * then feeds the tick's load sample — peak queue depth from the
+ * monitor thread, the tick's frame-p99, the `slo.breaches` counter —
+ * to the AdmissionController. While shedding is engaged, a rotating
+ * half of the tenants is paused each tick (their frames are shed and
+ * counted, per tenant and in aggregate) so the pool drains while
+ * every tenant still makes progress.
+ *
+ * A monitor thread samples the pool's queueDepth() every few
+ * milliseconds and runs SloWatchdog::checkPools(). The sampling
+ * matters twice over: the scheduler thread spends the tick inside
+ * ThreadPool::wait() cooperatively executing tasks, so it cannot
+ * observe its own queue; and during a genuine stall no frame
+ * completes, so the per-frame telemetry hook never fires — the
+ * monitor is what turns a stall into a latched `pool_queue_stall`
+ * breach and a shedding trigger.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/admission.hpp"
+#include "serve/session.hpp"
+#include "support/metrics.hpp"
+#include "support/thread_pool.hpp"
+
+namespace slambench::serve {
+
+/** Scheduler tuning. */
+struct SchedulerOptions
+{
+    /** Worker threads of the scheduler's pool (0 = host). */
+    size_t threads = 0;
+
+    /** Admission-control thresholds. */
+    AdmissionOptions admission;
+
+    /**
+     * Fault injection for tests: at this tick (1-based), flood the
+     * pool with one sleeping blocker task per runner before the
+     * frame batch, so the batch genuinely queue-stalls behind them.
+     * 0 disables.
+     */
+    uint64_t stallAtTick = 0;
+
+    /** How long each injected blocker sleeps, milliseconds. */
+    double stallMs = 0.0;
+
+    /** Monitor thread sampling period, milliseconds. */
+    int monitorPeriodMs = 5;
+};
+
+/** What one tick did (returned by runTick, aggregated by runLoop). */
+struct TickReport
+{
+    uint64_t tick = 0;          ///< 1-based tick index.
+    size_t framesProcessed = 0; ///< Frames run this tick.
+    size_t framesShed = 0;      ///< Frames shed this tick.
+    bool shedding = false;      ///< Verdict after this tick.
+    size_t peakQueueDepth = 0;  ///< Monitor's peak queue sample.
+    double tickP99Seconds = 0.0; ///< p99 of this tick's frames.
+};
+
+/**
+ * Multi-tenant frame-batch scheduler. Owns the tenant sessions, the
+ * shared pool, the admission controller, and the monitor thread.
+ */
+class StreamScheduler
+{
+  public:
+    StreamScheduler(
+        std::vector<std::unique_ptr<TenantSession>> sessions,
+        const SchedulerOptions &options);
+
+    StreamScheduler(const StreamScheduler &) = delete;
+    StreamScheduler &operator=(const StreamScheduler &) = delete;
+
+    /** Stops the monitor thread (sessions drain with the pool). */
+    ~StreamScheduler();
+
+    /**
+     * Run one scheduling tick: admit, submit, wait, account, decide.
+     * @param session Optional run-report sink; one frame row per
+     *        processed frame, labeled with the tenant id.
+     */
+    TickReport runTick(support::metrics::RunSession *session = nullptr);
+
+    /**
+     * Tick until @p max_ticks ticks ran (0 = forever) or drain was
+     * requested. In-flight frames of the current tick always finish
+     * before the loop exits — that is the graceful part of drain.
+     *
+     * @return number of ticks run.
+     */
+    uint64_t runLoop(uint64_t max_ticks,
+                     support::metrics::RunSession *session = nullptr);
+
+    /** Ask runLoop to stop after the current tick. Async-signal-safe
+     *  (one relaxed atomic store); wired to SIGTERM by the serve
+     *  binary. */
+    void
+    requestDrain()
+    {
+        drainRequested_.store(true, std::memory_order_relaxed);
+    }
+
+    /** @return whether a drain was requested. */
+    bool
+    drainRequested() const
+    {
+        return drainRequested_.load(std::memory_order_relaxed);
+    }
+
+    /** @return the admission controller (tick-synchronous state;
+     *  read between ticks). */
+    const AdmissionController &admission() const
+    {
+        return admission_;
+    }
+
+    /** @return the tenant sessions. */
+    const std::vector<std::unique_ptr<TenantSession>> &
+    sessions() const
+    {
+        return sessions_;
+    }
+
+    /** @return the scheduler's pool. */
+    support::ThreadPool &pool() { return *pool_; }
+
+    /** @return total frames processed across all ticks. */
+    uint64_t framesProcessed() const { return framesProcessed_; }
+
+    /** @return total frames shed across all ticks. */
+    uint64_t framesShed() const { return framesShed_; }
+
+    /** @return aggregate p99 over every processed frame, seconds. */
+    double aggregateFrameP99Seconds() const;
+
+  private:
+    void monitorLoop();
+
+    std::vector<std::unique_ptr<TenantSession>> sessions_;
+    SchedulerOptions options_;
+    std::unique_ptr<support::ThreadPool> pool_;
+    AdmissionController admission_;
+
+    uint64_t tick_ = 0;
+    uint64_t framesProcessed_ = 0;
+    uint64_t framesShed_ = 0;
+    size_t shedRotation_ = 0; ///< Rotating pause window start.
+    std::atomic<uint64_t> globalFrame_{0};
+    std::atomic<bool> drainRequested_{false};
+
+    // Monitor thread state.
+    std::thread monitor_;
+    std::atomic<bool> monitorStop_{false};
+    std::atomic<size_t> peakQueueDepth_{0};
+
+    // Per-tick frame-wall-time samples (tasks append, tick reads).
+    std::mutex tickMutex_;
+    std::vector<double> tickWallSeconds_;
+
+    // Aggregate histogram handle for the serve-wide p99.
+    support::metrics::LatencyHistogram &aggregateFrameSeconds_;
+};
+
+} // namespace slambench::serve
+
+#endif // SLAMBENCH_SERVE_SCHEDULER_HPP

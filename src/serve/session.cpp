@@ -1,0 +1,114 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+
+#include "support/logging.hpp"
+#include "support/telemetry_server.hpp"
+
+namespace slambench::serve {
+
+namespace {
+
+using support::metrics::Registry;
+using support::telemetry::labeledMetricName;
+
+/** Shorthand for the per-tenant labeled registry names. */
+std::string
+tenantMetric(const char *family, const std::string &tenant)
+{
+    return labeledMetricName(family, "tenant", tenant);
+}
+
+} // namespace
+
+TenantSession::TenantSession(const TenantConfig &config)
+    : config_(config),
+      sequence_(dataset::generateSequence(config.sequence)),
+      framesCounter_(Registry::instance().counter(
+          tenantMetric("serve.tenant.frames", config.id))),
+      shedCounter_(Registry::instance().counter(
+          tenantMetric("serve.tenant.shed", config.id))),
+      epochsCounter_(Registry::instance().counter(
+          tenantMetric("serve.tenant.epochs", config.id))),
+      trackingFailuresCounter_(Registry::instance().counter(
+          tenantMetric("serve.tenant.tracking_failures", config.id))),
+      frameSecondsHistogram_(Registry::instance().histogram(
+          tenantMetric("serve.tenant.frame_seconds", config.id))),
+      deviceSecondsHistogram_(Registry::instance().histogram(
+          tenantMetric("serve.tenant.device_seconds", config.id))),
+      lastAteGauge_(Registry::instance().gauge(
+          tenantMetric("serve.tenant.last_ate_m", config.id)))
+{
+    if (sequence_.frames.empty())
+        support::fatal("TenantSession: tenant '" + config_.id +
+                       "' generated an empty sequence");
+    // Sequential per tenant: the serve layer's parallelism axis is
+    // across tenants on the shared scheduler pool, not within one
+    // tenant's kernels.
+    system_ = std::make_unique<core::KFusionSystem>(
+        config_.kfusion, kfusion::Implementation::Sequential);
+    system_->initialize(sequence_.intrinsics,
+                        sequence_.groundTruth.pose(0));
+    epochs_ = 1;
+    epochsCounter_.add();
+}
+
+TenantFrameStats
+TenantSession::processNext()
+{
+    if (cursor_ >= sequence_.frames.size()) {
+        // Stream wrap: a fresh session epoch on the same stream, as
+        // if the client reconnected — fresh volume, ground-truth
+        // starting pose, cursor back to frame 0.
+        cursor_ = 0;
+        system_ = std::make_unique<core::KFusionSystem>(
+            config_.kfusion, kfusion::Implementation::Sequential);
+        system_->initialize(sequence_.intrinsics,
+                            sequence_.groundTruth.pose(0));
+        ++epochs_;
+        epochsCounter_.add();
+    }
+
+    const size_t stream_index = cursor_++;
+    const auto start = std::chrono::steady_clock::now();
+    const bool tracked =
+        system_->processFrame(sequence_.frames[stream_index]);
+    const auto end = std::chrono::steady_clock::now();
+
+    TenantFrameStats stats;
+    stats.frame = framesProcessed_++;
+    stats.wallSeconds =
+        std::chrono::duration<double>(end - start).count();
+    stats.tracked = tracked;
+    stats.ateMeters =
+        stream_index < sequence_.groundTruth.size()
+            ? (system_->currentPose().translationPart() -
+               sequence_.groundTruth.pose(stream_index)
+                   .translationPart())
+                  .norm()
+            : 0.0;
+
+    const auto &frame_work = system_->frameWork();
+    if (!frame_work.empty()) {
+        const kfusion::WorkCounts &work = frame_work.back();
+        stats.deviceSeconds = config_.device.frameSeconds(work);
+        stats.deviceJoules = config_.device.frameJoules(work);
+    }
+
+    framesCounter_.add();
+    if (!tracked)
+        trackingFailuresCounter_.add();
+    frameSecondsHistogram_.record(stats.wallSeconds);
+    deviceSecondsHistogram_.record(stats.deviceSeconds);
+    lastAteGauge_.set(stats.ateMeters);
+    return stats;
+}
+
+void
+TenantSession::noteShed()
+{
+    ++framesShed_;
+    shedCounter_.add();
+}
+
+} // namespace slambench::serve

@@ -1,6 +1,9 @@
 #include "support/telemetry_server.hpp"
 
+#include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <limits>
@@ -33,6 +36,27 @@ sampleValue(double v)
     char buf[64];
     std::snprintf(buf, sizeof(buf), "%.10g", v);
     return buf;
+}
+
+/**
+ * Split a registry name of the labeledMetricName() form into its
+ * family part and its label block ("" when unlabeled). The label
+ * block is returned without the surrounding braces.
+ */
+void
+splitLabeledName(const std::string &name, std::string &base,
+                 std::string &labels)
+{
+    const size_t brace = name.find('{');
+    if (brace == std::string::npos) {
+        base = name;
+        labels.clear();
+        return;
+    }
+    base = name.substr(0, brace);
+    labels = name.substr(brace + 1);
+    if (!labels.empty() && labels.back() == '}')
+        labels.pop_back();
 }
 
 /** Emit the HELP/TYPE preamble for one metric family. */
@@ -148,6 +172,14 @@ escapeLabelValue(const std::string &value)
     return out;
 }
 
+std::string
+labeledMetricName(const std::string &family, const std::string &key,
+                  const std::string &value)
+{
+    return family + "{" + key + "=\"" + escapeLabelValue(value) +
+           "\"}";
+}
+
 void
 renderPrometheus(std::ostream &os)
 {
@@ -161,8 +193,18 @@ renderPrometheus(std::ostream &os)
     // miss rates (no-op when --pmu never armed profiling).
     pmu::publishGauges();
 
+    // Labeled registry names (labeledMetricName()'s `base{...}` form)
+    // share one family: the name-sorted snapshots keep every
+    // `base{...}` entry contiguous, so emitting the HELP/TYPE header
+    // only when the family changes yields one header per family
+    // followed by all of its (labeled) samples.
+    std::string base;
+    std::string labels;
+    std::string last_family;
+
     for (const auto &[name, value] : registry.counters()) {
-        std::string family = sanitizeMetricName(name);
+        splitLabeledName(name, base, labels);
+        std::string family = sanitizeMetricName(base);
         // Prometheus counter convention; registry names that already
         // end in _total keep it un-doubled.
         const std::string suffix = "_total";
@@ -170,19 +212,42 @@ renderPrometheus(std::ostream &os)
             family.compare(family.size() - suffix.size(),
                            suffix.size(), suffix) != 0)
             family += suffix;
-        writeFamilyHeader(os, family, "counter", name);
-        os << family << " " << value << "\n";
+        if (family != last_family) {
+            writeFamilyHeader(os, family, "counter", base);
+            last_family = family;
+        }
+        os << family;
+        if (!labels.empty())
+            os << "{" << labels << "}";
+        os << " " << value << "\n";
     }
 
+    last_family.clear();
     for (const auto &[name, value] : registry.gauges()) {
-        const std::string family = sanitizeMetricName(name);
-        writeFamilyHeader(os, family, "gauge", name);
-        os << family << " " << sampleValue(value) << "\n";
+        splitLabeledName(name, base, labels);
+        const std::string family = sanitizeMetricName(base);
+        if (family != last_family) {
+            writeFamilyHeader(os, family, "gauge", base);
+            last_family = family;
+        }
+        os << family;
+        if (!labels.empty())
+            os << "{" << labels << "}";
+        os << " " << sampleValue(value) << "\n";
     }
 
+    last_family.clear();
     for (const auto &[name, histogram] : registry.histograms()) {
-        const std::string family = sanitizeMetricName(name);
-        writeFamilyHeader(os, family, "histogram", name);
+        splitLabeledName(name, base, labels);
+        const std::string family = sanitizeMetricName(base);
+        if (family != last_family) {
+            writeFamilyHeader(os, family, "histogram", base);
+            last_family = family;
+        }
+        // A labeled histogram's le label goes after the series
+        // labels: `base_bucket{tenant="t03",le="0.1"}`.
+        const std::string label_prefix =
+            labels.empty() ? "" : labels + ",";
         // Cumulative buckets at the histogram's populated edges
         // (empty buckets elided — any subset of edges is valid
         // exposition as long as counts are cumulative and +Inf
@@ -194,15 +259,20 @@ renderPrometheus(std::ostream &os)
             if (in_bucket == 0)
                 continue;
             cumulative += in_bucket;
-            os << family << "_bucket{le=\""
+            os << family << "_bucket{" << label_prefix << "le=\""
                << sampleValue(histogram->bucketHi(i)) << "\"} "
                << cumulative << "\n";
         }
-        os << family << "_bucket{le=\"+Inf\"} "
+        os << family << "_bucket{" << label_prefix << "le=\"+Inf\"} "
            << histogram->count() << "\n";
-        os << family << "_sum " << sampleValue(histogram->sum())
-           << "\n";
-        os << family << "_count " << histogram->count() << "\n";
+        os << family << "_sum";
+        if (!labels.empty())
+            os << "{" << labels << "}";
+        os << " " << sampleValue(histogram->sum()) << "\n";
+        os << family << "_count";
+        if (!labels.empty())
+            os << "{" << labels << "}";
+        os << " " << histogram->count() << "\n";
     }
 }
 
@@ -263,37 +333,121 @@ TelemetryServer::serveLoop()
 {
     while (!stopRequested_.load(std::memory_order_relaxed)) {
         // Bounded poll instead of a blocking accept so stop() is
-        // honored within one timeout even with no clients.
+        // honored within one timeout even with no clients. EINTR is
+        // not an error: a signal (profiling timers, the crash-dump
+        // handler probing, SIGCHLD in embedding processes) just
+        // restarts the wait.
         pollfd pfd;
         pfd.fd = listenFd_;
         pfd.events = POLLIN;
         pfd.revents = 0;
         const int ready = ::poll(&pfd, 1, 200);
+        if (ready < 0 && errno != EINTR)
+            return; // listen fd is gone; stop() will join us
         if (ready <= 0)
             continue;
-        const int client = ::accept(listenFd_, nullptr, nullptr);
+        int client;
+        do {
+            client = ::accept(listenFd_, nullptr, nullptr);
+        } while (client < 0 && errno == EINTR);
         if (client < 0)
             continue;
-        handleConnection(client);
+        serveConnection(client);
         ::close(client);
     }
 }
 
-void
-TelemetryServer::handleConnection(int client_fd)
+namespace detail {
+
+bool
+sendAll(int fd, const char *data, size_t len)
 {
-    char request[4096];
-    const ssize_t got =
-        ::read(client_fd, request, sizeof(request) - 1);
-    if (got <= 0)
-        return;
-    request[got] = '\0';
+    size_t off = 0;
+    while (off < len) {
+        // MSG_NOSIGNAL: a client that disconnected mid-response
+        // yields EPIPE here instead of a process-fatal SIGPIPE —
+        // mandatory for the long-running serve binary, where scrapers
+        // come and go for the lifetime of the process.
+        const ssize_t n =
+            ::send(fd, data + off, len - off, MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false; // EPIPE/ECONNRESET/...: client is gone
+        }
+        if (n == 0)
+            return false;
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+bool
+readRequestLine(int fd, std::string &request, size_t max_len,
+                int deadline_ms)
+{
+    // A slow or segmented client may deliver "GET /met" and
+    // "rics HTTP/1.0\r\n" in separate packets; accumulate until the
+    // request line is complete. The deadline bounds a stalled client
+    // so it cannot wedge the accept loop, and the buffer cap bounds
+    // a malicious one.
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(deadline_ms);
+    while (request.find("\r\n") == std::string::npos) {
+        if (request.size() >= max_len)
+            return false;
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= deadline)
+            return false;
+        const int wait_ms = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                deadline - now)
+                .count() +
+            1);
+        pollfd pfd;
+        pfd.fd = fd;
+        pfd.events = POLLIN;
+        pfd.revents = 0;
+        const int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (ready == 0)
+            return false; // deadline expired
+        char buf[1024];
+        const size_t want =
+            std::min(sizeof(buf), max_len - request.size());
+        const ssize_t got = ::read(fd, buf, want);
+        if (got < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        if (got == 0)
+            return false; // EOF before the line completed
+        request.append(buf, static_cast<size_t>(got));
+    }
+    return true;
+}
+
+} // namespace detail
+
+void
+serveConnection(int client_fd, int read_deadline_ms)
+{
+    std::string request;
+    const bool complete = detail::readRequestLine(
+        client_fd, request, 4096, read_deadline_ms);
+    if (!complete && request.empty())
+        return; // nothing arrived: no response owed
 
     // "<METHOD> <path> ..." — the only request-line parts we need.
     std::string method;
     std::string path;
     {
-        const char *p = request;
+        const char *p = request.c_str();
         while (*p && *p != ' ')
             method += *p++;
         while (*p == ' ')
@@ -307,7 +461,13 @@ TelemetryServer::handleConnection(int client_fd)
     const char *content_type = "text/plain; charset=utf-8";
     std::string body;
 
-    if (method != "GET") {
+    if (!complete) {
+        // Partial line (oversize or timed out mid-request): answer
+        // rather than silently dropping, then let close() end it.
+        status = 400;
+        status_text = "Bad Request";
+        body = "incomplete request line\n";
+    } else if (method != "GET") {
         status = 405;
         status_text = "Method Not Allowed";
         body = "only GET is supported\n";
@@ -350,14 +510,7 @@ TelemetryServer::handleConnection(int client_fd)
              << "\r\nConnection: close\r\n\r\n"
              << body;
     const std::string out = response.str();
-    size_t off = 0;
-    while (off < out.size()) {
-        const ssize_t n =
-            ::write(client_fd, out.data() + off, out.size() - off);
-        if (n <= 0)
-            break;
-        off += static_cast<size_t>(n);
-    }
+    detail::sendAll(client_fd, out.data(), out.size());
 }
 
 TelemetryEndpoint::TelemetryEndpoint(const TelemetryOptions &options)

@@ -45,6 +45,19 @@ std::string sanitizeMetricName(const std::string &name);
 std::string escapeLabelValue(const std::string &value);
 
 /**
+ * Build a registry metric name carrying one exposition label:
+ * `family{key="value"}` with @p value escaped per the label-value
+ * rules. renderPrometheus() recognizes the brace form, sanitizes
+ * only the family part, emits one HELP/TYPE header per family, and
+ * renders the label block on every sample — this is how the serve
+ * layer gets per-tenant `/metrics` series out of the flat registry
+ * (e.g. `serve.tenant.frames{tenant="t03"}`).
+ */
+std::string labeledMetricName(const std::string &family,
+                              const std::string &key,
+                              const std::string &value);
+
+/**
  * Render the whole metrics::Registry as Prometheus text exposition
  * format 0.0.4 to @p os: each counter as `<name>_total`, each gauge
  * verbatim, each histogram as cumulative `_bucket{le="..."}` series
@@ -52,6 +65,51 @@ std::string escapeLabelValue(const std::string &value);
  * `# HELP` / `# TYPE` lines.
  */
 void renderPrometheus(std::ostream &os);
+
+/**
+ * Serve one HTTP/1.0 exchange on @p client_fd (request already
+ * accepted; the fd is not closed here). This is the connection
+ * handler behind TelemetryServer, exposed so the socket-path
+ * regression tests can drive it over a socketpair:
+ *
+ *  - the request line is read in a loop until CRLF (a slow or
+ *    segmented client parses identically to a one-shot one), bounded
+ *    by a 4 KiB buffer and @p read_deadline_ms;
+ *  - EINTR during poll/read/send is retried, never treated as a
+ *    dropped connection;
+ *  - the response is written with `send(MSG_NOSIGNAL)`, so a client
+ *    that disconnects mid-response yields EPIPE instead of a fatal
+ *    SIGPIPE.
+ *
+ * Oversize (no CRLF within the buffer) and timed-out requests get a
+ * 400 where a line was partially read, or nothing when no bytes
+ * arrived.
+ */
+void serveConnection(int client_fd, int read_deadline_ms = 2000);
+
+namespace detail {
+
+/**
+ * Write all @p len bytes to @p fd via send(MSG_NOSIGNAL), retrying
+ * on EINTR and short writes.
+ *
+ * @return whether every byte was accepted (false on EPIPE /
+ *         ECONNRESET / any other real error — never raises SIGPIPE).
+ */
+bool sendAll(int fd, const char *data, size_t len);
+
+/**
+ * Read from @p fd into @p request until it contains a CRLF, @p
+ * max_len bytes were read, EOF, or @p deadline_ms expired; EINTR
+ * during poll/read is retried without consuming deadline accounting
+ * resolution.
+ *
+ * @return whether a full CRLF-terminated request line was received.
+ */
+bool readRequestLine(int fd, std::string &request, size_t max_len,
+                     int deadline_ms);
+
+} // namespace detail
 
 /**
  * Blocking HTTP/1.0 exposition server on a background thread.
@@ -103,7 +161,6 @@ class TelemetryServer
 
   private:
     void serveLoop();
-    void handleConnection(int client_fd);
 
     int listenFd_ = -1;
     int port_ = -1;

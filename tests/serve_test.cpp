@@ -1,0 +1,309 @@
+/**
+ * @file
+ * Tests for the serve subsystem: admission-control hysteresis (pure
+ * tick-by-tick logic), tenant sessions (stream wrap, per-tenant
+ * labeled metrics), and the stream scheduler (batch scheduling,
+ * stall-injected load shedding, graceful drain).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "devices/fleet.hpp"
+#include "serve/admission.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/session.hpp"
+#include "support/metrics.hpp"
+#include "support/slo_watchdog.hpp"
+#include "support/telemetry_server.hpp"
+
+namespace {
+
+using namespace slambench;
+using serve::AdmissionController;
+using serve::AdmissionOptions;
+using serve::LoadSignals;
+
+// --- AdmissionController ----------------------------------------
+
+AdmissionOptions
+testOptions()
+{
+    AdmissionOptions options;
+    options.queueHiWatermark = 10;
+    options.queueLoWatermark = 2;
+    options.frameP99TargetSeconds = 0.0;
+    options.clearAfterHealthyTicks = 3;
+    return options;
+}
+
+LoadSignals
+quiet()
+{
+    return LoadSignals{};
+}
+
+TEST(AdmissionController, StartsClearAndStaysClearWhenQuiet)
+{
+    AdmissionController admission(testOptions());
+    EXPECT_FALSE(admission.shedding());
+    for (int i = 0; i < 10; ++i)
+        EXPECT_FALSE(admission.onTick(quiet()));
+    EXPECT_EQ(admission.engageCount(), 0u);
+}
+
+TEST(AdmissionController, EngagesOnQueueDepthAndClearsWithHysteresis)
+{
+    AdmissionController admission(testOptions());
+
+    LoadSignals hot;
+    hot.peakQueueDepth = 10; // == hi watermark
+    EXPECT_TRUE(admission.onTick(hot));
+    EXPECT_TRUE(admission.shedding());
+    EXPECT_EQ(admission.lastEngageReason(), "queue_depth");
+    EXPECT_EQ(admission.engageCount(), 1u);
+
+    // Between the watermarks: neither engages nor counts as healthy.
+    LoadSignals middling;
+    middling.peakQueueDepth = 5;
+    EXPECT_TRUE(admission.onTick(middling));
+
+    // Three consecutive healthy ticks clear; two do not.
+    LoadSignals calm;
+    calm.peakQueueDepth = 1;
+    EXPECT_TRUE(admission.onTick(calm));
+    EXPECT_TRUE(admission.onTick(calm));
+    EXPECT_TRUE(admission.onTick(middling)); // resets the streak
+    EXPECT_TRUE(admission.onTick(calm));
+    EXPECT_TRUE(admission.onTick(calm));
+    EXPECT_FALSE(admission.onTick(calm));
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.clearCount(), 1u);
+}
+
+TEST(AdmissionController, PreexistingBreachesAreBaselineNotEngage)
+{
+    AdmissionController admission(testOptions());
+    // First sample carries breaches latched before the controller
+    // existed: history, not live overload.
+    LoadSignals first;
+    first.sloBreaches = 7;
+    EXPECT_FALSE(admission.onTick(first));
+
+    // A new breach (delta over the baseline) engages.
+    LoadSignals second;
+    second.sloBreaches = 8;
+    EXPECT_TRUE(admission.onTick(second));
+    EXPECT_EQ(admission.lastEngageReason(), "slo_breach");
+}
+
+TEST(AdmissionController, EngagesOnSmoothedP99AndClearsUnderTarget)
+{
+    AdmissionOptions options = testOptions();
+    options.frameP99TargetSeconds = 0.100;
+    options.p99Smoothing = 1.0; // no smoothing: deterministic ticks
+    AdmissionController admission(options);
+
+    LoadSignals slow;
+    slow.tickP99Seconds = 0.250;
+    EXPECT_TRUE(admission.onTick(slow));
+    EXPECT_EQ(admission.lastEngageReason(), "frame_p99");
+
+    // Shed ticks with no completed frames must NOT drag the EWMA
+    // down and clear by starvation.
+    LoadSignals starved; // tickP99Seconds == 0
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(admission.onTick(starved));
+
+    LoadSignals recovered;
+    recovered.tickP99Seconds = 0.020;
+    EXPECT_TRUE(admission.onTick(recovered));
+    EXPECT_TRUE(admission.onTick(recovered));
+    EXPECT_FALSE(admission.onTick(recovered));
+}
+
+// --- TenantSession ----------------------------------------------
+
+serve::TenantConfig
+tinyTenant(const std::string &id)
+{
+    serve::TenantConfig tenant;
+    tenant.id = id;
+    tenant.device = devices::mobileFleet(8, 2018)[0];
+    tenant.sequence.numFrames = 3;
+    tenant.sequence.width = 160;
+    tenant.sequence.height = 120;
+    tenant.sequence.renderRgb = false;
+    tenant.kfusion.volumeResolution = 64;
+    tenant.kfusion.computeSizeRatio = 2;
+    return tenant;
+}
+
+TEST(TenantSession, ProcessesWrapsAndCountsLabeledMetrics)
+{
+    auto &registry = support::metrics::Registry::instance();
+    const std::string id = "unittest-a";
+    const std::string frames_name =
+        support::telemetry::labeledMetricName("serve.tenant.frames",
+                                              "tenant", id);
+    const uint64_t frames_before =
+        registry.counter(frames_name).value();
+
+    serve::TenantSession session(tinyTenant(id));
+    EXPECT_EQ(session.streamLength(), 3u);
+    EXPECT_EQ(session.epochs(), 1u);
+
+    // One full stream plus one frame: wraps into a second epoch.
+    for (int i = 0; i < 4; ++i) {
+        const serve::TenantFrameStats stats = session.processNext();
+        EXPECT_EQ(stats.frame, static_cast<uint64_t>(i));
+        EXPECT_GT(stats.wallSeconds, 0.0);
+        EXPECT_GT(stats.deviceSeconds, 0.0);
+        EXPECT_GT(stats.deviceJoules, 0.0);
+    }
+    EXPECT_EQ(session.framesProcessed(), 4u);
+    EXPECT_EQ(session.epochs(), 2u);
+
+    session.noteShed();
+    EXPECT_EQ(session.framesShed(), 1u);
+
+    EXPECT_EQ(registry.counter(frames_name).value() - frames_before,
+              4u);
+    // The labeled series renders with the tenant label attached.
+    std::ostringstream out;
+    support::telemetry::renderPrometheus(out);
+    EXPECT_NE(out.str().find("serve_tenant_frames_total{tenant=\"" +
+                             id + "\"} 4"),
+              std::string::npos);
+}
+
+// --- StreamScheduler --------------------------------------------
+
+std::vector<std::unique_ptr<serve::TenantSession>>
+tinyFleet(size_t count, const char *prefix)
+{
+    std::vector<std::unique_ptr<serve::TenantSession>> sessions;
+    for (size_t i = 0; i < count; ++i) {
+        serve::TenantConfig tenant =
+            tinyTenant(prefix + std::to_string(i));
+        tenant.sequence.seed = 42 + i;
+        sessions.push_back(
+            std::make_unique<serve::TenantSession>(tenant));
+    }
+    return sessions;
+}
+
+TEST(StreamScheduler, TicksEveryTenantOncePerTickAndReports)
+{
+    serve::SchedulerOptions options;
+    options.threads = 2;
+    serve::StreamScheduler scheduler(tinyFleet(3, "sched-a"),
+                                     options);
+
+    const serve::TickReport first = scheduler.runTick();
+    EXPECT_EQ(first.tick, 1u);
+    EXPECT_EQ(first.framesProcessed, 3u);
+    EXPECT_EQ(first.framesShed, 0u);
+    EXPECT_FALSE(first.shedding);
+
+    const serve::TickReport second = scheduler.runTick();
+    EXPECT_EQ(second.tick, 2u);
+    EXPECT_EQ(scheduler.framesProcessed(), 6u);
+    for (const auto &session : scheduler.sessions())
+        EXPECT_EQ(session->framesProcessed(), 2u);
+    EXPECT_GT(scheduler.aggregateFrameP99Seconds(), 0.0);
+}
+
+TEST(StreamScheduler, RunLoopHonorsDrainRequest)
+{
+    serve::SchedulerOptions options;
+    options.threads = 2;
+    serve::StreamScheduler scheduler(tinyFleet(2, "sched-b"),
+                                     options);
+
+    scheduler.requestDrain();
+    // Drain already requested: the loop must not start another tick
+    // even with an unbounded budget.
+    EXPECT_EQ(scheduler.runLoop(/*max_ticks=*/0), 0u);
+    EXPECT_TRUE(scheduler.drainRequested());
+    EXPECT_EQ(scheduler.framesProcessed(), 0u);
+}
+
+TEST(StreamScheduler, StallInjectionTripsWatchdogAndShedsThenClears)
+{
+    auto &watchdog = support::telemetry::SloWatchdog::instance();
+
+    // Calibrate: measure a normal tick with the watchdog disabled
+    // (sanitizer builds run 10-20x slower, and a hard-coded stall
+    // SLO would latch on ordinary frame work before the injected
+    // stall — poisoning the controller's breach baseline).
+    watchdog.configure(support::telemetry::SloThresholds{});
+    double max_tick_seconds = 0.0;
+    {
+        serve::SchedulerOptions calibration;
+        calibration.threads = 2;
+        serve::StreamScheduler warmup(tinyFleet(4, "sched-cal"),
+                                      calibration);
+        for (int i = 0; i < 2; ++i) {
+            const auto t0 = std::chrono::steady_clock::now();
+            warmup.runTick();
+            max_tick_seconds = std::max(
+                max_tick_seconds,
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+        }
+    }
+    const double stall_slo_seconds =
+        std::max(0.050, 4.0 * max_tick_seconds);
+
+    support::telemetry::SloThresholds thresholds;
+    thresholds.poolQueueStallSeconds = stall_slo_seconds;
+    watchdog.configure(thresholds);
+
+    serve::SchedulerOptions options;
+    options.threads = 2;
+    options.stallAtTick = 2;
+    // 3x the stall SLO: a real latched breach, whatever the host.
+    options.stallMs = 3.0 * stall_slo_seconds * 1e3;
+    // Watermarks sized so only the breach engages (the hi watermark
+    // is far above what 4 tenants can queue) and the shed batches
+    // can't block clearing.
+    options.admission.queueHiWatermark = 1000;
+    options.admission.queueLoWatermark = 100;
+    options.admission.clearAfterHealthyTicks = 2;
+    serve::StreamScheduler scheduler(tinyFleet(4, "sched-c"),
+                                     options);
+
+    bool engaged = false;
+    bool cleared_after_engage = false;
+    for (int i = 0; i < 10; ++i) {
+        const serve::TickReport report = scheduler.runTick();
+        if (report.shedding)
+            engaged = true;
+        if (engaged && !report.shedding)
+            cleared_after_engage = true;
+    }
+    EXPECT_TRUE(engaged)
+        << "stall-induced SLO breach never engaged shedding";
+    EXPECT_TRUE(cleared_after_engage)
+        << "shedding never cleared after the stall drained";
+    EXPECT_GE(scheduler.admission().engageCount(), 1u);
+    EXPECT_GE(scheduler.admission().clearCount(), 1u);
+    EXPECT_GT(scheduler.framesShed(), 0u);
+    EXPECT_EQ(scheduler.admission().lastEngageReason(),
+              "slo_breach");
+
+    // The breach stays latched for post-incident scrapes even though
+    // admission control has cleared.
+    EXPECT_FALSE(watchdog.healthy());
+    watchdog.reset();
+}
+
+} // namespace

@@ -11,6 +11,8 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -1110,6 +1112,280 @@ TEST(RunSessionStreaming, WriteCurrentJsonTracksActiveSession)
         EXPECT_FALSE(metrics::RunSession::writeCurrentJson(after));
     }
     std::remove(json_path.c_str());
+}
+
+// --- Socket-path hardening (serve-binary prerequisites) ---------
+//
+// These drive serveConnection() directly over an AF_UNIX socketpair,
+// which makes the failure modes deterministic: a write to a closed
+// socketpair peer raises SIGPIPE immediately (no TCP buffering to
+// swallow it), a partial write really stays partial, and the far end
+// is a plain fd the test controls byte by byte.
+
+/** One end of a socketpair; the other is handed to the server. */
+struct ServerPipe
+{
+    int clientFd = -1;
+    int serverFd = -1;
+
+    ServerPipe()
+    {
+        int fds[2];
+        EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+        clientFd = fds[0];
+        serverFd = fds[1];
+    }
+
+    ~ServerPipe()
+    {
+        if (clientFd >= 0)
+            ::close(clientFd);
+        if (serverFd >= 0)
+            ::close(serverFd);
+    }
+
+    /** Drain the server's response after closing the server fd. */
+    std::string
+    response()
+    {
+        ::close(serverFd);
+        serverFd = -1;
+        std::string out;
+        char buf[4096];
+        ssize_t got;
+        while ((got = ::read(clientFd, buf, sizeof(buf))) > 0)
+            out.append(buf, static_cast<size_t>(got));
+        return out;
+    }
+};
+
+TEST(TelemetryServer, MidScrapeDisconnectDoesNotRaiseSigpipe)
+{
+    // The regression is only provable while SIGPIPE keeps its
+    // default (process-killing) disposition: with the pre-fix
+    // ::write response path, this test dies instead of failing.
+    struct sigaction disposition;
+    ASSERT_EQ(::sigaction(SIGPIPE, nullptr, &disposition), 0);
+    ASSERT_EQ(disposition.sa_handler, SIG_DFL)
+        << "SIGPIPE must stay at default for this regression test";
+
+    ServerPipe pipe;
+    const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::write(pipe.clientFd, request, sizeof(request) - 1),
+              static_cast<ssize_t>(sizeof(request) - 1));
+    // Client disconnects before the response: every byte the server
+    // now sends goes to a closed peer.
+    ::close(pipe.clientFd);
+    pipe.clientFd = -1;
+
+    serveConnection(pipe.serverFd);
+
+    // Still alive; the socket path must also still work end to end.
+    ServerPipe second;
+    const char request2[] = "GET /healthz HTTP/1.0\r\n\r\n";
+    ASSERT_EQ(::write(second.clientFd, request2,
+                      sizeof(request2) - 1),
+              static_cast<ssize_t>(sizeof(request2) - 1));
+    serveConnection(second.serverFd);
+    EXPECT_NE(second.response().find("HTTP/1.0"),
+              std::string::npos);
+}
+
+TEST(TelemetryServer, EndToEndDisconnectMidScrapeServerSurvives)
+{
+    TelemetryServer server;
+    ASSERT_TRUE(server.start(0));
+
+    // Several abrupt disconnects right after sending the request —
+    // the server is likely mid-/metrics-response for at least one.
+    for (int i = 0; i < 5; ++i) {
+        const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+        ASSERT_GE(fd, 0);
+        sockaddr_in addr;
+        std::memset(&addr, 0, sizeof(addr));
+        addr.sin_family = AF_INET;
+        addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+        addr.sin_port =
+            htons(static_cast<uint16_t>(server.port()));
+        ASSERT_EQ(::connect(fd,
+                            reinterpret_cast<sockaddr *>(&addr),
+                            sizeof(addr)),
+                  0);
+        const char request[] = "GET /metrics HTTP/1.0\r\n\r\n";
+        ASSERT_EQ(::write(fd, request, sizeof(request) - 1),
+                  static_cast<ssize_t>(sizeof(request) - 1));
+        // RST the connection (SO_LINGER 0) instead of a graceful
+        // FIN, so the server's sends fail hard.
+        linger hard_close;
+        hard_close.l_onoff = 1;
+        hard_close.l_linger = 0;
+        ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close,
+                     sizeof(hard_close));
+        ::close(fd);
+    }
+
+    // The serving thread survived: a full scrape still answers 200.
+    const std::string response = httpGet(server.port(), "/metrics");
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+    server.stop();
+}
+
+TEST(TelemetryServer, SegmentedRequestLineParsesLikeOneShot)
+{
+    ServerPipe pipe;
+    // A slow client: the request line arrives in four packets with
+    // gaps. The pre-fix single-read server saw only "GET /hea" and
+    // answered 404.
+    std::thread writer([fd = pipe.clientFd] {
+        const char *pieces[] = {"GET ", "/hea", "lthz HTT",
+                                "P/1.0\r\n\r\n"};
+        for (const char *piece : pieces) {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(20));
+            ASSERT_EQ(::write(fd, piece, std::strlen(piece)),
+                      static_cast<ssize_t>(std::strlen(piece)));
+        }
+    });
+    serveConnection(pipe.serverFd);
+    writer.join();
+    const std::string response = pipe.response();
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+        << response;
+    EXPECT_NE(response.find("ok\n"), std::string::npos);
+}
+
+TEST(TelemetryServer, OversizeRequestLineGets400)
+{
+    ServerPipe pipe;
+    const std::string flood(5000, 'A'); // no CRLF anywhere
+    ASSERT_EQ(::write(pipe.clientFd, flood.data(), flood.size()),
+              static_cast<ssize_t>(flood.size()));
+    serveConnection(pipe.serverFd);
+    const std::string response = pipe.response();
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos)
+        << response;
+}
+
+TEST(TelemetryServer, StalledClientHitsReadDeadlineNotHang)
+{
+    ServerPipe pipe;
+    // Partial line, then silence — without the deadline this would
+    // wedge the accept loop forever.
+    const char partial[] = "GET /metr";
+    ASSERT_EQ(::write(pipe.clientFd, partial, sizeof(partial) - 1),
+              static_cast<ssize_t>(sizeof(partial) - 1));
+    const auto start = std::chrono::steady_clock::now();
+    serveConnection(pipe.serverFd, /*read_deadline_ms=*/100);
+    const double waited =
+        std::chrono::duration<double>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    EXPECT_LT(waited, 2.0);
+    const std::string response = pipe.response();
+    EXPECT_NE(response.find("HTTP/1.0 400"), std::string::npos);
+}
+
+std::atomic<int> g_usr1_delivered{0};
+
+void
+countUsr1(int)
+{
+    g_usr1_delivered.fetch_add(1, std::memory_order_relaxed);
+}
+
+TEST(TelemetryServer, EintrDuringRequestIsRetriedNotDropped)
+{
+    // A no-op SIGUSR1 handler installed WITHOUT SA_RESTART, so every
+    // delivery interrupts poll/read with EINTR. The pre-fix server
+    // treated that as a dead client and dropped the connection.
+    struct sigaction action;
+    struct sigaction previous;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = countUsr1;
+    ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+    g_usr1_delivered.store(0, std::memory_order_relaxed);
+
+    ServerPipe pipe;
+    std::thread server_thread([fd = pipe.serverFd] {
+        serveConnection(fd, /*read_deadline_ms=*/5000);
+    });
+
+    // Pound the serving thread with signals between the request
+    // segments, so EINTR hits both the poll wait and the reads.
+    const char *pieces[] = {"GET /healthz", " HTTP/1.0", "\r\n\r\n"};
+    for (const char *piece : pieces) {
+        for (int i = 0; i < 5; ++i) {
+            ::pthread_kill(server_thread.native_handle(), SIGUSR1);
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds(5));
+        }
+        ASSERT_EQ(::write(pipe.clientFd, piece,
+                          std::strlen(piece)),
+                  static_cast<ssize_t>(std::strlen(piece)));
+    }
+    server_thread.join();
+    ::sigaction(SIGUSR1, &previous, nullptr);
+
+    EXPECT_GT(g_usr1_delivered.load(std::memory_order_relaxed), 0)
+        << "test harness failed to deliver any SIGUSR1";
+    const std::string response = pipe.response();
+    EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos)
+        << response;
+}
+
+// --- Labeled exposition (per-tenant /metrics series) ------------
+
+TEST(PrometheusExposition, LabeledNamesRenderPerTenantSeries)
+{
+    auto &registry = metrics::Registry::instance();
+    registry
+        .counter(labeledMetricName("servetest.frames", "tenant",
+                                   "t00"))
+        .add(3);
+    registry
+        .counter(labeledMetricName("servetest.frames", "tenant",
+                                   "t01"))
+        .add(5);
+    registry
+        .gauge(labeledMetricName("servetest.depth", "tenant", "t00"))
+        .set(2.5);
+    registry
+        .histogram(
+            labeledMetricName("servetest.lat", "tenant", "t00"))
+        .record(0.01);
+
+    std::ostringstream out;
+    renderPrometheus(out);
+    const std::string text = out.str();
+
+    // One header pair for the whole labeled counter family...
+    EXPECT_EQ(1, static_cast<int>(
+                     linesStartingWith(
+                         text, "# HELP servetest_frames_total")
+                         .size()));
+    EXPECT_EQ(1,
+              static_cast<int>(
+                  linesStartingWith(
+                      text,
+                      "# TYPE servetest_frames_total counter")
+                      .size()));
+    // ...and one labeled sample per tenant.
+    EXPECT_NE(
+        text.find("servetest_frames_total{tenant=\"t00\"} 3"),
+        std::string::npos);
+    EXPECT_NE(
+        text.find("servetest_frames_total{tenant=\"t01\"} 5"),
+        std::string::npos);
+    EXPECT_NE(text.find("servetest_depth{tenant=\"t00\"} 2.5"),
+              std::string::npos);
+    // Histogram series put the tenant label before le, and label
+    // _sum/_count too.
+    EXPECT_NE(text.find("servetest_lat_bucket{tenant=\"t00\",le=\""),
+              std::string::npos);
+    EXPECT_NE(text.find("servetest_lat_sum{tenant=\"t00\"}"),
+              std::string::npos);
+    EXPECT_NE(text.find("servetest_lat_count{tenant=\"t00\"} 1"),
+              std::string::npos);
 }
 
 } // namespace
