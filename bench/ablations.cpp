@@ -112,6 +112,8 @@ main(int argc, char **argv)
     kfusion::KFusionConfig base = defaultConfig();
     base.volumeResolution = quick ? 64 : 128;
     base.kernelBackend = backendFromArgs(argc, argv);
+    // --volume applies to every variant too (bit-identical fusion).
+    volumeFromArgs(argc, argv, base);
 
     // 1. Bilateral filter.
     for (int radius : {0, 1, 2, 4}) {

@@ -19,6 +19,7 @@
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
 #include "kfusion/backend.hpp"
+#include "kfusion/volume_backend.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/telemetry_server.hpp"
@@ -140,6 +141,41 @@ backendFromArgs(int argc, char **argv)
     if (!kfusion::resolveKernelBackend(name, &error))
         support::fatal(std::string(argv[0]) + ": --backend: " + error);
     return name;
+}
+
+/**
+ * Parse the shared volume-backend flags into @p config:
+ *
+ *   --volume NAME        TSDF map data structure, "dense" (default)
+ *                        or "sparse" (hashed voxel blocks; see
+ *                        docs/ARCHITECTURE.md "Volume backends")
+ *   --block-size N       sparse voxel-block edge, 8 or 16
+ *   --pool-capacity N    sparse resident-block cap (0 = unbounded)
+ *
+ * Exits with a usage error on invalid values. Sparse is bit-identical
+ * to dense on the observed region, so like `--backend` these flags
+ * move only the performance/memory axes.
+ */
+inline void
+volumeFromArgs(int argc, char **argv, kfusion::KFusionConfig &config)
+{
+    config.volumeBackend =
+        argString(argc, argv, "--volume", config.volumeBackend.c_str());
+    config.volumeBlockSize = static_cast<int>(argLong(
+        argc, argv, "--block-size", config.volumeBlockSize));
+    config.volumePoolCapacity = argLong(
+        argc, argv, "--pool-capacity", config.volumePoolCapacity);
+    if (!kfusion::volumeBackendNameValid(config.volumeBackend))
+        support::fatal(std::string(argv[0]) +
+                       ": --volume: unknown volume backend '" +
+                       config.volumeBackend +
+                       "' (valid: dense, sparse)");
+    if (config.volumeBlockSize != 8 && config.volumeBlockSize != 16)
+        support::fatal(std::string(argv[0]) +
+                       ": --block-size must be 8 or 16");
+    if (config.volumePoolCapacity < 0)
+        support::fatal(std::string(argv[0]) +
+                       ": --pool-capacity must be >= 0");
 }
 
 /**

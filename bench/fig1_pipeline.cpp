@@ -56,6 +56,9 @@ main(int argc, char **argv)
     // --backend {scalar,simd,auto}: kernel backend for the hot
     // kernels (bit-exact; performance only).
     config.kernelBackend = backendFromArgs(argc, argv);
+    // --volume {dense,sparse} (+ --block-size, --pool-capacity):
+    // TSDF map data structure (bit-identical; memory/perf only).
+    volumeFromArgs(argc, argv, config);
     core::addConfigParams(metrics_session, config);
     kfusion::KFusion pipeline(config, sequence.intrinsics);
     pipeline.setPose(sequence.groundTruth.pose(0));

@@ -97,11 +97,13 @@ main(int argc, char **argv)
         core::makeDseEvaluator(space, sequence, xu3, {}, &eval_log);
 
     // --- Baseline: the default configuration. ---
-    // --backend selects the baseline's kernel backend; the DSE
-    // itself always explores the "implementation" dimension (0 =
-    // scalar, 1 = simd) regardless of this flag.
+    // --backend/--volume select the baseline's kernel and volume
+    // backends; the DSE itself always explores the "implementation"
+    // (0 = scalar, 1 = simd, 2 = mixed) and "volume" (0 = dense,
+    // 1 = sparse) dimensions regardless of these flags.
     kfusion::KFusionConfig default_config = defaultConfig();
     default_config.kernelBackend = backendFromArgs(argc, argv);
+    volumeFromArgs(argc, argv, default_config);
     core::addConfigParams(metrics_session, default_config);
     const hypermapper::Point default_point =
         core::configToPoint(space, default_config);

@@ -62,6 +62,9 @@ main(int argc, char **argv)
     kfusion::KFusionConfig tuned_config = tunedConfig();
     default_config.kernelBackend = backend;
     tuned_config.kernelBackend = backend;
+    // --volume applies to both runs for the same reason.
+    volumeFromArgs(argc, argv, default_config);
+    volumeFromArgs(argc, argv, tuned_config);
     // The report's config object records the tuned configuration
     // (the artifact Fig. 3 ships); both runs' frames are appended
     // below under their own labels.

@@ -55,8 +55,11 @@ main(int argc, char **argv)
                    {"tuned (HyperMapper)", tunedConfig(), {}}};
     // --backend applies to both rows (bit-exact, performance only).
     const std::string backend = backendFromArgs(argc, argv);
-    for (Row &row : rows)
+    for (Row &row : rows) {
         row.config.kernelBackend = backend;
+        // --volume likewise applies to both rows.
+        volumeFromArgs(argc, argv, row.config);
+    }
 
     // Both evaluations are independent full pipeline runs; run them
     // concurrently (unless --dse-threads 1) and report serially so

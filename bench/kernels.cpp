@@ -29,6 +29,7 @@
 #include "kfusion/backend.hpp"
 #include "kfusion/kernels.hpp"
 #include "kfusion/raycast.hpp"
+#include "kfusion/sparse_volume.hpp"
 #include "kfusion/tracking.hpp"
 #include "kfusion/volume.hpp"
 #include "support/logging.hpp"
@@ -311,6 +312,35 @@ BM_IntegrateDense(benchmark::State &state)
         static_cast<int64_t>(counts.bytesFor(KernelId::Integrate)));
 }
 
+/**
+ * Hashed-voxel-block integration, same frame and volume placement as
+ * BM_Integrate so the dense and sparse rows compare directly. The
+ * resident footprint after fusion is exported as the "volume_bytes"
+ * counter (and gated by bench_compare.py --max-volume-bytes-regress).
+ */
+void
+BM_IntegrateSparse(benchmark::State &state,
+                   const KernelBackend *backend)
+{
+    Workload &wl = workload(160, 120);
+    SparseTsdfVolume volume(static_cast<int>(state.range(0)), 4.8f,
+                            {-2.4f, -0.4f, -2.4f}, 8, 0);
+    volume.setBackend(backend);
+    WorkCounts counts;
+    BenchPmuSampler pmu_sampler(state);
+    for (auto _ : state) {
+        volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f,
+                         counts, nullptr);
+        benchmark::DoNotOptimize(volume.voxelAt(0, 0, 0).tsdf);
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(counts.itemsFor(KernelId::Integrate)));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(counts.bytesFor(KernelId::Integrate)));
+    state.counters["volume_bytes"] = benchmark::Counter(
+        static_cast<double>(volume.memoryStats().bytes));
+}
+
 /** Items are rays cast (one per pixel): ns/item is ns per ray. */
 void
 BM_Raycast(benchmark::State &state, const KernelBackend *backend)
@@ -337,6 +367,41 @@ BM_Raycast(benchmark::State &state, const KernelBackend *backend)
         static_cast<int64_t>(vertex.size()));
     state.SetBytesProcessed(
         static_cast<int64_t>(counts.bytesFor(KernelId::Raycast)));
+}
+
+/**
+ * Sparse-volume raycast: per-ray cached block lookups with the
+ * empty-space skip over unallocated blocks. The sparse march is
+ * always the scalar block-cached sampler (no backend axis), so this
+ * is registered once, not per backend.
+ */
+void
+BM_RaycastSparse(benchmark::State &state)
+{
+    Workload &wl = workload(160, 120);
+    SparseTsdfVolume volume(static_cast<int>(state.range(0)), 4.8f,
+                            {-2.4f, -0.4f, -2.4f}, 8, 0);
+    WorkCounts counts;
+    volume.integrate(wl.depth, wl.k, wl.pose, 0.1f, 100.0f, counts,
+                     nullptr);
+    RaycastParams params;
+    params.step = volume.voxelSize();
+    params.largeStep = 0.075f;
+    Image<math::Vec3f> vertex, normal;
+    counts = WorkCounts{};
+    BenchPmuSampler pmu_sampler(state);
+    for (auto _ : state) {
+        raycastKernel(vertex, normal, volume, wl.k, wl.pose, params,
+                      counts, nullptr);
+        benchmark::DoNotOptimize(vertex.data());
+    }
+    state.SetItemsProcessed(
+        static_cast<int64_t>(state.iterations()) *
+        static_cast<int64_t>(vertex.size()));
+    state.SetBytesProcessed(
+        static_cast<int64_t>(counts.bytesFor(KernelId::Raycast)));
+    state.counters["volume_bytes"] = benchmark::Counter(
+        static_cast<double>(volume.memoryStats().bytes));
 }
 
 /**
@@ -417,6 +482,8 @@ struct KernelResult
     std::string name;
     /** Kernel backend of a "BM_Foo@backend" row; empty otherwise. */
     std::string backend;
+    /** Volume backend the bench fused against ("dense"/"sparse"). */
+    std::string volume = "dense";
     int64_t iterations = 0;
     double realNsPerIter = 0.0;
     double cpuNsPerIter = 0.0;
@@ -424,6 +491,10 @@ struct KernelResult
     double itemsPerSecond = 0.0;
     bool hasBytes = false;
     double bytesPerSecond = 0.0;
+    /** Resident volume footprint ("volume_bytes" user counter);
+     *  exported by the sparse benches only. */
+    bool hasVolumeBytes = false;
+    double volumeBytes = 0.0;
     /** Per-iteration hardware-counter sample ("pmu_*" counters),
      *  all-invalid when --pmu is off or the backend delivered
      *  nothing. */
@@ -464,6 +535,11 @@ class CapturingReporter : public benchmark::ConsoleReporter
                 r.name = r.name.substr(0, at) +
                          r.name.substr(backend_end);
             }
+            // The sparse benches are distinct registrations (the
+            // sparse data structure changes what "the kernel" is),
+            // so the volume axis is recovered from the name.
+            if (r.name.find("Sparse") != std::string::npos)
+                r.volume = "sparse";
             r.iterations = run.iterations;
             const double iters =
                 run.iterations > 0
@@ -482,6 +558,13 @@ class CapturingReporter : public benchmark::ConsoleReporter
                 r.hasBytes = true;
                 r.bytesPerSecond =
                     static_cast<double>(bytes->second);
+            }
+            const auto volume_bytes =
+                run.counters.find("volume_bytes");
+            if (volume_bytes != run.counters.end()) {
+                r.hasVolumeBytes = true;
+                r.volumeBytes =
+                    static_cast<double>(volume_bytes->second);
             }
             // "pmu_<counter>" user counters exported by
             // BenchPmuSampler (per-iteration, kAvgIterations).
@@ -626,6 +709,7 @@ writeKernelReport(const std::string &path,
         if (!r.backend.empty())
             os << "\"backend\": \"" << jsonEscape(r.backend)
                << "\", ";
+        os << "\"volume\": \"" << jsonEscape(r.volume) << "\", ";
         os << "\"iterations\": " << r.iterations << ", ";
         os << "\"real_ns_per_iter\": " << jsonNumber(r.realNsPerIter)
            << ", ";
@@ -642,6 +726,9 @@ writeKernelReport(const std::string &path,
             os << ", \"gb_per_s\": "
                << jsonNumber(r.bytesPerSecond / 1e9);
         }
+        if (r.hasVolumeBytes)
+            os << ", \"volume_bytes\": "
+               << jsonNumber(r.volumeBytes);
         if (support::pmu::profilingActive())
             writePmuBlock(os, r, roofline_bandwidth);
         os << "}";
@@ -675,6 +762,12 @@ registerBackendBenches(const std::vector<std::string> &backends)
             ->Arg(128)
             ->Arg(256);
         benchmark::RegisterBenchmark(
+            ("BM_IntegrateSparse@" + name).c_str(),
+            BM_IntegrateSparse, backend)
+            ->Arg(64)
+            ->Arg(128)
+            ->Arg(256);
+        benchmark::RegisterBenchmark(
             ("BM_Raycast@" + name).c_str(), BM_Raycast, backend)
             ->Arg(64)
             ->Arg(128)
@@ -701,6 +794,7 @@ BENCHMARK(BM_TrackKernel)
     ->Args({160, 120})
     ->Args({80, 60});
 BENCHMARK(BM_IntegrateDense)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_RaycastSparse)->Arg(64)->Arg(128)->Arg(256);
 BENCHMARK(BM_GradReference)->Arg(128)->Arg(256);
 
 /**

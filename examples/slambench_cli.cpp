@@ -29,6 +29,7 @@
 #include "devices/fleet.hpp"
 #include "kfusion/backend.hpp"
 #include "kfusion/mesh.hpp"
+#include "kfusion/volume_backend.hpp"
 #include "metrics/reconstruction.hpp"
 #include "support/logging.hpp"
 #include "support/strings.hpp"
@@ -69,10 +70,20 @@ usage()
         "  --pyramid a,b,c   ICP iterations per level\n"
         "  --tr N            tracking rate\n"
         "  --rr N            rendering rate\n"
-        "  --backend NAME    kernel backend: scalar|simd|auto "
+        "  --backend NAME    kernel backend: scalar|simd|mixed|auto "
         "(default scalar;\n"
         "                    bit-exact, see docs/KERNEL_BACKENDS.md)"
-        "\n\n"
+        "\n"
+        "  --volume NAME     TSDF map data structure: dense|sparse "
+        "(default dense;\n"
+        "                    bit-identical on the observed region, "
+        "see\n"
+        "                    docs/ARCHITECTURE.md \"Volume "
+        "backends\")\n"
+        "  --block-size N    sparse voxel-block edge: 8|16 "
+        "(default 8)\n"
+        "  --pool-capacity N sparse resident-block cap "
+        "(default 0 = unbounded)\n\n"
         "outputs:\n"
         "  --align                  also report rigidly aligned ATE\n"
         "  --trace FILE             chrome://tracing span timeline "
@@ -251,6 +262,17 @@ main(int argc, char **argv)
             support::fatal("--backend: " + backend_error);
         config.kernelBackend = backend;
     }
+    if (const char *volume = flagValue(argc, argv, "--volume")) {
+        if (!kfusion::volumeBackendNameValid(volume))
+            support::fatal("--volume: unknown volume backend '" +
+                           std::string(volume) +
+                           "' (valid: dense, sparse)");
+        config.volumeBackend = volume;
+    }
+    config.volumeBlockSize = static_cast<int>(longFlag(
+        argc, argv, "--block-size", config.volumeBlockSize));
+    config.volumePoolCapacity = longFlag(
+        argc, argv, "--pool-capacity", config.volumePoolCapacity);
     if (const char *pyramid = flagValue(argc, argv, "--pyramid")) {
         config.pyramidIterations.clear();
         for (const std::string &field :

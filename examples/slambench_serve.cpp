@@ -28,6 +28,7 @@
 #include "dataset/generator.hpp"
 #include "devices/fleet.hpp"
 #include "kfusion/backend.hpp"
+#include "kfusion/volume_backend.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
 #include "support/logging.hpp"
@@ -63,7 +64,14 @@ usage()
         "                        (0 disables; default 0)\n"
         "  --serve-clear-ticks N consecutive healthy ticks before "
         "shedding clears\n"
-        "                        (default 3)\n\n"
+        "                        (default 3)\n"
+        "  --serve-max-tenant-mb X engage when any tenant's TSDF "
+        "volume reaches\n"
+        "                        X MiB resident (0 disables; default "
+        "0; pair with\n"
+        "                        --volume sparse, whose footprint "
+        "grows with the\n"
+        "                        observed surface)\n\n"
         "fault injection (tests):\n"
         "  --serve-stall-tick N  flood the pool with sleeping "
         "blockers at tick N\n"
@@ -79,7 +87,13 @@ usage()
         "pipeline (per tenant):\n"
         "  --vr N                volume resolution (default 64)\n"
         "  --csr {1,2,4,8}       compute-size ratio (default 2)\n"
-        "  --backend NAME        kernel backend: scalar|simd|auto\n\n"
+        "  --backend NAME        kernel backend: "
+        "scalar|simd|mixed|auto\n"
+        "  --volume NAME         TSDF map: dense|sparse (default "
+        "dense)\n"
+        "  --block-size N        sparse voxel-block edge: 8|16\n"
+        "  --pool-capacity N     sparse resident-block cap (0 = "
+        "unbounded)\n\n"
         "observability (docs/OBSERVABILITY.md):\n"
         "  --telemetry-port N    serve /metrics, /healthz, /runz, "
         "/tracez\n"
@@ -209,6 +223,19 @@ main(int argc, char **argv)
             support::fatal("--backend: " + backend_error);
         kfusion_config.kernelBackend = backend;
     }
+    if (const char *volume = flagValue(argc, argv, "--volume")) {
+        if (!kfusion::volumeBackendNameValid(volume))
+            support::fatal("--volume: unknown volume backend '" +
+                           std::string(volume) +
+                           "' (valid: dense, sparse)");
+        kfusion_config.volumeBackend = volume;
+    }
+    kfusion_config.volumeBlockSize = static_cast<int>(
+        longFlag(argc, argv, "--block-size",
+                 kfusion_config.volumeBlockSize));
+    kfusion_config.volumePoolCapacity =
+        longFlag(argc, argv, "--pool-capacity",
+                 kfusion_config.volumePoolCapacity);
 
     dataset::SequenceSpec base_spec;
     base_spec.numFrames =
@@ -271,6 +298,11 @@ main(int argc, char **argv)
         static_cast<int>(
             std::max(1L, longFlag(argc, argv, "--serve-clear-ticks",
                                   3)));
+    scheduler_options.admission.maxTenantVolumeBytes =
+        static_cast<uint64_t>(
+            std::max(0.0, doubleFlag(argc, argv,
+                                     "--serve-max-tenant-mb", 0.0)) *
+            (1 << 20));
     scheduler_options.stallAtTick = static_cast<uint64_t>(
         std::max(0L, longFlag(argc, argv, "--serve-stall-tick", 0)));
     scheduler_options.stallMs =
@@ -310,10 +342,10 @@ main(int argc, char **argv)
     std::printf("aggregate frame p99: %.2f ms%s\n",
                 scheduler.aggregateFrameP99Seconds() * 1e3,
                 admission.shedding() ? "  [still shedding]" : "");
-    std::printf("%-6s %-22s %8s %6s %7s\n", "tenant", "device",
-                "frames", "shed", "epochs");
+    std::printf("%-6s %-22s %8s %6s %7s %8s\n", "tenant", "device",
+                "frames", "shed", "epochs", "vol_mib");
     for (const auto &tenant : scheduler.sessions()) {
-        std::printf("%-6s %-22s %8llu %6llu %7llu\n",
+        std::printf("%-6s %-22s %8llu %6llu %7llu %8.1f\n",
                     tenant->id().c_str(),
                     tenant->device().name.c_str(),
                     static_cast<unsigned long long>(
@@ -321,7 +353,9 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(
                         tenant->framesShed()),
                     static_cast<unsigned long long>(
-                        tenant->epochs()));
+                        tenant->epochs()),
+                    static_cast<double>(tenant->volumeBytes()) /
+                        (1 << 20));
     }
 
     metrics_session.setSummary("serve_ticks",

@@ -11,6 +11,7 @@ Usage:
         [--max-ipc-regress FRAC]          (off)
         [--max-miss-rate-regress FRAC]    (off)
         [--max-serve-p99-regress FRAC]    (off)
+        [--max-volume-bytes-regress FRAC] (off)
 
 Both inputs are `--metrics-json` reports of the SAME schema (see
 docs/OBSERVABILITY.md). Two schemas are understood:
@@ -43,6 +44,15 @@ relative to the baseline (lower IPC = worse), and the LLC/branch miss
 rates regress when they RISE by more than FRAC. Rows where either
 side lacks the counters (null backend, degraded probe) are skipped —
 the gates never fail on hosts without hardware counters.
+
+--max-volume-bytes-regress arms a memory gate for kernel-bench
+reports: rows carrying a "volume_bytes" field (the sparse TSDF
+benches' resident footprint after fusion) must not grow by more than
+FRAC over the baseline. This catches allocation-policy regressions —
+a sparse volume that starts allocating blocks the integration never
+fuses loses its memory advantage without slowing anything down, so
+the timing gates alone would miss it. Rows where either side lacks
+the field are skipped.
 
 --max-serve-p99-regress arms a serve-mode gate for run reports: the
 candidate's summary.serve_frame_p99_seconds (the aggregate
@@ -195,6 +205,20 @@ def compare_kernels(args, baseline, candidate):
         cand_entry = cand_kernels[key]
         regressions += compare_pmu(name, base_entry, cand_entry,
                                    args)
+        if args.max_volume_bytes_regress is not None:
+            base_vb = kernel_metric(base_entry, "volume_bytes")
+            cand_vb = kernel_metric(cand_entry, "volume_bytes")
+            if (base_vb is not None and cand_vb is not None
+                    and base_vb > 0.0):
+                delta = (cand_vb - base_vb) / base_vb
+                regressed = delta > args.max_volume_bytes_regress
+                if regressed:
+                    regressions += 1
+                print("  %-24s volume bytes baseline %.6g -> "
+                      "candidate %.6g (%+.1f%%, limit +%.0f%%)%s"
+                      % (name, base_vb, cand_vb, delta * 100.0,
+                         args.max_volume_bytes_regress * 100.0,
+                         "  REGRESSION" if regressed else ""))
         # ns/item (per voxel visit, per ray, ...) is work-normalized,
         # so it survives iteration-count and culling-rate changes;
         # plain per-iteration time is the fallback.
@@ -270,6 +294,13 @@ def main():
                         help="allowed relative LLC/branch miss-rate "
                         "increase (kernel-bench reports with pmu "
                         "blocks)")
+    parser.add_argument("--max-volume-bytes-regress", type=float,
+                        default=None,
+                        dest="max_volume_bytes_regress",
+                        metavar="FRAC",
+                        help="allowed relative increase of per-row "
+                        "volume_bytes (kernel-bench reports; sparse "
+                        "TSDF resident footprint)")
     parser.add_argument("--max-serve-p99-regress", type=float,
                         default=None, dest="max_serve_p99_regress",
                         metavar="FRAC",

@@ -11,6 +11,9 @@ Checks the report produced by `bench_kernels --metrics-json` (schema
   * kernel_count equals the length of the kernels list, names are
     non-empty and (name, backend) pairs are unique (per-backend rows
     share a name and carry an optional "backend" string);
+  * every kernel carries a "volume" field naming the TSDF volume
+    backend it ran against ("dense" or "sparse"), and sparse rows'
+    optional "volume_bytes" (resident footprint) is positive;
   * every kernel has positive iterations and positive per-iteration
     times;
   * derived fields reconcile: ns_per_item == 1e9 / items_per_second
@@ -107,6 +110,16 @@ def check_kernels(report):
             names.add(key)
             where = ("kernels[%r@%s]" % (name, backend)
                      if backend else "kernels[%r]" % name)
+
+        volume = entry.get("volume")
+        require(volume in ("dense", "sparse"),
+                "%s.volume should be \"dense\" or \"sparse\", got %r"
+                % (where, volume))
+        if "volume_bytes" in entry:
+            require(is_number(entry["volume_bytes"]) and
+                    entry["volume_bytes"] > 0,
+                    "%s.volume_bytes should be a positive number"
+                    % where)
 
         iterations = entry.get("iterations")
         require(isinstance(iterations, int) and iterations > 0,

@@ -20,11 +20,13 @@ trap 'rm -rf "$workdir"' EXIT
 cd "$workdir"
 
 # Small volume, short min time: exercises the culled integrate bench
-# on every kernel backend, the dense reference, and one image kernel
-# in a couple of seconds. The per-backend rows ("BM_Integrate@scalar"
-# and friends) exercise the report's backend field and
-# bench_compare's (name, backend) keying.
-"$bin" --benchmark_filter='BM_Integrate(Dense)?/64|BM_Integrate@[^/]+/64|BM_Mm2Meters/160/120' \
+# on every kernel backend, the dense reference, the sparse-volume
+# twins, and one image kernel in a couple of seconds. The per-backend
+# rows ("BM_Integrate@scalar" and friends) exercise the report's
+# backend field and bench_compare's (name, backend) keying; the
+# sparse rows exercise the volume/volume_bytes fields and the
+# --max-volume-bytes-regress gate.
+"$bin" --benchmark_filter='BM_Integrate(Dense)?/64|BM_Integrate(Sparse)?@[^/]+/64|BM_RaycastSparse/64|BM_Mm2Meters/160/120' \
     --benchmark_min_time=0.01 --metrics-json out.json \
     > run.log 2>&1 || {
     echo "kernels_bench_smoke: bench failed:" >&2
@@ -44,7 +46,8 @@ if command -v python3 >/dev/null 2>&1; then
         echo "kernels_bench_smoke: schema validation failed" >&2
         exit 1
     }
-    python3 "$scripts/bench_compare.py" out.json out.json || {
+    python3 "$scripts/bench_compare.py" out.json out.json \
+        --max-volume-bytes-regress 0.0 || {
         echo "kernels_bench_smoke: self-comparison found regressions" >&2
         exit 1
     }
@@ -59,8 +62,14 @@ assert len(kernels) == len(report["kernels"]), \
 for key in (("BM_Integrate/64", "scalar"),
             ("BM_Integrate/64", "simd"),
             ("BM_IntegrateDense/64", ""),
+            ("BM_IntegrateSparse/64", "scalar"),
+            ("BM_RaycastSparse/64", ""),
             ("BM_Mm2Meters/160/120", "")):
     assert key in kernels, f"{key} missing from report"
+for k in report["kernels"]:
+    expect = "sparse" if "Sparse" in k["name"] else "dense"
+    assert k.get("volume") == expect, \
+        f"{k['name']}: volume={k.get('volume')!r}, want {expect!r}"
 culled = kernels[("BM_Integrate/64", "scalar")]
 dense = kernels[("BM_IntegrateDense/64", "")]
 # Culling must do strictly less work per pass than the dense sweep
@@ -68,6 +77,13 @@ dense = kernels[("BM_IntegrateDense/64", "")]
 # time instead).
 assert culled["real_ns_per_iter"] < dense["real_ns_per_iter"], \
     "culled integrate not faster than dense"
+# The sparse rows export their resident footprint. (No dense-vs-
+# sparse size assertion here: at res 64 the pool's 2 MiB chunk
+# granularity is on the order of the whole dense array; the memory
+# win is gated at real resolutions by EXPERIMENTS.md runs.)
+sparse = kernels[("BM_IntegrateSparse/64", "scalar")]
+assert sparse.get("volume_bytes", 0) > 0, \
+    "sparse row missing volume_bytes"
 print("kernels_bench_smoke: ok (%d kernels)" % len(kernels))
 EOF
 else

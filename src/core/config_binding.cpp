@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "kfusion/backend.hpp"
+#include "kfusion/volume_backend.hpp"
 
 namespace slambench::core {
 
@@ -29,9 +30,18 @@ kfusionParameterSpace()
     // Kernel implementation axis (paper sec. II: the same algorithmic
     // configuration can run on differently optimized kernels). The
     // ordinal maps onto the kernel-backend registry: 0 = scalar,
-    // 1 = simd. All backends are bit-exact, so this dimension only
-    // moves the performance/energy axes, never accuracy.
-    space.addOrdinal("implementation", {0, 1}, 0);
+    // 1 = simd, 2 = mixed (per-kernel best of the two). All backends
+    // are bit-exact, so this dimension only moves the
+    // performance/energy axes, never accuracy.
+    space.addOrdinal("implementation", {0, 1, 2}, 0);
+    // TSDF map data structure: 0 = dense array, 1 = hashed voxel
+    // blocks. Sparse is bit-identical to dense on the observed
+    // region, so like "implementation" this is a pure
+    // performance/memory axis. block_size and pool_capacity only
+    // take effect when volume = 1 (pool_capacity 0 = unbounded).
+    space.addOrdinal("volume", {0, 1}, 0);
+    space.addOrdinal("block_size", {8, 16}, 8);
+    space.addInteger("pool_capacity", 0, 1 << 20, 0);
     return space;
 }
 
@@ -60,6 +70,12 @@ pointToConfig(const ParameterSpace &space, const Point &point)
         static_cast<int>(p[space.indexOf("rendering_rate")]);
     config.kernelBackend = kfusion::kernelBackendFromOrdinal(
         p[space.indexOf("implementation")]);
+    config.volumeBackend = kfusion::volumeBackendFromOrdinal(
+        p[space.indexOf("volume")]);
+    config.volumeBlockSize =
+        static_cast<int>(p[space.indexOf("block_size")]);
+    config.volumePoolCapacity =
+        static_cast<long>(p[space.indexOf("pool_capacity")]);
     return config;
 }
 
@@ -88,6 +104,11 @@ configToPoint(const ParameterSpace &space, const KFusionConfig &config)
     p[space.indexOf("rendering_rate")] = config.renderingRate;
     p[space.indexOf("implementation")] =
         kfusion::kernelBackendOrdinal(config.kernelBackend);
+    p[space.indexOf("volume")] =
+        kfusion::volumeBackendOrdinal(config.volumeBackend);
+    p[space.indexOf("block_size")] = config.volumeBlockSize;
+    p[space.indexOf("pool_capacity")] =
+        static_cast<double>(config.volumePoolCapacity);
     return space.canonicalize(p);
 }
 

@@ -19,7 +19,7 @@
  *  4. the ICP reduction over a pixel range
  *     (KernelBackend::reduceRange).
  *
- * Two backends are built in:
+ * Three backends are built in:
  *
  *  - "scalar": the reference implementation, byte-for-byte the loops
  *    the kernels have always run. Every other backend is tested
@@ -28,9 +28,14 @@
  *    the build and the CPU support them, otherwise a portable,
  *    intrinsic-free fallback (`#pragma omp simd` hinted) with the
  *    same lane structure.
+ *  - "mixed": per-kernel composition of the two — each hot kernel
+ *    dispatches to whichever constituent models faster for it
+ *    (modelSpeedup). On AVX2 hosts that is the scalar integrate
+ *    (the vector integrate's gathers lose to the scalar early-outs)
+ *    plus the simd gradient/ray-march/reduction.
  *
  * The special name "auto" is resolved at runtime by CPUID: it picks
- * "simd" when the host actually provides AVX2 acceleration and
+ * "mixed" when the host actually provides AVX2 acceleration and
  * "scalar" otherwise, deterministically for a given machine.
  *
  * Numerical-parity contract (docs/ARCHITECTURE.md): all four simd
@@ -185,7 +190,7 @@ const KernelBackend *findKernelBackend(std::string_view name);
  * Resolve a user-facing `--backend` value.
  *
  * Accepts every registered name plus "auto", which dispatches by
- * CPUID: "simd" when the host provides real SIMD acceleration
+ * CPUID: "mixed" when the host provides real SIMD acceleration
  * (AVX2 compiled in and supported), else "scalar". Resolution is
  * deterministic on a given machine.
  *
@@ -215,8 +220,8 @@ bool simdBackendIsAccelerated();
 
 /**
  * Map a backend name to its ordinal value in the DSE's
- * "implementation" dimension (0 = scalar, 1 = simd); "auto" maps to
- * its resolved backend.
+ * "implementation" dimension (0 = scalar, 1 = simd, 2 = mixed);
+ * "auto" maps to its resolved backend.
  *
  * @return the ordinal, or 0 when the name is unknown.
  */
@@ -226,7 +231,7 @@ double kernelBackendOrdinal(std::string_view name);
  * Inverse of kernelBackendOrdinal.
  *
  * @return the backend name for @p ordinal ("scalar" for 0 or any
- * unknown value, "simd" for 1).
+ * unknown value, "simd" for 1, "mixed" for 2).
  */
 const char *kernelBackendFromOrdinal(double ordinal);
 

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "kfusion/backend.hpp"
+#include "kfusion/volume_backend.hpp"
 #include "support/strings.hpp"
 
 namespace slambench::kfusion {
@@ -39,6 +40,12 @@ KFusionConfig::validate() const
     std::string backend_error;
     if (!resolveKernelBackend(kernelBackend, &backend_error))
         return backend_error;
+    if (!volumeBackendNameValid(volumeBackend))
+        return "volumeBackend must be one of {dense, sparse}";
+    if (volumeBlockSize != 8 && volumeBlockSize != 16)
+        return "volumeBlockSize must be 8 or 16";
+    if (volumePoolCapacity < 0)
+        return "volumePoolCapacity must be >= 0 (0 = unbounded)";
     return "";
 }
 
@@ -56,7 +63,10 @@ KFusionConfig::toString() const
         out << pyramidIterations[i];
     }
     out << " tr=" << trackingRate << " rr=" << renderingRate
-        << " kb=" << kernelBackend;
+        << " kb=" << kernelBackend << " vol=" << volumeBackend;
+    if (volumeBackend == "sparse")
+        out << " bs=" << volumeBlockSize
+            << " pc=" << volumePoolCapacity;
     return out.str();
 }
 

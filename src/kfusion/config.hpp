@@ -80,6 +80,26 @@ struct KFusionConfig
      */
     std::string kernelBackend = "scalar";
 
+    /**
+     * TSDF map data structure: "dense" (z-major array,
+     * O(resolution^3) memory, the numerical reference) or "sparse"
+     * (hashed voxel blocks, memory proportional to observed surface,
+     * bit-identical to dense on the observed region). The DSE
+     * explores it as the ordinal "volume" dimension. See
+     * docs/ARCHITECTURE.md "Volume backends".
+     */
+    std::string volumeBackend = "dense";
+
+    /** Sparse volume: voxels per block edge (8 or 16). */
+    int volumeBlockSize = 8;
+
+    /**
+     * Sparse volume: maximum resident blocks (0 = unbounded). On
+     * exhaustion, fusion into not-yet-resident blocks is dropped;
+     * resident blocks keep fusing.
+     */
+    long volumePoolCapacity = 0;
+
     // --- Fixed algorithm constants (SLAMBench values). ---
 
     /** Bilateral filter half window (radius 2 = 5x5 kernel). */

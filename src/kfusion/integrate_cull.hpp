@@ -1,0 +1,210 @@
+#ifndef SLAMBENCH_KFUSION_INTEGRATE_CULL_HPP
+#define SLAMBENCH_KFUSION_INTEGRATE_CULL_HPP
+
+/**
+ * @file
+ * Shared frustum-culling machinery of the TSDF integration sweep:
+ * the conservative per-column z-interval solve that both the dense
+ * volume (TsdfVolume::integrate) and the hashed-voxel-block sparse
+ * volume (SparseTsdfVolume::integrate) drive their visits — and, for
+ * the sparse volume, their block allocations — from.
+ *
+ * Extracted from volume.cpp so the sparse backend reuses the exact
+ * same interval math: culling decisions are part of the bit-exactness
+ * contract (a voxel is visited by the sparse sweep iff the dense
+ * culled sweep visits it).
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "math/camera.hpp"
+#include "math/mat.hpp"
+#include "math/vec.hpp"
+
+namespace slambench::kfusion {
+
+/** Inclusive-begin / exclusive-end z index range of a voxel column. */
+struct ZInterval
+{
+    int begin = 0;
+    int end = 0;
+};
+
+namespace cull_detail {
+
+/**
+ * Intersect the real interval [lo, hi] with the half-space
+ * {z : a + b*z > 0}; an empty result is signalled by lo > hi.
+ */
+inline void
+restrictInterval(double a, double b, double &lo, double &hi)
+{
+    if (std::abs(b) < 1e-300) {
+        if (a <= 0.0) {
+            lo = 1.0;
+            hi = 0.0;
+        }
+        return;
+    }
+    const double boundary = -a / b;
+    if (b > 0.0)
+        lo = std::max(lo, boundary);
+    else
+        hi = std::min(hi, boundary);
+}
+
+} // namespace cull_detail
+
+/**
+ * Conservative z-range of the voxels in one column that the dense
+ * integration sweep could possibly fuse.
+ *
+ * The camera-frame position along a column is affine in the z index,
+ * pos(z) = p0 + z*step, so each keep-condition of the visit loop
+ * (pos.z > 0, projected pixel inside the image) becomes a linear
+ * half-space in z once multiplied through by pos.z > 0. The
+ * inequalities are solved in double with a whole pixel of margin and
+ * an absolute slack on every linear form sized to the worst-case
+ * float drift of the incremental `pos += step` sweep (@p slack, an
+ * upper bound on |accumulated - affine| per component), so culling
+ * can only ever drop voxels the dense sweep provably skips.
+ *
+ * @param p0 Camera-frame position of the column's z = 0 voxel center.
+ * @param step Camera-frame z step between voxel centers.
+ * @param k Depth image intrinsics.
+ * @param width Depth image width, pixels.
+ * @param height Depth image height, pixels.
+ * @param res Voxels per column.
+ * @param slack Per-component accumulation drift bound, meters.
+ */
+inline ZInterval
+cullColumn(const math::Vec3f &p0, const math::Vec3f &step,
+           const math::CameraIntrinsics &k, size_t width,
+           size_t height, int res, double slack)
+{
+    double lo = 0.0;
+    double hi = static_cast<double>(res - 1);
+    const double x0 = p0.x, y0 = p0.y, z0 = p0.z;
+    const double sx = step.x, sy = step.y, sz = step.z;
+    const double fx = k.fx, fy = k.fy, cx = k.cx, cy = k.cy;
+    const double fw = static_cast<double>(width);
+    const double fh = static_cast<double>(height);
+
+    const auto keep = [&](double a, double b, double coeff_mag) {
+        cull_detail::restrictInterval(a + coeff_mag * slack, b, lo,
+                                      hi);
+    };
+
+    // pos.z > 0 (the loop's own bound is the stricter 0.001).
+    keep(z0, sz, 1.0);
+    // pix.x > -1 (int truncation keeps (-1, 0)); one pixel of margin:
+    // fx*pos.x + (cx + 2)*pos.z > 0.
+    keep(fx * x0 + (cx + 2.0) * z0, fx * sx + (cx + 2.0) * sz,
+         std::abs(fx) + std::abs(cx + 2.0));
+    // pix.x < width + 1:  (width + 1 - cx)*pos.z - fx*pos.x > 0.
+    keep((fw + 1.0 - cx) * z0 - fx * x0,
+         (fw + 1.0 - cx) * sz - fx * sx,
+         std::abs(fw + 1.0 - cx) + std::abs(fx));
+    // pix.y > -2 and pix.y < height + 1, as above.
+    keep(fy * y0 + (cy + 2.0) * z0, fy * sy + (cy + 2.0) * sz,
+         std::abs(fy) + std::abs(cy + 2.0));
+    keep((fh + 1.0 - cy) * z0 - fy * y0,
+         (fh + 1.0 - cy) * sz - fy * sy,
+         std::abs(fh + 1.0 - cy) + std::abs(fy));
+
+    if (lo > hi)
+        return {};
+    int z_begin = static_cast<int>(std::floor(lo)) - 2;
+    int z_end = static_cast<int>(std::ceil(hi)) + 3;
+    z_begin = std::max(z_begin, 0);
+    z_end = std::min(z_end, res);
+    if (z_begin >= z_end)
+        return {};
+    return {z_begin, z_end};
+}
+
+/**
+ * Upper bound on the float drift |accumulated - affine| of the
+ * incremental `pos += step` column sweep, per component.
+ *
+ * Every intermediate position lies in the camera-frame convex hull of
+ * the volume's corners, so res additions each round at most an ulp of
+ * the largest corner coordinate; an 8x safety factor covers the
+ * voxel-center offset and the double-vs-real solve error.
+ */
+inline double
+accumulationSlack(const math::Mat4f &world_to_camera,
+                  const math::Vec3f &origin, float size, int res)
+{
+    double mag = 1.0;
+    for (int corner = 0; corner < 8; ++corner) {
+        const math::Vec3f c =
+            origin + math::Vec3f{(corner & 1) ? size : 0.0f,
+                                 (corner & 2) ? size : 0.0f,
+                                 (corner & 4) ? size : 0.0f};
+        const math::Vec3f pc = world_to_camera.transformPoint(c);
+        mag = std::max({mag, std::abs(static_cast<double>(pc.x)),
+                        std::abs(static_cast<double>(pc.y)),
+                        std::abs(static_cast<double>(pc.z))});
+    }
+    return static_cast<double>(res) * mag * 1.2e-7 * 8.0;
+}
+
+/**
+ * Per-pixel lambda (depth-to-ray-distance) table, rebuilt only when
+ * the intrinsics or image size change.
+ *
+ * Lambda scales the depth difference to distance along the pixel ray
+ * (KinectFusion's lambda correction). It is sampled once at each
+ * pixel's center — the same pixel the depth measurement is fetched
+ * from — instead of at the voxel's continuous projection, removing a
+ * sqrt and two divisions per voxel visit. Both volume backends fuse
+ * with the same table so their per-voxel math is bit-identical.
+ */
+class LambdaTable
+{
+  public:
+    const float *
+    tableFor(const math::CameraIntrinsics &intrinsics, size_t width,
+             size_t height)
+    {
+        if (width_ == width && height_ == height &&
+            fx_ == intrinsics.fx && fy_ == intrinsics.fy &&
+            cx_ == intrinsics.cx && cy_ == intrinsics.cy)
+            return table_.data();
+
+        table_.resize(width * height);
+        for (size_t py = 0; py < height; ++py) {
+            for (size_t px = 0; px < width; ++px) {
+                const float ux = (static_cast<float>(px) + 0.5f -
+                                  intrinsics.cx) /
+                                 intrinsics.fx;
+                const float uy = (static_cast<float>(py) + 0.5f -
+                                  intrinsics.cy) /
+                                 intrinsics.fy;
+                table_[py * width + px] =
+                    std::sqrt(1.0f + ux * ux + uy * uy);
+            }
+        }
+        fx_ = intrinsics.fx;
+        fy_ = intrinsics.fy;
+        cx_ = intrinsics.cx;
+        cy_ = intrinsics.cy;
+        width_ = width;
+        height_ = height;
+        return table_.data();
+    }
+
+  private:
+    std::vector<float> table_;
+    float fx_ = 0.0f, fy_ = 0.0f;
+    float cx_ = 0.0f, cy_ = 0.0f;
+    size_t width_ = 0, height_ = 0;
+};
+
+} // namespace slambench::kfusion
+
+#endif // SLAMBENCH_KFUSION_INTEGRATE_CULL_HPP

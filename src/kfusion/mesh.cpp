@@ -59,15 +59,22 @@ namespace {
  * triangles. Compared to classic marching cubes this trades a few
  * extra triangles for a table-free, unambiguous implementation
  * (tetrahedra have no ambiguous sign cases).
+ *
+ * Generic over the volume backend: VolumeT provides resolution(),
+ * voxelCenter() and voxelAt() (copy accessor; the sparse volume reads
+ * unallocated voxels as unobserved). The driver decides which cells
+ * to visit — the dense path sweeps every cell, the sparse path only
+ * cells anchored in allocated blocks.
  */
+template <typename VolumeT>
 struct Extractor
 {
-    const TsdfVolume &volume;
+    const VolumeT &volume;
     TriangleMesh mesh;
     /** Dedup map: packed global edge key -> vertex index. */
     std::unordered_map<uint64_t, uint32_t> edgeVertices;
 
-    explicit Extractor(const TsdfVolume &v) : volume(v) {}
+    explicit Extractor(const VolumeT &v) : volume(v) {}
 
     /** Linear id of voxel (x, y, z). */
     uint64_t
@@ -160,10 +167,10 @@ struct Extractor
         }
     }
 
+    /** Extract the surface of the cell anchored at voxel (x, y, z). */
     void
-    run()
+    processCell(int x, int y, int z)
     {
-        const int res = volume.resolution();
         // Cell corners relative to (x, y, z), numbered so the main
         // diagonal is corner 0 -> corner 6.
         static const int corner[8][3] = {
@@ -174,51 +181,37 @@ struct Extractor
                                        {0, 3, 7, 6}, {0, 7, 4, 6},
                                        {0, 4, 5, 6}, {0, 5, 1, 6}};
 
-        for (int z = 0; z + 1 < res; ++z) {
-            for (int y = 0; y + 1 < res; ++y) {
-                for (int x = 0; x + 1 < res; ++x) {
-                    float val[8];
-                    Vec3f pos[8];
-                    uint64_t ids[8];
-                    bool observed = true;
-                    for (int c = 0; c < 8 && observed; ++c) {
-                        const int cx = x + corner[c][0];
-                        const int cy = y + corner[c][1];
-                        const int cz = z + corner[c][2];
-                        const Voxel &v = volume.at(cx, cy, cz);
-                        if (v.weight <= 0.0f) {
-                            observed = false;
-                            break;
-                        }
-                        val[c] = v.tsdf;
-                        pos[c] = volume.voxelCenter(cx, cy, cz);
-                        ids[c] = voxelId(cx, cy, cz);
-                    }
-                    if (!observed)
-                        continue;
-                    // Quick reject: all same sign.
-                    bool any_neg = false, any_pos = false;
-                    for (float v : val) {
-                        any_neg |= v < 0.0f;
-                        any_pos |= v >= 0.0f;
-                    }
-                    if (!any_neg || !any_pos)
-                        continue;
+        float val[8];
+        Vec3f pos[8];
+        uint64_t ids[8];
+        for (int c = 0; c < 8; ++c) {
+            const int cx = x + corner[c][0];
+            const int cy = y + corner[c][1];
+            const int cz = z + corner[c][2];
+            const Voxel v = volume.voxelAt(cx, cy, cz);
+            if (v.weight <= 0.0f)
+                return;
+            val[c] = v.tsdf;
+            pos[c] = volume.voxelCenter(cx, cy, cz);
+            ids[c] = voxelId(cx, cy, cz);
+        }
+        // Quick reject: all same sign.
+        bool any_neg = false, any_pos = false;
+        for (float v : val) {
+            any_neg |= v < 0.0f;
+            any_pos |= v >= 0.0f;
+        }
+        if (!any_neg || !any_pos)
+            return;
 
-                    for (const auto &tet : tets) {
-                        const uint64_t tet_ids[4] = {
-                            ids[tet[0]], ids[tet[1]], ids[tet[2]],
-                            ids[tet[3]]};
-                        const Vec3f tet_pos[4] = {
-                            pos[tet[0]], pos[tet[1]], pos[tet[2]],
-                            pos[tet[3]]};
-                        const float tet_val[4] = {
-                            val[tet[0]], val[tet[1]], val[tet[2]],
-                            val[tet[3]]};
-                        tetrahedron(tet_ids, tet_pos, tet_val);
-                    }
-                }
-            }
+        for (const auto &tet : tets) {
+            const uint64_t tet_ids[4] = {ids[tet[0]], ids[tet[1]],
+                                         ids[tet[2]], ids[tet[3]]};
+            const Vec3f tet_pos[4] = {pos[tet[0]], pos[tet[1]],
+                                      pos[tet[2]], pos[tet[3]]};
+            const float tet_val[4] = {val[tet[0]], val[tet[1]],
+                                      val[tet[2]], val[tet[3]]};
+            tetrahedron(tet_ids, tet_pos, tet_val);
         }
     }
 };
@@ -228,8 +221,36 @@ struct Extractor
 TriangleMesh
 extractMesh(const TsdfVolume &volume)
 {
-    Extractor extractor(volume);
-    extractor.run();
+    Extractor<TsdfVolume> extractor(volume);
+    const int res = volume.resolution();
+    for (int z = 0; z + 1 < res; ++z)
+        for (int y = 0; y + 1 < res; ++y)
+            for (int x = 0; x + 1 < res; ++x)
+                extractor.processCell(x, y, z);
+    return std::move(extractor.mesh);
+}
+
+TriangleMesh
+extractMesh(const SparseTsdfVolume &volume)
+{
+    Extractor<SparseTsdfVolume> extractor(volume);
+    const int res = volume.resolution();
+    const int bs = volume.blockSize();
+    // Each cell is visited exactly once: by the block holding its
+    // minimum corner. Cells anchored in unallocated space have an
+    // unobserved minimum corner, which the dense extractor skips too.
+    // Blocks come sorted by coordinates, so the output is
+    // deterministic regardless of the allocation schedule.
+    for (const math::Vec3i &b : volume.allocatedBlockCoords()) {
+        const int x0 = b.x * bs, y0 = b.y * bs, z0 = b.z * bs;
+        const int x1 = std::min(x0 + bs, res - 1);
+        const int y1 = std::min(y0 + bs, res - 1);
+        const int z1 = std::min(z0 + bs, res - 1);
+        for (int z = z0; z < z1; ++z)
+            for (int y = y0; y < y1; ++y)
+                for (int x = x0; x < x1; ++x)
+                    extractor.processCell(x, y, z);
+    }
     return std::move(extractor.mesh);
 }
 

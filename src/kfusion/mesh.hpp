@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "kfusion/sparse_volume.hpp"
 #include "kfusion/volume.hpp"
 #include "math/vec.hpp"
 
@@ -55,6 +56,17 @@ struct TriangleMesh
  * @return the extracted mesh (empty when nothing was observed).
  */
 TriangleMesh extractMesh(const TsdfVolume &volume);
+
+/**
+ * Sparse-volume extraction: only cells whose minimum corner lies in
+ * an allocated block are visited (a cell with its minimum corner in
+ * unallocated space has an unobserved corner, so the dense extractor
+ * skips it too); corner reads crossing into neighbor blocks resolve
+ * through the hash. Emits the same triangle set as the dense
+ * extractor of the same scene — vertex order differs (block-major
+ * visit order), so comparisons must canonicalize.
+ */
+TriangleMesh extractMesh(const SparseTsdfVolume &volume);
 
 } // namespace slambench::kfusion
 

@@ -60,10 +60,12 @@ KFusion::KFusion(const KFusionConfig &config,
     scaledIntrinsics_ = inputIntrinsics_.scaled(
         static_cast<size_t>(config_.computeSizeRatio));
 
-    volume_ = std::make_unique<TsdfVolume>(
-        config_.volumeResolution, config_.volumeSize,
-        config_.volumeOrigin);
-    volume_->setBackend(backend_);
+    volume_ = makeVolumeBackend(
+        config_.volumeBackend, config_.volumeResolution,
+        config_.volumeSize, config_.volumeOrigin,
+        config_.volumeBlockSize,
+        static_cast<size_t>(config_.volumePoolCapacity));
+    volume_->setKernelBackend(backend_);
 
     pyramid_.resize(config_.levels());
     math::CameraIntrinsics level_k = scaledIntrinsics_;
@@ -227,9 +229,9 @@ KFusion::processFrame(const support::Image<uint16_t> &depth_mm)
 
     // --- Raycast the model for the next frame's tracking ---
     if (frame_ > 2 || do_integrate) {
-        raycastKernel(raycastVertex_, raycastNormal_, *volume_,
-                      scaledIntrinsics_, pose_, raycastParams(), work,
-                      pool_.get(), backend_);
+        volume_->raycast(raycastVertex_, raycastNormal_,
+                         scaledIntrinsics_, pose_, raycastParams(),
+                         work, pool_.get());
         raycastPose_ = pose_;
         haveReference_ = true;
         result.raycast = true;
@@ -259,10 +261,10 @@ KFusion::renderModel(support::Image<support::Rgb8> &out,
 {
     TRACE_SCOPE("render_model");
     WorkCounts work;
-    renderVolumeKernel(out, *volume_,
-                       intrinsics ? *intrinsics : inputIntrinsics_,
-                       view_pose, raycastParams(), work, pool_.get(),
-                       backend_);
+    volume_->renderVolume(out,
+                          intrinsics ? *intrinsics : inputIntrinsics_,
+                          view_pose, raycastParams(), work,
+                          pool_.get());
     totalWork_.merge(work);
     if (!frameWork_.empty())
         frameWork_.back().merge(work);

@@ -20,6 +20,7 @@
 #include "kfusion/raycast.hpp"
 #include "kfusion/tracking.hpp"
 #include "kfusion/volume.hpp"
+#include "kfusion/volume_backend.hpp"
 #include "kfusion/work_counters.hpp"
 
 namespace slambench::kfusion {
@@ -110,8 +111,11 @@ class KFusion
      */
     void renderTrack(support::Image<support::Rgb8> &out) const;
 
-    /** @return the fused TSDF volume. */
-    const TsdfVolume &volume() const { return *volume_; }
+    /**
+     * @return the fused TSDF map behind the volume-backend
+     * interface (config.volumeBackend selects dense or sparse).
+     */
+    const VolumeBackend &volume() const { return *volume_; }
 
     /** @return model vertex map from the last raycast (world frame). */
     const support::Image<math::Vec3f> &
@@ -162,7 +166,7 @@ class KFusion
     const KernelBackend *backend_ = nullptr;
     std::unique_ptr<support::ThreadPool> pool_;
 
-    std::unique_ptr<TsdfVolume> volume_;
+    std::unique_ptr<VolumeBackend> volume_;
     math::Mat4f pose_;
 
     // Preprocessing scratch (level-0 depth after bilateral filter).

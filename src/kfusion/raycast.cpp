@@ -16,103 +16,39 @@ using math::Vec3f;
 namespace {
 
 /**
- * Intersect a ray with the volume's AABB (slab test, shared with
+ * Intersect a ray with a volume's AABB (slab test, shared with
  * math::intersectRayAabb).
  *
  * @return false when the ray misses entirely.
  */
 bool
-clipToVolume(const TsdfVolume &volume, const Vec3f &origin,
-             const Vec3f &dir, float &t_near, float &t_far)
+clipToVolume(const Vec3f &vol_origin, float vol_size,
+             const Vec3f &origin, const Vec3f &dir, float &t_near,
+             float &t_far)
 {
-    const math::Aabb box{volume.origin(),
-                         volume.origin() + Vec3f::all(volume.size())};
+    const math::Aabb box{vol_origin,
+                         vol_origin + Vec3f::all(vol_size)};
     return math::intersectRayAabb(box, origin, dir, t_near, t_far);
 }
 
 /**
- * Per-row marching-step accumulator, padded to a cache line so
- * adjacent rows written by different workers never share a line
- * (parallelFor hands out consecutive row indices).
+ * Shared single-ray marching core: every volume backend casts with
+ * this exact control flow — per-step t accumulation (never jumped, so
+ * refined hit parameters are bit-identical across backends), linear
+ * zero-crossing refinement, coarse steps across invalid samples —
+ * differing only in how a sample is fetched (@p interp).
  */
-struct alignas(64) RowSteps
-{
-    double value = 0.0;
-};
-
-/**
- * Shared ray-march core of raycastKernel and renderVolumeKernel.
- *
- * Rays are cast in packets of up to kRayPacketWidth per row through
- * the kernel backend (the scalar backend casts one castRay per
- * lane), the fused TSDF gradient is evaluated at each hit, and
- * shade(x, y, hit_found, hit, grad) runs for every pixel — grad is
- * the raw (unnormalized) gradient, zero when the ray missed, so each
- * caller applies its own degenerate-normal policy unchanged.
- *
- * @return total marching steps taken across the image.
- */
-template <typename ShadeFn>
-double
-marchImage(const TsdfVolume &volume,
-           const math::CameraIntrinsics &intrinsics,
-           const math::Mat4f &camera_to_world,
-           const RaycastParams &params, support::ThreadPool *pool,
-           const KernelBackend &backend, const ShadeFn &shade)
-{
-    const size_t w = intrinsics.width;
-    const size_t h = intrinsics.height;
-    const Vec3f origin = camera_to_world.translationPart();
-    std::vector<RowSteps> row_steps(h);
-
-    auto process_row = [&](size_t y) {
-        double steps_in_row = 0.0;
-        Vec3f dirs[kRayPacketWidth];
-        RayHit hits[kRayPacketWidth];
-        for (size_t x0 = 0; x0 < w; x0 += kRayPacketWidth) {
-            const size_t n = std::min(kRayPacketWidth, w - x0);
-            for (size_t l = 0; l < n; ++l) {
-                const Vec3f dir_cam = intrinsics.rayDir(
-                    static_cast<float>(x0 + l) + 0.5f,
-                    static_cast<float>(y) + 0.5f);
-                dirs[l] = camera_to_world.transformDir(dir_cam)
-                              .normalized();
-            }
-            backend.castRays(volume, origin, dirs, n, params, hits);
-            for (size_t l = 0; l < n; ++l) {
-                steps_in_row += hits[l].steps;
-                const Vec3f g = hits[l].found
-                                    ? backend.grad(volume,
-                                                   hits[l].hit)
-                                    : Vec3f{};
-                shade(x0 + l, y, hits[l].found, hits[l].hit, g);
-            }
-        }
-        row_steps[y].value = steps_in_row;
-    };
-
-    if (pool) {
-        pool->parallelFor(0, h, process_row);
-    } else {
-        for (size_t y = 0; y < h; ++y)
-            process_row(y);
-    }
-
-    double total_steps = 0.0;
-    for (const RowSteps &s : row_steps)
-        total_steps += s.value;
-    return total_steps;
-}
-
-} // namespace
-
+template <typename InterpFn>
 bool
-castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
-        const RaycastParams &params, Vec3f &hit, int &steps)
+castRayCore(const Vec3f &vol_origin, float vol_size,
+            const Vec3f &origin, const Vec3f &dir,
+            const RaycastParams &params, Vec3f &hit, int &steps,
+            const InterpFn &interp)
 {
     steps = 0;
     float t_near, t_far;
-    if (!clipToVolume(volume, origin, dir, t_near, t_far))
+    if (!clipToVolume(vol_origin, vol_size, origin, dir, t_near,
+                      t_far))
         return false;
     // Start marching at the volume entry point, not the near plane.
     float t = std::max(t_near, params.nearPlane);
@@ -121,7 +57,7 @@ castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
         return false;
 
     bool valid = false;
-    float f_t = volume.interp(origin + dir * t, valid);
+    float f_t = interp(origin + dir * t, valid);
     if (valid && f_t < 0.0f)
         return false; // started inside the surface
 
@@ -130,8 +66,7 @@ castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
         ++steps;
         t += stepsize;
         bool sample_valid = false;
-        const float f_tt =
-            volume.interp(origin + dir * t, sample_valid);
+        const float f_tt = interp(origin + dir * t, sample_valid);
         if (!sample_valid) {
             // Unknown space: cross at the coarse rate.
             f_t = 1.0f;
@@ -153,14 +88,139 @@ castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
     return false;
 }
 
+/**
+ * Per-row marching-step accumulator, padded to a cache line so
+ * adjacent rows written by different workers never share a line
+ * (parallelFor hands out consecutive row indices).
+ */
+struct alignas(64) RowSteps
+{
+    double value = 0.0;
+};
+
+/** Dense volume caster: ray packets + gradients via the backend. */
+struct DenseCaster
+{
+    const TsdfVolume &volume;
+    const KernelBackend &backend;
+
+    void
+    castRays(const Vec3f &origin, const Vec3f *dirs, size_t n,
+             const RaycastParams &params, RayHit *hits) const
+    {
+        backend.castRays(volume, origin, dirs, n, params, hits);
+    }
+
+    Vec3f
+    grad(const Vec3f &p) const
+    {
+        return backend.grad(volume, p);
+    }
+};
+
+/**
+ * Sparse volume caster: per-lane scalar marching with a block cache
+ * shared across the packet (adjacent rays walk the same blocks), a
+ * fresh cache per gradient stencil. The kernel backend's packet
+ * caster is a dense-layout kernel, so the sparse path always marches
+ * the scalar sampler — bit-identical to every dense backend anyway.
+ */
+struct SparseCaster
+{
+    const SparseTsdfVolume &volume;
+
+    void
+    castRays(const Vec3f &origin, const Vec3f *dirs, size_t n,
+             const RaycastParams &params, RayHit *hits) const
+    {
+        SparseTsdfVolume::LookupCache cache;
+        for (size_t l = 0; l < n; ++l)
+            hits[l].found =
+                castRay(volume, origin, dirs[l], params, hits[l].hit,
+                        hits[l].steps, cache);
+    }
+
+    Vec3f
+    grad(const Vec3f &p) const
+    {
+        SparseTsdfVolume::LookupCache cache;
+        return volume.gradCached(p, cache);
+    }
+};
+
+/**
+ * Shared ray-march core of raycastKernel and renderVolumeKernel.
+ *
+ * Rays are cast in packets of up to kRayPacketWidth per row through
+ * the volume caster (dense: the kernel backend; sparse: per-lane
+ * block-cached marching), the fused TSDF gradient is evaluated at
+ * each hit, and shade(x, y, hit_found, hit, grad) runs for every
+ * pixel — grad is the raw (unnormalized) gradient, zero when the ray
+ * missed, so each caller applies its own degenerate-normal policy
+ * unchanged.
+ *
+ * @return total marching steps taken across the image.
+ */
+template <typename Caster, typename ShadeFn>
+double
+marchImage(const Caster &caster,
+           const math::CameraIntrinsics &intrinsics,
+           const math::Mat4f &camera_to_world,
+           const RaycastParams &params, support::ThreadPool *pool,
+           const ShadeFn &shade)
+{
+    const size_t w = intrinsics.width;
+    const size_t h = intrinsics.height;
+    const Vec3f origin = camera_to_world.translationPart();
+    std::vector<RowSteps> row_steps(h);
+
+    auto process_row = [&](size_t y) {
+        double steps_in_row = 0.0;
+        Vec3f dirs[kRayPacketWidth];
+        RayHit hits[kRayPacketWidth];
+        for (size_t x0 = 0; x0 < w; x0 += kRayPacketWidth) {
+            const size_t n = std::min(kRayPacketWidth, w - x0);
+            for (size_t l = 0; l < n; ++l) {
+                const Vec3f dir_cam = intrinsics.rayDir(
+                    static_cast<float>(x0 + l) + 0.5f,
+                    static_cast<float>(y) + 0.5f);
+                dirs[l] = camera_to_world.transformDir(dir_cam)
+                              .normalized();
+            }
+            caster.castRays(origin, dirs, n, params, hits);
+            for (size_t l = 0; l < n; ++l) {
+                steps_in_row += hits[l].steps;
+                const Vec3f g = hits[l].found
+                                    ? caster.grad(hits[l].hit)
+                                    : Vec3f{};
+                shade(x0 + l, y, hits[l].found, hits[l].hit, g);
+            }
+        }
+        row_steps[y].value = steps_in_row;
+    };
+
+    if (pool) {
+        pool->parallelFor(0, h, process_row);
+    } else {
+        for (size_t y = 0; y < h; ++y)
+            process_row(y);
+    }
+
+    double total_steps = 0.0;
+    for (const RowSteps &s : row_steps)
+        total_steps += s.value;
+    return total_steps;
+}
+
+template <typename Caster>
 void
-raycastKernel(support::Image<Vec3f> &vertex_out,
-              support::Image<Vec3f> &normal_out,
-              const TsdfVolume &volume,
-              const math::CameraIntrinsics &intrinsics,
-              const math::Mat4f &camera_to_world,
-              const RaycastParams &params, WorkCounts &counts,
-              support::ThreadPool *pool, const KernelBackend *backend)
+raycastKernelImpl(support::Image<Vec3f> &vertex_out,
+                  support::Image<Vec3f> &normal_out,
+                  const Caster &caster,
+                  const math::CameraIntrinsics &intrinsics,
+                  const math::Mat4f &camera_to_world,
+                  const RaycastParams &params, WorkCounts &counts,
+                  support::ThreadPool *pool)
 {
     KernelTimer timer(counts, KernelId::Raycast);
     const size_t w = intrinsics.width;
@@ -169,8 +229,7 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
     normal_out.resize(w, h);
 
     const double total_steps = marchImage(
-        volume, intrinsics, camera_to_world, params, pool,
-        backend ? *backend : scalarKernelBackend(),
+        caster, intrinsics, camera_to_world, params, pool,
         [&](size_t x, size_t y, bool found, const Vec3f &hit,
             const Vec3f &g) {
             if (found && g.squaredNorm() > 1e-18f) {
@@ -198,14 +257,14 @@ raycastKernel(support::Image<Vec3f> &vertex_out,
     TRACE_COUNTER("raycast.steps", total_steps);
 }
 
+template <typename Caster>
 void
-renderVolumeKernel(support::Image<support::Rgb8> &out,
-                   const TsdfVolume &volume,
-                   const math::CameraIntrinsics &intrinsics,
-                   const math::Mat4f &camera_to_world,
-                   const RaycastParams &params, WorkCounts &counts,
-                   support::ThreadPool *pool,
-                   const KernelBackend *backend)
+renderVolumeKernelImpl(support::Image<support::Rgb8> &out,
+                       const Caster &caster,
+                       const math::CameraIntrinsics &intrinsics,
+                       const math::Mat4f &camera_to_world,
+                       const RaycastParams &params, WorkCounts &counts,
+                       support::ThreadPool *pool)
 {
     KernelTimer timer(counts, KernelId::RenderVolume);
     const size_t w = intrinsics.width;
@@ -215,8 +274,7 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
     const Vec3f light = Vec3f{0.3f, 0.8f, -0.5f}.normalized();
 
     const double total_steps = marchImage(
-        volume, intrinsics, camera_to_world, params, pool,
-        backend ? *backend : scalarKernelBackend(),
+        caster, intrinsics, camera_to_world, params, pool,
         [&](size_t x, size_t y, bool found, const Vec3f &,
             const Vec3f &g) {
             if (!found || g.squaredNorm() < 1e-18f) {
@@ -237,6 +295,89 @@ renderVolumeKernel(support::Image<support::Rgb8> &out,
     counts.addItems(KernelId::RenderVolume, total_steps);
     counts.addBytes(KernelId::RenderVolume, total_steps * 32.0);
     TRACE_COUNTER("render_volume.steps", total_steps);
+}
+
+} // namespace
+
+bool
+castRay(const TsdfVolume &volume, const Vec3f &origin, const Vec3f &dir,
+        const RaycastParams &params, Vec3f &hit, int &steps)
+{
+    return castRayCore(volume.origin(), volume.size(), origin, dir,
+                       params, hit, steps,
+                       [&](const Vec3f &p, bool &valid) {
+                           return volume.interp(p, valid);
+                       });
+}
+
+bool
+castRay(const SparseTsdfVolume &volume, const Vec3f &origin,
+        const Vec3f &dir, const RaycastParams &params, Vec3f &hit,
+        int &steps, SparseTsdfVolume::LookupCache &cache)
+{
+    return castRayCore(volume.origin(), volume.size(), origin, dir,
+                       params, hit, steps,
+                       [&](const Vec3f &p, bool &valid) {
+                           return volume.interpCached(p, valid,
+                                                      cache);
+                       });
+}
+
+void
+raycastKernel(support::Image<Vec3f> &vertex_out,
+              support::Image<Vec3f> &normal_out,
+              const TsdfVolume &volume,
+              const math::CameraIntrinsics &intrinsics,
+              const math::Mat4f &camera_to_world,
+              const RaycastParams &params, WorkCounts &counts,
+              support::ThreadPool *pool, const KernelBackend *backend)
+{
+    const DenseCaster caster{
+        volume, backend ? *backend : scalarKernelBackend()};
+    raycastKernelImpl(vertex_out, normal_out, caster, intrinsics,
+                      camera_to_world, params, counts, pool);
+}
+
+void
+raycastKernel(support::Image<Vec3f> &vertex_out,
+              support::Image<Vec3f> &normal_out,
+              const SparseTsdfVolume &volume,
+              const math::CameraIntrinsics &intrinsics,
+              const math::Mat4f &camera_to_world,
+              const RaycastParams &params, WorkCounts &counts,
+              support::ThreadPool *pool)
+{
+    const SparseCaster caster{volume};
+    raycastKernelImpl(vertex_out, normal_out, caster, intrinsics,
+                      camera_to_world, params, counts, pool);
+}
+
+void
+renderVolumeKernel(support::Image<support::Rgb8> &out,
+                   const TsdfVolume &volume,
+                   const math::CameraIntrinsics &intrinsics,
+                   const math::Mat4f &camera_to_world,
+                   const RaycastParams &params, WorkCounts &counts,
+                   support::ThreadPool *pool,
+                   const KernelBackend *backend)
+{
+    const DenseCaster caster{
+        volume, backend ? *backend : scalarKernelBackend()};
+    renderVolumeKernelImpl(out, caster, intrinsics, camera_to_world,
+                           params, counts, pool);
+}
+
+void
+renderVolumeKernel(support::Image<support::Rgb8> &out,
+                   const SparseTsdfVolume &volume,
+                   const math::CameraIntrinsics &intrinsics,
+                   const math::Mat4f &camera_to_world,
+                   const RaycastParams &params, WorkCounts &counts,
+                   support::ThreadPool *pool)
+{
+    const SparseCaster caster{volume};
+    renderVolumeKernelImpl(out, caster, intrinsics, camera_to_world,
+                           params, counts, pool);
 }
 
 } // namespace slambench::kfusion

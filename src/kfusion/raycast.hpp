@@ -7,6 +7,7 @@
  * stage) plus the shaded visualization render used by the GUI path.
  */
 
+#include "kfusion/sparse_volume.hpp"
 #include "kfusion/volume.hpp"
 #include "kfusion/work_counters.hpp"
 #include "math/camera.hpp"
@@ -88,6 +89,41 @@ void renderVolumeKernel(support::Image<support::Rgb8> &out,
 bool castRay(const TsdfVolume &volume, const math::Vec3f &origin,
              const math::Vec3f &dir, const RaycastParams &params,
              math::Vec3f &hit, int &steps);
+
+/**
+ * Sparse-volume flavors. Control flow (per-step t accumulation,
+ * refinement, invalid-sample handling) is shared with the dense core,
+ * so hits are bit-identical to the dense volume's; the sparse sampler
+ * resolves its stencil through @p cache and detects unknown space
+ * from unallocated blocks without touching voxel memory (the
+ * empty-space skip).
+ */
+bool castRay(const SparseTsdfVolume &volume, const math::Vec3f &origin,
+             const math::Vec3f &dir, const RaycastParams &params,
+             math::Vec3f &hit, int &steps,
+             SparseTsdfVolume::LookupCache &cache);
+
+/**
+ * Sparse-volume raycast. Rays march through cached block lookups on
+ * the scalar sampler (the kernel backend's packet caster is a
+ * dense-layout kernel); results are bit-identical to the dense
+ * raycast of the same scene.
+ */
+void raycastKernel(support::Image<math::Vec3f> &vertex_out,
+                   support::Image<math::Vec3f> &normal_out,
+                   const SparseTsdfVolume &volume,
+                   const math::CameraIntrinsics &intrinsics,
+                   const math::Mat4f &camera_to_world,
+                   const RaycastParams &params, WorkCounts &counts,
+                   support::ThreadPool *pool);
+
+/** Sparse-volume shaded render (see renderVolumeKernel above). */
+void renderVolumeKernel(support::Image<support::Rgb8> &out,
+                        const SparseTsdfVolume &volume,
+                        const math::CameraIntrinsics &intrinsics,
+                        const math::Mat4f &camera_to_world,
+                        const RaycastParams &params, WorkCounts &counts,
+                        support::ThreadPool *pool);
 
 } // namespace slambench::kfusion
 

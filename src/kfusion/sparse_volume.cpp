@@ -1,0 +1,617 @@
+#include "kfusion/sparse_volume.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "kfusion/backend.hpp"
+#include "support/logging.hpp"
+#include "support/metrics.hpp"
+#include "support/trace.hpp"
+
+namespace slambench::kfusion {
+
+namespace {
+
+/** Unallocated voxels read as the dense initial value (+1, weight 0). */
+constexpr Voxel kUnobserved{};
+
+/** Run of consecutive touched z-blocks in one (bx, by) footprint. */
+struct BlockRun
+{
+    int bx;
+    int by;
+    int bz_begin;
+    int bz_end;
+};
+
+size_t
+ceilPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+} // namespace
+
+SparseTsdfVolume::SparseTsdfVolume(int resolution, float size_m,
+                                   const Vec3f &origin,
+                                   int block_size,
+                                   size_t pool_capacity)
+    : resolution_(resolution), size_(size_m), origin_(origin),
+      blockSize_(block_size)
+{
+    if (resolution < 8)
+        support::fatal("SparseTsdfVolume: resolution must be >= 8");
+    if (!(size_m > 0.0f))
+        support::fatal("SparseTsdfVolume: size must be positive");
+    if (block_size != 8 && block_size != 16)
+        support::fatal("SparseTsdfVolume: block size must be 8 or 16");
+
+    blockShift_ = block_size == 8 ? 3 : 4;
+    blockMask_ = block_size - 1;
+    blocksPerEdge_ = (resolution + block_size - 1) / block_size;
+    blockVoxels_ = static_cast<size_t>(block_size) * block_size *
+                   block_size;
+
+    const size_t grid_blocks = static_cast<size_t>(blocksPerEdge_) *
+                               blocksPerEdge_ * blocksPerEdge_;
+    poolCapacity_ = pool_capacity == 0
+                        ? grid_blocks
+                        : std::min(pool_capacity, grid_blocks);
+
+    // Load factor <= 0.5 keeps linear-probe chains short and, since
+    // allocation stops at poolCapacity_, guarantees every probe
+    // terminates at an empty slot. The table is sized once — no
+    // rehash — so concurrent lock-free readers are safe.
+    tableSize_ = std::max<size_t>(64, ceilPow2(poolCapacity_ * 2));
+    tableKeys_ = std::vector<std::atomic<uint64_t>>(tableSize_);
+    for (auto &k : tableKeys_)
+        k.store(kEmptyKey, std::memory_order_relaxed);
+    slotBlocks_.assign(tableSize_, nullptr);
+
+    // ~2 MiB chunks: large enough to amortize allocation, small
+    // enough that the last partially-used chunk wastes little.
+    blocksPerChunk_ = std::max<size_t>(
+        1, (2u << 20) / (blockVoxels_ * sizeof(Voxel)));
+    chunks_.reserve(poolCapacity_ / blocksPerChunk_ + 1);
+}
+
+void
+SparseTsdfVolume::reset()
+{
+    std::lock_guard<std::mutex> lock(allocMutex_);
+    for (auto &k : tableKeys_)
+        k.store(kEmptyKey, std::memory_order_relaxed);
+    std::fill(slotBlocks_.begin(), slotBlocks_.end(), nullptr);
+    // Recycle pool chunks: slots are re-issued (and re-defaulted) by
+    // later allocations instead of returning memory to the OS.
+    nextPoolSlot_ = 0;
+    allocated_.store(0, std::memory_order_relaxed);
+    lastTouched_ = 0;
+    ++generation_;
+}
+
+bool
+SparseTsdfVolume::contains(const Vec3f &p) const
+{
+    const Vec3f local = p - origin_;
+    return local.x >= 0.0f && local.y >= 0.0f && local.z >= 0.0f &&
+           local.x < size_ && local.y < size_ && local.z < size_;
+}
+
+const Voxel *
+SparseTsdfVolume::findBlock(int bx, int by, int bz) const
+{
+    const uint64_t key = blockKey(bx, by, bz);
+    const size_t mask = tableSize_ - 1;
+    size_t i = spatialHash(bx, by, bz) & mask;
+    for (;;) {
+        const uint64_t k =
+            tableKeys_[i].load(std::memory_order_acquire);
+        if (k == key)
+            return slotBlocks_[i];
+        if (k == kEmptyKey)
+            return nullptr;
+        i = (i + 1) & mask;
+    }
+}
+
+Voxel *
+SparseTsdfVolume::allocateBlock(int bx, int by, int bz)
+{
+    const uint64_t key = blockKey(bx, by, bz);
+    const size_t mask = tableSize_ - 1;
+    std::lock_guard<std::mutex> lock(allocMutex_);
+    size_t i = spatialHash(bx, by, bz) & mask;
+    for (;;) {
+        // Relaxed is enough under the allocation mutex: every writer
+        // is serialized here.
+        const uint64_t k =
+            tableKeys_[i].load(std::memory_order_relaxed);
+        if (k == key)
+            return slotBlocks_[i];
+        if (k == kEmptyKey)
+            break;
+        i = (i + 1) & mask;
+    }
+    if (allocated_.load(std::memory_order_relaxed) >= poolCapacity_)
+        return nullptr;
+
+    const size_t slot = nextPoolSlot_++;
+    const size_t chunk = slot / blocksPerChunk_;
+    if (chunk == chunks_.size())
+        chunks_.push_back(std::make_unique<Voxel[]>(
+            blocksPerChunk_ * blockVoxels_));
+    Voxel *data = chunks_[chunk].get() +
+                  (slot % blocksPerChunk_) * blockVoxels_;
+    // Re-default explicitly: chunk memory may be recycled from a
+    // previous epoch (reset() keeps the chunks).
+    std::fill_n(data, blockVoxels_, Voxel{});
+
+    slotBlocks_[i] = data;
+    // Publish last with release order so a lock-free reader that
+    // observes the key also observes the slot pointer and the
+    // default-initialized voxels.
+    tableKeys_[i].store(key, std::memory_order_release);
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+    return data;
+}
+
+Voxel
+SparseTsdfVolume::voxelAt(int x, int y, int z) const
+{
+    const Voxel *block = findBlock(x >> blockShift_, y >> blockShift_,
+                                   z >> blockShift_);
+    if (!block)
+        return kUnobserved;
+    return block[(static_cast<size_t>(x & blockMask_) * blockSize_ +
+                  static_cast<size_t>(y & blockMask_)) *
+                     blockSize_ +
+                 static_cast<size_t>(z & blockMask_)];
+}
+
+std::vector<math::Vec3i>
+SparseTsdfVolume::allocatedBlockCoords() const
+{
+    std::vector<math::Vec3i> coords;
+    coords.reserve(allocated_.load(std::memory_order_relaxed));
+    const int be = blocksPerEdge_;
+    for (size_t i = 0; i < tableSize_; ++i) {
+        const uint64_t k =
+            tableKeys_[i].load(std::memory_order_acquire);
+        if (k == kEmptyKey)
+            continue;
+        const uint64_t id = k - 1;
+        coords.push_back({static_cast<int>(id / (be * be)),
+                          static_cast<int>(id / be % be),
+                          static_cast<int>(id % be)});
+    }
+    std::sort(coords.begin(), coords.end(),
+              [](const math::Vec3i &a, const math::Vec3i &b) {
+                  if (a.x != b.x)
+                      return a.x < b.x;
+                  if (a.y != b.y)
+                      return a.y < b.y;
+                  return a.z < b.z;
+              });
+    return coords;
+}
+
+VolumeMemoryStats
+SparseTsdfVolume::memoryStats() const
+{
+    VolumeMemoryStats stats;
+    stats.allocatedBlocks = allocated_.load(std::memory_order_relaxed);
+    stats.touchedBlocks = lastTouched_;
+    stats.droppedBlocks = dropped_.load(std::memory_order_relaxed);
+    // Resident pool memory is counted at chunk granularity (what the
+    // process actually holds), plus the fixed-size hash index.
+    const uint64_t pool_bytes = static_cast<uint64_t>(chunks_.size()) *
+                                blocksPerChunk_ * blockVoxels_ *
+                                sizeof(Voxel);
+    const uint64_t table_bytes =
+        static_cast<uint64_t>(tableSize_) *
+        (sizeof(std::atomic<uint64_t>) + sizeof(Voxel *));
+    stats.bytes = pool_bytes + table_bytes;
+    return stats;
+}
+
+float
+SparseTsdfVolume::sampleTrilinearCached(float px, float py, float pz,
+                                        bool &valid,
+                                        LookupCache &cache) const
+{
+    const float vs = voxelSize();
+    // Shift by half a voxel so samples are taken at voxel centers
+    // (bit-identical arithmetic to TsdfVolume::sampleTrilinear).
+    const Vec3f local = (Vec3f{px, py, pz} - origin_) * (1.0f / vs) -
+                        Vec3f{0.5f, 0.5f, 0.5f};
+    const int x0 = static_cast<int>(std::floor(local.x));
+    const int y0 = static_cast<int>(std::floor(local.y));
+    const int z0 = static_cast<int>(std::floor(local.z));
+    if (x0 < 0 || y0 < 0 || z0 < 0 || x0 + 1 >= resolution_ ||
+        y0 + 1 >= resolution_ || z0 + 1 >= resolution_) {
+        valid = false;
+        return 1.0f;
+    }
+
+    // Resolve the stencil's eight voxels through the block cache.
+    // Unallocated blocks contribute the default voxel (+1, weight 0),
+    // exactly what the untouched dense voxel holds.
+    bool any_block = false;
+    const auto fetch = [&](int x, int y, int z) -> const Voxel & {
+        const Voxel *block =
+            cachedBlock(x >> blockShift_, y >> blockShift_,
+                        z >> blockShift_, cache);
+        if (!block)
+            return kUnobserved;
+        any_block = true;
+        return block[(static_cast<size_t>(x & blockMask_) *
+                          blockSize_ +
+                      static_cast<size_t>(y & blockMask_)) *
+                         blockSize_ +
+                     static_cast<size_t>(z & blockMask_)];
+    };
+    const Voxel &v000 = fetch(x0, y0, z0);
+    const Voxel &v100 = fetch(x0 + 1, y0, z0);
+    const Voxel &v010 = fetch(x0, y0 + 1, z0);
+    const Voxel &v110 = fetch(x0 + 1, y0 + 1, z0);
+    const Voxel &v001 = fetch(x0, y0, z0 + 1);
+    const Voxel &v101 = fetch(x0 + 1, y0, z0 + 1);
+    const Voxel &v011 = fetch(x0, y0 + 1, z0 + 1);
+    const Voxel &v111 = fetch(x0 + 1, y0 + 1, z0 + 1);
+
+    // Empty-space fast path: no stencil block is resident, so every
+    // voxel is unobserved and the dense result would be an invalid +1
+    // sample — skip the weight math entirely.
+    if (!any_block) {
+        valid = false;
+        return 1.0f;
+    }
+
+    const float fx = local.x - x0;
+    const float fy = local.y - y0;
+    const float fz = local.z - z0;
+    const float wx0 = 1.0f - fx, wx1 = fx;
+    const float wy0 = 1.0f - fy, wy1 = fy;
+    const float wz0 = 1.0f - fz, wz1 = fz;
+
+    const bool any_observed =
+        v000.weight > 0.0f || v100.weight > 0.0f ||
+        v010.weight > 0.0f || v110.weight > 0.0f ||
+        v001.weight > 0.0f || v101.weight > 0.0f ||
+        v011.weight > 0.0f || v111.weight > 0.0f;
+    float value = 0.0f;
+    value += v000.tsdf * wx0 * wy0 * wz0;
+    value += v100.tsdf * wx1 * wy0 * wz0;
+    value += v010.tsdf * wx0 * wy1 * wz0;
+    value += v110.tsdf * wx1 * wy1 * wz0;
+    value += v001.tsdf * wx0 * wy0 * wz1;
+    value += v101.tsdf * wx1 * wy0 * wz1;
+    value += v011.tsdf * wx0 * wy1 * wz1;
+    value += v111.tsdf * wx1 * wy1 * wz1;
+    valid = any_observed;
+    return any_observed ? value : 1.0f;
+}
+
+float
+SparseTsdfVolume::interpCached(const Vec3f &p, bool &valid,
+                               LookupCache &cache) const
+{
+    return sampleTrilinearCached(p.x, p.y, p.z, valid, cache);
+}
+
+float
+SparseTsdfVolume::interp(const Vec3f &p, bool &valid) const
+{
+    LookupCache cache;
+    return sampleTrilinearCached(p.x, p.y, p.z, valid, cache);
+}
+
+Vec3f
+SparseTsdfVolume::gradCached(const Vec3f &p, LookupCache &cache) const
+{
+    const float step = voxelSize();
+    // Same structure (and short-circuits) as TsdfVolume::grad so the
+    // result is bit-identical, including which samples are evaluated.
+    bool ok_p, ok_m;
+    const float xp =
+        sampleTrilinearCached(p.x + step, p.y, p.z, ok_p, cache);
+    const float xm =
+        sampleTrilinearCached(p.x - step, p.y, p.z, ok_m, cache);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float yp =
+        sampleTrilinearCached(p.x, p.y + step, p.z, ok_p, cache);
+    const float ym =
+        sampleTrilinearCached(p.x, p.y - step, p.z, ok_m, cache);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    const float zp =
+        sampleTrilinearCached(p.x, p.y, p.z + step, ok_p, cache);
+    const float zm =
+        sampleTrilinearCached(p.x, p.y, p.z - step, ok_m, cache);
+    if (!ok_p && !ok_m)
+        return Vec3f{};
+    return {xp - xm, yp - ym, zp - zm};
+}
+
+Vec3f
+SparseTsdfVolume::grad(const Vec3f &p) const
+{
+    LookupCache cache;
+    return gradCached(p, cache);
+}
+
+void
+SparseTsdfVolume::integrate(const support::Image<float> &depth,
+                            const CameraIntrinsics &intrinsics,
+                            const Mat4f &camera_to_world, float mu,
+                            float max_weight, WorkCounts &counts,
+                            support::ThreadPool *pool)
+{
+    KernelTimer timer(counts, KernelId::Integrate);
+    const KernelBackend &backend =
+        backend_ ? *backend_ : scalarKernelBackend();
+    const Mat4f world_to_camera = camera_to_world.rigidInverse();
+    const float vs = voxelSize();
+    const int res = resolution_;
+    const int bs = blockSize_;
+    const size_t width = depth.width();
+    const size_t height = depth.height();
+    const float *lambda_table =
+        lambda_.tableFor(intrinsics, width, height);
+
+    const Vec3f step = world_to_camera.transformDir({0.0f, 0.0f, vs});
+
+    IntegrateContext ctx;
+    ctx.depth = depth.data();
+    ctx.width = width;
+    ctx.height = height;
+    ctx.lambda = lambda_table;
+    ctx.intrinsics = intrinsics;
+    ctx.mu = mu;
+    ctx.invMu = 1.0f / mu;
+    ctx.maxWeight = max_weight;
+    ctx.step = step;
+    const double slack =
+        accumulationSlack(world_to_camera, origin_, size_, res);
+
+    // Phase 1 — the dense backend's exact per-column frustum cull,
+    // parallel over columns. The intervals drive both the work
+    // accounting (identical to dense, per column) and the touched-
+    // block discovery below.
+    const size_t columns = static_cast<size_t>(res) * res;
+    cullScratch_.resize(columns);
+    std::atomic<long long> visited_total{0};
+    std::atomic<long long> culled_total{0};
+    auto cull_columns = [&](size_t begin, size_t end) {
+        long long visited = 0;
+        long long culled = 0;
+        for (size_t xy = begin; xy < end; ++xy) {
+            const int x = static_cast<int>(xy) % res;
+            const int y = static_cast<int>(xy) / res;
+            const Vec3f pos = world_to_camera.transformPoint(
+                voxelCenter(x, y, 0));
+            const ZInterval zi = cullColumn(
+                pos, step, intrinsics, width, height, res, slack);
+            cullScratch_[xy] = zi;
+            culled += res - (zi.end - zi.begin);
+            if (zi.begin < zi.end)
+                visited += zi.end - zi.begin;
+        }
+        visited_total.fetch_add(visited, std::memory_order_relaxed);
+        culled_total.fetch_add(culled, std::memory_order_relaxed);
+    };
+    if (pool)
+        pool->parallelForChunked(0, columns, cull_columns);
+    else
+        cull_columns(0, columns);
+
+    // Phase 2 — fold the column intervals into runs of consecutive
+    // touched z-blocks per (bx, by) footprint: one integration task
+    // per run. Serial; O(res^2) interval reads plus bitmask scans.
+    const int be = blocksPerEdge_;
+    std::vector<BlockRun> runs;
+    std::vector<uint64_t> zmask((be + 63) / 64);
+    for (int by = 0; by < be; ++by) {
+        for (int bx = 0; bx < be; ++bx) {
+            std::fill(zmask.begin(), zmask.end(), 0);
+            bool any = false;
+            const int x_hi = std::min((bx + 1) * bs, res);
+            const int y_hi = std::min((by + 1) * bs, res);
+            for (int y = by * bs; y < y_hi; ++y) {
+                for (int x = bx * bs; x < x_hi; ++x) {
+                    const ZInterval zi =
+                        cullScratch_[static_cast<size_t>(y) * res +
+                                     x];
+                    if (zi.begin >= zi.end)
+                        continue;
+                    const int b0 = zi.begin >> blockShift_;
+                    const int b1 = (zi.end - 1) >> blockShift_;
+                    for (int b = b0; b <= b1; ++b)
+                        zmask[b >> 6] |= 1ull << (b & 63);
+                    any = true;
+                }
+            }
+            if (!any)
+                continue;
+            int b = 0;
+            while (b < be) {
+                if (!(zmask[b >> 6] >> (b & 63) & 1)) {
+                    ++b;
+                    continue;
+                }
+                const int run_begin = b;
+                while (b < be && (zmask[b >> 6] >> (b & 63) & 1))
+                    ++b;
+                runs.push_back({bx, by, run_begin, b});
+            }
+        }
+    }
+
+    // Phase 3 — fuse, one task per block run. Each run owns a
+    // disjoint set of blocks, so voxel writes never race; fresh
+    // blocks are swept into thread-local scratch and only allocated
+    // when a voxel actually fused, keeping residency proportional to
+    // the observed region rather than the conservative cull margin.
+    std::atomic<long long> touched_total{0};
+    std::atomic<long long> dropped_now{0};
+    auto sweep_runs = [&](size_t begin, size_t end) {
+        static thread_local std::vector<Voxel> scratch;
+        static thread_local std::vector<Voxel *> dest;
+        static thread_local std::vector<uint8_t> fresh;
+        static thread_local std::vector<uint8_t> swept;
+        long long touched = 0;
+        for (size_t ri = begin; ri < end; ++ri) {
+            const BlockRun r = runs[ri];
+            const int nb = r.bz_end - r.bz_begin;
+            scratch.resize(static_cast<size_t>(nb) * blockVoxels_);
+            dest.resize(nb);
+            fresh.resize(nb);
+            swept.resize(nb);
+            for (int j = 0; j < nb; ++j) {
+                Voxel *existing = const_cast<Voxel *>(
+                    findBlock(r.bx, r.by, r.bz_begin + j));
+                if (existing) {
+                    dest[j] = existing;
+                    fresh[j] = 0;
+                } else {
+                    Voxel *s = scratch.data() +
+                               static_cast<size_t>(j) * blockVoxels_;
+                    std::fill_n(s, blockVoxels_, Voxel{});
+                    dest[j] = s;
+                    fresh[j] = 1;
+                }
+                swept[j] = 0;
+            }
+
+            const int run_z0 = r.bz_begin * bs;
+            const int run_z1 = std::min(r.bz_end * bs, res);
+            const int x_hi = std::min((r.bx + 1) * bs, res);
+            const int y_hi = std::min((r.by + 1) * bs, res);
+            for (int x = r.bx * bs; x < x_hi; ++x) {
+                for (int y = r.by * bs; y < y_hi; ++y) {
+                    const ZInterval zi = cullScratch_
+                        [static_cast<size_t>(y) * res + x];
+                    int z = std::max(zi.begin, run_z0);
+                    const int z_stop = std::min(zi.end, run_z1);
+                    if (z >= z_stop)
+                        continue;
+                    // Replay the dense sweep's accumulation up to z
+                    // so every visited voxel sees a bit-identical
+                    // camera-frame position.
+                    Vec3f pos = world_to_camera.transformPoint(
+                        voxelCenter(x, y, 0));
+                    for (int k = 0; k < z; ++k)
+                        pos += step;
+                    const size_t col_off =
+                        (static_cast<size_t>(x & blockMask_) * bs +
+                         static_cast<size_t>(y & blockMask_)) *
+                        bs;
+                    while (z < z_stop) {
+                        const int j =
+                            (z >> blockShift_) - r.bz_begin;
+                        const int block_z0 = (r.bz_begin + j) * bs;
+                        const int z_lim =
+                            std::min(z_stop, block_z0 + bs);
+                        backend.integrateColumn(
+                            ctx, dest[j] + col_off, z - block_z0,
+                            z_lim - block_z0, pos);
+                        // Advance past the segment with the same
+                        // additions the dense sweep performs.
+                        for (int k = z; k < z_lim; ++k)
+                            pos += step;
+                        swept[j] = 1;
+                        z = z_lim;
+                    }
+                }
+            }
+
+            for (int j = 0; j < nb; ++j) {
+                if (!swept[j])
+                    continue;
+                ++touched;
+                if (!fresh[j])
+                    continue;
+                const Voxel *s = scratch.data() +
+                                 static_cast<size_t>(j) *
+                                     blockVoxels_;
+                bool fused = false;
+                for (size_t v = 0; v < blockVoxels_; ++v) {
+                    if (s[v].weight > 0.0f) {
+                        fused = true;
+                        break;
+                    }
+                }
+                if (!fused)
+                    continue;
+                Voxel *data =
+                    allocateBlock(r.bx, r.by, r.bz_begin + j);
+                if (!data) {
+                    dropped_now.fetch_add(
+                        1, std::memory_order_relaxed);
+                    continue;
+                }
+                std::copy_n(s, blockVoxels_, data);
+            }
+        }
+        touched_total.fetch_add(touched, std::memory_order_relaxed);
+    };
+    if (pool)
+        pool->parallelForChunked(0, runs.size(), sweep_runs);
+    else
+        sweep_runs(0, runs.size());
+
+    lastTouched_ = static_cast<uint64_t>(touched_total.load());
+    const long long dropped = dropped_now.load();
+    if (dropped > 0) {
+        dropped_.fetch_add(static_cast<uint64_t>(dropped),
+                           std::memory_order_relaxed);
+        if (!warnedExhausted_) {
+            warnedExhausted_ = true;
+            support::logWarn()
+                << "sparse volume: block pool exhausted (capacity="
+                << poolCapacity_ << "); dropping fusion into new "
+                << "blocks (resident blocks keep fusing)";
+        }
+    }
+
+    const double visited = static_cast<double>(visited_total.load());
+    const double culled = static_cast<double>(culled_total.load());
+    counts.addItems(KernelId::Integrate, visited);
+    counts.addSkipped(KernelId::Integrate, culled);
+    counts.addBytes(KernelId::Integrate, visited * 16.0);
+
+    const VolumeMemoryStats stats = memoryStats();
+    namespace sm = support::metrics;
+    static sm::Counter &visited_counter =
+        sm::Registry::instance().counter("volume.integrate.visited");
+    static sm::Counter &culled_counter =
+        sm::Registry::instance().counter("volume.integrate.culled");
+    static sm::Counter &touched_counter =
+        sm::Registry::instance().counter("volume.blocks.touched");
+    static sm::Counter &dropped_counter =
+        sm::Registry::instance().counter("volume.blocks.dropped");
+    static sm::Gauge &allocated_gauge =
+        sm::Registry::instance().gauge("volume.blocks.allocated");
+    static sm::Gauge &bytes_gauge =
+        sm::Registry::instance().gauge("volume.blocks.bytes");
+    visited_counter.add(static_cast<uint64_t>(visited_total.load()));
+    culled_counter.add(static_cast<uint64_t>(culled_total.load()));
+    touched_counter.add(lastTouched_);
+    if (dropped > 0)
+        dropped_counter.add(static_cast<uint64_t>(dropped));
+    allocated_gauge.set(
+        static_cast<double>(stats.allocatedBlocks));
+    bytes_gauge.set(static_cast<double>(stats.bytes));
+    TRACE_COUNTER("integrate.voxels", visited);
+    TRACE_COUNTER("integrate.culled", culled);
+    TRACE_COUNTER("integrate.blocks",
+                  static_cast<double>(lastTouched_));
+}
+
+} // namespace slambench::kfusion

@@ -1,0 +1,338 @@
+#ifndef SLAMBENCH_KFUSION_SPARSE_VOLUME_HPP
+#define SLAMBENCH_KFUSION_SPARSE_VOLUME_HPP
+
+/**
+ * @file
+ * Hashed-voxel-block TSDF volume: the sparse alternative to the dense
+ * z-major TsdfVolume, with memory proportional to the observed
+ * surface instead of resolution^3.
+ *
+ * Layout: the volume is partitioned into fixed-size cubic blocks of
+ * B^3 voxels (B = 8 or 16, a DSE parameter). Blocks are allocated
+ * on demand from a chunked pool during integrate() and found through
+ * an open-addressed spatial hash from block coordinates to pool
+ * slots. Within a block, voxels are stored z-major (z contiguous,
+ * then y, then x) — the same order as a dense sub-volume — so the
+ * integration sweep along a column and the kernel-backend
+ * `integrateColumn` hooks work on block storage unchanged.
+ *
+ * Bit-exactness contract (verified by kfusion_parity_test): after
+ * identical integrate calls, every voxel the dense volume would hold
+ * reads back bit-identically from the sparse volume, interp()/grad()
+ * agree bit-exactly at every point, and ray casts return identical
+ * hits. The sparse sweep guarantees this by visiting exactly the
+ * per-column z-intervals the dense culled sweep visits (same
+ * cullColumn solve, same incremental `pos += step` replay, same
+ * per-voxel fusion math via the same kernel backend) and by reading
+ * unallocated voxels as the default Voxel{+1, 0} — precisely the
+ * value an untouched dense voxel holds.
+ *
+ * Concurrency: findBlock() is lock-free (atomic key probe with
+ * acquire loads); allocation serializes on a mutex but publishes the
+ * key with release order after the slot data is visible, so readers
+ * never observe a half-initialized block. integrate() parallelizes
+ * over *block runs* — each task owns a disjoint set of blocks, so
+ * voxel writes never race. Like the dense volume, integrate() itself
+ * is not re-entrant on one volume.
+ */
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "kfusion/volume.hpp"
+
+namespace slambench::kfusion {
+
+/** Resident-memory snapshot of a sparse (or dense) volume. */
+struct VolumeMemoryStats
+{
+    /** Blocks currently resident (0 for the dense backend). */
+    uint64_t allocatedBlocks = 0;
+    /** Blocks swept by the most recent integrate(). */
+    uint64_t touchedBlocks = 0;
+    /** Cumulative blocks dropped on pool exhaustion. */
+    uint64_t droppedBlocks = 0;
+    /** Resident bytes: voxel storage plus index structures. */
+    uint64_t bytes = 0;
+};
+
+/**
+ * Sparse TSDF volume over hashed voxel blocks.
+ *
+ * Mirrors the TsdfVolume sampling API (interp / grad / voxelCenter /
+ * contains) plus block-level introspection for tests and tools. See
+ * the file comment for layout, parity, and concurrency contracts.
+ */
+class SparseTsdfVolume
+{
+  public:
+    /** Sentinel "no block" key (hash table empty slot). */
+    static constexpr uint64_t kEmptyKey = 0;
+
+    /**
+     * Per-thread (or per-ray / per-stencil) direct-mapped cache of
+     * the most recent block lookups. Indexed by the coordinate
+     * parities (bx&1, by&1, bz&1), so the 8 blocks under any 2x2x2
+     * interpolation stencil occupy distinct entries and a stencil
+     * straddling block corners still hits after the first fetch.
+     * Entries are invalidated by generation, bumped on reset().
+     */
+    struct LookupCache
+    {
+        uint64_t keys[8] = {kEmptyKey, kEmptyKey, kEmptyKey,
+                            kEmptyKey, kEmptyKey, kEmptyKey,
+                            kEmptyKey, kEmptyKey};
+        const Voxel *blocks[8] = {};
+        uint64_t generation = ~0ull;
+    };
+
+    /**
+     * @param resolution Voxels per edge (>= 8).
+     * @param size_m Edge length in meters.
+     * @param origin World position of the minimum corner.
+     * @param block_size Voxels per block edge (8 or 16).
+     * @param pool_capacity Maximum resident blocks; 0 = unbounded
+     *        (bounded only by the block grid itself). On exhaustion
+     *        fusion into *new* blocks is dropped (counted and
+     *        WARN-logged once); already-resident blocks keep fusing.
+     */
+    SparseTsdfVolume(int resolution, float size_m,
+                     const Vec3f &origin, int block_size,
+                     size_t pool_capacity);
+
+    /** @return voxels per edge. */
+    int resolution() const { return resolution_; }
+    /** @return edge length, meters. */
+    float size() const { return size_; }
+    /** @return world position of the minimum corner. */
+    const Vec3f &origin() const { return origin_; }
+    /** @return voxel edge length, meters. */
+    float voxelSize() const { return size_ / resolution_; }
+    /** @return voxels per block edge. */
+    int blockSize() const { return blockSize_; }
+    /** @return blocks per volume edge (ceil(resolution / block)). */
+    int blocksPerEdge() const { return blocksPerEdge_; }
+    /** @return voxels per block (blockSize^3). */
+    size_t blockVoxels() const { return blockVoxels_; }
+    /** @return maximum resident blocks (never 0 after construction). */
+    size_t poolCapacity() const { return poolCapacity_; }
+    /** @return open-addressed hash table slot count (power of two). */
+    size_t tableSize() const { return tableSize_; }
+
+    /**
+     * Drop every block: all voxels read unobserved again. Pool
+     * storage is recycled, not freed — slots are reused by later
+     * allocations (the "eviction" path exercised by tests).
+     */
+    void reset();
+
+    /** @return world position of the center of voxel (x, y, z). */
+    Vec3f
+    voxelCenter(int x, int y, int z) const
+    {
+        const float vs = voxelSize();
+        return origin_ + Vec3f{(x + 0.5f) * vs, (y + 0.5f) * vs,
+                               (z + 0.5f) * vs};
+    }
+
+    /** @return true when @p p (world) lies inside the volume. */
+    bool contains(const Vec3f &p) const;
+
+    /**
+     * Voxel copy accessor; unallocated voxels read as the default
+     * Voxel{+1, 0} (bit-identical to an untouched dense voxel).
+     */
+    Voxel voxelAt(int x, int y, int z) const;
+
+    /**
+     * Trilinearly interpolated TSDF at world point @p p; same
+     * contract and bit-identical result as TsdfVolume::interp().
+     * Convenience entry that pays a fresh block-cache per call — hot
+     * paths should hold a LookupCache and use interpCached().
+     */
+    float interp(const Vec3f &p, bool &valid) const;
+
+    /**
+     * interp() with a caller-held block cache. When every block under
+     * the stencil is unallocated the sample is resolved as invalid
+     * (+1) from the cache alone — the empty-space fast path of the
+     * sparse ray march; the result is still bit-identical to dense
+     * (all-unobserved stencils are invalid there too).
+     */
+    float interpCached(const Vec3f &p, bool &valid,
+                       LookupCache &cache) const;
+
+    /**
+     * TSDF gradient at world point @p p; bit-identical to
+     * TsdfVolume::grad(). Convenience entry; see gradCached().
+     */
+    Vec3f grad(const Vec3f &p) const;
+
+    /** grad() with a caller-held block cache. */
+    Vec3f gradCached(const Vec3f &p, LookupCache &cache) const;
+
+    /**
+     * Fuse one metric depth map (KinectFusion integration step),
+     * bit-identical to TsdfVolume::integrate() on the observed
+     * region.
+     *
+     * Phases: (1) the dense backend's exact per-column frustum cull,
+     * parallel over columns; (2) a serial sweep turning the column
+     * intervals into runs of consecutive touched blocks along z per
+     * block footprint; (3) parallel fusion, one task per block run,
+     * over @p pool. Blocks with no prior content are swept into
+     * thread-local scratch first and only allocated when some voxel
+     * actually fused (weight > 0), so residency tracks the observed
+     * region exactly — never the conservative cull margin.
+     *
+     * Not thread-safe against concurrent calls on the same volume.
+     *
+     * @param depth Metric depth image; 0 marks invalid pixels.
+     * @param intrinsics Intrinsics of @p depth.
+     * @param camera_to_world Camera pose of the depth map.
+     * @param mu Truncation band, meters.
+     * @param max_weight Weight saturation bound.
+     * @param[in,out] counts Work accounting (Integrate kernel).
+     * @param pool Optional worker pool.
+     */
+    void integrate(const support::Image<float> &depth,
+                   const CameraIntrinsics &intrinsics,
+                   const Mat4f &camera_to_world, float mu,
+                   float max_weight, WorkCounts &counts,
+                   support::ThreadPool *pool);
+
+    /**
+     * Select the kernel backend integrate() fuses columns with
+     * (nullptr for the scalar reference).
+     */
+    void setBackend(const KernelBackend *backend)
+    {
+        backend_ = backend;
+    }
+
+    /** @return the active kernel backend (nullptr = scalar). */
+    const KernelBackend *backend() const { return backend_; }
+
+    /**
+     * Find a resident block by block coordinates. Lock-free; safe
+     * concurrently with allocation of other blocks.
+     *
+     * @return block voxel storage (z-major within the block), or
+     *         nullptr when the block is not resident.
+     */
+    const Voxel *findBlock(int bx, int by, int bz) const;
+
+    /**
+     * Find-or-allocate a block (serialized on the allocation mutex;
+     * the returned storage is default-initialized when fresh).
+     *
+     * @return the block's voxel storage, or nullptr when the pool is
+     *         at capacity and the block is not resident.
+     */
+    Voxel *allocateBlock(int bx, int by, int bz);
+
+    /** @return number of resident blocks. */
+    size_t allocatedBlocks() const
+    {
+        return allocated_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Coordinates of every resident block, sorted by (bx, by, bz) so
+     * iteration order is deterministic regardless of the allocation
+     * schedule. Not safe concurrently with integrate().
+     */
+    std::vector<Vec3i> allocatedBlockCoords() const;
+
+    /** @return resident-memory snapshot (see VolumeMemoryStats). */
+    VolumeMemoryStats memoryStats() const;
+
+    /**
+     * Spatial hash of block coordinates (Niessner et al.'s prime-XOR
+     * hash), before masking by the table size. Exposed so tests can
+     * construct deliberate collisions.
+     */
+    static uint32_t
+    spatialHash(int bx, int by, int bz)
+    {
+        return static_cast<uint32_t>(bx) * 73856093u ^
+               static_cast<uint32_t>(by) * 19349669u ^
+               static_cast<uint32_t>(bz) * 83492791u;
+    }
+
+  private:
+    /** Packed non-zero hash key for block (bx, by, bz). */
+    uint64_t
+    blockKey(int bx, int by, int bz) const
+    {
+        return (static_cast<uint64_t>(bx) * blocksPerEdge_ +
+                static_cast<uint64_t>(by)) *
+                   blocksPerEdge_ +
+               static_cast<uint64_t>(bz) + 1;
+    }
+
+    /** Cached block lookup (see LookupCache). */
+    const Voxel *
+    cachedBlock(int bx, int by, int bz, LookupCache &cache) const
+    {
+        if (cache.generation != generation_) {
+            cache = LookupCache{};
+            cache.generation = generation_;
+        }
+        const int slot = (bx & 1) | ((by & 1) << 1) | ((bz & 1) << 2);
+        const uint64_t key = blockKey(bx, by, bz);
+        if (cache.keys[slot] == key)
+            return cache.blocks[slot];
+        const Voxel *block = findBlock(bx, by, bz);
+        cache.keys[slot] = key;
+        cache.blocks[slot] = block;
+        return block;
+    }
+
+    /** interp() arithmetic shared by the cached/uncached entries. */
+    float sampleTrilinearCached(float px, float py, float pz,
+                                bool &valid,
+                                LookupCache &cache) const;
+
+    int resolution_;
+    float size_;
+    Vec3f origin_;
+    int blockSize_;
+    int blockShift_; ///< log2(blockSize_)
+    int blockMask_;  ///< blockSize_ - 1
+    int blocksPerEdge_;
+    size_t blockVoxels_;
+    size_t poolCapacity_;
+    size_t tableSize_;
+    const KernelBackend *backend_ = nullptr;
+
+    /// Open-addressed table: packed block key (0 = empty) per slot,
+    /// published with release order after slotBlocks_[slot] is set.
+    std::vector<std::atomic<uint64_t>> tableKeys_;
+    /// Voxel storage of the block occupying each table slot.
+    std::vector<Voxel *> slotBlocks_;
+
+    /// Pool: fixed-size chunks so block addresses stay stable as the
+    /// pool grows; recycled (not freed) by reset().
+    std::vector<std::unique_ptr<Voxel[]>> chunks_;
+    size_t blocksPerChunk_;
+    size_t nextPoolSlot_ = 0;
+
+    std::mutex allocMutex_;
+    std::atomic<uint64_t> allocated_{0};
+    std::atomic<uint64_t> dropped_{0};
+    uint64_t lastTouched_ = 0;
+    /// Bumped by reset() so outstanding LookupCaches self-invalidate.
+    uint64_t generation_ = 0;
+    bool warnedExhausted_ = false;
+
+    LambdaTable lambda_;
+    std::vector<ZInterval> cullScratch_;
+};
+
+} // namespace slambench::kfusion
+
+#endif // SLAMBENCH_KFUSION_SPARSE_VOLUME_HPP

@@ -5,137 +5,12 @@
 #include <cmath>
 
 #include "kfusion/backend.hpp"
+#include "kfusion/integrate_cull.hpp"
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
 namespace slambench::kfusion {
-
-namespace {
-
-/** Inclusive-begin / exclusive-end z index range of a voxel column. */
-struct ZInterval
-{
-    int begin = 0;
-    int end = 0;
-};
-
-/**
- * Intersect the real interval [lo, hi] with the half-space
- * {z : a + b*z > 0}; an empty result is signalled by lo > hi.
- */
-void
-restrictInterval(double a, double b, double &lo, double &hi)
-{
-    if (std::abs(b) < 1e-300) {
-        if (a <= 0.0) {
-            lo = 1.0;
-            hi = 0.0;
-        }
-        return;
-    }
-    const double boundary = -a / b;
-    if (b > 0.0)
-        lo = std::max(lo, boundary);
-    else
-        hi = std::min(hi, boundary);
-}
-
-/**
- * Conservative z-range of the voxels in one column that the dense
- * integration sweep could possibly fuse.
- *
- * The camera-frame position along a column is affine in the z index,
- * pos(z) = p0 + z*step, so each keep-condition of the visit loop
- * (pos.z > 0, projected pixel inside the image) becomes a linear
- * half-space in z once multiplied through by pos.z > 0. The
- * inequalities are solved in double with a whole pixel of margin and
- * an absolute slack on every linear form sized to the worst-case
- * float drift of the incremental `pos += step` sweep (@p slack, an
- * upper bound on |accumulated - affine| per component), so culling
- * can only ever drop voxels the dense sweep provably skips.
- *
- * @param p0 Camera-frame position of the column's z = 0 voxel center.
- * @param step Camera-frame z step between voxel centers.
- * @param k Depth image intrinsics.
- * @param width Depth image width, pixels.
- * @param height Depth image height, pixels.
- * @param res Voxels per column.
- * @param slack Per-component accumulation drift bound, meters.
- */
-ZInterval
-cullColumn(const Vec3f &p0, const Vec3f &step,
-           const CameraIntrinsics &k, size_t width, size_t height,
-           int res, double slack)
-{
-    double lo = 0.0;
-    double hi = static_cast<double>(res - 1);
-    const double x0 = p0.x, y0 = p0.y, z0 = p0.z;
-    const double sx = step.x, sy = step.y, sz = step.z;
-    const double fx = k.fx, fy = k.fy, cx = k.cx, cy = k.cy;
-    const double fw = static_cast<double>(width);
-    const double fh = static_cast<double>(height);
-
-    const auto keep = [&](double a, double b, double coeff_mag) {
-        restrictInterval(a + coeff_mag * slack, b, lo, hi);
-    };
-
-    // pos.z > 0 (the loop's own bound is the stricter 0.001).
-    keep(z0, sz, 1.0);
-    // pix.x > -1 (int truncation keeps (-1, 0)); one pixel of margin:
-    // fx*pos.x + (cx + 2)*pos.z > 0.
-    keep(fx * x0 + (cx + 2.0) * z0, fx * sx + (cx + 2.0) * sz,
-         std::abs(fx) + std::abs(cx + 2.0));
-    // pix.x < width + 1:  (width + 1 - cx)*pos.z - fx*pos.x > 0.
-    keep((fw + 1.0 - cx) * z0 - fx * x0,
-         (fw + 1.0 - cx) * sz - fx * sx,
-         std::abs(fw + 1.0 - cx) + std::abs(fx));
-    // pix.y > -2 and pix.y < height + 1, as above.
-    keep(fy * y0 + (cy + 2.0) * z0, fy * sy + (cy + 2.0) * sz,
-         std::abs(fy) + std::abs(cy + 2.0));
-    keep((fh + 1.0 - cy) * z0 - fy * y0,
-         (fh + 1.0 - cy) * sz - fy * sy,
-         std::abs(fh + 1.0 - cy) + std::abs(fy));
-
-    if (lo > hi)
-        return {};
-    int z_begin = static_cast<int>(std::floor(lo)) - 2;
-    int z_end = static_cast<int>(std::ceil(hi)) + 3;
-    z_begin = std::max(z_begin, 0);
-    z_end = std::min(z_end, res);
-    if (z_begin >= z_end)
-        return {};
-    return {z_begin, z_end};
-}
-
-/**
- * Upper bound on the float drift |accumulated - affine| of the
- * incremental `pos += step` column sweep, per component.
- *
- * Every intermediate position lies in the camera-frame convex hull of
- * the volume's corners, so res additions each round at most an ulp of
- * the largest corner coordinate; an 8x safety factor covers the
- * voxel-center offset and the double-vs-real solve error.
- */
-double
-accumulationSlack(const Mat4f &world_to_camera, const Vec3f &origin,
-                  float size, int res)
-{
-    double mag = 1.0;
-    for (int corner = 0; corner < 8; ++corner) {
-        const Vec3f c =
-            origin + Vec3f{(corner & 1) ? size : 0.0f,
-                           (corner & 2) ? size : 0.0f,
-                           (corner & 4) ? size : 0.0f};
-        const Vec3f pc = world_to_camera.transformPoint(c);
-        mag = std::max({mag, std::abs(static_cast<double>(pc.x)),
-                        std::abs(static_cast<double>(pc.y)),
-                        std::abs(static_cast<double>(pc.z))});
-    }
-    return static_cast<double>(res) * mag * 1.2e-7 * 8.0;
-}
-
-} // namespace
 
 TsdfVolume::TsdfVolume(int resolution, float size_m, const Vec3f &origin)
     : resolution_(resolution), size_(size_m), origin_(origin)
@@ -275,42 +150,6 @@ TsdfVolume::gradReference(const Vec3f &p) const
     return {xp - xm, yp - ym, zp - zm};
 }
 
-const float *
-TsdfVolume::lambdaTableFor(const CameraIntrinsics &intrinsics,
-                           size_t width, size_t height)
-{
-    if (lambdaWidth_ == width && lambdaHeight_ == height &&
-        lambdaFx_ == intrinsics.fx && lambdaFy_ == intrinsics.fy &&
-        lambdaCx_ == intrinsics.cx && lambdaCy_ == intrinsics.cy)
-        return lambdaTable_.data();
-
-    // Lambda scales the depth difference to distance along the pixel
-    // ray (KinectFusion's lambda correction). It is sampled once at
-    // each pixel's center — the same pixel the depth measurement is
-    // fetched from — instead of at the voxel's continuous projection,
-    // removing a sqrt and two divisions per voxel visit.
-    lambdaTable_.resize(width * height);
-    for (size_t py = 0; py < height; ++py) {
-        for (size_t px = 0; px < width; ++px) {
-            const float ux = (static_cast<float>(px) + 0.5f -
-                              intrinsics.cx) /
-                             intrinsics.fx;
-            const float uy = (static_cast<float>(py) + 0.5f -
-                              intrinsics.cy) /
-                             intrinsics.fy;
-            lambdaTable_[py * width + px] =
-                std::sqrt(1.0f + ux * ux + uy * uy);
-        }
-    }
-    lambdaFx_ = intrinsics.fx;
-    lambdaFy_ = intrinsics.fy;
-    lambdaCx_ = intrinsics.cx;
-    lambdaCy_ = intrinsics.cy;
-    lambdaWidth_ = width;
-    lambdaHeight_ = height;
-    return lambdaTable_.data();
-}
-
 void
 TsdfVolume::integrate(const support::Image<float> &depth,
                       const CameraIntrinsics &intrinsics,
@@ -351,7 +190,7 @@ TsdfVolume::integrateImpl(const support::Image<float> &depth,
     const size_t width = depth.width();
     const size_t height = depth.height();
     const float *lambda_table =
-        lambdaTableFor(intrinsics, width, height);
+        lambda_.tableFor(intrinsics, width, height);
 
     // The camera-frame z-step is identical for every column: hoisted
     // out of the per-column loop.

@@ -10,6 +10,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "kfusion/integrate_cull.hpp"
 #include "kfusion/work_counters.hpp"
 #include "math/camera.hpp"
 #include "math/mat.hpp"
@@ -75,6 +76,18 @@ class TsdfVolume
     /** Unchecked voxel access. */
     const Voxel &
     at(int x, int y, int z) const
+    {
+        return voxels_[index(x, y, z)];
+    }
+
+    /**
+     * Voxel copy accessor — the generic spelling shared with
+     * SparseTsdfVolume (which has no stable reference to return for
+     * unallocated voxels), used by volume-generic code such as the
+     * mesh extractor.
+     */
+    Voxel
+    voxelAt(int x, int y, int z) const
     {
         return voxels_[index(x, y, z)];
     }
@@ -202,25 +215,12 @@ class TsdfVolume
                        support::ThreadPool *pool, bool cull,
                        const KernelBackend &backend);
 
-    /**
-     * Per-pixel lambda (depth-to-ray-distance) table for @p
-     * intrinsics, rebuilt only when the intrinsics or image size
-     * change.
-     */
-    const float *lambdaTableFor(const CameraIntrinsics &intrinsics,
-                                size_t width, size_t height);
-
     int resolution_;
     float size_;
     Vec3f origin_;
     std::vector<Voxel> voxels_;
     const KernelBackend *backend_ = nullptr;
-
-    // Lambda-table cache key + storage (see lambdaTableFor()).
-    std::vector<float> lambdaTable_;
-    float lambdaFx_ = 0.0f, lambdaFy_ = 0.0f;
-    float lambdaCx_ = 0.0f, lambdaCy_ = 0.0f;
-    size_t lambdaWidth_ = 0, lambdaHeight_ = 0;
+    LambdaTable lambda_;
 };
 
 } // namespace slambench::kfusion

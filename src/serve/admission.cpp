@@ -54,20 +54,27 @@ AdmissionController::onTick(const LoadSignals &signals)
     const bool p99_hot =
         options_.frameP99TargetSeconds > 0.0 &&
         p99Ewma_ > options_.frameP99TargetSeconds;
+    const bool volume_hot =
+        options_.maxTenantVolumeBytes > 0 &&
+        signals.peakTenantVolumeBytes >=
+            options_.maxTenantVolumeBytes;
 
     if (!shedding_) {
-        if (queue_hot || new_breach || p99_hot) {
+        if (queue_hot || new_breach || p99_hot || volume_hot) {
             shedding_ = true;
             ++engages_;
             healthyTicks_ = 0;
-            reason_ = queue_hot  ? "queue_depth"
+            reason_ = queue_hot    ? "queue_depth"
                       : new_breach ? "slo_breach"
-                                   : "frame_p99";
+                      : p99_hot    ? "frame_p99"
+                                   : "tenant_volume";
             support::logWarn()
                 << "admission: shedding ENGAGED (" << reason_
                 << "): peak_queue=" << signals.peakQueueDepth
                 << " p99_ewma_s=" << p99Ewma_
-                << " slo_breaches=" << signals.sloBreaches;
+                << " slo_breaches=" << signals.sloBreaches
+                << " peak_tenant_volume_bytes="
+                << signals.peakTenantVolumeBytes;
         }
         return shedding_;
     }
@@ -76,7 +83,8 @@ AdmissionController::onTick(const LoadSignals &signals)
         signals.peakQueueDepth <= options_.queueLoWatermark;
     const bool p99_ok = options_.frameP99TargetSeconds <= 0.0 ||
                         p99Ewma_ <= options_.frameP99TargetSeconds;
-    if (queue_ok && p99_ok && !new_breach) {
+    const bool volume_ok = !volume_hot;
+    if (queue_ok && p99_ok && volume_ok && !new_breach) {
         if (++healthyTicks_ >= options_.clearAfterHealthyTicks) {
             shedding_ = false;
             ++clears_;

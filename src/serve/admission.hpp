@@ -53,6 +53,18 @@ struct AdmissionOptions
 
     /** Consecutive healthy ticks required before shedding clears. */
     int clearAfterHealthyTicks = 3;
+
+    /**
+     * Engage shedding when any tenant's TSDF volume reaches this
+     * many resident bytes (0 disables). Meaningful for the sparse
+     * volume backend, whose footprint grows with the observed
+     * surface until the stream wraps into a fresh epoch; the dense
+     * backend's footprint is constant. Shedding slows every stream
+     * down, buying time until the offending tenant's epoch wrap
+     * releases its blocks (clearing requires the peak back under the
+     * bound).
+     */
+    uint64_t maxTenantVolumeBytes = 0;
 };
 
 /** One tick's load sample, gathered by the scheduler. */
@@ -68,6 +80,10 @@ struct LoadSignals
     /** Current value of the `slo.breaches` counter; the controller
      *  reacts to its delta since the previous tick. */
     uint64_t sloBreaches = 0;
+
+    /** Largest per-tenant TSDF volume footprint after the tick,
+     *  bytes (`serve.tenant.volume_bytes` peak over sessions). */
+    uint64_t peakTenantVolumeBytes = 0;
 };
 
 /**
@@ -97,7 +113,8 @@ class AdmissionController
     bool shedding() const { return shedding_; }
 
     /** @return why shedding last engaged ("queue_depth",
-     *  "slo_breach", "frame_p99"; "" before any engagement). */
+     *  "slo_breach", "frame_p99", "tenant_volume"; "" before any
+     *  engagement). */
     const std::string &lastEngageReason() const { return reason_; }
 
     /** @return times shedding transitioned off -> on. */

@@ -207,6 +207,17 @@ StreamScheduler::runTick(support::metrics::RunSession *session)
     signals.tickP99Seconds = report.tickP99Seconds;
     signals.sloBreaches =
         Registry::instance().counter("slo.breaches").value();
+    // Safe to read un-synchronized: the tick's frame tasks finished
+    // at pool_->wait(group) above, and sessions are only mutated by
+    // those tasks.
+    for (const auto &tenant : sessions_)
+        signals.peakTenantVolumeBytes =
+            std::max(signals.peakTenantVolumeBytes,
+                     tenant->volumeBytes());
+    static auto &peak_volume_gauge = Registry::instance().gauge(
+        "serve.tick.peak_tenant_volume_bytes");
+    peak_volume_gauge.set(
+        static_cast<double>(signals.peakTenantVolumeBytes));
 
     const uint64_t engages_before = admission_.engageCount();
     const uint64_t clears_before = admission_.clearCount();

@@ -37,7 +37,9 @@ TenantSession::TenantSession(const TenantConfig &config)
       deviceSecondsHistogram_(Registry::instance().histogram(
           tenantMetric("serve.tenant.device_seconds", config.id))),
       lastAteGauge_(Registry::instance().gauge(
-          tenantMetric("serve.tenant.last_ate_m", config.id)))
+          tenantMetric("serve.tenant.last_ate_m", config.id))),
+      volumeBytesGauge_(Registry::instance().gauge(
+          tenantMetric("serve.tenant.volume_bytes", config.id)))
 {
     if (sequence_.frames.empty())
         support::fatal("TenantSession: tenant '" + config_.id +
@@ -51,6 +53,8 @@ TenantSession::TenantSession(const TenantConfig &config)
                         sequence_.groundTruth.pose(0));
     epochs_ = 1;
     epochsCounter_.add();
+    volumeBytes_ = system_->pipeline().volume().memoryStats().bytes;
+    volumeBytesGauge_.set(static_cast<double>(volumeBytes_));
 }
 
 TenantFrameStats
@@ -101,6 +105,8 @@ TenantSession::processNext()
     frameSecondsHistogram_.record(stats.wallSeconds);
     deviceSecondsHistogram_.record(stats.deviceSeconds);
     lastAteGauge_.set(stats.ateMeters);
+    volumeBytes_ = system_->pipeline().volume().memoryStats().bytes;
+    volumeBytesGauge_.set(static_cast<double>(volumeBytes_));
     return stats;
 }
 

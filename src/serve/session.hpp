@@ -121,6 +121,16 @@ class TenantSession
     /** @return number of frames in the rendered stream. */
     size_t streamLength() const { return sequence_.frames.size(); }
 
+    /**
+     * @return resident bytes of this tenant's TSDF volume after the
+     * last processed frame (constant for the dense backend, growing
+     * with the observed surface for sparse). Published on /metrics as
+     * `serve.tenant.volume_bytes{tenant="<id>"}`; the scheduler feeds
+     * the per-tick peak to the admission controller's
+     * maxTenantVolumeBytes bound.
+     */
+    uint64_t volumeBytes() const { return volumeBytes_; }
+
   private:
     TenantConfig config_;
     dataset::Sequence sequence_;
@@ -130,6 +140,7 @@ class TenantSession
     uint64_t framesProcessed_ = 0;
     uint64_t framesShed_ = 0;
     uint64_t epochs_ = 0;
+    uint64_t volumeBytes_ = 0;
 
     // Cached per-tenant labeled registry handles (stable for the
     // process lifetime, like all Registry references).
@@ -140,6 +151,7 @@ class TenantSession
     support::metrics::LatencyHistogram &frameSecondsHistogram_;
     support::metrics::LatencyHistogram &deviceSecondsHistogram_;
     support::metrics::Gauge &lastAteGauge_;
+    support::metrics::Gauge &volumeBytesGauge_;
 };
 
 } // namespace slambench::serve

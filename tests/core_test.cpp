@@ -96,10 +96,10 @@ TEST(Benchmark, RenderingRateChargesRenderVolume)
 
 // --- config binding ---
 
-TEST(ConfigBinding, SpaceHasElevenParameters)
+TEST(ConfigBinding, SpaceHasFourteenParameters)
 {
     const ParameterSpace space = kfusionParameterSpace();
-    EXPECT_EQ(space.size(), 11u);
+    EXPECT_EQ(space.size(), 14u);
     // Defaults decode to the default KFusionConfig.
     const KFusionConfig config =
         pointToConfig(space, space.defaultPoint());
@@ -110,6 +110,9 @@ TEST(ConfigBinding, SpaceHasElevenParameters)
     EXPECT_EQ(config.pyramidIterations, reference.pyramidIterations);
     EXPECT_FLOAT_EQ(config.mu, reference.mu);
     EXPECT_EQ(config.kernelBackend, reference.kernelBackend);
+    EXPECT_EQ(config.volumeBackend, reference.volumeBackend);
+    EXPECT_EQ(config.volumeBlockSize, reference.volumeBlockSize);
+    EXPECT_EQ(config.volumePoolCapacity, reference.volumePoolCapacity);
 }
 
 TEST(ConfigBinding, RoundTripThroughPoint)
@@ -124,6 +127,9 @@ TEST(ConfigBinding, RoundTripThroughPoint)
     config.trackingRate = 2;
     config.renderingRate = 6;
     config.kernelBackend = "simd";
+    config.volumeBackend = "sparse";
+    config.volumeBlockSize = 16;
+    config.volumePoolCapacity = 4096;
     const Point p = configToPoint(space, config);
     const KFusionConfig decoded = pointToConfig(space, p);
     EXPECT_EQ(decoded.computeSizeRatio, 4);
@@ -135,6 +141,19 @@ TEST(ConfigBinding, RoundTripThroughPoint)
     EXPECT_EQ(decoded.trackingRate, 2);
     EXPECT_EQ(decoded.renderingRate, 6);
     EXPECT_EQ(decoded.kernelBackend, "simd");
+    EXPECT_EQ(decoded.volumeBackend, "sparse");
+    EXPECT_EQ(decoded.volumeBlockSize, 16);
+    EXPECT_EQ(decoded.volumePoolCapacity, 4096);
+}
+
+TEST(ConfigBinding, MixedBackendRoundTripsThroughOrdinal)
+{
+    const ParameterSpace space = kfusionParameterSpace();
+    KFusionConfig config;
+    config.kernelBackend = "mixed";
+    const Point p = configToPoint(space, config);
+    EXPECT_EQ(p[space.indexOf("implementation")], 2.0);
+    EXPECT_EQ(pointToConfig(space, p).kernelBackend, "mixed");
 }
 
 TEST(ConfigBinding, RandomPointsAlwaysValidate)

@@ -319,11 +319,13 @@ class ForwardingBackend : public KernelBackend
 TEST(BackendRegistry, BuiltinsAreRegistered)
 {
     const std::vector<std::string> names = kernelBackendNames();
-    ASSERT_GE(names.size(), 2u);
+    ASSERT_GE(names.size(), 3u);
     EXPECT_EQ(names[0], "scalar");
     EXPECT_EQ(names[1], "simd");
+    EXPECT_EQ(names[2], "mixed");
     EXPECT_EQ(findKernelBackend("scalar"), &scalarKernelBackend());
     EXPECT_NE(findKernelBackend("simd"), nullptr);
+    EXPECT_NE(findKernelBackend("mixed"), nullptr);
 }
 
 TEST(BackendRegistry, RejectsInvalidRegistrations)
@@ -380,24 +382,61 @@ TEST(BackendRegistry, AutoResolvesDeterministically)
     ASSERT_NE(first, nullptr);
     EXPECT_EQ(first, second);
 
-    // "auto" dispatches by CPUID: simd iff the AVX2 flavor actually
-    // runs on this host, scalar otherwise.
+    // "auto" dispatches by CPUID: the per-kernel mixed composition
+    // iff the AVX2 flavor actually runs on this host (the pure simd
+    // backend is slower than scalar at integrate), scalar otherwise.
     const char *expected =
-        simdBackendIsAccelerated() ? "simd" : "scalar";
+        simdBackendIsAccelerated() ? "mixed" : "scalar";
     EXPECT_STREQ(first->name(), expected);
     EXPECT_EQ(first, findKernelBackend(expected));
+}
+
+TEST(BackendRegistry, MixedBackendDispatchesPerKernel)
+{
+    const KernelBackend *mixed = findKernelBackend("mixed");
+    const KernelBackend *simd = findKernelBackend("simd");
+    ASSERT_NE(mixed, nullptr);
+    ASSERT_NE(simd, nullptr);
+    const KernelBackend &scalar = scalarKernelBackend();
+
+    // The composition picks, per kernel, the constituent with the
+    // larger modelSpeedup; its own modelSpeedup reports the pick.
+    for (KernelId id :
+         {KernelId::Integrate, KernelId::Raycast,
+          KernelId::RenderVolume, KernelId::Reduce}) {
+        const double best = std::max(scalar.modelSpeedup(id),
+                                     simd->modelSpeedup(id));
+        EXPECT_EQ(mixed->modelSpeedup(id), best)
+            << "kernel id " << static_cast<int>(id);
+    }
+
+    if (simdBackendIsAccelerated()) {
+        // On AVX2 hosts the simd integrate models a slowdown (0.80),
+        // so mixed must fall back to the scalar column sweep while
+        // keeping the vector speedups everywhere else.
+        EXPECT_LT(simd->modelSpeedup(KernelId::Integrate), 1.0);
+        EXPECT_EQ(mixed->modelSpeedup(KernelId::Integrate), 1.0);
+        EXPECT_GT(mixed->modelSpeedup(KernelId::Raycast), 1.0);
+        EXPECT_GT(mixed->modelSpeedup(KernelId::Reduce), 1.0);
+    } else {
+        // Portable fallback: both constituents model 1.0 everywhere.
+        EXPECT_EQ(mixed->modelSpeedup(KernelId::Integrate), 1.0);
+        EXPECT_EQ(mixed->modelSpeedup(KernelId::Raycast), 1.0);
+    }
 }
 
 TEST(BackendRegistry, OrdinalRoundTrip)
 {
     EXPECT_EQ(kernelBackendOrdinal("scalar"), 0.0);
     EXPECT_EQ(kernelBackendOrdinal("simd"), 1.0);
+    EXPECT_EQ(kernelBackendOrdinal("mixed"), 2.0);
     EXPECT_STREQ(kernelBackendFromOrdinal(0.0), "scalar");
     EXPECT_STREQ(kernelBackendFromOrdinal(1.0), "simd");
+    EXPECT_STREQ(kernelBackendFromOrdinal(2.0), "mixed");
     // Unknown ordinals decode to the scalar reference so a stray DSE
     // point can never crash a run.
     EXPECT_STREQ(kernelBackendFromOrdinal(7.0), "scalar");
-    for (const std::string name : {"scalar", "simd"})
+    for (const std::string name : {"scalar", "simd", "mixed"})
         EXPECT_EQ(kernelBackendFromOrdinal(kernelBackendOrdinal(name)),
                   name);
 }

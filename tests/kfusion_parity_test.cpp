@@ -20,6 +20,7 @@
 #include "kfusion/backend.hpp"
 #include "kfusion/pipeline.hpp"
 #include "kfusion/raycast.hpp"
+#include "kfusion/sparse_volume.hpp"
 #include "kfusion/tracking.hpp"
 #include "kfusion/volume.hpp"
 #include "math/se3.hpp"
@@ -537,6 +538,338 @@ TEST(BackendParity, ReduceMatchesScalar)
                 ASSERT_EQ(got.jtj[i], expect.jtj[i]) << "jtj " << i;
             for (size_t i = 0; i < expect.jte.size(); ++i)
                 ASSERT_EQ(got.jte[i], expect.jte[i]) << "jte " << i;
+        }
+    }
+}
+
+// --- sparse-volume parity ---
+//
+// The hashed-voxel-block volume promises bit-identity with the dense
+// reference at EVERY voxel: observed voxels replay the exact dense
+// fusion arithmetic, and unallocated voxels read the default
+// Voxel{+1, 0} — the value an untouched dense voxel holds. So full
+// res^3 equality (not just the observed region) is the contract.
+
+/** Assert a sparse volume matches a dense one at every voxel. */
+void
+expectSparseMatchesDense(const SparseTsdfVolume &sparse,
+                         const TsdfVolume &dense)
+{
+    ASSERT_EQ(sparse.resolution(), dense.resolution());
+    for (int x = 0; x < dense.resolution(); ++x) {
+        for (int y = 0; y < dense.resolution(); ++y) {
+            for (int z = 0; z < dense.resolution(); ++z) {
+                const Voxel s = sparse.voxelAt(x, y, z);
+                const Voxel d = dense.voxelAt(x, y, z);
+                ASSERT_EQ(s.tsdf, d.tsdf)
+                    << "tsdf mismatch at (" << x << ", " << y << ", "
+                    << z << ")";
+                ASSERT_EQ(s.weight, d.weight)
+                    << "weight mismatch at (" << x << ", " << y
+                    << ", " << z << ")";
+            }
+        }
+    }
+}
+
+/**
+ * Fuse the same frame into sparse and dense volumes (both serial and
+ * pooled sparse) and require voxel-for-voxel identity.
+ */
+void
+checkSparseMatchesDense(const Mat4f &pose, uint64_t seed,
+                        int block_size)
+{
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    const Image<float> depth = makeDepth(k, seed);
+
+    TsdfVolume dense(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+    SparseTsdfVolume serial(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f},
+                            block_size, 0);
+    SparseTsdfVolume pooled(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f},
+                            block_size, 0);
+    ThreadPool pool(3);
+    WorkCounts dense_counts, serial_counts, pooled_counts;
+    dense.integrate(depth, k, pose, 0.1f, 100.0f, dense_counts,
+                    nullptr);
+    serial.integrate(depth, k, pose, 0.1f, 100.0f, serial_counts,
+                     nullptr);
+    pooled.integrate(depth, k, pose, 0.1f, 100.0f, pooled_counts,
+                     &pool);
+    expectSparseMatchesDense(serial, dense);
+    expectSparseMatchesDense(pooled, dense);
+    EXPECT_EQ(serial.allocatedBlocks(), pooled.allocatedBlocks());
+    // Sparse and dense run the identical culled sweep, so the work
+    // accounts agree exactly.
+    EXPECT_DOUBLE_EQ(serial_counts.itemsFor(KernelId::Integrate),
+                     dense_counts.itemsFor(KernelId::Integrate));
+    EXPECT_DOUBLE_EQ(serial_counts.skippedFor(KernelId::Integrate),
+                     dense_counts.skippedFor(KernelId::Integrate));
+}
+
+TEST(SparseParity, MatchesDenseIdentityPose)
+{
+    checkSparseMatchesDense(Mat4f{}, 11, 8);
+    checkSparseMatchesDense(Mat4f{}, 11, 16);
+}
+
+TEST(SparseParity, MatchesDensePartialFrustum)
+{
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.8f, 0.4f, -0.6f}, Vec3f{-0.2f, 0.0f, 1.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    checkSparseMatchesDense(pose, 12, 8);
+    checkSparseMatchesDense(pose, 12, 16);
+}
+
+TEST(SparseParity, MatchesDenseCameraInsideVolume)
+{
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.0f, 0.0f, 1.0f}, Vec3f{0.0f, 0.0f, 2.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    checkSparseMatchesDense(pose, 13, 8);
+}
+
+TEST(SparseParity, MatchesDenseVolumeBehindCamera)
+{
+    const Mat4f pose = slambench::math::lookAt(
+        Vec3f{0.0f, 0.0f, -0.5f}, Vec3f{0.0f, 0.0f, -2.0f},
+        Vec3f{0.0f, 1.0f, 0.0f});
+    checkSparseMatchesDense(pose, 14, 8);
+    // Nothing projects: no block may be allocated.
+    SparseTsdfVolume sparse(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f}, 8,
+                            0);
+    WorkCounts counts;
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    sparse.integrate(makeDepth(k, 14), k, pose, 0.1f, 100.0f, counts,
+                     nullptr);
+    EXPECT_EQ(sparse.allocatedBlocks(), 0u);
+}
+
+TEST(SparseParity, MatchesDenseAcrossFusedFramesPooled)
+{
+    // Multi-frame fusion with every kernel backend, serial and
+    // pooled: weights accumulate across frames, so any ordering slip
+    // in the block-run replay would show up here.
+    const auto k = CameraIntrinsics::fromFov(40, 32, 1.1f);
+    const Mat4f poses[] = {
+        Mat4f{},
+        slambench::math::lookAt(Vec3f{0.5f, 0.2f, -0.4f},
+                                Vec3f{0.0f, 0.0f, 1.0f},
+                                Vec3f{0.0f, 1.0f, 0.0f}),
+    };
+    for (const std::string &name : kernelBackendNames()) {
+        SCOPED_TRACE(name);
+        const KernelBackend *backend = findKernelBackend(name);
+        TsdfVolume dense(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f});
+        SparseTsdfVolume sparse(32, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f},
+                                8, 0);
+        dense.setBackend(backend);
+        sparse.setBackend(backend);
+        ThreadPool pool(3);
+        WorkCounts counts;
+        uint64_t seed = 51;
+        for (const Mat4f &pose : poses) {
+            const Image<float> depth = makeDepth(k, seed++);
+            dense.integrate(depth, k, pose, 0.1f, 100.0f, counts,
+                            nullptr);
+            sparse.integrate(depth, k, pose, 0.1f, 100.0f, counts,
+                             &pool);
+        }
+        expectSparseMatchesDense(sparse, dense);
+    }
+}
+
+/** A sparse copy of FusedVolume's dense fixture content. */
+class SparseFusedVolume : public FusedVolume
+{
+  protected:
+    SparseFusedVolume()
+        : sparse_(48, 2.0f, Vec3f{-1.0f, -1.0f, 0.0f}, 8, 0)
+    {
+        WorkCounts counts;
+        Image<float> wall(k_.width, k_.height, 1.0f);
+        sparse_.integrate(wall, k_, Mat4f{}, 0.1f, 100.0f, counts,
+                          nullptr);
+        const Image<float> depth = makeDepth(k_, 31);
+        sparse_.integrate(depth, k_, Mat4f{}, 0.1f, 100.0f, counts,
+                          nullptr);
+    }
+
+    SparseTsdfVolume sparse_;
+};
+
+TEST_F(SparseFusedVolume, InterpMatchesDenseEverywhere)
+{
+    Rng rng(7);
+    SparseTsdfVolume::LookupCache cache;
+    for (int i = 0; i < 20000; ++i) {
+        const Vec3f p{
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-0.1, 2.1))};
+        bool dense_valid = false, sparse_valid = false,
+             cached_valid = false;
+        const float dense_v = volume_.interp(p, dense_valid);
+        const float sparse_v = sparse_.interp(p, sparse_valid);
+        const float cached_v =
+            sparse_.interpCached(p, cached_valid, cache);
+        ASSERT_EQ(sparse_v, dense_v)
+            << "at " << p.x << ", " << p.y << ", " << p.z;
+        ASSERT_EQ(sparse_valid, dense_valid);
+        ASSERT_EQ(cached_v, dense_v);
+        ASSERT_EQ(cached_valid, dense_valid);
+    }
+}
+
+TEST_F(SparseFusedVolume, GradMatchesDenseEverywhere)
+{
+    Rng rng(8);
+    SparseTsdfVolume::LookupCache cache;
+    for (int i = 0; i < 20000; ++i) {
+        const Vec3f p{
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-1.1, 1.1)),
+            static_cast<float>(rng.uniform(-0.1, 2.1))};
+        const Vec3f dense_g = volume_.grad(p);
+        const Vec3f sparse_g = sparse_.grad(p);
+        const Vec3f cached_g = sparse_.gradCached(p, cache);
+        ASSERT_EQ(sparse_g.x, dense_g.x)
+            << "at " << p.x << ", " << p.y << ", " << p.z;
+        ASSERT_EQ(sparse_g.y, dense_g.y);
+        ASSERT_EQ(sparse_g.z, dense_g.z);
+        ASSERT_EQ(cached_g.x, dense_g.x);
+        ASSERT_EQ(cached_g.y, dense_g.y);
+        ASSERT_EQ(cached_g.z, dense_g.z);
+    }
+}
+
+TEST_F(SparseFusedVolume, CastRayMatchesDense)
+{
+    const RaycastParams params = testParams(volume_);
+    Rng rng(9);
+    SparseTsdfVolume::LookupCache cache;
+    for (int i = 0; i < 500; ++i) {
+        const Vec3f origin{
+            static_cast<float>(rng.uniform(-0.5, 0.5)),
+            static_cast<float>(rng.uniform(-0.5, 0.5)),
+            static_cast<float>(rng.uniform(-0.5, 0.3))};
+        Vec3f dir{static_cast<float>(rng.uniform(-0.4, 0.4)),
+                  static_cast<float>(rng.uniform(-0.4, 0.4)),
+                  static_cast<float>(rng.uniform(0.5, 1.0))};
+        dir = dir * (1.0f / dir.norm());
+        Vec3f dense_hit, sparse_hit;
+        int dense_steps = 0, sparse_steps = 0;
+        const bool dense_found = castRay(
+            volume_, origin, dir, params, dense_hit, dense_steps);
+        const bool sparse_found =
+            castRay(sparse_, origin, dir, params, sparse_hit,
+                    sparse_steps, cache);
+        ASSERT_EQ(sparse_found, dense_found) << "ray " << i;
+        ASSERT_EQ(sparse_steps, dense_steps);
+        if (dense_found) {
+            ASSERT_EQ(sparse_hit.x, dense_hit.x) << "ray " << i;
+            ASSERT_EQ(sparse_hit.y, dense_hit.y);
+            ASSERT_EQ(sparse_hit.z, dense_hit.z);
+        }
+    }
+}
+
+TEST_F(SparseFusedVolume, RaycastKernelMatchesDenseSerialAndPooled)
+{
+    const RaycastParams params = testParams(volume_);
+    const Mat4f views[] = {
+        Mat4f{},
+        slambench::math::lookAt(Vec3f{1.2f, 0.8f, -0.4f},
+                                Vec3f{-0.2f, -0.1f, 1.0f},
+                                Vec3f{0.0f, 1.0f, 0.0f}),
+    };
+    ThreadPool pool(3);
+    for (const Mat4f &view : views) {
+        Image<Vec3f> vertex_ref, normal_ref;
+        WorkCounts counts;
+        raycastKernel(vertex_ref, normal_ref, volume_, k_, view,
+                      params, counts, nullptr);
+        for (ThreadPool *p : {static_cast<ThreadPool *>(nullptr),
+                              &pool}) {
+            Image<Vec3f> vertex, normal;
+            raycastKernel(vertex, normal, sparse_, k_, view, params,
+                          counts, p);
+            ASSERT_EQ(vertex.size(), vertex_ref.size());
+            for (size_t i = 0; i < vertex.size(); ++i) {
+                ASSERT_EQ(vertex[i].x, vertex_ref[i].x)
+                    << "pixel " << i;
+                ASSERT_EQ(vertex[i].y, vertex_ref[i].y);
+                ASSERT_EQ(vertex[i].z, vertex_ref[i].z);
+                ASSERT_EQ(normal[i].x, normal_ref[i].x)
+                    << "pixel " << i;
+                ASSERT_EQ(normal[i].y, normal_ref[i].y);
+                ASSERT_EQ(normal[i].z, normal_ref[i].z);
+            }
+        }
+    }
+}
+
+TEST_F(SparseFusedVolume, RenderVolumeMatchesDense)
+{
+    const RaycastParams params = testParams(volume_);
+    Image<slambench::support::Rgb8> reference, tested;
+    WorkCounts counts;
+    ThreadPool pool(3);
+    renderVolumeKernel(reference, volume_, k_, Mat4f{}, params,
+                       counts, nullptr);
+    renderVolumeKernel(tested, sparse_, k_, Mat4f{}, params, counts,
+                       &pool);
+    ASSERT_EQ(tested.size(), reference.size());
+    for (size_t i = 0; i < tested.size(); ++i) {
+        ASSERT_EQ(tested[i].r, reference[i].r) << "pixel " << i;
+        ASSERT_EQ(tested[i].g, reference[i].g);
+        ASSERT_EQ(tested[i].b, reference[i].b);
+    }
+}
+
+TEST(SparseParity, PipelinePosesMatchDenseExactly)
+{
+    // End-to-end: a full pipeline on the sparse volume must produce
+    // bit-identical poses to the dense run — fusion, sampling, and
+    // raycast are all bit-exact, and the pose is a pure function of
+    // their outputs.
+    slambench::dataset::SequenceSpec spec;
+    spec.width = 80;
+    spec.height = 60;
+    spec.numFrames = 6;
+    spec.renderRgb = false;
+    spec.seed = 42;
+    const auto seq = slambench::dataset::generateSequence(spec);
+
+    KFusionConfig config;
+    config.volumeResolution = 96;
+    config.pyramidIterations = {6, 4, 3};
+
+    std::vector<Mat4f> reference_poses;
+    {
+        KFusion kf(config, seq.intrinsics);
+        kf.setPose(seq.groundTruth.pose(0));
+        for (const auto &frame : seq.frames)
+            reference_poses.push_back(
+                kf.processFrame(frame.depthMm).pose);
+    }
+
+    for (int block_size : {8, 16}) {
+        SCOPED_TRACE(block_size);
+        KFusionConfig cfg = config;
+        cfg.volumeBackend = "sparse";
+        cfg.volumeBlockSize = block_size;
+        KFusion kf(cfg, seq.intrinsics);
+        kf.setPose(seq.groundTruth.pose(0));
+        for (size_t f = 0; f < seq.frames.size(); ++f) {
+            const Mat4f pose =
+                kf.processFrame(seq.frames[f].depthMm).pose;
+            for (int r = 0; r < 4; ++r)
+                for (int c = 0; c < 4; ++c)
+                    ASSERT_EQ(pose(r, c), reference_poses[f](r, c))
+                        << "frame " << f << " element (" << r << ", "
+                        << c << ")";
         }
     }
 }

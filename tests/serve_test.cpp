@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "devices/fleet.hpp"
+#include "kfusion/volume.hpp"
 #include "serve/admission.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/session.hpp"
@@ -128,6 +129,46 @@ TEST(AdmissionController, EngagesOnSmoothedP99AndClearsUnderTarget)
     EXPECT_FALSE(admission.onTick(recovered));
 }
 
+TEST(AdmissionController, EngagesOnTenantVolumeAndClearsOnRelease)
+{
+    AdmissionOptions options = testOptions();
+    options.maxTenantVolumeBytes = 64ull << 20;
+    AdmissionController admission(options);
+
+    LoadSignals lean;
+    lean.peakTenantVolumeBytes = (64ull << 20) - 1;
+    EXPECT_FALSE(admission.onTick(lean));
+
+    LoadSignals bloated;
+    bloated.peakTenantVolumeBytes = 64ull << 20; // == bound
+    EXPECT_TRUE(admission.onTick(bloated));
+    EXPECT_EQ(admission.lastEngageReason(), "tenant_volume");
+
+    // The volume only shrinks on an epoch wrap, so shedding must
+    // hold while the peak stays over the bound even if the queue and
+    // p99 look healthy.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(admission.onTick(bloated));
+
+    // Epoch wrap released the blocks: peak back under the bound
+    // clears after the usual healthy streak.
+    EXPECT_TRUE(admission.onTick(lean));
+    EXPECT_TRUE(admission.onTick(lean));
+    EXPECT_FALSE(admission.onTick(lean));
+    EXPECT_FALSE(admission.shedding());
+    EXPECT_EQ(admission.clearCount(), 1u);
+}
+
+TEST(AdmissionController, VolumeBoundDisabledByDefault)
+{
+    AdmissionController admission(testOptions());
+    LoadSignals huge;
+    huge.peakTenantVolumeBytes = ~0ull;
+    for (int i = 0; i < 3; ++i)
+        EXPECT_FALSE(admission.onTick(huge));
+    EXPECT_EQ(admission.engageCount(), 0u);
+}
+
 // --- TenantSession ----------------------------------------------
 
 serve::TenantConfig
@@ -169,6 +210,17 @@ TEST(TenantSession, ProcessesWrapsAndCountsLabeledMetrics)
     }
     EXPECT_EQ(session.framesProcessed(), 4u);
     EXPECT_EQ(session.epochs(), 2u);
+
+    // The tenant reports its volume footprint (dense backend: the
+    // constant res^3 voxel array) and mirrors it to a labeled gauge.
+    const uint64_t dense_bytes = 64ull * 64 * 64 *
+                                 sizeof(kfusion::Voxel);
+    EXPECT_EQ(session.volumeBytes(), dense_bytes);
+    const std::string volume_name =
+        support::telemetry::labeledMetricName(
+            "serve.tenant.volume_bytes", "tenant", id);
+    EXPECT_EQ(registry.gauge(volume_name).value(),
+              static_cast<double>(dense_bytes));
 
     session.noteShed();
     EXPECT_EQ(session.framesShed(), 1u);
