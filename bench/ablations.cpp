@@ -81,6 +81,10 @@ main(int argc, char **argv)
     // /healthz, /runz server and crash-surviving flight recorder.
     const support::telemetry::TelemetryEndpoint telemetry =
         telemetryFromArgs(argc, argv, "ablations");
+    // --trace-requests / --trace-sample-rate / --trace-store:
+    // per-frame request traces with tail-based retention.
+    const support::trace::RequestTraceSession request_traces =
+        requestTraceFromArgs(argc, argv);
 
     std::printf("ABLATIONS: single-axis sweeps on the simulated "
                 "odroid-xu3 (%zu frames)\n",

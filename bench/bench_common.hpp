@@ -247,6 +247,43 @@ pmuSessionFromArgs(int argc, char **argv)
 }
 
 /**
+ * Arm end-to-end request tracing from the shared bench flags
+ * (docs/OBSERVABILITY.md "Request tracing"):
+ *
+ *   --trace-requests       arm per-frame request traces with
+ *                          tail-based retention (SLO breaches,
+ *                          tracking losses, and top-bucket frames
+ *                          always kept; the rest sampled)
+ *   --trace-sample-rate P  retention probability for unflagged
+ *                          frames (default 0.01; implies
+ *                          --trace-requests)
+ *   --trace-store N        retained-trace ring size (default 256;
+ *                          implies --trace-requests)
+ *
+ * Keep the returned session alive for the whole run; retained traces
+ * are served by `/tracez?trace_id=...` and linked from `/metrics`
+ * histogram exemplars. With none of the flags the session is inert
+ * and every span costs a single relaxed load.
+ */
+inline support::trace::RequestTraceSession
+requestTraceFromArgs(int argc, char **argv)
+{
+    support::trace::RequestTraceOptions options;
+    options.sampleRate = argDouble(argc, argv,
+                                   "--trace-sample-rate", -1.0);
+    const long store = argLong(argc, argv, "--trace-store", 0);
+    const bool armed = argFlag(argc, argv, "--trace-requests") ||
+                       options.sampleRate >= 0.0 || store > 0;
+    if (options.sampleRate < 0.0)
+        options.sampleRate = 0.01;
+    if (options.sampleRate > 1.0)
+        options.sampleRate = 1.0;
+    if (store > 0)
+        options.maxRetained = static_cast<size_t>(store);
+    return support::trace::RequestTraceSession(armed, options);
+}
+
+/**
  * Arm live telemetry from the shared bench flags
  * (docs/OBSERVABILITY.md "Live telemetry"):
  *
@@ -256,6 +293,8 @@ pmuSessionFromArgs(int argc, char **argv)
  *   --crash-dump FILE     fatal-signal flight-recorder dump path
  *                         (default <generator>_crash.json once any
  *                         telemetry flag is set)
+ *   --recorder-slots N    flight-recorder ring capacity (default
+ *                         1024; rounded up to a power of two)
  *   --slo-frame-p99-ms X  healthz SLO: live frame-time p99 <= X ms
  *   --slo-max-ate X       healthz SLO: per-frame ATE <= X meters
  *   --slo-max-lost N      healthz SLO: <= N consecutive tracking
@@ -274,6 +313,10 @@ telemetryFromArgs(int argc, char **argv, const char *generator)
         argLong(argc, argv, "--telemetry-port", -1));
     options.crashDumpPath =
         argString(argc, argv, "--crash-dump", "");
+    const long slots =
+        argLong(argc, argv, "--recorder-slots", 1024);
+    options.recorderSlots =
+        slots <= 0 ? 1024 : static_cast<size_t>(slots);
     options.generator = generator;
     options.slo.frameP99Seconds =
         argDouble(argc, argv, "--slo-frame-p99-ms", 0.0) * 1e-3;

@@ -45,6 +45,10 @@ main(int argc, char **argv)
     // /healthz, /runz server and crash-surviving flight recorder.
     const support::telemetry::TelemetryEndpoint telemetry =
         telemetryFromArgs(argc, argv, "fig1_pipeline");
+    // --trace-requests / --trace-sample-rate / --trace-store:
+    // per-frame request traces with tail-based retention.
+    const support::trace::RequestTraceSession request_traces =
+        requestTraceFromArgs(argc, argv);
 
     dataset::SequenceSpec spec = canonicalWorkload(frames);
     spec.renderRgb = true; // the GUI shows the RGB pane

@@ -70,6 +70,10 @@ main(int argc, char **argv)
     // /healthz, /runz server and crash-surviving flight recorder.
     const support::telemetry::TelemetryEndpoint telemetry =
         telemetryFromArgs(argc, argv, "fig2_dse");
+    // --trace-requests / --trace-sample-rate / --trace-store:
+    // per-frame request traces with tail-based retention.
+    const support::trace::RequestTraceSession request_traces =
+        requestTraceFromArgs(argc, argv);
     const size_t random_budget = static_cast<size_t>(
         argLong(argc, argv, "--random", quick ? 10 : 100));
     const size_t warmup = static_cast<size_t>(

@@ -40,6 +40,10 @@ main(int argc, char **argv)
     // /healthz, /runz server and crash-surviving flight recorder.
     const support::telemetry::TelemetryEndpoint telemetry =
         telemetryFromArgs(argc, argv, "fig3_mobile");
+    // --trace-requests / --trace-sample-rate / --trace-store:
+    // per-frame request traces with tail-based retention.
+    const support::trace::RequestTraceSession request_traces =
+        requestTraceFromArgs(argc, argv);
     const size_t device_count = static_cast<size_t>(
         argLong(argc, argv, "--devices", 83));
     const uint64_t seed = static_cast<uint64_t>(

@@ -37,6 +37,10 @@ main(int argc, char **argv)
     // /healthz, /runz server and crash-surviving flight recorder.
     const support::telemetry::TelemetryEndpoint telemetry =
         telemetryFromArgs(argc, argv, "headline_odroid");
+    // --trace-requests / --trace-sample-rate / --trace-store:
+    // per-frame request traces with tail-based retention.
+    const support::trace::RequestTraceSession request_traces =
+        requestTraceFromArgs(argc, argv);
 
     std::printf("HEADLINE: default vs tuned on the simulated "
                 "odroid-xu3 (%zu frames)\n\n",

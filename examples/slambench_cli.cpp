@@ -113,6 +113,18 @@ usage()
         "lost frames\n"
         "  --slo-queue-stall-ms X   healthz SLO: no pool stall "
         "> X ms\n"
+        "  --recorder-slots N       flight-recorder ring capacity "
+        "(default 1024)\n"
+        "  --trace-requests         per-frame request traces with "
+        "tail-based\n"
+        "                           retention (query /tracez)\n"
+        "  --trace-sample-rate P    retention probability for "
+        "unflagged frames\n"
+        "                           (default 0.01; implies "
+        "--trace-requests)\n"
+        "  --trace-store N          retained-trace ring size "
+        "(default 256;\n"
+        "                           implies --trace-requests)\n"
         "  --quiet                  warnings only (suppress INFO "
         "output-path lines)\n"
         "  --verbose                DEBUG logging\n"
@@ -204,8 +216,34 @@ main(int argc, char **argv)
         longFlag(argc, argv, "--slo-max-lost", 0);
     telemetry_options.slo.poolQueueStallSeconds =
         doubleFlag(argc, argv, "--slo-queue-stall-ms", 0.0) * 1e-3;
+    const long recorder_slots =
+        longFlag(argc, argv, "--recorder-slots", 1024);
+    telemetry_options.recorderSlots =
+        recorder_slots <= 0 ? 1024
+                            : static_cast<size_t>(recorder_slots);
     const support::telemetry::TelemetryEndpoint telemetry(
         telemetry_options);
+
+    // Request tracing (docs/OBSERVABILITY.md "Request tracing"):
+    // each processed frame becomes a queryable span tree under
+    // tail-based retention.
+    support::trace::RequestTraceOptions request_trace_options;
+    request_trace_options.sampleRate =
+        doubleFlag(argc, argv, "--trace-sample-rate", -1.0);
+    const long trace_store =
+        longFlag(argc, argv, "--trace-store", 0);
+    const bool trace_requests =
+        hasFlag(argc, argv, "--trace-requests") ||
+        request_trace_options.sampleRate >= 0.0 || trace_store > 0;
+    if (request_trace_options.sampleRate < 0.0)
+        request_trace_options.sampleRate = 0.01;
+    if (request_trace_options.sampleRate > 1.0)
+        request_trace_options.sampleRate = 1.0;
+    if (trace_store > 0)
+        request_trace_options.maxRetained =
+            static_cast<size_t>(trace_store);
+    const support::trace::RequestTraceSession request_trace_session(
+        trace_requests, request_trace_options);
 
     // --- Dataset ---
     dataset::SequenceSpec spec;

@@ -34,6 +34,7 @@
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/telemetry_server.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
@@ -105,6 +106,19 @@ usage()
         "frames\n"
         "  --slo-queue-stall-ms X healthz SLO: no pool stall > X "
         "ms\n"
+        "  --recorder-slots N    flight-recorder ring capacity "
+        "(default 1024)\n"
+        "  --trace-requests      arm per-frame request traces "
+        "(tail-based\n"
+        "                        retention; query "
+        "/tracez?trace_id=...)\n"
+        "  --trace-sample-rate P retention probability for "
+        "unflagged frames\n"
+        "                        (default 0.01; implies "
+        "--trace-requests)\n"
+        "  --trace-store N       retained-trace ring size (default "
+        "256; implies\n"
+        "                        --trace-requests)\n"
         "  --metrics-json FILE   run report; frames carry the "
         "tenant id as label\n"
         "  --frames-csv FILE     per-frame telemetry table (CSV)\n"
@@ -203,8 +217,35 @@ main(int argc, char **argv)
         longFlag(argc, argv, "--slo-max-lost", 0);
     telemetry_options.slo.poolQueueStallSeconds =
         doubleFlag(argc, argv, "--slo-queue-stall-ms", 0.0) * 1e-3;
+    const long recorder_slots =
+        longFlag(argc, argv, "--recorder-slots", 1024);
+    telemetry_options.recorderSlots =
+        recorder_slots <= 0 ? 1024
+                            : static_cast<size_t>(recorder_slots);
     const support::telemetry::TelemetryEndpoint telemetry(
         telemetry_options);
+
+    // Request tracing: every frame through the scheduler gets a
+    // TraceContext; tail-based retention keeps SLO breaches,
+    // tracking losses, and top-bucket frames, plus a sampled slice
+    // of normal traffic (docs/OBSERVABILITY.md "Request tracing").
+    support::trace::RequestTraceOptions trace_options;
+    trace_options.sampleRate =
+        doubleFlag(argc, argv, "--trace-sample-rate", -1.0);
+    const long trace_store =
+        longFlag(argc, argv, "--trace-store", 0);
+    const bool trace_armed =
+        hasFlag(argc, argv, "--trace-requests") ||
+        trace_options.sampleRate >= 0.0 || trace_store > 0;
+    if (trace_options.sampleRate < 0.0)
+        trace_options.sampleRate = 0.01;
+    if (trace_options.sampleRate > 1.0)
+        trace_options.sampleRate = 1.0;
+    if (trace_store > 0)
+        trace_options.maxRetained =
+            static_cast<size_t>(trace_store);
+    const support::trace::RequestTraceSession trace_session(
+        trace_armed, trace_options);
 
     // --- Tenant fleet ---
     const auto fleet = devices::mobileFleet(

@@ -21,10 +21,18 @@ body through this checker):
     non-decreasing `_bucket` series ending in an `le="+Inf"` bucket
     that equals that label set's `_count`, plus `_sum` and `_count`
     (so both plain histograms and per-tenant labeled histograms
-    validate).
+    validate);
+  * OpenMetrics-style exemplars (` # {trace_id="..."} value`) are
+    accepted on `_bucket` samples only, their label set must parse
+    (with a 16-hex-digit trace_id when present), and the exemplar
+    value must be a float.
 
 --require FAMILY[:TYPE] (repeatable) additionally asserts the family
 exists, optionally with the given declared type.
+
+--require-exemplar FAMILY (repeatable) additionally asserts at least
+one `_bucket` sample of the family carries an exemplar — the link a
+dashboard follows from a latency bucket to `/tracez?trace_id=...`.
 
 Exit status: 0 clean, 1 lint errors, 2 usage or I/O error.
 Stdlib only.
@@ -107,6 +115,7 @@ class Family:
         self.declared_type = None
         self.has_help = False
         self.samples = []           # (sample_name, labels, value)
+        self.exemplars = 0          # _bucket samples with exemplars
         self.closed = False
 
 
@@ -228,7 +237,8 @@ def close_family(family, error):
 
 
 def lint(lines):
-    """@return list of 'line N: message' strings (empty = clean)."""
+    """@return (errors, families): a list of 'line N: message'
+    strings (empty = clean) and the per-family lint state."""
     errors = []
     families = {}
     current = None  # family whose samples are being read
@@ -270,6 +280,14 @@ def lint(lines):
                 family.declared_type = parts[3]
             continue
 
+        # OpenMetrics-style exemplar suffix, split off before the
+        # sample grammar: `name{...} value # {labels} exemplar_value`.
+        exemplar_text = None
+        exemplar_split = line.find(" # ")
+        if exemplar_split != -1:
+            exemplar_text = line[exemplar_split + 3:]
+            line = line[:exemplar_split]
+
         # Sample: name[{labels}] value [timestamp]
         match = re.match(r"([a-zA-Z_:][a-zA-Z0-9_:]*)"
                          r"(?:\{(.*)\})?"
@@ -285,6 +303,29 @@ def lint(lines):
             error("bad sample value %r" % value_text)
             continue
 
+        has_exemplar = False
+        if exemplar_text is not None:
+            if not sample_name.endswith("_bucket"):
+                error("exemplar on non-bucket sample %s"
+                      % sample_name)
+            exemplar_match = re.match(
+                r"\{(.*)\} (\S+)$", exemplar_text)
+            if not exemplar_match:
+                error("malformed exemplar %r" % exemplar_text)
+            else:
+                exemplar_labels = parse_labels(
+                    exemplar_match.group(1), error)
+                trace_id = exemplar_labels.get("trace_id")
+                if trace_id is not None and \
+                        not re.match(r"[0-9a-f]{16}$", trace_id):
+                    error("exemplar trace_id %r is not 16 hex "
+                          "digits" % trace_id)
+                if parse_sample_value(
+                        exemplar_match.group(2)) is None:
+                    error("bad exemplar value %r"
+                          % exemplar_match.group(2))
+                has_exemplar = True
+
         base = sample_family(sample_name, families)
         family = families.get(base)
         if family is None or family.declared_type is None:
@@ -296,6 +337,8 @@ def lint(lines):
                 error("samples of %s are not contiguous" % base)
         current = family
         family.samples.append((sample_name, labels, value))
+        if has_exemplar:
+            family.exemplars += 1
 
     if current is not None:
         def error(message):
@@ -304,7 +347,7 @@ def lint(lines):
     for family in families.values():
         if not family.closed and family.samples:
             close_family(family, lambda m: errors.append(m))
-    return errors
+    return errors, families
 
 
 def main():
@@ -315,6 +358,10 @@ def main():
                         metavar="FAMILY[:TYPE]",
                         help="assert the family exists (optionally "
                         "with this declared type); repeatable")
+    parser.add_argument("--require-exemplar", action="append",
+                        default=[], metavar="FAMILY",
+                        help="assert at least one _bucket sample of "
+                        "the family carries an exemplar; repeatable")
     args = parser.parse_args()
 
     try:
@@ -323,7 +370,7 @@ def main():
     except OSError as exc:
         raise SystemExit("check_prometheus_exposition: %s" % exc)
 
-    errors = lint(lines)
+    errors, families = lint(lines)
 
     # --require checks run against the declared TYPE lines.
     declared = {}
@@ -338,6 +385,14 @@ def main():
         elif wanted_type and declared[family] != wanted_type:
             errors.append("required family %s is %s, want %s"
                           % (family, declared[family], wanted_type))
+    for required in args.require_exemplar:
+        family = families.get(required)
+        if family is None:
+            errors.append("exemplar-required family %s not found"
+                          % required)
+        elif family.exemplars == 0:
+            errors.append("family %s has no bucket exemplars"
+                          % required)
 
     if errors:
         for message in errors:

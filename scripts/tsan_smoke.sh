@@ -1,25 +1,29 @@
 #!/usr/bin/env bash
 # Race gate for the concurrency layer: re-run the thread-pool, metrics
-# -registry, parallel-DSE, and pooled-kernel-parity test groups under
+# -registry, parallel-DSE, pooled-kernel-parity, sparse-volume,
+# telemetry, and request-trace-propagation test groups under
 # ThreadSanitizer. Only registered by CMake when the tree was
 # configured with SLAMBENCH_SANITIZE=thread, so the binaries passed in
 # are already TSan-instrumented; any reported race aborts the test.
 #
 # Usage: tsan_smoke.sh <support_test> <metrics_test> \
-#            <hypermapper_test> <kfusion_parity_test> <telemetry_test>
+#            <hypermapper_test> <kfusion_parity_test> \
+#            <kfusion_sparse_test> <telemetry_test> <trace_test>
 set -eu
 
-if [ $# -ne 5 ]; then
+if [ $# -ne 7 ]; then
     echo "usage: $0 <support_test> <metrics_test>" \
          "<hypermapper_test> <kfusion_parity_test>" \
-         "<telemetry_test>" >&2
+         "<kfusion_sparse_test> <telemetry_test> <trace_test>" >&2
     exit 2
 fi
 support_test=$(readlink -f "$1")
 metrics_test=$(readlink -f "$2")
 hypermapper_test=$(readlink -f "$3")
 parity_test=$(readlink -f "$4")
-telemetry_test=$(readlink -f "$5")
+sparse_test=$(readlink -f "$5")
+telemetry_test=$(readlink -f "$6")
+trace_test=$(readlink -f "$7")
 
 # halt_on_error: the first race fails the run instead of just logging.
 export TSAN_OPTIONS="halt_on_error=1 ${TSAN_OPTIONS:-}"
@@ -37,9 +41,14 @@ run "$support_test" 'ThreadPool.*'
 run "$metrics_test" 'MetricsRegistry.*'
 run "$hypermapper_test" '*ParallelMatchesSerial*'
 run "$parity_test" '*Pooled*'
+# Concurrent block allocation / streaming against the hashed pool.
+run "$sparse_test" '*Concurrent*:*Parallel*'
 # The seqlock ring, the exposition server against concurrent metric
 # writers, and the watchdog; the fork-based CrashDump suite is
 # excluded (fork is not meaningful under TSan's runtime).
 run "$telemetry_test" 'FlightRecorder.*:TelemetryServer.*:SloWatchdog.*:LiveTelemetry.*'
+# Request-trace context propagation across pool task boundaries:
+# nested submits, concurrent multi-tenant traces, span-store writers.
+run "$trace_test" 'RequestTrace.*'
 
 echo "tsan_smoke: ok"

@@ -5,6 +5,7 @@
 #include "support/logging.hpp"
 #include "support/metrics.hpp"
 #include "support/slo_watchdog.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::core {
 
@@ -24,8 +25,21 @@ runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
     result.frameRssPeak.reserve(sequence.frames.size());
 
     for (size_t i = 0; i < sequence.frames.size(); ++i) {
+        // When `--trace-requests` is armed, each bench frame is a
+        // request trace of its own (tenant "" = single-tenant bench)
+        // so the overhead gate measures tracing at the real per-frame
+        // cost and /tracez works outside the serve layer too.
+        support::trace::TraceContext trace_ctx;
+        if (support::trace::requestTracingArmed())
+            trace_ctx = support::trace::RequestTracer::instance()
+                            .begin("", i);
         const auto start = std::chrono::steady_clock::now();
-        const bool tracked = system.processFrame(sequence.frames[i]);
+        bool tracked;
+        {
+            support::trace::ScopedTraceContext trace_scope(
+                trace_ctx);
+            tracked = system.processFrame(sequence.frames[i]);
+        }
         const auto end = std::chrono::steady_clock::now();
 
         frame_seconds.push_back(
@@ -50,6 +64,20 @@ runBenchmark(SlamSystem &system, const dataset::Sequence &sequence,
                     : 0.0;
             support::telemetry::frameTick(i, frame_seconds.back(),
                                           live_ate, tracked);
+        }
+        if (trace_ctx.active() &&
+            support::trace::requestTracingArmed()) {
+            support::trace::RequestTraceFinish fin;
+            fin.durationSeconds = frame_seconds.back();
+            fin.trackingLost = !tracked;
+            const auto slo =
+                support::telemetry::SloWatchdog::instance()
+                    .thresholds();
+            fin.sloBreach = slo.frameP99Seconds > 0.0 &&
+                            frame_seconds.back() >
+                                slo.frameP99Seconds;
+            support::trace::RequestTracer::instance().finish(
+                trace_ctx, fin);
         }
         if (options.verbose) {
             support::logDebug()

@@ -5,6 +5,7 @@
 
 #include "support/logging.hpp"
 #include "support/slo_watchdog.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::serve {
 
@@ -154,6 +155,18 @@ StreamScheduler::runTick(support::metrics::RunSession *session)
         }
         FrameSlot &slot = slots[i];
         slot.tenant = &tenant;
+        // One request trace per (tenant, frame), begun at submission
+        // so the time queued before a worker picks the task up is
+        // inside the trace (the pool synthesizes the queue_wait
+        // span). Installing the context around submit() is what
+        // hands it to the pool; the session finishes the trace —
+        // tail-retention flags and exemplar — in processNext().
+        support::trace::TraceContext trace_ctx;
+        if (support::trace::requestTracingArmed())
+            trace_ctx = support::trace::RequestTracer::instance()
+                            .begin(tenant.id(),
+                                   tenant.framesProcessed());
+        support::trace::ScopedTraceContext trace_scope(trace_ctx);
         pool_->submit(group, [this, &slot] {
             slot.stats = slot.tenant->processNext();
             slot.ran = true;

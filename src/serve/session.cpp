@@ -4,6 +4,7 @@
 
 #include "support/logging.hpp"
 #include "support/telemetry_server.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::serve {
 
@@ -100,13 +101,49 @@ TenantSession::processNext()
     }
 
     framesCounter_.add();
-    if (!tracked)
+    if (!tracked) {
         trackingFailuresCounter_.add();
+        support::logWarn()
+            << "serve: tenant " << config_.id
+            << " tracking failure at frame " << stats.frame;
+    }
     frameSecondsHistogram_.record(stats.wallSeconds);
     deviceSecondsHistogram_.record(stats.deviceSeconds);
     lastAteGauge_.set(stats.ateMeters);
     volumeBytes_ = system_->pipeline().volume().memoryStats().bytes;
     volumeBytesGauge_.set(static_cast<double>(volumeBytes_));
+
+    // Finish this frame's request trace (the context was installed
+    // by the pool from the scheduler's submission). Tail retention:
+    // a frame that breached an SLO threshold, lost tracking, or
+    // landed in the top populated bucket of this tenant's latency
+    // histogram is always retained; everything else samples at the
+    // configured rate. The retained trace becomes the exemplar of
+    // the tenant's frame-latency histogram.
+    const auto trace_ctx = support::trace::currentTraceContext();
+    if (trace_ctx.active() &&
+        support::trace::requestTracingArmed()) {
+        support::trace::RequestTraceFinish fin;
+        fin.durationSeconds = stats.wallSeconds;
+        fin.trackingLost = !tracked;
+        const auto slo = support::telemetry::SloWatchdog::instance()
+                             .thresholds();
+        fin.sloBreach =
+            (slo.frameP99Seconds > 0.0 &&
+             stats.wallSeconds > slo.frameP99Seconds) ||
+            (slo.maxAteMeters > 0.0 &&
+             stats.ateMeters > slo.maxAteMeters);
+        // The sample was just recorded, so its bucket is populated:
+        // >= means "is the top populated bucket".
+        fin.topBucket =
+            frameSecondsHistogram_.bucketIndexFor(
+                stats.wallSeconds) >=
+            frameSecondsHistogram_.highestPopulatedBucket();
+        fin.exemplarMetric =
+            tenantMetric("serve.tenant.frame_seconds", config_.id);
+        support::trace::RequestTracer::instance().finish(trace_ctx,
+                                                         fin);
+    }
     return stats;
 }
 

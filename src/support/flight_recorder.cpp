@@ -246,6 +246,23 @@ FlightRecorder::instance()
     return recorder;
 }
 
+FlightRecorder::FlightRecorder()
+{
+    setCapacity(kCapacity);
+}
+
+void
+FlightRecorder::setCapacity(size_t slots)
+{
+    size_t capacity = 64;
+    while (capacity < slots && capacity < (1u << 20))
+        capacity <<= 1;
+    slots_ = std::make_unique<Slot[]>(capacity);
+    capacity_ = capacity;
+    mask_ = capacity - 1;
+    head_.store(0, std::memory_order_relaxed);
+}
+
 void
 FlightRecorder::record(EventKind kind, uint64_t frame, double a,
                        double b, const char *detail)
@@ -265,7 +282,7 @@ FlightRecorder::record(EventKind kind, uint64_t frame, double a,
 
     const uint64_t ticket =
         head_.fetch_add(1, std::memory_order_relaxed) + 1;
-    Slot &slot = slots_[ticket & (kCapacity - 1)];
+    Slot &slot = slots_[ticket & mask_];
     // Per-slot seqlock: invalidate, publish words, then publish the
     // ticket. Readers whose before/after sequence reads disagree (or
     // do not equal the expected ticket) discard the slot.
@@ -285,10 +302,10 @@ FlightRecorder::snapshot() const
     if (head == 0)
         return out;
     const uint64_t first =
-        head > kCapacity ? head - kCapacity + 1 : 1;
+        head > capacity_ ? head - capacity_ + 1 : 1;
     out.reserve(static_cast<size_t>(head - first + 1));
     for (uint64_t t = first; t <= head; ++t) {
-        const Slot &slot = slots_[t & (kCapacity - 1)];
+        const Slot &slot = slots_[t & mask_];
         if (slot.seq.load(std::memory_order_acquire) != t)
             continue;
         uint64_t words[kEventWords];
@@ -307,8 +324,8 @@ void
 FlightRecorder::reset()
 {
     head_.store(0, std::memory_order_relaxed);
-    for (Slot &slot : slots_)
-        slot.seq.store(0, std::memory_order_relaxed);
+    for (size_t i = 0; i < capacity_; ++i)
+        slots_[i].seq.store(0, std::memory_order_relaxed);
 }
 
 void
@@ -360,13 +377,10 @@ writeCrashDump(int fd, int signal_number)
     w.u64(head);
     w.str(",\n  \"events\": [");
     const uint64_t first =
-        head > FlightRecorder::kCapacity
-            ? head - FlightRecorder::kCapacity + 1
-            : 1;
+        head > rec.capacity_ ? head - rec.capacity_ + 1 : 1;
     bool first_event = true;
     for (uint64_t t = first; t <= head && head > 0; ++t) {
-        const FlightRecorder::Slot &slot =
-            rec.slots_[t & (FlightRecorder::kCapacity - 1)];
+        const FlightRecorder::Slot &slot = rec.slots_[t & rec.mask_];
         if (slot.seq.load(std::memory_order_acquire) != t)
             continue;
         uint64_t words[FlightRecorder::kEventWords];

@@ -26,6 +26,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -80,7 +81,8 @@ struct Event
 class FlightRecorder
 {
   public:
-    /** Ring capacity (power of two; also the dump's max events). */
+    /** Default ring capacity (slots; overridden by setCapacity /
+     *  `--recorder-slots`). */
     static constexpr size_t kCapacity = 1024;
 
     /** 64-bit words needed to hold one serialized Event. */
@@ -113,6 +115,24 @@ class FlightRecorder
     void record(EventKind kind, uint64_t frame, double a, double b,
                 const char *detail);
 
+    /**
+     * Resize the ring to @p slots (rounded up to a power of two,
+     * clamped to [64, 1<<20]) and drop all retained events. NOT safe
+     * against concurrent record()/snapshot(): call it at startup
+     * before recording is enabled (TelemetryEndpoint does, from
+     * `--recorder-slots`). The default 1024 slots wrap within
+     * seconds under a many-tenant soak; size the ring to the event
+     * rate times the post-incident window you want to inspect.
+     */
+    void setCapacity(size_t slots);
+
+    /** @return the current ring capacity, slots. */
+    size_t
+    capacity() const
+    {
+        return capacity_;
+    }
+
     /** @return events recorded since construction (not capped). */
     uint64_t
     totalRecorded() const
@@ -123,7 +143,7 @@ class FlightRecorder
     /**
      * Copy the retained events, oldest first. Slots being written
      * concurrently (or already overwritten) are skipped, so the
-     * result holds at most kCapacity fully-consistent events.
+     * result holds at most capacity() fully-consistent events.
      */
     std::vector<Event> snapshot() const;
 
@@ -131,7 +151,7 @@ class FlightRecorder
     void reset();
 
   private:
-    FlightRecorder() = default;
+    FlightRecorder();
 
     friend void writeCrashDump(int fd, int signal_number);
 
@@ -147,9 +167,14 @@ class FlightRecorder
     };
 
     std::atomic<bool> enabled_{false};
-    /** Tickets issued; ticket t lives in slots_[t % kCapacity]. */
+    /** Tickets issued; ticket t lives in slots_[t & mask_]. */
     std::atomic<uint64_t> head_{0};
-    std::array<Slot, kCapacity> slots_{};
+    /** Ring storage; capacity_ is a power of two, mask_ its - 1.
+     *  Reallocated only by setCapacity() (startup, pre-enable), so
+     *  the async-signal-safe crash dump can read it lock-free. */
+    size_t capacity_ = 0;
+    uint64_t mask_ = 0;
+    std::unique_ptr<Slot[]> slots_;
 };
 
 /**

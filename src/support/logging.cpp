@@ -12,6 +12,9 @@ namespace {
 std::atomic<LogLevel> g_level{LogLevel::Info};
 std::mutex g_mutex;
 
+/** Per-thread request-trace correlation id (0 = none). */
+thread_local uint64_t t_log_trace_id = 0;
+
 const char *
 levelName(LogLevel level)
 {
@@ -44,7 +47,26 @@ logMessage(LogLevel level, const std::string &message)
     if (static_cast<int>(level) < static_cast<int>(logLevel()))
         return;
     std::lock_guard<std::mutex> lock(g_mutex);
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), message.c_str());
+    if (t_log_trace_id != 0)
+        std::fprintf(stderr, "[%s] %s trace_id=%016llx\n",
+                     levelName(level), message.c_str(),
+                     static_cast<unsigned long long>(
+                         t_log_trace_id));
+    else
+        std::fprintf(stderr, "[%s] %s\n", levelName(level),
+                     message.c_str());
+}
+
+void
+setLogTraceId(uint64_t trace_id)
+{
+    t_log_trace_id = trace_id;
+}
+
+uint64_t
+logTraceId()
+{
+    return t_log_trace_id;
 }
 
 void

@@ -35,11 +35,25 @@ LogLevel logLevel();
 
 /**
  * Emit a log record to stderr if @p level passes the global threshold.
+ * While a request-trace correlation id is set on the calling thread
+ * (setLogTraceId), the record gets a ` trace_id=<16 hex>` suffix so a
+ * log line, a histogram exemplar, and a /tracez lookup meet at the
+ * same id.
  *
  * @param level Severity of the record.
  * @param message Preformatted message body.
  */
 void logMessage(LogLevel level, const std::string &message);
+
+/**
+ * Set this thread's log correlation id; 0 clears it. Installed and
+ * restored by trace::ScopedTraceContext around request-scoped work —
+ * do not set it manually on hot paths.
+ */
+void setLogTraceId(uint64_t trace_id);
+
+/** @return this thread's log correlation id (0 = none). */
+uint64_t logTraceId();
 
 /**
  * Report an unrecoverable *user* error and exit(1).

@@ -189,6 +189,16 @@ LatencyHistogram::bucketIndex(double seconds) const
     return static_cast<size_t>(std::max(raw, 0L)) + 1;
 }
 
+size_t
+LatencyHistogram::highestPopulatedBucket() const
+{
+    for (size_t i = kNumBuckets; i-- > 0;) {
+        if (buckets_[i].load(std::memory_order_relaxed) != 0)
+            return i;
+    }
+    return kNumBuckets;
+}
+
 double
 LatencyHistogram::bucketLo(size_t i) const
 {

@@ -161,6 +161,21 @@ class LatencyHistogram
         return buckets_[i].load(std::memory_order_relaxed);
     }
 
+    /** @return index of the bucket a @p seconds sample lands in. */
+    size_t
+    bucketIndexFor(double seconds) const
+    {
+        return bucketIndex(seconds);
+    }
+
+    /**
+     * @return index of the highest populated bucket, or numBuckets()
+     * when empty. With bucketIndexFor(), this is the request
+     * tracer's "top histogram bucket" tail-retention signal: a
+     * sample is in the tail iff its bucket index is >= this.
+     */
+    size_t highestPopulatedBucket() const;
+
     /** Zero all buckets and statistics. */
     void reset();
 

@@ -50,6 +50,13 @@ SloWatchdog::reset()
     configure(SloThresholds{});
 }
 
+SloThresholds
+SloWatchdog::thresholds() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return thresholds_;
+}
+
 void
 SloWatchdog::recordBreach(const char *slo, double value,
                           double limit, uint64_t frame)

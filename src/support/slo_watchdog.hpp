@@ -97,6 +97,11 @@ class SloWatchdog
         return enabled_.load(std::memory_order_relaxed);
     }
 
+    /** @return a copy of the armed thresholds (all-disabled when the
+     *  watchdog is not configured). The request tracer's tail
+     *  retention compares each frame against these directly. */
+    SloThresholds thresholds() const;
+
     /**
      * Evaluate the frame-scoped SLOs after one processed frame.
      *

@@ -5,10 +5,12 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 #include <ostream>
 #include <sstream>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
@@ -21,6 +23,7 @@
 #include "support/metrics.hpp"
 #include "support/pmu.hpp"
 #include "support/strings.hpp"
+#include "support/trace.hpp"
 
 namespace slambench::support::telemetry {
 
@@ -100,10 +103,227 @@ appendJsonEscaped(std::string &out, const char *s)
     }
 }
 
+/** One key=value pair of a request's query string. */
+struct QueryParam
+{
+    std::string key;
+    std::string value;
+};
+
+/**
+ * Parse "a=1&b=2" into pairs. No percent-decoding: every value the
+ * /tracez API accepts (hex trace ids, tenant ids, numbers) is
+ * already in the URL-safe alphabet.
+ */
+std::vector<QueryParam>
+parseQuery(const std::string &query)
+{
+    std::vector<QueryParam> params;
+    size_t pos = 0;
+    while (pos < query.size()) {
+        size_t amp = query.find('&', pos);
+        if (amp == std::string::npos)
+            amp = query.size();
+        const std::string part = query.substr(pos, amp - pos);
+        const size_t eq = part.find('=');
+        if (eq != std::string::npos)
+            params.push_back(
+                {part.substr(0, eq), part.substr(eq + 1)});
+        else if (!part.empty())
+            params.push_back({part, ""});
+        pos = amp + 1;
+    }
+    return params;
+}
+
+/** @return the value of @p key in @p params, or @p fallback. */
+std::string
+queryValue(const std::vector<QueryParam> &params,
+           const char *key, const char *fallback = "")
+{
+    for (const QueryParam &param : params)
+        if (param.key == key)
+            return param.value;
+    return fallback;
+}
+
+/** Append one request span (and its subtree) as JSON to @p out. */
+void
+appendSpanTree(
+    std::string &out, const trace::RetainedTrace &trace,
+    const std::vector<const trace::RequestSpan *> &spans,
+    size_t index, const std::string &indent)
+{
+    const trace::RequestSpan &span = *spans[index];
+    char buf[64];
+    out += indent + "{\"span_id\": \"" +
+           trace::formatTraceId(span.spanId) + "\",";
+    out += " \"name\": \"";
+    appendJsonEscaped(out, span.name ? span.name : "");
+    out += "\", \"category\": \"";
+    out += trace::categoryName(span.cat);
+    out += "\",";
+    std::snprintf(buf, sizeof(buf), " \"offset_ms\": %.6f,",
+                  static_cast<double>(span.startNs -
+                                      trace.startNs) * 1e-6);
+    out += buf;
+    std::snprintf(buf, sizeof(buf), " \"duration_ms\": %.6f",
+                  static_cast<double>(span.endNs - span.startNs) *
+                      1e-6);
+    out += buf;
+
+    // Children: spans naming this one as parent, start-ordered.
+    std::vector<size_t> children;
+    for (size_t i = 0; i < spans.size(); ++i)
+        if (i != index &&
+            spans[i]->parentSpanId == span.spanId)
+            children.push_back(i);
+    std::sort(children.begin(), children.end(),
+              [&spans](size_t a, size_t b) {
+                  return spans[a]->startNs < spans[b]->startNs;
+              });
+    if (children.empty()) {
+        out += "}";
+        return;
+    }
+    out += ", \"children\": [\n";
+    const std::string child_indent = indent + "  ";
+    for (size_t i = 0; i < children.size(); ++i) {
+        appendSpanTree(out, trace, spans, children[i],
+                       child_indent);
+        if (i + 1 < children.size())
+            out += ",";
+        out += "\n";
+    }
+    out += indent + "]}";
+}
+
+/** Append one retained trace (summary + full span tree) as JSON. */
+void
+appendTraceJson(std::string &out,
+                const trace::RetainedTrace &trace,
+                const std::string &indent)
+{
+    char buf[64];
+    out += indent + "{\"trace_id\": \"" +
+           trace::formatTraceId(trace.traceId) + "\",\n";
+    out += indent + " \"tenant\": \"";
+    appendJsonEscaped(out, trace.tenant.c_str());
+    out += "\", \"frame\": " + std::to_string(trace.frame) + ",\n";
+    std::snprintf(buf, sizeof(buf), " \"duration_ms\": %.6f,",
+                  trace.durationSeconds * 1e3);
+    out += indent + buf;
+    std::snprintf(
+        buf, sizeof(buf), " \"total_ms\": %.6f,",
+        static_cast<double>(trace.endNs - trace.startNs) * 1e-6);
+    out += buf;
+    out += " \"start_ns\": " + std::to_string(trace.startNs) + ",\n";
+    out += indent + " \"retained\": {\"slo_breach\": ";
+    out += trace.retention.sloBreach ? "true" : "false";
+    out += ", \"tracking_lost\": ";
+    out += trace.retention.trackingLost ? "true" : "false";
+    out += ", \"top_bucket\": ";
+    out += trace.retention.topBucket ? "true" : "false";
+    out += ", \"sampled\": ";
+    out += trace.retention.sampled ? "true" : "false";
+    out += "},\n";
+    out += indent + " \"spans_dropped\": " +
+           std::to_string(trace.spansDropped) + ",\n";
+
+    // Render the tree from the root span; spans whose parent was
+    // dropped (span cap) or never closed re-anchor at the root so
+    // nothing recorded is invisible.
+    std::vector<trace::RequestSpan> spans = trace.spans;
+    size_t root_index = spans.size();
+    for (size_t i = 0; i < spans.size(); ++i)
+        if (spans[i].spanId == trace.rootSpanId)
+            root_index = i;
+    if (root_index == spans.size()) {
+        out += indent + " \"spans\": []}";
+        return;
+    }
+    for (trace::RequestSpan &span : spans) {
+        if (span.spanId == trace.rootSpanId)
+            continue;
+        bool parent_known = false;
+        for (const trace::RequestSpan &other : spans)
+            if (other.spanId == span.parentSpanId)
+                parent_known = true;
+        if (!parent_known)
+            span.parentSpanId = trace.rootSpanId;
+    }
+    std::vector<const trace::RequestSpan *> span_ptrs;
+    span_ptrs.reserve(spans.size());
+    for (const trace::RequestSpan &span : spans)
+        span_ptrs.push_back(&span);
+    out += indent + " \"spans\": [\n";
+    appendSpanTree(out, trace, span_ptrs, root_index,
+                   indent + "  ");
+    out += "\n" + indent + "]}";
+}
+
+/**
+ * Render the /tracez?... query response: retained request traces
+ * filtered by trace_id / tenant / min_ms, newest first, capped at
+ * limit, each with its complete span tree.
+ */
+std::string
+renderTracezQuery(const std::vector<QueryParam> &params,
+                  int *status)
+{
+    auto &tracer = trace::RequestTracer::instance();
+    const std::string id_text = queryValue(params, "trace_id");
+    const std::string tenant = queryValue(params, "tenant");
+    const std::string min_ms_text = queryValue(params, "min_ms");
+    const double min_ms =
+        min_ms_text.empty() ? 0.0 : std::atof(min_ms_text.c_str());
+    const std::string limit_text = queryValue(params, "limit");
+    size_t limit = 32;
+    if (!limit_text.empty()) {
+        const long parsed = std::atol(limit_text.c_str());
+        limit = parsed <= 0 ? 1 : static_cast<size_t>(parsed);
+    }
+
+    std::vector<trace::RetainedTrace> matches;
+    if (!id_text.empty()) {
+        const uint64_t trace_id = trace::parseTraceId(id_text);
+        trace::RetainedTrace found;
+        if (trace_id != 0 && tracer.findTrace(trace_id, &found))
+            matches.push_back(std::move(found));
+        if (matches.empty())
+            *status = 404;
+    } else {
+        for (auto &candidate : tracer.retainedSnapshot()) {
+            if (matches.size() >= limit)
+                break;
+            if (!tenant.empty() && candidate.tenant != tenant)
+                continue;
+            if (candidate.durationSeconds * 1e3 < min_ms)
+                continue;
+            matches.push_back(std::move(candidate));
+        }
+    }
+
+    std::string body =
+        "{\n  \"schema\": \"slambench-tracez-query\",\n";
+    body += "  \"matches\": " + std::to_string(matches.size()) +
+            ",\n";
+    body += "  \"traces\": [";
+    for (size_t i = 0; i < matches.size(); ++i) {
+        body += i ? ",\n" : "\n";
+        appendTraceJson(body, matches[i], "    ");
+    }
+    body += matches.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    return body;
+}
+
 /**
  * Render the flight recorder's retained events as the /tracez JSON
  * document: the same seqlock snapshot path the crash dump uses, but
- * on demand and over HTTP while the run is still in flight.
+ * on demand and over HTTP while the run is still in flight. The
+ * document also carries the request tracer's state and a summary
+ * index of its retained traces (query with ?trace_id= / ?tenant= /
+ * ?min_ms= / ?limit= for complete span trees).
  */
 std::string
 renderTracez()
@@ -132,7 +352,45 @@ renderTracez()
         appendJsonEscaped(body, event.detail);
         body += "\"}";
     }
-    body += events.empty() ? "]\n}\n" : "\n  ]\n}\n";
+    body += events.empty() ? "]" : "\n  ]";
+
+    // Request-tracer state plus a summary index of retained traces
+    // (newest first); fetch a complete span tree via ?trace_id=.
+    auto &tracer = trace::RequestTracer::instance();
+    const auto options = tracer.options();
+    body += ",\n  \"request_tracing\": {\"armed\": ";
+    body += tracer.enabled() ? "true" : "false";
+    std::snprintf(buf, sizeof(buf), ", \"sample_rate\": %.10g",
+                  options.sampleRate);
+    body += buf;
+    body += ", \"started\": " + std::to_string(tracer.tracesStarted());
+    body += ", \"retained\": " +
+            std::to_string(tracer.tracesRetained());
+    body += "},\n  \"traces\": [";
+    const auto retained = tracer.retainedSnapshot();
+    for (size_t i = 0; i < retained.size(); ++i) {
+        const trace::RetainedTrace &t = retained[i];
+        body += i ? ",\n    {" : "\n    {";
+        body += "\"trace_id\": \"" +
+                trace::formatTraceId(t.traceId) + "\"";
+        body += ", \"tenant\": \"";
+        appendJsonEscaped(body, t.tenant.c_str());
+        body += "\", \"frame\": " + std::to_string(t.frame);
+        std::snprintf(buf, sizeof(buf), ", \"duration_ms\": %.6f",
+                      t.durationSeconds * 1e3);
+        body += buf;
+        body += ", \"slo_breach\": ";
+        body += t.retention.sloBreach ? "true" : "false";
+        body += ", \"tracking_lost\": ";
+        body += t.retention.trackingLost ? "true" : "false";
+        body += ", \"top_bucket\": ";
+        body += t.retention.topBucket ? "true" : "false";
+        body += ", \"sampled\": ";
+        body += t.retention.sampled ? "true" : "false";
+        body += ", \"spans\": " + std::to_string(t.spans.size());
+        body += "}";
+    }
+    body += retained.empty() ? "]\n}\n" : "\n  ]\n}\n";
     return body;
 }
 
@@ -248,6 +506,22 @@ renderPrometheus(std::ostream &os)
         // labels: `base_bucket{tenant="t03",le="0.1"}`.
         const std::string label_prefix =
             labels.empty() ? "" : labels + ",";
+        // OpenMetrics-style exemplar: the retained request trace
+        // behind this histogram's samples, attached to the first
+        // bucket whose upper edge covers the exemplar value (+Inf as
+        // the fallback) as ` # {trace_id="..."} <value>` so a
+        // dashboard can jump from a latency bucket straight to
+        // `/tracez?trace_id=...`.
+        trace::TraceExemplar exemplar;
+        bool exemplar_pending =
+            trace::RequestTracer::instance().exemplarFor(name,
+                                                         &exemplar);
+        const std::string exemplar_suffix =
+            exemplar_pending
+                ? " # {trace_id=\"" +
+                      trace::formatTraceId(exemplar.traceId) +
+                      "\"} " + sampleValue(exemplar.value)
+                : std::string();
         // Cumulative buckets at the histogram's populated edges
         // (empty buckets elided — any subset of edges is valid
         // exposition as long as counts are cumulative and +Inf
@@ -261,10 +535,19 @@ renderPrometheus(std::ostream &os)
             cumulative += in_bucket;
             os << family << "_bucket{" << label_prefix << "le=\""
                << sampleValue(histogram->bucketHi(i)) << "\"} "
-               << cumulative << "\n";
+               << cumulative;
+            if (exemplar_pending &&
+                histogram->bucketHi(i) >= exemplar.value) {
+                os << exemplar_suffix;
+                exemplar_pending = false;
+            }
+            os << "\n";
         }
         os << family << "_bucket{" << label_prefix << "le=\"+Inf\"} "
-           << histogram->count() << "\n";
+           << histogram->count();
+        if (exemplar_pending)
+            os << exemplar_suffix;
+        os << "\n";
         os << family << "_sum";
         if (!labels.empty())
             os << "{" << labels << "}";
@@ -455,6 +738,15 @@ serveConnection(int client_fd, int read_deadline_ms)
         while (*p && *p != ' ' && *p != '\r' && *p != '\n')
             path += *p++;
     }
+    // Split off the query string; only /tracez interprets one.
+    std::string query;
+    {
+        const size_t qpos = path.find('?');
+        if (qpos != std::string::npos) {
+            query = path.substr(qpos + 1);
+            path.resize(qpos);
+        }
+    }
 
     int status = 200;
     const char *status_text = "OK";
@@ -494,7 +786,13 @@ serveConnection(int client_fd, int read_deadline_ms)
             body = "no active run session\n";
         }
     } else if (path == "/tracez") {
-        body = renderTracez();
+        if (query.empty()) {
+            body = renderTracez();
+        } else {
+            body = renderTracezQuery(parseQuery(query), &status);
+            if (status == 404)
+                status_text = "Not Found";
+        }
         content_type = "application/json";
     } else {
         status = 404;
@@ -519,6 +817,14 @@ TelemetryEndpoint::TelemetryEndpoint(const TelemetryOptions &options)
         return;
     active_ = true;
 
+    // Size the flight-recorder ring before anything records into it
+    // (setCapacity drops retained events and is not safe against
+    // concurrent writers).
+    if (options.recorderSlots != 0 &&
+        options.recorderSlots !=
+            FlightRecorder::instance().capacity())
+        FlightRecorder::instance().setCapacity(
+            options.recorderSlots);
     SloWatchdog::instance().configure(options.slo);
     const std::string dump_path =
         options.crashDumpPath.empty()

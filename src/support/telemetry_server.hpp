@@ -178,6 +178,9 @@ struct TelemetryOptions
     std::string crashDumpPath;
     /** `--slo-*` thresholds (all disabled by default). */
     SloThresholds slo;
+    /** `--recorder-slots`: flight-recorder ring capacity (applied
+     *  at activation, before recording starts). */
+    size_t recorderSlots = 1024;
     /** Producing binary's name (server log line, crash dump). */
     std::string generator;
 

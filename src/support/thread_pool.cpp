@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "metrics/timing.hpp"
 #include "support/metrics.hpp"
 #include "support/trace.hpp"
 
@@ -71,6 +72,13 @@ ThreadPool::enqueue(TaskGroup &group, std::function<void()> task,
     entry.fn = std::move(task);
     entry.group = &group;
     entry.traceName = trace_name;
+#if SLAMBENCH_TRACE_ENABLED
+    // Carry the submitter's request context across the queue so the
+    // worker's spans attach to the right trace (one relaxed load
+    // when request tracing is disarmed).
+    if (trace::requestTracingArmed())
+        entry.requestContext = trace::currentTraceContext();
+#endif
     entry.enqueuedAt = std::chrono::steady_clock::now();
     group.pending_.fetch_add(1, std::memory_order_acq_rel);
     queueDepth_.fetch_add(1, std::memory_order_relaxed);
@@ -124,6 +132,30 @@ ThreadPool::execute(Task task)
             .count() * 1e3);
 
 #if SLAMBENCH_TRACE_ENABLED
+    // Reinstate the submitter's request context for the task body
+    // (no-op for an inactive context), and make the time the task
+    // sat queued visible in its trace as a queue_wait span ending
+    // where execution starts.
+    trace::ScopedTraceContext request_scope(task.requestContext);
+    if (task.requestContext.active() &&
+        trace::requestTracingArmed()) {
+        auto &request_tracer = trace::RequestTracer::instance();
+        trace::RequestSpan wait_span;
+        wait_span.spanId = request_tracer.nextSpanId();
+        wait_span.parentSpanId = task.requestContext.spanId;
+        wait_span.name = "queue_wait";
+        wait_span.cat = trace::Category::Worker;
+        wait_span.endNs = slambench::metrics::now_ns();
+        const uint64_t wait_ns = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                start - task.enqueuedAt)
+                .count());
+        wait_span.startNs = wait_span.endNs > wait_ns
+                                ? wait_span.endNs - wait_ns
+                                : 0;
+        request_tracer.addSpan(task.requestContext.traceId,
+                               wait_span);
+    }
     if (task.traceName) {
         trace::ScopedSpan span(task.traceName,
                                trace::Category::Worker);

@@ -27,6 +27,8 @@
 #include <thread>
 #include <vector>
 
+#include "support/trace.hpp"
+
 namespace slambench::support {
 
 /**
@@ -174,6 +176,11 @@ class ThreadPool
         /** Span name of the dispatching scope; chunks executed by
          *  workers are traced under it (null = no tracing). */
         const char *traceName = nullptr;
+        /** Request context of the submitting thread, reinstated on
+         *  the executing worker so request spans opened inside the
+         *  task attach to the submitter's trace (inactive when
+         *  request tracing is disarmed or no context was active). */
+        trace::TraceContext requestContext;
         /** Enqueue time, for the pool.task.queue_wait_ms histogram
          *  (queue stall vs. execute time; see docs/OBSERVABILITY.md). */
         std::chrono::steady_clock::time_point enqueuedAt;

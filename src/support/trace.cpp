@@ -1,11 +1,14 @@
 #include "support/trace.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <ostream>
 
+#include "metrics/timing.hpp"
 #include "support/logging.hpp"
+#include "support/metrics.hpp"
 
 namespace slambench::support::trace {
 
@@ -323,6 +326,399 @@ popCurrentSpan()
 }
 
 } // namespace detail
+
+// --- Request tracing ---------------------------------------------
+
+namespace {
+
+/** This thread's installed request context (inactive by default). */
+thread_local TraceContext t_request_ctx;
+
+/**
+ * SplitMix64 finalizer: a bijective 64-bit mix. Used both to derive
+ * well-spread trace ids from a sequence counter and to turn a trace
+ * id into the uniform variate behind the sampling decision — keeping
+ * retention deterministic per id (no global RNG state, no rand()).
+ */
+uint64_t
+mix64(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** @return a uniform [0,1) variate derived from @p trace_id. */
+double
+sampleFraction(uint64_t trace_id)
+{
+    // Top 53 bits -> exactly representable double in [0, 1).
+    return static_cast<double>(mix64(trace_id) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+namespace detail {
+
+std::atomic<bool> g_request_tracing{false};
+
+bool
+beginRequestSpan(uint64_t *span_id, uint64_t *parent_id,
+                 uint64_t *start_ns)
+{
+    if (!t_request_ctx.active())
+        return false;
+    *parent_id = t_request_ctx.spanId;
+    *span_id = RequestTracer::instance().nextSpanId();
+    *start_ns = slambench::metrics::now_ns();
+    t_request_ctx.spanId = *span_id;
+    return true;
+}
+
+void
+endRequestSpan(const char *name, Category cat, uint64_t span_id,
+               uint64_t parent_id, uint64_t start_ns)
+{
+    // The owning ScopedSpan is strictly nested inside the installing
+    // ScopedTraceContext, so the context is still this trace's.
+    t_request_ctx.spanId = parent_id;
+    RequestSpan span;
+    span.spanId = span_id;
+    span.parentSpanId = parent_id;
+    span.name = name;
+    span.cat = cat;
+    span.startNs = start_ns;
+    span.endNs = slambench::metrics::now_ns();
+    RequestTracer::instance().addSpan(t_request_ctx.traceId, span);
+}
+
+} // namespace detail
+
+TraceContext
+currentTraceContext()
+{
+    return t_request_ctx;
+}
+
+ScopedTraceContext::ScopedTraceContext(const TraceContext &ctx)
+{
+    if (!ctx.active())
+        return;
+    prev_ = t_request_ctx;
+    t_request_ctx = ctx;
+    installed_ = true;
+    setLogTraceId(ctx.traceId);
+}
+
+ScopedTraceContext::~ScopedTraceContext()
+{
+    if (!installed_)
+        return;
+    t_request_ctx = prev_;
+    setLogTraceId(prev_.traceId);
+}
+
+std::string
+formatTraceId(uint64_t trace_id)
+{
+    char buf[20];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(trace_id));
+    return buf;
+}
+
+uint64_t
+parseTraceId(const std::string &text)
+{
+    size_t i = 0;
+    if (text.size() > 2 && text[0] == '0' &&
+        (text[1] == 'x' || text[1] == 'X'))
+        i = 2;
+    if (i >= text.size() || text.size() - i > 16)
+        return 0;
+    uint64_t value = 0;
+    for (; i < text.size(); ++i) {
+        const char c = text[i];
+        uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<uint64_t>(c - 'a') + 10;
+        else if (c >= 'A' && c <= 'F')
+            digit = static_cast<uint64_t>(c - 'A') + 10;
+        else
+            return 0;
+        value = (value << 4) | digit;
+    }
+    return value;
+}
+
+RequestTracer &
+RequestTracer::instance()
+{
+    static RequestTracer tracer;
+    return tracer;
+}
+
+void
+RequestTracer::configure(const RequestTraceOptions &options)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        options_ = options;
+        if (options_.sampleRate < 0.0)
+            options_.sampleRate = 0.0;
+        if (options_.maxRetained == 0)
+            options_.maxRetained = 1;
+        if (options_.maxInflight == 0)
+            options_.maxInflight = 1;
+        inflight_.clear();
+        inflightOrder_.clear();
+        retained_.clear();
+        exemplars_.clear();
+        tracesStarted_ = 0;
+        tracesRetained_ = 0;
+        // Seed the id stream from the monotonic clock so ids differ
+        // across runs; ids within a run are a mixed counter.
+        idSeed_ = slambench::metrics::now_ns();
+    }
+    detail::g_request_tracing.store(true,
+                                    std::memory_order_relaxed);
+}
+
+void
+RequestTracer::disarm()
+{
+    detail::g_request_tracing.store(false,
+                                    std::memory_order_relaxed);
+}
+
+void
+RequestTracer::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    inflight_.clear();
+    inflightOrder_.clear();
+    retained_.clear();
+    exemplars_.clear();
+    tracesStarted_ = 0;
+    tracesRetained_ = 0;
+}
+
+RequestTraceOptions
+RequestTracer::options() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return options_;
+}
+
+TraceContext
+RequestTracer::begin(const std::string &tenant, uint64_t frame)
+{
+    if (!enabled())
+        return {};
+    static metrics::Counter &started_counter =
+        metrics::Registry::instance().counter(
+            "trace.requests.started");
+
+    TraceContext ctx;
+    const uint64_t seq =
+        nextTraceSeq_.fetch_add(1, std::memory_order_relaxed) + 1;
+    ctx.spanId = nextSpanId();
+
+    RetainedTrace trace;
+    trace.rootSpanId = ctx.spanId;
+    trace.tenant = tenant;
+    trace.frame = frame;
+    trace.startNs = slambench::metrics::now_ns();
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        uint64_t id = mix64(seq ^ idSeed_);
+        if (id == 0)
+            id = 1;
+        ctx.traceId = id;
+        trace.traceId = id;
+        ++tracesStarted_;
+        // Bound the in-flight set: a trace whose finish() never runs
+        // (evicted here) simply drops its spans on addSpan().
+        while (inflightOrder_.size() >= options_.maxInflight) {
+            inflight_.erase(inflightOrder_.front());
+            inflightOrder_.pop_front();
+        }
+        inflightOrder_.push_back(id);
+        inflight_.emplace(id, std::move(trace));
+    }
+    started_counter.add();
+    return ctx;
+}
+
+void
+RequestTracer::addSpan(uint64_t trace_id, const RequestSpan &span)
+{
+    if (trace_id == 0)
+        return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = inflight_.find(trace_id);
+    if (it == inflight_.end())
+        return;
+    if (it->second.spans.size() >= options_.maxSpansPerTrace) {
+        ++it->second.spansDropped;
+        return;
+    }
+    it->second.spans.push_back(span);
+}
+
+void
+RequestTracer::finish(const TraceContext &ctx,
+                      const RequestTraceFinish &finish)
+{
+    if (!ctx.active())
+        return;
+    static metrics::Counter &retained_counter =
+        metrics::Registry::instance().counter(
+            "trace.requests.retained");
+    static metrics::Counter &dropped_counter =
+        metrics::Registry::instance().counter(
+            "trace.requests.dropped");
+    const uint64_t end_ns = slambench::metrics::now_ns();
+
+    bool kept = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = inflight_.find(ctx.traceId);
+        if (it == inflight_.end())
+            return; // evicted while in flight
+        RetainedTrace trace = std::move(it->second);
+        inflight_.erase(it);
+        inflightOrder_.erase(
+            std::remove(inflightOrder_.begin(),
+                        inflightOrder_.end(), ctx.traceId),
+            inflightOrder_.end());
+
+        trace.endNs = end_ns;
+        trace.durationSeconds = finish.durationSeconds;
+        trace.retention.sloBreach = finish.sloBreach;
+        trace.retention.trackingLost = finish.trackingLost;
+        trace.retention.topBucket = finish.topBucket;
+        kept = trace.retention.flagged();
+        if (!kept && options_.sampleRate > 0.0 &&
+            sampleFraction(trace.traceId) < options_.sampleRate) {
+            trace.retention.sampled = true;
+            kept = true;
+        }
+        if (kept) {
+            // Synthesized root: every recorded span is a (transitive)
+            // child; appended last so completion order holds.
+            RequestSpan root;
+            root.spanId = trace.rootSpanId;
+            root.parentSpanId = 0;
+            root.name = "frame";
+            root.cat = Category::Phase;
+            root.startNs = trace.startNs;
+            root.endNs = end_ns;
+            trace.spans.push_back(root);
+
+            if (!finish.exemplarMetric.empty()) {
+                TraceExemplar exemplar;
+                exemplar.traceId = trace.traceId;
+                exemplar.value = finish.durationSeconds;
+                exemplar.ns = end_ns;
+                exemplars_[finish.exemplarMetric] = exemplar;
+            }
+            ++tracesRetained_;
+            retained_.push_back(std::move(trace));
+            while (retained_.size() > options_.maxRetained)
+                retained_.pop_front();
+        }
+    }
+    (kept ? retained_counter : dropped_counter).add();
+}
+
+uint64_t
+RequestTracer::tracesStarted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tracesStarted_;
+}
+
+uint64_t
+RequestTracer::tracesRetained() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return tracesRetained_;
+}
+
+std::vector<RetainedTrace>
+RequestTracer::retainedSnapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return {retained_.rbegin(), retained_.rend()};
+}
+
+bool
+RequestTracer::findTrace(uint64_t trace_id,
+                         RetainedTrace *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const RetainedTrace &trace : retained_) {
+        if (trace.traceId == trace_id) {
+            *out = trace;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+RequestTracer::exemplarFor(const std::string &metric,
+                           TraceExemplar *out) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = exemplars_.find(metric);
+    if (it == exemplars_.end())
+        return false;
+    *out = it->second;
+    return true;
+}
+
+RequestTraceSession::RequestTraceSession(
+    bool armed, const RequestTraceOptions &options)
+{
+    if (!armed)
+        return;
+    RequestTracer::instance().configure(options);
+    armed_ = true;
+    logInfo() << "trace: request tracing armed (sample rate "
+              << options.sampleRate << ", store "
+              << options.maxRetained << " traces)";
+}
+
+RequestTraceSession::~RequestTraceSession()
+{
+    if (armed_)
+        RequestTracer::instance().disarm();
+}
+
+RequestTraceSession::RequestTraceSession(
+    RequestTraceSession &&other) noexcept
+    : armed_(other.armed_)
+{
+    other.armed_ = false;
+}
+
+RequestTraceSession &
+RequestTraceSession::operator=(RequestTraceSession &&other) noexcept
+{
+    if (this != &other) {
+        if (armed_)
+            RequestTracer::instance().disarm();
+        armed_ = other.armed_;
+        other.armed_ = false;
+    }
+    return *this;
+}
 
 Session::Session(std::string json_path, std::string csv_path)
     : jsonPath_(std::move(json_path)), csvPath_(std::move(csv_path))

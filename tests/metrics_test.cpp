@@ -439,6 +439,34 @@ TEST(LatencyHistogram, StatsAndQuantilesBehave)
     EXPECT_NEAR(p90, 0.090, 0.030);
 }
 
+TEST(LatencyHistogram, TopPopulatedBucketTracksTail)
+{
+    sm::LatencyHistogram histogram;
+    // Empty histogram: every sample would be "the tail" (>= is
+    // trivially false against numBuckets()... check the sentinel).
+    EXPECT_EQ(histogram.highestPopulatedBucket(),
+              histogram.numBuckets());
+
+    histogram.record(1e-3);
+    histogram.record(2e-3);
+    histogram.record(0.5); // the tail sample
+    const size_t top = histogram.highestPopulatedBucket();
+    EXPECT_EQ(top, histogram.bucketIndexFor(0.5));
+    // The tail-retention predicate: the slow sample is in the top
+    // populated bucket, the fast ones are not.
+    EXPECT_GE(histogram.bucketIndexFor(0.5), top);
+    EXPECT_LT(histogram.bucketIndexFor(1e-3), top);
+    EXPECT_LT(histogram.bucketIndexFor(2e-3), top);
+
+    // A new slower sample moves the top bucket up.
+    histogram.record(10.0);
+    EXPECT_GT(histogram.highestPopulatedBucket(), top);
+    // Overflow samples land in (and define) the last bucket.
+    histogram.record(1e9);
+    EXPECT_EQ(histogram.highestPopulatedBucket(),
+              histogram.numBuckets() - 1);
+}
+
 // Minimal recursive-descent JSON reader for the round-trip test.
 struct JsonValue
 {

@@ -23,10 +23,12 @@
 #include "support/metrics.hpp"
 #include "support/slo_watchdog.hpp"
 #include "support/telemetry_server.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
 using namespace slambench;
+namespace trace = slambench::support::trace;
 using serve::AdmissionController;
 using serve::AdmissionOptions;
 using serve::LoadSignals;
@@ -233,6 +235,87 @@ TEST(TenantSession, ProcessesWrapsAndCountsLabeledMetrics)
     EXPECT_NE(out.str().find("serve_tenant_frames_total{tenant=\"" +
                              id + "\"} 4"),
               std::string::npos);
+}
+
+// Defined in the StreamScheduler section below.
+std::vector<std::unique_ptr<serve::TenantSession>>
+tinyFleet(size_t count, const char *prefix);
+
+TEST(TenantSession, SloBreachingFrameAlwaysRetainsRequestTrace)
+{
+    // Arm request tracing with flag-only retention (rate 0) and an
+    // SLO threshold every frame breaches: tail-based retention must
+    // keep every frame's trace even though sampling would drop all.
+    auto &watchdog = support::telemetry::SloWatchdog::instance();
+    support::telemetry::SloThresholds thresholds;
+    thresholds.frameP99Seconds = 1e-9;
+    watchdog.configure(thresholds);
+
+    trace::RequestTraceOptions trace_options;
+    trace_options.sampleRate = 0.0;
+    trace::RequestTracer::instance().configure(trace_options);
+    auto &tracer = trace::RequestTracer::instance();
+
+    serve::SchedulerOptions options;
+    options.threads = 2;
+    serve::StreamScheduler scheduler(tinyFleet(2, "traced-"),
+                                     options);
+    scheduler.runTick();
+    scheduler.runTick();
+
+    EXPECT_EQ(tracer.tracesStarted(), 4u);
+    EXPECT_EQ(tracer.tracesRetained(), 4u);
+
+    for (const auto &session : scheduler.sessions()) {
+        // Every retained trace is retrievable and complete: the
+        // synthesized root covers queue-wait plus the kernel spans,
+        // and each child lies inside the root's interval.
+        bool tenant_seen = false;
+        for (const trace::RetainedTrace &retained :
+             tracer.retainedSnapshot()) {
+            if (retained.tenant != session->id())
+                continue;
+            tenant_seen = true;
+            EXPECT_TRUE(retained.retention.sloBreach);
+            trace::RetainedTrace fetched;
+            ASSERT_TRUE(
+                tracer.findTrace(retained.traceId, &fetched));
+            ASSERT_FALSE(fetched.spans.empty());
+            const trace::RequestSpan &root = fetched.spans.back();
+            EXPECT_STREQ(root.name, "frame");
+            bool queue_wait = false;
+            bool kernel_span = false;
+            for (const trace::RequestSpan &span : fetched.spans) {
+                if (span.name &&
+                    std::string(span.name) == "queue_wait")
+                    queue_wait = true;
+                if (span.cat == trace::Category::Kernel)
+                    kernel_span = true;
+                EXPECT_GE(span.startNs, root.startNs);
+                EXPECT_LE(span.endNs, root.endNs);
+                EXPECT_LE(span.startNs, span.endNs);
+            }
+            EXPECT_TRUE(queue_wait) << retained.tenant;
+            EXPECT_TRUE(kernel_span) << retained.tenant;
+        }
+        EXPECT_TRUE(tenant_seen) << session->id();
+        // And the tenant's latency histogram carries the retained
+        // trace as its exemplar.
+        trace::TraceExemplar exemplar;
+        ASSERT_TRUE(tracer.exemplarFor(
+            support::telemetry::labeledMetricName(
+                "serve.tenant.frame_seconds", "tenant",
+                session->id()),
+            &exemplar));
+        trace::RetainedTrace exemplar_trace;
+        EXPECT_TRUE(
+            tracer.findTrace(exemplar.traceId, &exemplar_trace));
+    }
+
+    trace::RequestTracer::instance().disarm();
+    trace::RequestTracer::instance().clear();
+    watchdog.reset();
+    watchdog.configure(support::telemetry::SloThresholds{});
 }
 
 // --- StreamScheduler --------------------------------------------

@@ -35,11 +35,13 @@
 #include "support/slo_watchdog.hpp"
 #include "support/telemetry_server.hpp"
 #include "support/thread_pool.hpp"
+#include "support/trace.hpp"
 
 namespace {
 
 using namespace slambench::support::telemetry;
 namespace metrics = slambench::support::metrics;
+namespace trace = slambench::support::trace;
 using slambench::support::ThreadPool;
 
 std::vector<std::string>
@@ -543,6 +545,147 @@ TEST(TelemetryServer, TracezServesFlightRecorderEventsAsJson)
     server.stop();
     recorder.setEnabled(false);
     recorder.reset();
+}
+
+TEST(TelemetryServer, TracezQueryServesRetainedSpanTrees)
+{
+    // Arm request tracing with flag-only retention and record one
+    // SLO-breaching frame trace with a nested span.
+    trace::RequestTraceOptions options;
+    options.sampleRate = 0.0;
+    trace::RequestTracer::instance().configure(options);
+    auto &tracer = trace::RequestTracer::instance();
+
+    const trace::TraceContext ctx = tracer.begin("t07", 42);
+    {
+        trace::ScopedTraceContext scope(ctx);
+        trace::ScopedSpan track("track", trace::Category::Kernel);
+        trace::ScopedSpan reduce("reduce", trace::Category::Kernel);
+    }
+    trace::RequestTraceFinish fin;
+    fin.durationSeconds = 0.2;
+    fin.sloBreach = true;
+    tracer.finish(ctx, fin);
+
+    // Another tenant's sampled-out trace, to exercise filtering.
+    const trace::TraceContext other = tracer.begin("t01", 7);
+    tracer.finish(other, trace::RequestTraceFinish{});
+
+    TelemetryServer server;
+    ASSERT_TRUE(server.start(0));
+
+    // Lookup by trace id returns the complete span tree.
+    const std::string by_id = httpGet(
+        server.port(),
+        "/tracez?trace_id=" + trace::formatTraceId(ctx.traceId));
+    EXPECT_NE(by_id.find("HTTP/1.0 200 OK"), std::string::npos);
+    const size_t body_start = by_id.find("\r\n\r\n");
+    ASSERT_NE(body_start, std::string::npos);
+    const std::string body = by_id.substr(body_start + 4);
+    EXPECT_TRUE(isValidJson(body)) << body.substr(0, 400);
+    EXPECT_NE(body.find("\"schema\": \"slambench-tracez-query\""),
+              std::string::npos);
+    EXPECT_NE(body.find("\"matches\": 1"), std::string::npos);
+    EXPECT_NE(body.find("\"tenant\": \"t07\""), std::string::npos);
+    EXPECT_NE(body.find("\"frame\": 42"), std::string::npos);
+    EXPECT_NE(body.find("\"slo_breach\": true"), std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"frame\""), std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"track\""), std::string::npos);
+    EXPECT_NE(body.find("\"name\": \"reduce\""), std::string::npos);
+    EXPECT_NE(body.find("\"children\""), std::string::npos);
+
+    // Unknown and malformed trace ids are a 404, not an empty 200.
+    EXPECT_NE(httpGet(server.port(),
+                      "/tracez?trace_id=00000000000000ff")
+                  .find("HTTP/1.0 404"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/tracez?trace_id=bogus")
+                  .find("HTTP/1.0 404"),
+              std::string::npos);
+
+    // Tenant and min_ms filters: t07's breach matches, t01 has no
+    // retained traces at all (sampled out at rate 0).
+    EXPECT_NE(
+        httpGet(server.port(), "/tracez?tenant=t07&min_ms=100")
+            .find("\"matches\": 1"),
+        std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/tracez?tenant=t01")
+                  .find("\"matches\": 0"),
+              std::string::npos);
+    EXPECT_NE(httpGet(server.port(), "/tracez?min_ms=1000")
+                  .find("\"matches\": 0"),
+              std::string::npos);
+
+    // The plain /tracez index lists the retained trace summary.
+    const std::string index = httpGet(server.port(), "/tracez");
+    EXPECT_NE(index.find("\"request_tracing\""), std::string::npos);
+    EXPECT_NE(index.find(trace::formatTraceId(ctx.traceId)),
+              std::string::npos);
+
+    server.stop();
+    trace::RequestTracer::instance().disarm();
+    trace::RequestTracer::instance().clear();
+}
+
+TEST(PrometheusRender, HistogramCarriesTraceExemplar)
+{
+    auto &registry = metrics::Registry::instance();
+    registry.resetValues();
+    const std::string name = labeledMetricName(
+        "serve.tenant.frame_seconds", "tenant", "t03");
+    auto &histogram = registry.histogram(name);
+    histogram.record(0.004);
+    histogram.record(0.050);
+
+    trace::RequestTraceOptions options;
+    options.sampleRate = 0.0;
+    trace::RequestTracer::instance().configure(options);
+    auto &tracer = trace::RequestTracer::instance();
+    const trace::TraceContext ctx = tracer.begin("t03", 3);
+    trace::RequestTraceFinish fin;
+    fin.durationSeconds = 0.050;
+    fin.sloBreach = true;
+    fin.exemplarMetric = name;
+    tracer.finish(ctx, fin);
+
+    std::ostringstream out;
+    renderPrometheus(out);
+    const std::string text = out.str();
+
+    // Exactly one bucket line carries the exemplar, it references
+    // the retained trace id, and it is a bucket that covers the
+    // exemplar value (le >= 0.050).
+    const std::string marker =
+        " # {trace_id=\"" + trace::formatTraceId(ctx.traceId) +
+        "\"} 0.05";
+    EXPECT_EQ(countOccurrences(text, "# {trace_id="), 1u);
+    bool found = false;
+    for (const std::string &line : splitLines(text)) {
+        if (line.find(marker) == std::string::npos)
+            continue;
+        found = true;
+        EXPECT_NE(
+            line.find("serve_tenant_frame_seconds_bucket"),
+            std::string::npos)
+            << line;
+        EXPECT_NE(line.find("tenant=\"t03\""), std::string::npos);
+        // The annotated bucket's le covers the exemplar value.
+        const size_t le_pos = line.find("le=\"");
+        ASSERT_NE(le_pos, std::string::npos);
+        const std::string le_text = line.substr(le_pos + 4);
+        if (le_text.rfind("+Inf", 0) != 0)
+            EXPECT_GE(std::atof(le_text.c_str()), 0.050) << line;
+    }
+    EXPECT_TRUE(found) << text;
+
+    // Disarmed and cleared: the exemplar disappears from the next
+    // scrape instead of dangling on a dead trace id.
+    trace::RequestTracer::instance().disarm();
+    trace::RequestTracer::instance().clear();
+    std::ostringstream after;
+    renderPrometheus(after);
+    EXPECT_EQ(after.str().find("# {trace_id="), std::string::npos);
+    registry.resetValues();
 }
 
 TEST(TelemetryServer, HealthzFlipsOn503AfterInjectedBreach)

@@ -13,9 +13,11 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "dataset/generator.hpp"
 #include "kfusion/pipeline.hpp"
+#include "support/logging.hpp"
 #include "support/thread_pool.hpp"
 #include "support/trace.hpp"
 
@@ -310,6 +312,375 @@ TEST_F(TraceTest, SessionExportsAndDisarms)
     Session inert("", "");
     EXPECT_FALSE(inert.active());
     EXPECT_FALSE(Tracer::instance().enabled());
+}
+
+// --- Request tracing (end-to-end per-frame traces) ---
+
+/** Every test starts and ends with a disarmed, empty tracer. */
+class RequestTraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        RequestTracer::instance().disarm();
+        RequestTracer::instance().clear();
+    }
+
+    void
+    TearDown() override
+    {
+        RequestTracer::instance().disarm();
+        RequestTracer::instance().clear();
+        support::setLogTraceId(0);
+    }
+
+    /** Arm the tracer with @p rate and test-friendly bounds. */
+    static void
+    arm(double rate)
+    {
+        RequestTraceOptions options;
+        options.sampleRate = rate;
+        options.maxRetained = 64;
+        RequestTracer::instance().configure(options);
+    }
+
+    /** @return the retained trace for @p ctx (test fails if absent). */
+    static RetainedTrace
+    retained(const TraceContext &ctx)
+    {
+        RetainedTrace trace;
+        EXPECT_TRUE(RequestTracer::instance().findTrace(ctx.traceId,
+                                                        &trace));
+        return trace;
+    }
+
+    /** @return the span named @p name, or nullptr. */
+    static const RequestSpan *
+    findSpan(const RetainedTrace &trace, const char *name)
+    {
+        for (const RequestSpan &span : trace.spans)
+            if (span.name && std::string(span.name) == name)
+                return &span;
+        return nullptr;
+    }
+};
+
+TEST_F(RequestTraceTest, DisarmedIsInert)
+{
+    auto &tracer = RequestTracer::instance();
+    ASSERT_FALSE(requestTracingArmed());
+    const TraceContext ctx = tracer.begin("t00", 0);
+    EXPECT_FALSE(ctx.active());
+    {
+        ScopedTraceContext scope(ctx);
+        ScopedSpan span("ignored", Category::Kernel);
+        EXPECT_FALSE(currentTraceContext().active());
+    }
+    RequestTraceFinish fin;
+    fin.sloBreach = true;
+    tracer.finish(ctx, fin);
+    EXPECT_EQ(tracer.tracesStarted(), 0u);
+    EXPECT_EQ(tracer.tracesRetained(), 0u);
+    EXPECT_TRUE(tracer.retainedSnapshot().empty());
+}
+
+TEST_F(RequestTraceTest, TailRetentionKeepsFlaggedDropsPlain)
+{
+    arm(0.0); // no probabilistic retention: only flags keep traces
+    auto &tracer = RequestTracer::instance();
+
+    const TraceContext plain = tracer.begin("t00", 0);
+    ASSERT_TRUE(plain.active());
+    tracer.finish(plain, RequestTraceFinish{});
+
+    const TraceContext breach = tracer.begin("t00", 1);
+    RequestTraceFinish fin;
+    fin.durationSeconds = 0.25;
+    fin.sloBreach = true;
+    tracer.finish(breach, fin);
+
+    const TraceContext lost = tracer.begin("t01", 2);
+    RequestTraceFinish lost_fin;
+    lost_fin.trackingLost = true;
+    tracer.finish(lost, lost_fin);
+
+    const TraceContext slow = tracer.begin("t01", 3);
+    RequestTraceFinish slow_fin;
+    slow_fin.topBucket = true;
+    tracer.finish(slow, slow_fin);
+
+    EXPECT_EQ(tracer.tracesStarted(), 4u);
+    EXPECT_EQ(tracer.tracesRetained(), 3u);
+    RetainedTrace trace;
+    EXPECT_FALSE(tracer.findTrace(plain.traceId, &trace));
+
+    trace = retained(breach);
+    EXPECT_TRUE(trace.retention.sloBreach);
+    EXPECT_FALSE(trace.retention.sampled);
+    EXPECT_EQ(trace.tenant, "t00");
+    EXPECT_EQ(trace.frame, 1u);
+    EXPECT_DOUBLE_EQ(trace.durationSeconds, 0.25);
+    // The synthesized root span covers the trace and closes last.
+    ASSERT_FALSE(trace.spans.empty());
+    EXPECT_EQ(trace.spans.back().spanId, trace.rootSpanId);
+    EXPECT_STREQ(trace.spans.back().name, "frame");
+
+    EXPECT_TRUE(retained(lost).retention.trackingLost);
+    EXPECT_TRUE(retained(slow).retention.topBucket);
+}
+
+TEST_F(RequestTraceTest, SampleRateOneRetainsUnflaggedTraces)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    for (uint64_t frame = 0; frame < 16; ++frame) {
+        const TraceContext ctx = tracer.begin("t00", frame);
+        tracer.finish(ctx, RequestTraceFinish{});
+    }
+    EXPECT_EQ(tracer.tracesRetained(), 16u);
+    for (const RetainedTrace &trace : tracer.retainedSnapshot()) {
+        EXPECT_TRUE(trace.retention.sampled);
+        EXPECT_FALSE(trace.retention.flagged());
+    }
+}
+
+TEST_F(RequestTraceTest, SpansNestUnderInstalledContext)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    const TraceContext ctx = tracer.begin("t00", 0);
+    {
+        ScopedTraceContext scope(ctx);
+        EXPECT_EQ(currentTraceContext().traceId, ctx.traceId);
+        ScopedSpan outer("outer_phase", Category::Phase);
+        {
+            ScopedSpan inner("inner_kernel", Category::Kernel);
+        }
+    }
+    EXPECT_FALSE(currentTraceContext().active());
+    tracer.finish(ctx, RequestTraceFinish{});
+
+    const RetainedTrace trace = retained(ctx);
+    const RequestSpan *outer = findSpan(trace, "outer_phase");
+    const RequestSpan *inner = findSpan(trace, "inner_kernel");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    // inner is a child of outer, outer a child of the root span.
+    EXPECT_EQ(inner->parentSpanId, outer->spanId);
+    EXPECT_EQ(outer->parentSpanId, trace.rootSpanId);
+    EXPECT_LE(outer->startNs, inner->startNs);
+    EXPECT_LE(inner->endNs, outer->endNs);
+    EXPECT_EQ(inner->cat, Category::Kernel);
+}
+
+TEST_F(RequestTraceTest, PropagatesAcrossPoolTaskBoundary)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    support::ThreadPool pool(2);
+
+    const TraceContext ctx = tracer.begin("t00", 0);
+    support::ThreadPool::TaskGroup group;
+    {
+        ScopedTraceContext scope(ctx);
+        pool.submit(group, [] {
+            ScopedSpan span("worker_side", Category::Kernel);
+        });
+    }
+    pool.wait(group);
+    tracer.finish(ctx, RequestTraceFinish{});
+
+    const RetainedTrace trace = retained(ctx);
+    // The worker-side span landed in the submitter's trace, as a
+    // child of the context the submitter had installed (the root).
+    const RequestSpan *worker = findSpan(trace, "worker_side");
+    ASSERT_NE(worker, nullptr);
+    EXPECT_EQ(worker->parentSpanId, trace.rootSpanId);
+    // The pool synthesized a queue-wait span for the task.
+    const RequestSpan *queue_wait = findSpan(trace, "queue_wait");
+    ASSERT_NE(queue_wait, nullptr);
+    EXPECT_EQ(queue_wait->parentSpanId, trace.rootSpanId);
+    EXPECT_EQ(queue_wait->cat, Category::Worker);
+    EXPECT_LE(queue_wait->startNs, queue_wait->endNs);
+}
+
+TEST_F(RequestTraceTest, NestedPoolTasksKeepParentLinkage)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    support::ThreadPool pool(2);
+
+    const TraceContext ctx = tracer.begin("t00", 0);
+    support::ThreadPool::TaskGroup outer_group;
+    {
+        ScopedTraceContext scope(ctx);
+        pool.submit(outer_group, [&pool] {
+            ScopedSpan outer("outer_task", Category::Phase);
+            support::ThreadPool::TaskGroup inner_group;
+            pool.submit(inner_group, [] {
+                ScopedSpan inner("inner_task", Category::Kernel);
+            });
+            pool.wait(inner_group);
+        });
+    }
+    pool.wait(outer_group);
+    tracer.finish(ctx, RequestTraceFinish{});
+
+    const RetainedTrace trace = retained(ctx);
+    const RequestSpan *outer = findSpan(trace, "outer_task");
+    const RequestSpan *inner = findSpan(trace, "inner_task");
+    ASSERT_NE(outer, nullptr);
+    ASSERT_NE(inner, nullptr);
+    // The nested submit happened inside outer_task's span, so the
+    // inner task's spans hang off outer_task even though a different
+    // worker executed them.
+    EXPECT_EQ(outer->parentSpanId, trace.rootSpanId);
+    EXPECT_EQ(inner->parentSpanId, outer->spanId);
+}
+
+TEST_F(RequestTraceTest, ConcurrentTenantsDoNotLeakSpans)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    support::ThreadPool pool(4);
+
+    constexpr size_t kTenants = 6;
+    std::vector<TraceContext> contexts(kTenants);
+    support::ThreadPool::TaskGroup group;
+    for (size_t t = 0; t < kTenants; ++t) {
+        char tenant[8];
+        std::snprintf(tenant, sizeof(tenant), "t%02zu", t);
+        contexts[t] = tracer.begin(tenant, t);
+        ScopedTraceContext scope(contexts[t]);
+        pool.submit(group, [t] {
+            // Distinct static names per tenant index, so a span
+            // leaking into another tenant's trace is detectable.
+            static const char *kNames[kTenants] = {
+                "tenant0_work", "tenant1_work", "tenant2_work",
+                "tenant3_work", "tenant4_work", "tenant5_work"};
+            ScopedSpan span(kNames[t], Category::Kernel);
+            ScopedSpan nested("shared_child", Category::Kernel);
+        });
+    }
+    pool.wait(group);
+    for (size_t t = 0; t < kTenants; ++t)
+        tracer.finish(contexts[t], RequestTraceFinish{});
+
+    for (size_t t = 0; t < kTenants; ++t) {
+        const RetainedTrace trace = retained(contexts[t]);
+        char expected[24];
+        std::snprintf(expected, sizeof(expected), "tenant%zu_work",
+                      t);
+        const RequestSpan *own = findSpan(trace, expected);
+        ASSERT_NE(own, nullptr) << expected;
+        EXPECT_EQ(own->parentSpanId, trace.rootSpanId);
+        // No other tenant's work span leaked into this trace.
+        for (size_t other = 0; other < kTenants; ++other) {
+            if (other == t)
+                continue;
+            char leaked[24];
+            std::snprintf(leaked, sizeof(leaked), "tenant%zu_work",
+                          other);
+            EXPECT_EQ(findSpan(trace, leaked), nullptr)
+                << "trace of tenant " << t << " contains "
+                << leaked;
+        }
+        // And the nested span is a child of this tenant's own span.
+        const RequestSpan *nested = findSpan(trace, "shared_child");
+        ASSERT_NE(nested, nullptr);
+        EXPECT_EQ(nested->parentSpanId, own->spanId);
+    }
+}
+
+TEST_F(RequestTraceTest, ExemplarFollowsRetainedTrace)
+{
+    arm(0.0);
+    auto &tracer = RequestTracer::instance();
+
+    const TraceContext kept = tracer.begin("t00", 0);
+    RequestTraceFinish fin;
+    fin.durationSeconds = 0.125;
+    fin.sloBreach = true;
+    fin.exemplarMetric = "serve.tenant.frame_seconds{tenant=\"t00\"}";
+    tracer.finish(kept, fin);
+
+    TraceExemplar exemplar;
+    ASSERT_TRUE(tracer.exemplarFor(
+        "serve.tenant.frame_seconds{tenant=\"t00\"}", &exemplar));
+    EXPECT_EQ(exemplar.traceId, kept.traceId);
+    EXPECT_DOUBLE_EQ(exemplar.value, 0.125);
+
+    // A dropped trace must not become the exemplar.
+    const TraceContext dropped = tracer.begin("t00", 1);
+    RequestTraceFinish dropped_fin;
+    dropped_fin.durationSeconds = 9.0;
+    dropped_fin.exemplarMetric = fin.exemplarMetric;
+    tracer.finish(dropped, dropped_fin);
+    ASSERT_TRUE(tracer.exemplarFor(
+        "serve.tenant.frame_seconds{tenant=\"t00\"}", &exemplar));
+    EXPECT_EQ(exemplar.traceId, kept.traceId);
+
+    EXPECT_FALSE(tracer.exemplarFor("no.such.metric", &exemplar));
+}
+
+TEST_F(RequestTraceTest, RetainedStoreIsBounded)
+{
+    RequestTraceOptions options;
+    options.sampleRate = 1.0;
+    options.maxRetained = 8;
+    RequestTracer::instance().configure(options);
+    auto &tracer = RequestTracer::instance();
+    for (uint64_t frame = 0; frame < 32; ++frame) {
+        const TraceContext ctx = tracer.begin("t00", frame);
+        tracer.finish(ctx, RequestTraceFinish{});
+    }
+    const auto snapshot = tracer.retainedSnapshot();
+    ASSERT_EQ(snapshot.size(), 8u);
+    // Newest first; FIFO eviction kept the most recent frames.
+    EXPECT_EQ(snapshot.front().frame, 31u);
+    EXPECT_EQ(snapshot.back().frame, 24u);
+}
+
+TEST_F(RequestTraceTest, TraceIdFormatParseRoundTrip)
+{
+    EXPECT_EQ(formatTraceId(0x00ffee0011223344ull),
+              "00ffee0011223344");
+    EXPECT_EQ(parseTraceId("00ffee0011223344"),
+              0x00ffee0011223344ull);
+    EXPECT_EQ(parseTraceId("0x00ffee0011223344"),
+              0x00ffee0011223344ull);
+    EXPECT_EQ(parseTraceId(""), 0u);
+    EXPECT_EQ(parseTraceId("not-a-trace-id"), 0u);
+    EXPECT_EQ(parseTraceId("12345"), 0x12345ull);
+}
+
+TEST_F(RequestTraceTest, ScopedContextCarriesLogCorrelation)
+{
+    arm(1.0);
+    auto &tracer = RequestTracer::instance();
+    const TraceContext ctx = tracer.begin("t00", 0);
+    ASSERT_EQ(support::logTraceId(), 0u);
+    {
+        ScopedTraceContext scope(ctx);
+        EXPECT_EQ(support::logTraceId(), ctx.traceId);
+        // A WARN inside the context carries the correlation id.
+        ::testing::internal::CaptureStderr();
+        support::logWarn() << "correlated warning";
+        const std::string line =
+            ::testing::internal::GetCapturedStderr();
+        EXPECT_NE(line.find("trace_id=" + formatTraceId(ctx.traceId)),
+                  std::string::npos)
+            << line;
+    }
+    EXPECT_EQ(support::logTraceId(), 0u);
+    // Outside any context, no correlation suffix is appended.
+    ::testing::internal::CaptureStderr();
+    support::logWarn() << "uncorrelated warning";
+    const std::string line =
+        ::testing::internal::GetCapturedStderr();
+    EXPECT_EQ(line.find("trace_id="), std::string::npos) << line;
+    tracer.finish(ctx, RequestTraceFinish{});
 }
 
 } // namespace
